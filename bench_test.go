@@ -1,0 +1,467 @@
+package probquorum
+
+// One benchmark per experiment in DESIGN.md's index (E1-E9), plus
+// microbenchmarks of the hot paths. The benchmarks run reduced-scale
+// configurations so `go test -bench=.` completes quickly; the cmd/ tools
+// run the full paper-scale sweeps.
+
+import (
+	"testing"
+	"time"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/apps/agreement"
+	"probquorum/internal/apps/csp"
+	"probquorum/internal/apps/linsys"
+	"probquorum/internal/apps/paths"
+	"probquorum/internal/apps/semiring"
+	"probquorum/internal/cluster"
+	"probquorum/internal/experiments"
+	"probquorum/internal/graph"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/rng"
+)
+
+// benchSim runs one Alg. 1 simulation per iteration and fails the benchmark
+// if it does not converge.
+func benchSim(b *testing.B, cfg aco.SimConfig) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := aco.RunSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged && cfg.MaxRounds == 0 {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkFigure2 (E1) regenerates single Figure 2 points: the APSP chain
+// workload per variant and quorum size.
+func BenchmarkFigure2(b *testing.B) {
+	g := graph.Chain(34)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	base := func(k int, monotone, sync bool) aco.SimConfig {
+		var delay rng.Dist = rng.Exponential{MeanD: time.Millisecond}
+		if sync {
+			delay = rng.Constant{D: time.Millisecond}
+		}
+		return aco.SimConfig{
+			Op: op, Target: target, Servers: 34,
+			System: quorum.NewProbabilistic(34, k), Monotone: monotone,
+			Delay: delay, MaxRounds: 400,
+		}
+	}
+	b.Run("monotone-sync-k1", func(b *testing.B) { benchSim(b, base(1, true, true)) })
+	b.Run("monotone-sync-k6", func(b *testing.B) { benchSim(b, base(6, true, true)) })
+	b.Run("monotone-sync-k18", func(b *testing.B) { benchSim(b, base(18, true, true)) })
+	b.Run("monotone-async-k6", func(b *testing.B) { benchSim(b, base(6, true, false)) })
+	b.Run("nonmonotone-sync-k6", func(b *testing.B) { benchSim(b, base(6, false, true)) })
+	b.Run("nonmonotone-async-k6", func(b *testing.B) { benchSim(b, base(6, false, false)) })
+}
+
+// BenchmarkMessageComplexity (E2) regenerates one row trio of the Section
+// 6.4 table at n=25.
+func BenchmarkMessageComplexity(b *testing.B) {
+	g := graph.Chain(25)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	run := func(b *testing.B, sys quorum.System, monotone bool) {
+		benchSim(b, aco.SimConfig{
+			Op: op, Target: target, Servers: 25, System: sys,
+			Monotone: monotone, Delay: rng.Constant{D: time.Millisecond},
+		})
+	}
+	b.Run("probabilistic-sqrtn", func(b *testing.B) { run(b, quorum.NewProbabilistic(25, 5), true) })
+	b.Run("strict-majority", func(b *testing.B) { run(b, quorum.NewMajority(25), false) })
+	b.Run("strict-grid", func(b *testing.B) { run(b, quorum.NewSquareGrid(25), false) })
+}
+
+// BenchmarkDecay (E3) regenerates the Theorem 1 Monte Carlo.
+func BenchmarkDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunDecay(experiments.DecayConfig{
+			N: 34, Ks: []int{6}, MaxL: 40, Trials: 2000, Seed: uint64(i + 1),
+		})
+	}
+}
+
+// BenchmarkFreshness (E4) regenerates the [R5] read-freshness distribution.
+func BenchmarkFreshness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFreshness(experiments.FreshnessConfig{
+			N: 34, Ks: []int{4}, Trials: 5000, Seed: uint64(i + 1),
+		})
+	}
+}
+
+// BenchmarkLoad (E5) regenerates the Section 4 load measurement.
+func BenchmarkLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLoad(experiments.LoadConfig{
+			Ns: []int{36}, FPPOrders: []int{3}, Ops: 10000, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAvailability (E6) regenerates the Section 4 survival curves.
+func BenchmarkAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAvailability(experiments.AvailConfig{
+			N: 16, FPPOrder: 3, Trials: 200, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBounds (E7) evaluates the Corollary 7 closed forms.
+func BenchmarkBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunBounds(experiments.BoundsConfig{N: 34, Pseudocycles: 6})
+	}
+}
+
+// BenchmarkACOApps (E8) runs every application in the suite over monotone
+// random registers on the simulator.
+func BenchmarkACOApps(b *testing.B) {
+	b.Run("apsp", func(b *testing.B) {
+		g := graph.Chain(12)
+		benchSim(b, aco.SimConfig{
+			Op: semiring.NewAPSP(g), Target: semiring.APSPTarget(g),
+			Servers: 12, System: quorum.NewProbabilistic(12, 4), Monotone: true,
+			Delay: rng.Exponential{MeanD: time.Millisecond},
+		})
+	})
+	b.Run("closure", func(b *testing.B) {
+		g := graph.Ring(10)
+		benchSim(b, aco.SimConfig{
+			Op: semiring.NewClosure(g), Target: semiring.ClosureTarget(g),
+			Servers: 10, System: quorum.NewProbabilistic(10, 3), Monotone: true,
+			Delay: rng.Exponential{MeanD: time.Millisecond},
+		})
+	})
+	b.Run("widest", func(b *testing.B) {
+		g := graph.RandomSparse(10, 20, 9, 3)
+		benchSim(b, aco.SimConfig{
+			Op: semiring.NewWidest(g), Servers: 10,
+			System: quorum.NewProbabilistic(10, 3), Monotone: true,
+			Delay: rng.Exponential{MeanD: time.Millisecond},
+		})
+	})
+	b.Run("sssp", func(b *testing.B) {
+		g := graph.RandomSparse(16, 32, 5, 4)
+		op, err := paths.NewSSSP(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSim(b, aco.SimConfig{
+			Op: op, Target: paths.Target(g, 0), Servers: 16,
+			System: quorum.NewProbabilistic(16, 4), Monotone: true,
+			Delay: rng.Exponential{MeanD: time.Millisecond},
+		})
+	})
+	b.Run("jacobi", func(b *testing.B) {
+		a, rhs := linsys.RandomDominant(10, 1.0, 5)
+		op, err := linsys.NewJacobi(a, rhs, 1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		target, err := op.Target()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSim(b, aco.SimConfig{
+			Op: op, Target: target, Servers: 10,
+			System: quorum.NewProbabilistic(10, 3), Monotone: true,
+			Delay: rng.Exponential{MeanD: time.Millisecond}, MaxRounds: 5000,
+		})
+	})
+	b.Run("csp", func(b *testing.B) {
+		op, err := csp.NewOperator(csp.InequalityChain(8, 10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSim(b, aco.SimConfig{
+			Op: op, Servers: 8, System: quorum.NewProbabilistic(8, 3),
+			Monotone: true, Delay: rng.Exponential{MeanD: time.Millisecond},
+		})
+	})
+	b.Run("agreement", func(b *testing.B) {
+		op, err := agreement.New([]float64{0, 3, 7, 11, 20, 100}, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSim(b, aco.SimConfig{
+			Op: op, Servers: 6, System: quorum.NewProbabilistic(6, 3),
+			Monotone: true, Delay: rng.Exponential{MeanD: time.Millisecond},
+			Correct: op.Correct(),
+		})
+	})
+}
+
+// BenchmarkRegisterSpec (E9) runs the concurrent runtime under trace
+// recording and checks the register conditions — the property-check cost
+// itself is part of the measurement.
+func BenchmarkRegisterSpec(b *testing.B) {
+	g := graph.Chain(6)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	for i := 0; i < b.N; i++ {
+		res, err := aco.RunConcurrent(aco.ConcurrentConfig{
+			Op: op, Target: target, Servers: 6,
+			System: quorum.NewProbabilistic(6, 2), Monotone: true,
+			Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// --- microbenchmarks of the hot paths ---
+
+func BenchmarkQuorumPick(b *testing.B) {
+	systems := []quorum.System{
+		quorum.NewProbabilistic(34, 6),
+		quorum.NewMajority(34),
+		quorum.NewGrid(6, 6),
+		quorum.MustFPP(5),
+	}
+	for _, sys := range systems {
+		b.Run(sys.Name(), func(b *testing.B) {
+			r := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys.Pick(r)
+			}
+		})
+	}
+}
+
+func BenchmarkRegisterRoundTrip(b *testing.B) {
+	// One full read + write against in-process replicas (no runtime).
+	const n = 34
+	stores := make([]*replica.Store, n)
+	initial := map[msg.RegisterID]msg.Value{0: 0}
+	for i := range stores {
+		stores[i] = replica.New(msg.NodeID(i), initial)
+	}
+	e := register.NewEngine(0, quorum.NewProbabilistic(n, 6), rng.New(1), register.Monotone())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ws := e.BeginWrite(0, i)
+		for _, srv := range ws.Quorum {
+			rep, _ := stores[srv].Apply(ws.Request())
+			ws.OnAck(srv, rep.(msg.WriteAck))
+		}
+		rs := e.BeginRead(0)
+		for _, srv := range rs.Quorum {
+			rep, _ := stores[srv].Apply(rs.Request())
+			rs.OnReply(srv, rep.(msg.ReadReply))
+		}
+		e.FinishRead(rs)
+	}
+}
+
+func BenchmarkOperatorApply(b *testing.B) {
+	g := graph.Chain(34)
+	op := semiring.NewAPSP(g)
+	view := op.Initial()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op.Apply(i%34, view)
+	}
+}
+
+func BenchmarkSimThroughput(b *testing.B) {
+	// Raw event throughput of the discrete-event kernel: one APSP round on
+	// the paper's configuration, measured in delivered events.
+	g := graph.Chain(34)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := aco.RunSim(aco.SimConfig{
+			Op: op, Target: target, Servers: 34,
+			System: quorum.NewProbabilistic(34, 6), Monotone: true,
+			Delay: rng.Constant{D: time.Millisecond}, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Messages
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "msgs/run")
+}
+
+// BenchmarkAblations (E10-E12) measures the design-choice knobs DESIGN.md
+// calls out: monotone cache on/off, read-repair on/off, and asymmetric
+// read/write quorum splits, all on the same workload.
+func BenchmarkAblations(b *testing.B) {
+	g := graph.Chain(16)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	base := aco.SimConfig{
+		Op: op, Target: target, Servers: 16,
+		System:    quorum.NewProbabilistic(16, 3),
+		Delay:     rng.Exponential{MeanD: time.Millisecond},
+		MaxRounds: 2000,
+	}
+	b.Run("monotone", func(b *testing.B) {
+		cfg := base
+		cfg.Monotone = true
+		benchSim(b, cfg)
+	})
+	b.Run("non-monotone", func(b *testing.B) {
+		benchSim(b, base)
+	})
+	b.Run("monotone+repair", func(b *testing.B) {
+		cfg := base
+		cfg.Monotone = true
+		cfg.ReadRepair = true
+		benchSim(b, cfg)
+	})
+	b.Run("asym-read1-write5", func(b *testing.B) {
+		cfg := base
+		cfg.Monotone = true
+		cfg.System = quorum.NewProbabilistic(16, 1)
+		cfg.WriteSystem = quorum.NewProbabilistic(16, 5)
+		benchSim(b, cfg)
+	})
+	b.Run("asym-read5-write1", func(b *testing.B) {
+		cfg := base
+		cfg.Monotone = true
+		cfg.System = quorum.NewProbabilistic(16, 5)
+		cfg.WriteSystem = quorum.NewProbabilistic(16, 1)
+		benchSim(b, cfg)
+	})
+}
+
+// BenchmarkStaleness (E11) regenerates the end-to-end staleness
+// distribution measurement.
+func BenchmarkStaleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStaleness(experiments.StaleConfig{
+			Vertices: 10, Ks: []int{2}, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleRate (E12) regenerates the register-free schedule
+// convergence-rate experiment.
+func BenchmarkScheduleRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunScheduleRate(experiments.ScheduleConfig{
+			Vertices: 12, MaxDelay: 6,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsymmetry (E10) regenerates the asymmetric-quorum sweep.
+func BenchmarkAsymmetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAsymmetry(experiments.AsymConfig{
+			Vertices: 12, Total: 6, Runs: 1, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeQuorumPick complements BenchmarkQuorumPick for the tree
+// system, whose quorums have variable size.
+func BenchmarkTreeQuorumPick(b *testing.B) {
+	sys := quorum.NewTree(31, 0.3)
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys.Pick(r)
+	}
+}
+
+// BenchmarkByzantine (E13) regenerates the Byzantine-masking experiment.
+func BenchmarkByzantine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunByzantine(experiments.ByzConfig{
+			N: 15, F: 2, Ks: []int{4}, Trials: 2000, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurn (E14) regenerates the mid-execution column-crash
+// comparison.
+func BenchmarkChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunChurn(experiments.ChurnConfig{
+			N: 9, Runs: 1, Seed: uint64(i + 1), MaxRounds: 40,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTCP measures the full Alg. 1 loop over real loopback sockets.
+func BenchmarkRunTCP(b *testing.B) {
+	g := graph.Chain(5)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	for i := 0; i < b.N; i++ {
+		res, err := aco.RunTCP(aco.TCPConfig{
+			Op: op, Target: target, Servers: 5, Procs: 5,
+			System: quorum.NewProbabilistic(5, 3), Monotone: true,
+			Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkClusterThroughput measures raw read/write throughput of the
+// goroutine runtime with majority quorums.
+func BenchmarkClusterThroughput(b *testing.B) {
+	c, err := cluster.New(cluster.Config{
+		Servers: 9,
+		Initial: map[msg.RegisterID]msg.Value{0: 0},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	cl, err := c.NewClient(quorum.NewMajority(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Write(0, i); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Read(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command decay runs the two per-write visibility experiments:
+//
+//   - the Theorem 1 decay Monte Carlo (default): the probability that a
+//     write survives — and is still returned by a read — after l subsequent
+//     writes, against the bound k·((n−k)/n)^l whose vanishing tail is
+//     condition [R3];
+//   - with -freshness, the [R5] experiment: the distribution of the number
+//     of reads until a process observes a given write (or newer), against
+//     the geometric distribution with the Theorem 4 overlap probability q.
+//
+// Usage:
+//
+//	decay [-n 34] [-ks 3,6,9,12] [-maxl 40] [-trials 20000] [-csv]
+//	decay -freshness [-ks 2,4,6] [-trials 50000] [-ongoing] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probquorum/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "decay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 34, "number of replicas")
+		ks        = flag.String("ks", "", "quorum sizes (default depends on mode)")
+		maxL      = flag.Int("maxl", 40, "maximum subsequent writes (decay mode)")
+		trials    = flag.Int("trials", 0, "Monte-Carlo trials (0 = mode default)")
+		seed      = flag.Uint64("seed", 1, "seed")
+		freshness = flag.Bool("freshness", false, "run the [R5] read-freshness experiment")
+		ongoing   = flag.Bool("ongoing", false, "freshness: interleave ongoing writes")
+		staleness = flag.Bool("staleness", false, "measure end-to-end read staleness in the APSP workload")
+		monotone  = flag.Bool("monotone", false, "staleness: use the monotone register variant")
+		repair    = flag.Bool("repair", false, "staleness: enable the read-repair (write-back) extension")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	var sizes []int
+	if *ks != "" {
+		var err error
+		sizes, err = experiments.ParseIntList(*ks)
+		if err != nil {
+			return err
+		}
+	}
+	if *staleness {
+		res, err := experiments.RunStaleness(experiments.StaleConfig{
+			Vertices:   *n,
+			Ks:         sizes,
+			Monotone:   *monotone,
+			ReadRepair: *repair,
+			Seed:       *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return res.RenderCSV(os.Stdout)
+		}
+		return res.Render(os.Stdout)
+	}
+	if *freshness {
+		res := experiments.RunFreshness(experiments.FreshnessConfig{
+			N:             *n,
+			Ks:            sizes,
+			Trials:        *trials,
+			Seed:          *seed,
+			OngoingWrites: *ongoing,
+		})
+		if *csv {
+			return res.RenderCSV(os.Stdout)
+		}
+		return res.Render(os.Stdout)
+	}
+	res := experiments.RunDecay(experiments.DecayConfig{
+		N:      *n,
+		Ks:     sizes,
+		MaxL:   *maxL,
+		Trials: *trials,
+		Seed:   *seed,
+	})
+	if *csv {
+		return res.RenderCSV(os.Stdout)
+	}
+	return res.Render(os.Stdout)
+}

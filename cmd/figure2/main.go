@@ -1,0 +1,87 @@
+// Command figure2 regenerates Figure 2 of the paper: rounds until the
+// all-pairs-shortest-path application converges over (monotone) random
+// registers, as a function of the probabilistic quorum size, in synchronous
+// and asynchronous executions, next to the Corollary 7 analytic bound.
+//
+// The paper's exact configuration is the default: a 34-vertex unit-weight
+// chain, 34 replicas, quorum sizes 1..18, 7 runs per point. Non-monotone
+// runs that hit the round cap are reported as lower bounds, like the open
+// squares in the paper's plot.
+//
+// Usage:
+//
+//	figure2 [-n 34] [-k 1-18] [-runs 7] [-seed 1] [-maxrounds 300]
+//	        [-variants all|monotone|nonmonotone] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probquorum/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figure2:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 34, "chain vertices = processes = registers = replicas")
+		kList     = flag.String("k", "1-18", "quorum sizes (comma list and ranges)")
+		runs      = flag.Int("runs", 7, "seeded runs per point")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		maxRounds = flag.Int("maxrounds", 300, "round cap; capped runs are lower bounds")
+		variants  = flag.String("variants", "all", "all, monotone, or nonmonotone")
+		workload  = flag.String("graph", "chain", "input graph: chain, ring, grid, random")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+		plot      = flag.Bool("plot", false, "render an ASCII chart after the table")
+		par       = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	ks, err := experiments.ParseIntList(*kList)
+	if err != nil {
+		return err
+	}
+	var vs []experiments.Variant
+	switch *variants {
+	case "all":
+		vs = experiments.AllVariants()
+	case "monotone":
+		vs = []experiments.Variant{{Monotone: true, Sync: true}, {Monotone: true, Sync: false}}
+	case "nonmonotone":
+		vs = []experiments.Variant{{Monotone: false, Sync: true}, {Monotone: false, Sync: false}}
+	default:
+		return fmt.Errorf("unknown -variants %q", *variants)
+	}
+
+	res, err := experiments.RunFigure2(experiments.Figure2Config{
+		Vertices:    *n,
+		QuorumSizes: ks,
+		Runs:        *runs,
+		Seed:        *seed,
+		MaxRounds:   *maxRounds,
+		Variants:    vs,
+		Parallelism: *par,
+		Workload:    *workload,
+	})
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return res.RenderCSV(os.Stdout)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *plot {
+		fmt.Println()
+		return res.Plot(os.Stdout)
+	}
+	return nil
+}

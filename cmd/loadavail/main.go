@@ -1,0 +1,93 @@
+// Command loadavail measures the two quorum-system quality metrics the
+// paper's Section 4 reviews:
+//
+//   - load (default or -load): the access frequency of the busiest server
+//     under each system's strategy, against the analytic load and the
+//     Naor–Wool lower bound max(1/k, k/n) — demonstrating that the
+//     probabilistic system at k = √n achieves optimal load while majority
+//     sits at ~1/2;
+//   - availability (-avail): survival probability under random crash sets,
+//     against each system's analytic availability threshold — demonstrating
+//     that the probabilistic system keeps Ω(n) availability where the
+//     equal-load strict systems (grid, projective plane) only reach O(√n).
+//
+// Together they exhibit the Naor–Wool trade-off and how probabilistic
+// quorums escape it.
+//
+// Usage:
+//
+//	loadavail [-load] [-ns 16,36,64,100] [-ops 50000] [-csv]
+//	loadavail -avail [-n 36] [-trials 2000] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probquorum/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadavail:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		load   = flag.Bool("load", false, "run the load experiment (default when -avail absent)")
+		avail  = flag.Bool("avail", false, "run the availability experiment")
+		churn  = flag.Bool("churn", false, "run the mid-execution column-crash experiment")
+		ns     = flag.String("ns", "16,36,64,100", "load: system sizes (perfect squares)")
+		ops    = flag.Int("ops", 50000, "load: sampled operations per system")
+		n      = flag.Int("n", 36, "availability: system size (perfect square)")
+		trials = flag.Int("trials", 2000, "availability: trials per failure count")
+		seed   = flag.Uint64("seed", 1, "seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+	_ = load
+
+	if *churn {
+		res, err := experiments.RunChurn(experiments.ChurnConfig{N: *n, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return res.RenderCSV(os.Stdout)
+		}
+		return res.Render(os.Stdout)
+	}
+	if *avail {
+		res, err := experiments.RunAvailability(experiments.AvailConfig{
+			N:      *n,
+			Trials: *trials,
+			Seed:   *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return res.RenderCSV(os.Stdout)
+		}
+		return res.Render(os.Stdout)
+	}
+	sizes, err := experiments.ParseIntList(*ns)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunLoad(experiments.LoadConfig{
+		Ns:   sizes,
+		Ops:  *ops,
+		Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return res.RenderCSV(os.Stdout)
+	}
+	return res.Render(os.Stdout)
+}

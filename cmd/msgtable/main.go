@@ -1,0 +1,52 @@
+// Command msgtable regenerates the Section 6.4 message-complexity
+// comparison: messages per pseudocycle for the monotone probabilistic
+// quorum implementation at k = ⌈√n⌉ versus strict majority (the
+// high-availability strict regime) and strict grid (the optimal-load strict
+// regime), measured by running the APSP application to convergence and
+// predicted by Eqns 1 and 2.
+//
+// Usage:
+//
+//	msgtable [-ns 16,25,36,49] [-runs 3] [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"probquorum/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "msgtable:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ns   = flag.String("ns", "16,25,36,49", "system sizes (perfect squares)")
+		runs = flag.Int("runs", 3, "seeded runs per cell")
+		seed = flag.Uint64("seed", 1, "base seed")
+		csv  = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+	sizes, err := experiments.ParseIntList(*ns)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunMessageComplexity(experiments.MsgConfig{
+		Ns:   sizes,
+		Runs: *runs,
+		Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return res.RenderCSV(os.Stdout)
+	}
+	return res.Render(os.Stdout)
+}

@@ -1,0 +1,123 @@
+// Command quorumtool inspects the analytic properties of quorum systems:
+// the Corollary 7 expected-rounds bound across quorum sizes (the curve
+// plotted in Figure 2), the exact Theorem 4 overlap probability q(n, k),
+// and per-system load and availability.
+//
+// Usage:
+//
+//	quorumtool [-n 34] [-pseudo 6] [-csv]        # the bound table
+//	quorumtool -systems [-n 36]                  # per-system properties
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"probquorum/internal/experiments"
+	"probquorum/internal/quorum"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quorumtool:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 34, "number of replicas")
+		pseudo  = flag.Int("pseudo", 6, "pseudocycles for the total-rounds bound")
+		systems = flag.Bool("systems", false, "print per-system load/availability instead")
+		asym    = flag.Bool("asym", false, "run the asymmetric read/write quorum ablation")
+		budget  = flag.Int("budget", 10, "asym: fixed kr+kw budget")
+		sched   = flag.Bool("schedule", false, "run the register-free schedule convergence-rate experiment")
+		byz     = flag.Bool("byzantine", false, "run the Byzantine-masking experiment")
+		compare = flag.Bool("compare", false, "run every quorum system through the full protocol")
+		byzF    = flag.Int("f", 3, "byzantine: number of fabricating replicas")
+		byzB    = flag.Int("b", 0, "byzantine: masking parameter (default f)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	if *systems {
+		return renderSystems(os.Stdout, *n)
+	}
+	if *compare {
+		res, err := experiments.RunSystems(experiments.SystemsConfig{N: *n})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return res.RenderCSV(os.Stdout)
+		}
+		return res.Render(os.Stdout)
+	}
+	if *byz {
+		res, err := experiments.RunByzantine(experiments.ByzConfig{
+			N: *n, F: *byzF, B: *byzB,
+		})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return res.RenderCSV(os.Stdout)
+		}
+		return res.Render(os.Stdout)
+	}
+	if *sched {
+		res, err := experiments.RunScheduleRate(experiments.ScheduleConfig{Vertices: *n})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return res.RenderCSV(os.Stdout)
+		}
+		return res.Render(os.Stdout)
+	}
+	if *asym {
+		res, err := experiments.RunAsymmetry(experiments.AsymConfig{
+			Vertices: *n, Total: *budget,
+		})
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return res.RenderCSV(os.Stdout)
+		}
+		return res.Render(os.Stdout)
+	}
+	res := experiments.RunBounds(experiments.BoundsConfig{N: *n, Pseudocycles: *pseudo})
+	if *csv {
+		return res.RenderCSV(os.Stdout)
+	}
+	return res.Render(os.Stdout)
+}
+
+func renderSystems(w *os.File, n int) error {
+	var syss []quorum.System
+	root := int(math.Round(math.Sqrt(float64(n))))
+	syss = append(syss, quorum.NewProbabilistic(n, root), quorum.NewMajority(n))
+	if root*root == n {
+		syss = append(syss, quorum.NewSquareGrid(n))
+	}
+	syss = append(syss, quorum.NewTree(n, 0.3), quorum.NewSingleton(n, 0), quorum.NewAll(n))
+	for _, q := range []int{2, 3, 5, 7} {
+		if q*q+q+1 <= 2*n { // keep sizes comparable
+			syss = append(syss, quorum.MustFPP(q))
+		}
+	}
+	headers := []string{"system", "n", "quorum size", "strict", "load", "availability"}
+	var rows [][]string
+	for _, s := range syss {
+		rows = append(rows, []string{
+			s.Name(), experiments.I(s.N()), experiments.I(s.Size()),
+			fmt.Sprintf("%v", s.Strict()),
+			experiments.F(quorum.TheoreticalLoad(s), 4),
+			experiments.I(quorum.AvailabilityThreshold(s)),
+		})
+	}
+	return experiments.Table(w, headers, rows)
+}

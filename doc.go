@@ -1,0 +1,36 @@
+// Package probquorum is a from-scratch Go reproduction of
+//
+//	Hyunyoung Lee and Jennifer L. Welch,
+//	"Applications of Probabilistic Quorums to Iterative Algorithms",
+//	ICDCS 2001.
+//
+// The paper defines a random register — a probabilistically regular shared
+// read/write register that may return stale values — shows that the
+// Malkhi–Reiter–Wright probabilistic quorum algorithm implements it, proves
+// that iterative algorithms in the Üresin–Dubois asynchronously-contracting-
+// operator (ACO) framework converge with probability 1 over such registers,
+// and introduces a monotone variant with an expected convergence-time bound
+// (Corollary 7) and a message-complexity advantage over strict quorum
+// systems (Section 6.4).
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory):
+//
+//	quorum      probabilistic, majority, grid, and projective-plane systems
+//	replica     the timestamped replica server state machine
+//	register    the client protocol cores (read/write sessions, monotone cache)
+//	sim         a deterministic discrete-event simulator (the paper's testbed)
+//	cluster     a goroutine/channel runtime for the same protocol
+//	transport   the protocol over real TCP sockets
+//	aco         the Üresin–Dubois framework and the Alg. 1 runners
+//	apps        APSP, transitive closure, widest paths, Bellman–Ford,
+//	            Jacobi linear solving, arc consistency, approximate agreement
+//	analysis    the paper's closed forms (Theorem 1, Theorem 4, Corollary 7,
+//	            Eqns 1–3, Naor–Wool load)
+//	experiments drivers regenerating every figure and table
+//	trace       execution logs and checkers for conditions [R1]–[R5]
+//
+// The benchmarks in bench_test.go regenerate each experiment at reduced
+// scale; the cmd/ tools run them at paper scale. EXPERIMENTS.md records
+// paper-versus-measured outcomes.
+package probquorum

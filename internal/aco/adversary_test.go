@@ -1,0 +1,153 @@
+package aco_test
+
+import (
+	"testing"
+	"time"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/apps/semiring"
+	"probquorum/internal/graph"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/rng"
+	"probquorum/internal/sim"
+	"probquorum/internal/trace"
+)
+
+// Theorem 3 is quantified over every adversary. These tests run Alg. 1
+// under hostile delay rules and require convergence and the register
+// conditions to survive.
+
+func adversaryConfig(model sim.DelayModel, seed uint64) aco.SimConfig {
+	g := graph.Chain(8)
+	return aco.SimConfig{
+		Op:         semiring.NewAPSP(g),
+		Target:     semiring.APSPTarget(g),
+		Servers:    8,
+		System:     quorum.NewProbabilistic(8, 3),
+		Monotone:   true,
+		DelayModel: model,
+		Seed:       seed,
+		MaxRounds:  5000,
+	}
+}
+
+func TestConvergesUnderSlowedProcess(t *testing.T) {
+	// Starve one application process (node id 8+3) and one server (2).
+	model := sim.SlowNodes{
+		Base:    sim.DistDelay{Dist: rng.Exponential{MeanD: time.Millisecond}},
+		Victims: map[msg.NodeID]bool{2: true, 11: true},
+		Factor:  20,
+	}
+	res, err := aco.RunSim(adversaryConfig(model, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge with a 20x-slowed process")
+	}
+}
+
+func TestConvergesUnderAlternatingDelays(t *testing.T) {
+	model := &sim.AlternatingDelay{Fast: time.Microsecond, Slow: 10 * time.Millisecond}
+	res, err := aco.RunSim(adversaryConfig(model, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge under alternating delays")
+	}
+}
+
+func TestConvergesUnderStaleReadsAdversary(t *testing.T) {
+	// Delay every write 50x: reads see very stale data for a long time,
+	// but the monotone algorithm must still converge.
+	model := sim.StaleReads{
+		Base:   sim.DistDelay{Dist: rng.Exponential{MeanD: time.Millisecond}},
+		Factor: 50,
+	}
+	log := &trace.Log{}
+	cfg := adversaryConfig(model, 3)
+	cfg.Trace = log
+	res, err := aco.RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge under the stale-reads adversary")
+	}
+	// The register conditions hold even under this adversary.
+	ops := log.Ops()
+	if err := trace.CheckReadsFrom(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.CheckMonotone(ops); err != nil {
+		t.Fatal(err)
+	}
+	// The adversary must actually have produced stale reads, or the test
+	// proves nothing.
+	stale := 0
+	for _, s := range trace.Staleness(ops) {
+		if s > 0 {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Fatal("adversary produced no stale reads; not a discriminating test")
+	}
+}
+
+func TestAdversarialRunsReproducible(t *testing.T) {
+	model := func() sim.DelayModel {
+		return sim.StaleReads{
+			Base:   sim.DistDelay{Dist: rng.Exponential{MeanD: time.Millisecond}},
+			Factor: 10,
+		}
+	}
+	a, err := aco.RunSim(adversaryConfig(model(), 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := aco.RunSim(adversaryConfig(model(), 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Messages != b.Messages {
+		t.Fatalf("adversarial replay diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestAsymmetricQuorumsConverge(t *testing.T) {
+	g := graph.Chain(10)
+	res, err := aco.RunSim(aco.SimConfig{
+		Op:          semiring.NewAPSP(g),
+		Target:      semiring.APSPTarget(g),
+		Servers:     10,
+		System:      quorum.NewProbabilistic(10, 2), // small read quorums
+		WriteSystem: quorum.NewProbabilistic(10, 7), // large write quorums
+		Monotone:    true,
+		Delay:       rng.Constant{D: time.Millisecond},
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("asymmetric configuration did not converge")
+	}
+}
+
+func TestAsymmetricWriteSystemValidation(t *testing.T) {
+	g := graph.Chain(6)
+	_, err := aco.RunSim(aco.SimConfig{
+		Op:          semiring.NewAPSP(g),
+		Target:      semiring.APSPTarget(g),
+		Servers:     6,
+		System:      quorum.NewProbabilistic(6, 2),
+		WriteSystem: quorum.NewProbabilistic(9, 2), // wrong n
+		Delay:       rng.Constant{D: time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("mismatched write system accepted")
+	}
+}

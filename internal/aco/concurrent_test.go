@@ -1,0 +1,177 @@
+package aco_test
+
+import (
+	"testing"
+	"time"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/apps/semiring"
+	"probquorum/internal/cluster"
+	"probquorum/internal/graph"
+	"probquorum/internal/quorum"
+	"probquorum/internal/rng"
+	"probquorum/internal/trace"
+)
+
+func TestRunConcurrentAPSPStrict(t *testing.T) {
+	g := graph.Chain(6)
+	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
+		Op:      semiring.NewAPSP(g),
+		Target:  semiring.APSPTarget(g),
+		Servers: 6,
+		System:  quorum.NewMajority(6),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("strict concurrent run did not converge")
+	}
+	if res.Iterations == 0 || res.Messages == 0 {
+		t.Fatalf("counters empty: %+v", res)
+	}
+}
+
+func TestRunConcurrentAPSPProbabilisticMonotone(t *testing.T) {
+	g := graph.Chain(6)
+	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
+		Op:       semiring.NewAPSP(g),
+		Target:   semiring.APSPTarget(g),
+		Servers:  6,
+		System:   quorum.NewProbabilistic(6, 2),
+		Monotone: true,
+		Delay:    rng.Exponential{MeanD: 50 * time.Microsecond},
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("probabilistic monotone concurrent run did not converge")
+	}
+}
+
+func TestRunConcurrentClosure(t *testing.T) {
+	g := graph.Ring(5)
+	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
+		Op:       semiring.NewClosure(g),
+		Target:   semiring.ClosureTarget(g),
+		Servers:  5,
+		System:   quorum.NewProbabilistic(5, 3), // 2k>n: strict by pigeonhole
+		Monotone: true,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("closure did not converge")
+	}
+}
+
+func TestRunConcurrentTraceSatisfiesRegisterSpec(t *testing.T) {
+	g := graph.Chain(5)
+	log := &trace.Log{}
+	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
+		Op:       semiring.NewAPSP(g),
+		Target:   semiring.APSPTarget(g),
+		Servers:  5,
+		System:   quorum.NewProbabilistic(5, 2),
+		Monotone: true,
+		Seed:     4,
+		Trace:    log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("run did not converge")
+	}
+	ops := log.Ops()
+	if len(ops) == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if err := trace.CheckWellFormed(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.CheckReadsFrom(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.CheckMonotone(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConcurrentFewerProcs(t *testing.T) {
+	g := graph.Chain(8)
+	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
+		Op:      semiring.NewAPSP(g),
+		Target:  semiring.APSPTarget(g),
+		Servers: 8,
+		Procs:   2,
+		System:  quorum.NewMajority(8),
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("2-process run did not converge")
+	}
+}
+
+func TestRunConcurrentWithCrashedServers(t *testing.T) {
+	g := graph.Chain(6)
+	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
+		Op:        semiring.NewAPSP(g),
+		Target:    semiring.APSPTarget(g),
+		Servers:   6,
+		System:    quorum.NewProbabilistic(6, 2),
+		Monotone:  true,
+		Seed:      11,
+		OpTimeout: 5 * time.Millisecond,
+		Retries:   500,
+		Faults: func(c *cluster.Cluster) {
+			c.Server(0).Crash()
+			c.Server(1).Crash()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("concurrent run did not converge with 2 of 6 servers crashed")
+	}
+}
+
+func TestRunConcurrentWithByzantineMasking(t *testing.T) {
+	// One Byzantine server; workers read with b=1 masking and still
+	// converge to the exact fixed point despite fabricated replies.
+	g := graph.Chain(5)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
+		Op:        op,
+		Target:    target,
+		Servers:   5,
+		System:    quorum.NewProbabilistic(5, 3),
+		Monotone:  true,
+		Seed:      12,
+		OpTimeout: 5 * time.Millisecond,
+		Retries:   2000,
+		Masking:   1,
+		Faults: func(c *cluster.Cluster) {
+			c.SetByzantine(4, "POISON")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("masked workers did not converge past the Byzantine server")
+	}
+	if !aco.VectorsEqual(op, res.Final, target) {
+		t.Fatal("final vector corrupted despite masking")
+	}
+}

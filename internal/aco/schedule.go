@@ -1,0 +1,178 @@
+package aco
+
+import (
+	"fmt"
+
+	"probquorum/internal/msg"
+)
+
+// This file implements the pure (runtime-free) update-sequence machinery of
+// Üresin and Dubois: explicit change/view schedules, the admissibility
+// conditions [A1]–[A3] on finite prefixes, the update-sequence recurrence,
+// and greedy pseudocycle detection for conditions [B1]/[B2]. Tests use it to
+// exercise the convergence theorem directly, independent of any register
+// implementation.
+
+// Schedule gives, for each update step k >= 1, which components change and
+// which past step's value each component's view uses.
+type Schedule struct {
+	// Change returns the set of components updated at step k (k >= 1).
+	Change func(k int) []int
+	// View returns, for an update at step k reading component i, the index
+	// of the step whose value of i is used. Condition [A1] requires
+	// View(i, k) < k; index 0 is the initial vector.
+	View func(i, k int) int
+}
+
+// SynchronousSchedule updates every component at every step from the
+// immediately preceding vector — classic Jacobi iteration. Every step is a
+// pseudocycle.
+func SynchronousSchedule(m int) Schedule {
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	return Schedule{
+		Change: func(int) []int { return all },
+		View:   func(_, k int) int { return k - 1 },
+	}
+}
+
+// RoundRobinSchedule updates one component per step (component (k-1) mod m
+// at step k) using the latest values — Gauss–Seidel-style chaotic
+// relaxation. A pseudocycle spans m consecutive steps.
+func RoundRobinSchedule(m int) Schedule {
+	return Schedule{
+		Change: func(k int) []int { return []int{(k - 1) % m} },
+		View:   func(_, k int) int { return k - 1 },
+	}
+}
+
+// BoundedDelaySchedule updates every component at every step but reads views
+// up to delay steps old: View(i, k) = max(0, k-1-((k+i) mod (delay+1))).
+// It models bounded-staleness asynchrony deterministically.
+func BoundedDelaySchedule(m, delay int) Schedule {
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	return Schedule{
+		Change: func(int) []int { return all },
+		View: func(i, k int) int {
+			v := k - 1 - (k+i)%(delay+1)
+			if v < 0 {
+				v = 0
+			}
+			return v
+		},
+	}
+}
+
+// CheckAdmissible verifies conditions [A1] (views come from the past) for
+// steps 1..steps and the finite-prefix analogues of [A2]/[A3]: every
+// component is updated at least once every window steps ([A2]), and no
+// component's view index repeats more than window times ([A3]). The paper's
+// conditions are asymptotic; on finite prefixes a window parameter makes
+// them checkable.
+func CheckAdmissible(s Schedule, m, steps, window int) error {
+	lastUpdate := make([]int, m)
+	viewUses := make(map[[2]int]int) // (component, view index) -> uses
+	for k := 1; k <= steps; k++ {
+		for _, i := range s.Change(k) {
+			if i < 0 || i >= m {
+				return fmt.Errorf("aco: step %d updates component %d outside [0,%d)", k, i, m)
+			}
+			lastUpdate[i] = k
+		}
+		for i := 0; i < m; i++ {
+			v := s.View(i, k)
+			if v >= k {
+				return fmt.Errorf("aco: step %d reads component %d from the future (view %d) [A1]", k, i, v)
+			}
+			if v < 0 {
+				return fmt.Errorf("aco: step %d has negative view %d for component %d", k, v, i)
+			}
+			viewUses[[2]int{i, v}]++
+		}
+		for i := 0; i < m; i++ {
+			if k-lastUpdate[i] > window {
+				return fmt.Errorf("aco: component %d not updated for %d steps at step %d [A2]", i, k-lastUpdate[i], k)
+			}
+		}
+	}
+	for key, uses := range viewUses {
+		if key[1] == 0 {
+			continue // the initial vector may be read many times early on
+		}
+		if uses > window*m {
+			return fmt.Errorf("aco: view (component %d, step %d) used %d times [A3]", key[0], key[1], uses)
+		}
+	}
+	return nil
+}
+
+// Iterate produces the update sequence x(0), ..., x(steps) of op under the
+// schedule: x(0) is the initial vector and x(k) updates the components in
+// Change(k) from the views View(·, k).
+func Iterate(op Operator, s Schedule, steps int) [][]msg.Value {
+	m := op.M()
+	history := make([][]msg.Value, steps+1)
+	history[0] = op.Initial()
+	for k := 1; k <= steps; k++ {
+		prev := history[k-1]
+		next := make([]msg.Value, m)
+		copy(next, prev)
+		view := make([]msg.Value, m)
+		for i := 0; i < m; i++ {
+			view[i] = history[s.View(i, k)][i]
+		}
+		for _, i := range s.Change(k) {
+			next[i] = op.Apply(i, view)
+		}
+		history[k] = next
+	}
+	return history
+}
+
+// Pseudocycles greedily partitions steps 1..steps into maximal-rate
+// pseudocycles: each pseudocycle K is the shortest window in which every
+// component is updated at least once ([B1]) using views no older than the
+// start of pseudocycle K-1 ([B2]). It returns the start step of each
+// detected pseudocycle (the first is always 1) — the number of complete
+// pseudocycles is len(result)-1 if the last one is still open, which the
+// second return value reports.
+func Pseudocycles(s Schedule, m, steps int) (starts []int, complete int) {
+	starts = []int{1}
+	prevStart := 0 // pseudocycle -1 is the initial vector at step 0
+	updated := make([]bool, m)
+	count := 0
+	for k := 1; k <= steps; k++ {
+		// [B2]: views during this step must come from pseudocycle K-1 or
+		// later, i.e. from step >= prevStart.
+		ok := true
+		for i := 0; i < m; i++ {
+			if s.View(i, k) < prevStart {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue // step does not advance this pseudocycle
+		}
+		for _, i := range s.Change(k) {
+			if !updated[i] {
+				updated[i] = true
+				count++
+			}
+		}
+		if count == m {
+			// Pseudocycle complete; the next one starts at k+1.
+			prevStart = starts[len(starts)-1]
+			starts = append(starts, k+1)
+			updated = make([]bool, m)
+			count = 0
+			complete++
+		}
+	}
+	return starts, complete
+}

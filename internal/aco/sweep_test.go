@@ -1,0 +1,99 @@
+package aco_test
+
+import (
+	"testing"
+	"time"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/apps/semiring"
+	"probquorum/internal/graph"
+	"probquorum/internal/quorum"
+	"probquorum/internal/rng"
+	"probquorum/internal/trace"
+)
+
+// TestSmallModelSweep is randomized model checking in miniature: many small
+// configurations across many seeds, every execution trace checked against
+// the full register specification and the convergence requirement. Small
+// models catch interleaving bugs that single large runs miss.
+func TestSmallModelSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow under -short")
+	}
+	g := graph.Chain(4)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	for _, k := range []int{1, 2, 4} {
+		for _, monotone := range []bool{true, false} {
+			for seed := uint64(1); seed <= 12; seed++ {
+				log := &trace.Log{}
+				res, err := aco.RunSim(aco.SimConfig{
+					Op:        op,
+					Target:    target,
+					Servers:   4,
+					System:    quorum.NewProbabilistic(4, k),
+					Monotone:  monotone,
+					Delay:     rng.Exponential{MeanD: time.Millisecond},
+					Seed:      seed,
+					MaxRounds: 4000,
+					Trace:     log,
+				})
+				if err != nil {
+					t.Fatalf("k=%d monotone=%v seed=%d: %v", k, monotone, seed, err)
+				}
+				if !res.Converged {
+					t.Fatalf("k=%d monotone=%v seed=%d: no convergence", k, monotone, seed)
+				}
+				ops := log.Ops()
+				if err := trace.CheckWellFormed(ops); err != nil {
+					t.Fatalf("k=%d monotone=%v seed=%d: %v", k, monotone, seed, err)
+				}
+				if err := trace.CheckReadsFrom(ops); err != nil {
+					t.Fatalf("k=%d monotone=%v seed=%d: %v", k, monotone, seed, err)
+				}
+				if monotone {
+					if err := trace.CheckMonotone(ops); err != nil {
+						t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+					}
+				}
+				if !aco.VectorsEqual(op, res.Final, target) {
+					t.Fatalf("k=%d monotone=%v seed=%d: final vector wrong", k, monotone, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestSmallModelSweepWithFaults repeats the sweep with timeouts, crashes
+// and recoveries in the mix.
+func TestSmallModelSweepWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow under -short")
+	}
+	g := graph.Chain(4)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	for seed := uint64(1); seed <= 10; seed++ {
+		res, err := aco.RunSim(aco.SimConfig{
+			Op:        op,
+			Target:    target,
+			Servers:   4,
+			System:    quorum.NewProbabilistic(4, 2),
+			Monotone:  true,
+			Delay:     rng.Exponential{MeanD: time.Millisecond},
+			Seed:      seed,
+			OpTimeout: 15 * time.Millisecond,
+			Crashes: []aco.CrashEvent{
+				{At: 3 * time.Millisecond, Server: int(seed) % 4},
+				{At: 50 * time.Millisecond, Server: int(seed) % 4, Recover: true},
+			},
+			MaxRounds: 4000,
+		})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed=%d: no convergence through crash/recovery", seed)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package aco
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/replica"
+	"probquorum/internal/transport/tcp"
+)
+
+// TCPConfig configures an execution of Alg. 1 over real TCP loopback
+// sockets: the third deployment of the same protocol (after the simulator
+// and the goroutine runtime), demonstrating that nothing in the iterative
+// algorithm or the register layer depends on an in-process transport.
+type TCPConfig struct {
+	// Op is the iterative algorithm to run.
+	Op Operator
+	// Target is the precomputed fixed point; nil computes it synchronously.
+	Target []msg.Value
+	// Servers is the number of replica servers, each on its own loopback
+	// listener.
+	Servers int
+	// Procs is the number of worker goroutines, each with its own TCP
+	// connections; defaults to Op.M().
+	Procs int
+	// System is the quorum system for every worker.
+	System quorum.System
+	// Monotone selects the monotone register variant.
+	Monotone bool
+	// Seed seeds quorum selection.
+	Seed uint64
+	// MaxIterations caps each worker's loop; 0 means 10000.
+	MaxIterations int
+}
+
+// TCPResult reports a TCP execution's outcome.
+type TCPResult struct {
+	// Converged reports whether all workers' components matched the fixed
+	// point simultaneously.
+	Converged bool
+	// Iterations is the total worker loop iterations.
+	Iterations int64
+	// Elapsed is the wall-clock duration.
+	Elapsed time.Duration
+	// Final is the register contents read back from the replicas.
+	Final []msg.Value
+}
+
+// RunTCP executes Alg. 1 with workers talking to replica servers over TCP.
+func RunTCP(cfg TCPConfig) (TCPResult, error) {
+	op := cfg.Op
+	m := op.M()
+	procs := cfg.Procs
+	if procs == 0 {
+		procs = m
+	}
+	target := cfg.Target
+	if target == nil {
+		fp, _, err := FixedPoint(op, 0)
+		if err != nil {
+			return TCPResult{}, fmt.Errorf("computing fixed point: %w", err)
+		}
+		target = fp
+	}
+	part := BlockPartition(m, procs)
+	if err := part.Validate(); err != nil {
+		return TCPResult{}, err
+	}
+	maxIters := cfg.MaxIterations
+	if maxIters <= 0 {
+		maxIters = 10000
+	}
+
+	initial := make(map[msg.RegisterID]msg.Value, m)
+	for i, v := range op.Initial() {
+		initial[msg.RegisterID(i)] = v
+	}
+	stores := make([]*replica.Store, cfg.Servers)
+	addrs := make([]string, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		stores[i] = replica.New(msg.NodeID(i), initial)
+		srv, err := tcp.Listen(stores[i], "127.0.0.1:0")
+		if err != nil {
+			return TCPResult{}, err
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+
+	clients := make([]*tcp.Client, procs)
+	for pi := range clients {
+		opts := []tcp.ClientOption{
+			tcp.WithWriter(int32(pi + 1)),
+			tcp.WithSeed(cfg.Seed + uint64(pi)*131),
+		}
+		if cfg.Monotone {
+			opts = append(opts, tcp.WithMonotone())
+		}
+		cl, err := tcp.Dial(addrs, cfg.System, opts...)
+		if err != nil {
+			return TCPResult{}, err
+		}
+		defer cl.Close()
+		clients[pi] = cl
+	}
+
+	tracker := newConvergenceTracker(procs)
+	iters := make([]int64, procs)
+	errs := make([]error, procs)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for pi := 0; pi < procs; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			cl := clients[pi]
+			owned := part.Owned(pi)
+			view := make([]msg.Value, m)
+			for iter := 0; iter < maxIters && !tracker.isDone(); iter++ {
+				for j := 0; j < m; j++ {
+					tag, err := cl.Read(msg.RegisterID(j))
+					if err != nil {
+						errs[pi] = err
+						return
+					}
+					view[j] = tag.Val
+				}
+				correct := true
+				for _, comp := range owned {
+					next := op.Apply(comp, view)
+					if err := cl.Write(msg.RegisterID(comp), next); err != nil {
+						errs[pi] = err
+						return
+					}
+					if !op.Equal(comp, next, target[comp]) {
+						correct = false
+					}
+				}
+				iters[pi]++
+				tracker.report(pi, correct)
+			}
+		}(pi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for pi, err := range errs {
+		if err != nil {
+			return TCPResult{}, fmt.Errorf("tcp worker %d: %w", pi, err)
+		}
+	}
+	var total int64
+	for _, n := range iters {
+		total += n
+	}
+	final := make([]msg.Value, m)
+	for i := 0; i < m; i++ {
+		best := stores[0].Get(msg.RegisterID(i))
+		for _, st := range stores[1:] {
+			best = msg.MaxTagged(best, st.Get(msg.RegisterID(i)))
+		}
+		final[i] = best.Val
+	}
+	return TCPResult{
+		Converged:  tracker.isDone(),
+		Iterations: total,
+		Elapsed:    elapsed,
+		Final:      final,
+	}, nil
+}

@@ -1,0 +1,56 @@
+package aco_test
+
+import (
+	"testing"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/apps/semiring"
+	"probquorum/internal/graph"
+	"probquorum/internal/quorum"
+)
+
+func TestRunTCPAPSP(t *testing.T) {
+	g := graph.Chain(6)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	res, err := aco.RunTCP(aco.TCPConfig{
+		Op:       op,
+		Target:   target,
+		Servers:  6,
+		Procs:    3,
+		System:   quorum.NewProbabilistic(6, 3),
+		Monotone: true,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("TCP run did not converge")
+	}
+	if !aco.VectorsEqual(op, res.Final, target) {
+		t.Fatal("TCP final vector differs from the fixed point")
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations counted")
+	}
+}
+
+func TestRunTCPClosureStrict(t *testing.T) {
+	g := graph.Ring(5)
+	op := semiring.NewClosure(g)
+	res, err := aco.RunTCP(aco.TCPConfig{
+		Op:      op,
+		Target:  semiring.ClosureTarget(g),
+		Servers: 5,
+		Procs:   5,
+		System:  quorum.NewMajority(5),
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("TCP closure run did not converge")
+	}
+}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"probquorum/internal/analysis"
+)
+
+// The paper's Section 7 quotes a total-rounds bound of 204 for quorum size
+// 1 on its 34-replica setup: 6 pseudocycles times 1/q(34, 1) = 34 rounds
+// per pseudocycle.
+func ExampleCorollary7Rounds() {
+	perPseudocycle := analysis.Corollary7Rounds(34, 1)
+	total := 6 * perPseudocycle
+	fmt.Printf("rounds/pseudocycle: %.0f\n", perPseudocycle)
+	fmt.Printf("total bound: %.0f\n", total)
+	// Output:
+	// rounds/pseudocycle: 34
+	// total bound: 204
+}
+
+// Theorem 4's overlap probability q drives the monotone register's
+// geometric freshness bound.
+func ExampleOverlapProb() {
+	fmt.Printf("q(34, 6) = %.4f\n", analysis.OverlapProb(34, 6))
+	fmt.Printf("E[Y] bound = %.4f reads\n", 1/analysis.OverlapProb(34, 6))
+	// Output:
+	// q(34, 6) = 0.7199
+	// E[Y] bound = 1.3891 reads
+}
+
+// Section 6.4 compares messages per pseudocycle: the probabilistic system
+// at k = √n against the strict majority system.
+func ExampleMProb() {
+	n := 49 // m = p = n in the paper's Alg. 1 accounting
+	k := 7
+	c := analysis.Corollary7Rounds(n, k)
+	fmt.Printf("M_prob  = %.0f\n", analysis.MProb(n, n, k, c))
+	fmt.Printf("M_str   = %.0f\n", analysis.MStrict(n, n, n/2+1))
+	// Output:
+	// M_prob  = 51963
+	// M_str   = 122500
+}

@@ -1,0 +1,122 @@
+// Package agreement implements approximate agreement over random registers
+// — the application the paper's discussion section proposes for the model
+// ("We consider the approximate agreement problem to be a good application
+// for such a new model", Section 8).
+//
+// Each process holds one scalar; the operator repeatedly moves every value
+// to the midpoint of the extremes of the (possibly stale) view. The spread
+// of the values halves per pseudocycle, so the processes converge to a
+// common value inside the range of the inputs (validity) within any ε > 0
+// (ε-agreement). Unlike the other applications, the limit depends on the
+// schedule — there is no unique fixed point to compare against — so
+// convergence is detected with the Correct predicate of the runners: a
+// process is content when its view's spread is at most ε.
+package agreement
+
+import (
+	"fmt"
+	"math"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/msg"
+)
+
+// MidExtremes is the approximate-agreement operator.
+type MidExtremes struct {
+	inputs []float64
+	eps    float64
+}
+
+var _ aco.Operator = (*MidExtremes)(nil)
+
+// New returns the operator for the given process inputs and agreement
+// precision ε.
+func New(inputs []float64, eps float64) (*MidExtremes, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("agreement: no inputs")
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("agreement: epsilon %v must be positive", eps)
+	}
+	cp := make([]float64, len(inputs))
+	copy(cp, inputs)
+	return &MidExtremes{inputs: cp, eps: eps}, nil
+}
+
+// M implements aco.Operator.
+func (o *MidExtremes) M() int { return len(o.inputs) }
+
+// Name implements aco.Operator.
+func (o *MidExtremes) Name() string { return fmt.Sprintf("agreement(n=%d)", len(o.inputs)) }
+
+// Epsilon returns the agreement precision.
+func (o *MidExtremes) Epsilon() float64 { return o.eps }
+
+// Initial implements aco.Operator.
+func (o *MidExtremes) Initial() []msg.Value {
+	out := make([]msg.Value, len(o.inputs))
+	for i, v := range o.inputs {
+		out[i] = v
+	}
+	return out
+}
+
+// Apply implements aco.Operator: the midpoint of the view's extremes.
+func (o *MidExtremes) Apply(_ int, view []msg.Value) msg.Value {
+	lo, hi := extremes(view)
+	return (lo + hi) / 2
+}
+
+// Equal implements aco.Operator: values within ε are equal.
+func (o *MidExtremes) Equal(_ int, a, b msg.Value) bool {
+	return math.Abs(a.(float64)-b.(float64)) <= o.eps
+}
+
+// Correct returns the runner predicate for ε-agreement: a process is
+// content when the spread of its view is at most ε and its own fresh values
+// lie inside the view's range (they do by construction, but the check keeps
+// the predicate self-contained).
+func (o *MidExtremes) Correct() func(owned []int, newVals, view []msg.Value) bool {
+	return func(_ []int, newVals, view []msg.Value) bool {
+		lo, hi := extremes(view)
+		if hi-lo > o.eps {
+			return false
+		}
+		for _, v := range newVals {
+			f := v.(float64)
+			if f < lo-o.eps || f > hi+o.eps {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// InputRange returns the smallest interval containing all inputs; validity
+// requires every decided value to lie inside it.
+func (o *MidExtremes) InputRange() (lo, hi float64) {
+	vals := make([]msg.Value, len(o.inputs))
+	for i, v := range o.inputs {
+		vals[i] = v
+	}
+	return extremes(vals)
+}
+
+// Spread returns the spread (max − min) of a vector of float64 values.
+func Spread(vals []msg.Value) float64 {
+	lo, hi := extremes(vals)
+	return hi - lo
+}
+
+func extremes(vals []msg.Value) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		f, ok := v.(float64)
+		if !ok {
+			panic(fmt.Sprintf("agreement: component has type %T, want float64", v))
+		}
+		lo = math.Min(lo, f)
+		hi = math.Max(hi, f)
+	}
+	return lo, hi
+}

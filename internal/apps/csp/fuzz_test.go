@@ -1,0 +1,37 @@
+package csp
+
+import "testing"
+
+// FuzzDomainOps checks Domain invariants under arbitrary bit patterns:
+// Values round-trips Size, and membership agrees with Values.
+func FuzzDomainOps(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(^uint64(0))
+	f.Add(uint64(0b1010101))
+	f.Fuzz(func(t *testing.T, bits uint64) {
+		d := Domain(bits)
+		vals := d.Values()
+		if len(vals) != d.Size() {
+			t.Fatalf("Values len %d != Size %d", len(vals), d.Size())
+		}
+		seen := make(map[int]bool, len(vals))
+		for _, v := range vals {
+			if v < 0 || v >= MaxDomain {
+				t.Fatalf("value %d out of range", v)
+			}
+			if !d.Has(v) {
+				t.Fatalf("Values returned %d but Has(%d) is false", v, v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+		for v := 0; v < MaxDomain; v++ {
+			if d.Has(v) && !seen[v] {
+				t.Fatalf("Has(%d) true but missing from Values", v)
+			}
+		}
+	})
+}

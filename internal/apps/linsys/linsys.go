@@ -1,0 +1,192 @@
+// Package linsys implements the asynchronous Jacobi iteration for strictly
+// diagonally dominant linear systems — "solving systems of linear
+// equations", the first application the paper's related-work section names
+// for the Üresin–Dubois class. Component i is the i-th unknown; the
+// operator solves equation i for x_i given (possibly stale) estimates of
+// the other unknowns. Strict diagonal dominance makes the iteration a
+// sup-norm contraction, the textbook sufficient condition for chaotic
+// relaxation (Chazan–Miranker) and hence an ACO.
+package linsys
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/msg"
+)
+
+// Jacobi is the iteration operator for A·x = b.
+type Jacobi struct {
+	a   [][]float64
+	b   []float64
+	tol float64
+}
+
+var _ aco.Operator = (*Jacobi)(nil)
+
+// NewJacobi returns the Jacobi operator for A·x = b with convergence
+// tolerance tol. It rejects systems that are not strictly diagonally
+// dominant: without dominance the asynchronous iteration may diverge, and
+// the experiments are about convergence behavior, not divergence.
+func NewJacobi(a [][]float64, b []float64, tol float64) (*Jacobi, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linsys: shape mismatch: %d equations, %d rhs entries", n, len(b))
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("linsys: tolerance %v must be positive", tol)
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("linsys: row %d has %d entries, want %d", i, len(row), n)
+		}
+		var off float64
+		for j, v := range row {
+			if j != i {
+				off += math.Abs(v)
+			}
+		}
+		if math.Abs(row[i]) <= off {
+			return nil, fmt.Errorf("linsys: row %d not strictly diagonally dominant (|%v| <= %v)",
+				i, row[i], off)
+		}
+	}
+	return &Jacobi{a: a, b: b, tol: tol}, nil
+}
+
+// M implements aco.Operator.
+func (o *Jacobi) M() int { return len(o.a) }
+
+// Name implements aco.Operator.
+func (o *Jacobi) Name() string { return fmt.Sprintf("jacobi(n=%d)", len(o.a)) }
+
+// Initial implements aco.Operator: the zero vector.
+func (o *Jacobi) Initial() []msg.Value {
+	out := make([]msg.Value, len(o.a))
+	for i := range out {
+		out[i] = 0.0
+	}
+	return out
+}
+
+// Apply implements aco.Operator: x_i = (b_i − Σ_{j≠i} a_ij·x_j) / a_ii.
+func (o *Jacobi) Apply(i int, view []msg.Value) msg.Value {
+	sum := o.b[i]
+	row := o.a[i]
+	for j, coeff := range row {
+		if j == i {
+			continue
+		}
+		xj, ok := view[j].(float64)
+		if !ok {
+			panic(fmt.Sprintf("linsys: component has type %T, want float64", view[j]))
+		}
+		sum -= coeff * xj
+	}
+	return sum / row[i]
+}
+
+// Equal implements aco.Operator: values within the tolerance are equal.
+func (o *Jacobi) Equal(_ int, a, b msg.Value) bool {
+	return math.Abs(a.(float64)-b.(float64)) <= o.tol
+}
+
+// Tolerance returns the configured tolerance.
+func (o *Jacobi) Tolerance() float64 { return o.tol }
+
+// Solve returns the exact solution of A·x = b by Gaussian elimination with
+// partial pivoting — the reference the iterative runs are checked against
+// (the Jacobi fixed point is exactly this solution).
+func (o *Jacobi) Solve() ([]float64, error) {
+	return SolveDense(o.a, o.b)
+}
+
+// Target returns the exact solution as an operator vector.
+func (o *Jacobi) Target() ([]msg.Value, error) {
+	x, err := o.Solve()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]msg.Value, len(x))
+	for i, v := range x {
+		out[i] = v
+	}
+	return out, nil
+}
+
+// SolveDense solves A·x = b by Gaussian elimination with partial pivoting.
+// It copies its inputs.
+func SolveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linsys: shape mismatch")
+	}
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if m[pivot][col] == 0 {
+			return nil, fmt.Errorf("linsys: singular matrix at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// RandomDominant returns a random strictly diagonally dominant n×n system
+// with off-diagonal entries in [-1, 1], diagonal entries that exceed each
+// row's off-diagonal mass by margin, and right-hand side in [-n, n]. It is
+// deterministic in the seed.
+func RandomDominant(n int, margin float64, seed uint64) ([][]float64, []float64) {
+	r := rand.New(rand.NewPCG(seed, seed^0x51ab))
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		row := make([]float64, n)
+		var off float64
+		for j := range row {
+			if j == i {
+				continue
+			}
+			row[j] = 2*r.Float64() - 1
+			off += math.Abs(row[j])
+		}
+		sign := 1.0
+		if r.IntN(2) == 0 {
+			sign = -1
+		}
+		row[i] = sign * (off + margin)
+		a[i] = row
+		b[i] = float64(n) * (2*r.Float64() - 1)
+	}
+	return a, b
+}

@@ -1,0 +1,137 @@
+// Package pagerank implements damped PageRank as an ACO: component i is
+// page i's score and the operator applies one damped update from the
+// (possibly stale) scores of the pages linking to i. With damping d < 1 the
+// update is a sup-norm contraction with factor d, so it is asynchronously
+// contracting in exactly the Chazan–Miranker sense — a modern face of the
+// "systems of linear equations" family the paper's framework covers.
+//
+// The fixed point solves the linear system (I − d·Mᵀ)·x = (1−d)/n·1, which
+// the tests check against the dense Gaussian-elimination solver of the
+// linsys package — two independent paths to the same answer.
+package pagerank
+
+import (
+	"fmt"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/apps/linsys"
+	"probquorum/internal/graph"
+	"probquorum/internal/msg"
+)
+
+// Operator is the PageRank iteration for a fixed link graph.
+type Operator struct {
+	n       int
+	damping float64
+	tol     float64
+	// in[i] lists (source page, 1/outdegree(source)) for links into i.
+	in [][]inlink
+	// dangling lists pages with no out-links; their mass is spread
+	// uniformly, the standard dangling-node fix.
+	dangling []int
+}
+
+type inlink struct {
+	from   int
+	weight float64
+}
+
+var _ aco.Operator = (*Operator)(nil)
+
+// New returns the PageRank operator for g with the given damping factor
+// (the classic value is 0.85) and convergence tolerance.
+func New(g *graph.Graph, damping, tol float64) (*Operator, error) {
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("pagerank: damping %v must be in (0, 1)", damping)
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("pagerank: tolerance %v must be positive", tol)
+	}
+	o := &Operator{n: g.N(), damping: damping, tol: tol, in: make([][]inlink, g.N())}
+	for u := 0; u < g.N(); u++ {
+		out := g.Edges(u)
+		if len(out) == 0 {
+			o.dangling = append(o.dangling, u)
+			continue
+		}
+		w := 1 / float64(len(out))
+		for _, e := range out {
+			o.in[e.To] = append(o.in[e.To], inlink{from: u, weight: w})
+		}
+	}
+	return o, nil
+}
+
+// M implements aco.Operator.
+func (o *Operator) M() int { return o.n }
+
+// Name implements aco.Operator.
+func (o *Operator) Name() string { return fmt.Sprintf("pagerank(n=%d,d=%v)", o.n, o.damping) }
+
+// Initial implements aco.Operator: the uniform distribution.
+func (o *Operator) Initial() []msg.Value {
+	out := make([]msg.Value, o.n)
+	for i := range out {
+		out[i] = 1 / float64(o.n)
+	}
+	return out
+}
+
+// Apply implements aco.Operator:
+// x_i = (1−d)/n + d·(Σ_{u→i} x_u/outdeg(u) + Σ_{dangling u} x_u/n).
+func (o *Operator) Apply(i int, view []msg.Value) msg.Value {
+	score := func(j int) float64 {
+		v, ok := view[j].(float64)
+		if !ok {
+			panic(fmt.Sprintf("pagerank: component has type %T, want float64", view[j]))
+		}
+		return v
+	}
+	sum := 0.0
+	for _, l := range o.in[i] {
+		sum += score(l.from) * l.weight
+	}
+	for _, u := range o.dangling {
+		sum += score(u) / float64(o.n)
+	}
+	return (1-o.damping)/float64(o.n) + o.damping*sum
+}
+
+// Equal implements aco.Operator with the configured tolerance.
+func (o *Operator) Equal(_ int, a, b msg.Value) bool {
+	d := a.(float64) - b.(float64)
+	if d < 0 {
+		d = -d
+	}
+	return d <= o.tol
+}
+
+// Target returns the exact PageRank vector by solving the linear system
+// (I − d·Mᵀ)·x = (1−d)/n·1 with dense Gaussian elimination — an
+// independent reference for the iterative runs.
+func (o *Operator) Target() ([]msg.Value, error) {
+	n := o.n
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		row[i] = 1
+		for _, l := range o.in[i] {
+			row[l.from] -= o.damping * l.weight
+		}
+		for _, u := range o.dangling {
+			row[u] -= o.damping / float64(n)
+		}
+		a[i] = row
+		b[i] = (1 - o.damping) / float64(n)
+	}
+	x, err := linsys.SolveDense(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("pagerank reference solve: %w", err)
+	}
+	out := make([]msg.Value, n)
+	for i, v := range x {
+		out[i] = v
+	}
+	return out, nil
+}

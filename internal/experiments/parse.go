@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseIntList parses a comma-separated list of integers and inclusive
+// ranges, e.g. "1,2,5-8" → [1 2 5 6 7 8]. The command-line tools use it for
+// quorum-size and system-size flags.
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(strings.TrimSpace(lo))
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", part, err)
+			}
+			b, err := strconv.Atoi(strings.TrimSpace(hi))
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", part, err)
+			}
+			if b < a {
+				return nil, fmt.Errorf("parse %q: descending range", part)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("parse %q: empty list", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+// Package experiments contains the drivers that regenerate every figure,
+// table, and headline number in the paper's evaluation:
+//
+//   - Figure 2 (quorum size vs rounds to convergence, four variants plus
+//     the Corollary 7 bound) — figure2.go
+//   - the Section 6.4 message-complexity comparison — msgtable.go
+//   - the Theorem 1 write-survival decay and the [R5] read-freshness
+//     distribution — decay.go
+//   - the Section 4 load and availability properties — loadavail.go
+//   - the Corollary 7 bound curve and the c_n ∈ (1, 2) claim — bounds.go
+//
+// Each driver returns a structured result; render.go turns results into
+// aligned text tables or CSV for the command-line tools.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table writes rows as an aligned text table with a header line.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	if err := line(headers); err != nil {
+		return err
+	}
+	rules := make([]string, len(headers))
+	for i := range rules {
+		rules[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rules); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes rows as comma-separated values with a header line. Cells
+// containing commas or quotes are quoted.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		_, err := io.WriteString(w, strings.Join(out, ",")+"\n")
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// F formats a float with the given number of decimals, rendering
+// non-finite values as "inf"/"-inf".
+func F(v float64, decimals int) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }
+
+// I64 formats an int64.
+func I64(v int64) string { return strconv.FormatInt(v, 10) }
+
+// Pct formats a probability as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

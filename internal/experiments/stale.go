@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"probquorum/internal/aco"
+	"probquorum/internal/apps/semiring"
+	"probquorum/internal/graph"
+	"probquorum/internal/metrics"
+	"probquorum/internal/quorum"
+	"probquorum/internal/rng"
+	"probquorum/internal/trace"
+)
+
+// StaleConfig parameterizes the staleness-distribution experiment: run the
+// APSP workload over random registers, record every operation, and measure
+// how many writes each read lags behind. This is the end-to-end view of
+// what the decay bound (E3) predicts per write: staleness must concentrate
+// near 0 and fall off geometrically in the quorum size.
+type StaleConfig struct {
+	// Vertices is the chain length (default 12).
+	Vertices int
+	// Ks lists quorum sizes to sweep (default {1, 2, 4, 8}).
+	Ks []int
+	// Monotone selects the register variant (default non-monotone shows
+	// raw staleness; the monotone cache clips what the application sees).
+	Monotone bool
+	// ReadRepair enables the write-back extension, an ablation on how much
+	// repair traffic improves freshness.
+	ReadRepair bool
+	// Seed is the base seed.
+	Seed uint64
+	// MaxRounds caps each run (default 2000).
+	MaxRounds int
+}
+
+func (c *StaleConfig) applyDefaults() {
+	if c.Vertices == 0 {
+		c.Vertices = 12
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{1, 2, 4, 8}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 2000
+	}
+}
+
+// StaleSeries is the staleness distribution at one quorum size.
+type StaleSeries struct {
+	K int
+	// Hist is the distribution of reads' staleness (writes lagged behind).
+	Hist *metrics.IntHistogram
+	// FreshFrac is the fraction of reads returning the latest write.
+	FreshFrac float64
+	// Reads is the number of reads measured.
+	Reads     int64
+	Converged bool
+}
+
+// StaleResult is the full staleness experiment.
+type StaleResult struct {
+	Config StaleConfig
+	Series []StaleSeries
+}
+
+// RunStaleness measures read staleness distributions across quorum sizes.
+func RunStaleness(cfg StaleConfig) (StaleResult, error) {
+	cfg.applyDefaults()
+	n := cfg.Vertices
+	g := graph.Chain(n)
+	op := semiring.NewAPSP(g)
+	target := semiring.APSPTarget(g)
+	res := StaleResult{Config: cfg}
+	for _, k := range cfg.Ks {
+		log := &trace.Log{}
+		r, err := aco.RunSim(aco.SimConfig{
+			Op:         op,
+			Target:     target,
+			Servers:    n,
+			System:     quorum.NewProbabilistic(n, k),
+			Monotone:   cfg.Monotone,
+			ReadRepair: cfg.ReadRepair,
+			Delay:      rng.Exponential{MeanD: time.Millisecond},
+			Seed:       cfg.Seed + uint64(k)*97,
+			MaxRounds:  cfg.MaxRounds,
+			Trace:      log,
+		})
+		if err != nil {
+			return StaleResult{}, fmt.Errorf("staleness k=%d: %w", k, err)
+		}
+		hist := metrics.NewIntHistogram()
+		fresh := int64(0)
+		samples := trace.Staleness(log.Ops())
+		for _, s := range samples {
+			hist.Observe(s)
+			if s == 0 {
+				fresh++
+			}
+		}
+		total := int64(len(samples))
+		var frac float64
+		if total > 0 {
+			frac = float64(fresh) / float64(total)
+		}
+		res.Series = append(res.Series, StaleSeries{
+			K:         k,
+			Hist:      hist,
+			FreshFrac: frac,
+			Reads:     total,
+			Converged: r.Converged,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the staleness summary table.
+func (r StaleResult) Render(w io.Writer) error {
+	variant := "non-monotone"
+	if r.Config.Monotone {
+		variant = "monotone"
+	}
+	if r.Config.ReadRepair {
+		variant += "+repair"
+	}
+	if _, err := fmt.Fprintf(w,
+		"Read staleness in writes lagged (APSP chain n=%d, %s, async)\n\n",
+		r.Config.Vertices, variant); err != nil {
+		return err
+	}
+	headers := []string{"k", "reads", "fresh", "mean staleness", "p50", "p99", "max", "conv"}
+	var rows [][]string
+	for _, s := range r.Series {
+		rows = append(rows, []string{
+			I(s.K), I64(s.Reads), Pct(s.FreshFrac), F(s.Hist.Mean(), 2),
+			I(s.Hist.Quantile(0.5)), I(s.Hist.Quantile(0.99)), I(s.Hist.Max()),
+			fmt.Sprintf("%v", s.Converged),
+		})
+	}
+	return Table(w, headers, rows)
+}
+
+// RenderCSV writes the full distributions as CSV.
+func (r StaleResult) RenderCSV(w io.Writer) error {
+	headers := []string{"k", "staleness", "p"}
+	var rows [][]string
+	for _, s := range r.Series {
+		for _, v := range s.Hist.Outcomes() {
+			rows = append(rows, []string{I(s.K), I(v), F(s.Hist.P(v), 6)})
+		}
+	}
+	return CSV(w, headers, rows)
+}

@@ -1,0 +1,132 @@
+// Package faults provides crash-failure injection and the liveness
+// predicates the availability experiments (paper, Section 4) evaluate:
+// given a set of crashed servers, does any quorum survive, and how likely
+// is a randomly picked quorum to be fully alive?
+package faults
+
+import (
+	"math/rand/v2"
+
+	"probquorum/internal/quorum"
+)
+
+// RandomCrashSet returns a uniformly random set of f distinct crashed
+// servers out of n.
+func RandomCrashSet(r *rand.Rand, n, f int) map[int]bool {
+	dead := make(map[int]bool, f)
+	for _, s := range quorum.RandomSubset(r, n, f) {
+		dead[s] = true
+	}
+	return dead
+}
+
+// QuorumAlive reports whether every member of the quorum is alive.
+func QuorumAlive(q []int, dead map[int]bool) bool {
+	for _, s := range q {
+		if dead[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExistsLiveQuorum reports whether the system still has at least one fully
+// alive quorum under the crash set. It is exact for every system in the
+// quorum package and falls back to Monte-Carlo sampling (which can only
+// under-report) for unknown implementations.
+func ExistsLiveQuorum(sys quorum.System, dead map[int]bool, r *rand.Rand) bool {
+	alive := sys.N() - len(dead)
+	switch t := sys.(type) {
+	case *quorum.Probabilistic, *quorum.Majority, *quorum.All:
+		// Quorums are all Size()-subsets: one survives iff enough servers do.
+		return alive >= sys.Size()
+	case *quorum.Singleton:
+		return QuorumAlive(t.Pick(r), dead)
+	case *quorum.Grid:
+		return gridHasCleanRowAndCol(t, dead)
+	case *quorum.FPP:
+		for i := 0; i < t.Lines(); i++ {
+			if QuorumAlive(t.LineAt(i), dead) {
+				return true
+			}
+		}
+		return false
+	default:
+		const trials = 4000
+		for i := 0; i < trials; i++ {
+			if QuorumAlive(sys.Pick(r), dead) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func gridHasCleanRowAndCol(g *quorum.Grid, dead map[int]bool) bool {
+	cleanRow := false
+	for i := 0; i < g.Rows() && !cleanRow; i++ {
+		clean := true
+		for j := 0; j < g.Cols(); j++ {
+			if dead[i*g.Cols()+j] {
+				clean = false
+				break
+			}
+		}
+		cleanRow = clean
+	}
+	if !cleanRow {
+		return false
+	}
+	for j := 0; j < g.Cols(); j++ {
+		clean := true
+		for i := 0; i < g.Rows(); i++ {
+			if dead[i*g.Cols()+j] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return true
+		}
+	}
+	return false
+}
+
+// OpSuccessProb estimates the probability that one operation's randomly
+// picked quorum is fully alive under the crash set — the per-operation
+// success rate without retries.
+func OpSuccessProb(sys quorum.System, dead map[int]bool, r *rand.Rand, trials int) float64 {
+	if trials <= 0 {
+		trials = 10000
+	}
+	ok := 0
+	for i := 0; i < trials; i++ {
+		if QuorumAlive(sys.Pick(r), dead) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// SurvivalProb estimates, over random crash sets of size f, the probability
+// that the system still has a live quorum — the availability curve the
+// experiments plot against the analytic thresholds.
+func SurvivalProb(sys quorum.System, f int, r *rand.Rand, trials int) float64 {
+	if trials <= 0 {
+		trials = 2000
+	}
+	if f <= 0 {
+		return 1
+	}
+	if f >= sys.N() {
+		return 0
+	}
+	ok := 0
+	for i := 0; i < trials; i++ {
+		dead := RandomCrashSet(r, sys.N(), f)
+		if ExistsLiveQuorum(sys, dead, r) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}

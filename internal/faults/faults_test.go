@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"probquorum/internal/analysis"
+	"probquorum/internal/quorum"
+	"probquorum/internal/rng"
+)
+
+func TestRandomCrashSet(t *testing.T) {
+	r := rng.New(1)
+	dead := RandomCrashSet(r, 10, 4)
+	if len(dead) != 4 {
+		t.Fatalf("crash set size = %d", len(dead))
+	}
+	for s := range dead {
+		if s < 0 || s >= 10 {
+			t.Fatalf("crashed server %d outside range", s)
+		}
+	}
+}
+
+func TestQuorumAlive(t *testing.T) {
+	dead := map[int]bool{2: true}
+	if QuorumAlive([]int{1, 2, 3}, dead) {
+		t.Fatal("quorum with dead member reported alive")
+	}
+	if !QuorumAlive([]int{1, 3}, dead) {
+		t.Fatal("live quorum reported dead")
+	}
+}
+
+func TestExistsLiveQuorumKSubsetSystems(t *testing.T) {
+	r := rng.New(2)
+	p := quorum.NewProbabilistic(10, 3)
+	// 7 failures leave 3 alive: exactly enough.
+	if !ExistsLiveQuorum(p, RandomCrashSet(r, 10, 7), r) {
+		t.Fatal("k survivors must form a quorum")
+	}
+	if ExistsLiveQuorum(p, RandomCrashSet(r, 10, 8), r) {
+		t.Fatal("fewer than k survivors cannot form a quorum")
+	}
+	m := quorum.NewMajority(9) // size 5, threshold 5 failures
+	if !ExistsLiveQuorum(m, RandomCrashSet(r, 9, 4), r) {
+		t.Fatal("majority must survive 4 of 9 failures")
+	}
+	if ExistsLiveQuorum(m, RandomCrashSet(r, 9, 5), r) {
+		t.Fatal("majority cannot survive 5 of 9 failures")
+	}
+}
+
+func TestExistsLiveQuorumGrid(t *testing.T) {
+	g := quorum.NewGrid(3, 3)
+	r := rng.New(3)
+	// Kill column 0 (servers 0, 3, 6): no quorum survives.
+	dead := map[int]bool{0: true, 3: true, 6: true}
+	if ExistsLiveQuorum(g, dead, r) {
+		t.Fatal("grid survived a dead column")
+	}
+	// Kill a row instead (servers 0, 1, 2): every quorum needs a full row,
+	// and rows 1, 2 are intact with all columns hit only in row 0... every
+	// column contains a dead cell, so no quorum survives either.
+	dead = map[int]bool{0: true, 1: true, 2: true}
+	if ExistsLiveQuorum(g, dead, r) {
+		t.Fatal("grid survived a dead row")
+	}
+	// Two scattered failures in the same row leave a clean row and column.
+	dead = map[int]bool{0: true, 1: true}
+	if !ExistsLiveQuorum(g, dead, r) {
+		t.Fatal("grid must survive 2 failures (threshold is 3)")
+	}
+}
+
+func TestExistsLiveQuorumFPP(t *testing.T) {
+	f := quorum.MustFPP(2) // Fano plane: 7 points, lines of 3
+	r := rng.New(4)
+	// Kill one full line: every other line intersects it.
+	line := f.LineAt(0)
+	dead := make(map[int]bool, len(line))
+	for _, p := range line {
+		dead[p] = true
+	}
+	if ExistsLiveQuorum(f, dead, r) {
+		t.Fatal("projective plane survived a dead line")
+	}
+	// Two failures cannot cover all lines of the Fano plane.
+	if !ExistsLiveQuorum(f, map[int]bool{0: true, 1: true}, r) {
+		t.Fatal("plane must survive 2 failures (threshold is 3)")
+	}
+}
+
+func TestExistsLiveQuorumSingleton(t *testing.T) {
+	s := quorum.NewSingleton(4, 2)
+	r := rng.New(5)
+	if ExistsLiveQuorum(s, map[int]bool{2: true}, r) {
+		t.Fatal("singleton survived its server's crash")
+	}
+	if !ExistsLiveQuorum(s, map[int]bool{0: true, 1: true, 3: true}, r) {
+		t.Fatal("singleton must survive other crashes")
+	}
+}
+
+func TestOpSuccessProbMatchesHypergeometric(t *testing.T) {
+	// With f dead of n, a random k-quorum is alive with probability
+	// C(n-f, k)/C(n, k).
+	const n, k, f = 20, 4, 5
+	sys := quorum.NewProbabilistic(n, k)
+	r := rng.New(6)
+	dead := make(map[int]bool, f)
+	for i := 0; i < f; i++ {
+		dead[i] = true
+	}
+	got := OpSuccessProb(sys, dead, r, 200000)
+	want := analysis.Binomial(n-f, k) / analysis.Binomial(n, k)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("op success = %v, want ~%v", got, want)
+	}
+}
+
+func TestSurvivalProbThresholds(t *testing.T) {
+	r := rng.New(7)
+	p := quorum.NewProbabilistic(12, 3)
+	if got := SurvivalProb(p, 0, r, 500); got != 1 {
+		t.Fatalf("f=0 survival = %v", got)
+	}
+	if got := SurvivalProb(p, 12, r, 500); got != 0 {
+		t.Fatalf("f=n survival = %v", got)
+	}
+	// Below threshold (n-k+1 = 10) survival is certain.
+	if got := SurvivalProb(p, 9, r, 500); got != 1 {
+		t.Fatalf("below-threshold survival = %v", got)
+	}
+	if got := SurvivalProb(p, 10, r, 500); got != 0 {
+		t.Fatalf("at-threshold survival = %v", got)
+	}
+	// Grid: threshold min(r,c); below it survival is certain only under...
+	// scattered failures may or may not kill it; just check monotone trend.
+	g := quorum.NewGrid(4, 4)
+	prev := 1.0
+	for f := 0; f <= 16; f += 2 {
+		cur := SurvivalProb(g, f, r, 500)
+		if cur > prev+0.05 {
+			t.Fatalf("grid survival increased at f=%d: %v -> %v", f, prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,296 @@
+// Package graph provides the directed weighted graphs and generators the
+// iterative-algorithm experiments run on, plus exact reference solutions
+// (Floyd–Warshall all-pairs shortest paths, hop diameter) the asynchronous
+// runs are checked against.
+//
+// The paper's Section 7 workload — a 34-vertex directed chain with vertex 1
+// the sink and vertex 34 the source, all edge weights 1 — is Chain(34).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Inf is the distance between unconnected vertices.
+var Inf = math.Inf(1)
+
+// Edge is a directed weighted edge.
+type Edge struct {
+	To int
+	W  float64
+}
+
+// Graph is a directed weighted graph on vertices 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: invalid vertex count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds the directed edge u→v with weight w.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) outside %d vertices", u, v, g.n))
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+}
+
+// Edges returns the out-edges of u. Callers must not modify the slice.
+func (g *Graph) Edges(u int) []Edge { return g.adj[u] }
+
+// NumEdges returns the total edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total
+}
+
+// AdjacencyMatrix returns the weight matrix with 0 on the diagonal, edge
+// weights where edges exist (parallel edges keep the minimum), and +Inf
+// elsewhere — the initial vector of the APSP iteration (Section 7).
+func (g *Graph) AdjacencyMatrix() [][]float64 {
+	m := make([][]float64, g.n)
+	for i := range m {
+		row := make([]float64, g.n)
+		for j := range row {
+			if i == j {
+				row[j] = 0
+			} else {
+				row[j] = Inf
+			}
+		}
+		m[i] = row
+	}
+	for u, es := range g.adj {
+		for _, e := range es {
+			if e.W < m[u][e.To] {
+				m[u][e.To] = e.W
+			}
+		}
+	}
+	return m
+}
+
+// APSP returns the exact all-pairs shortest-path matrix by Floyd–Warshall.
+func (g *Graph) APSP() [][]float64 {
+	d := g.AdjacencyMatrix()
+	n := g.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if v := dik + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	return d
+}
+
+// SSSP returns exact single-source shortest paths from src by Bellman–Ford.
+func (g *Graph) SSSP(src int) []float64 {
+	d := make([]float64, g.n)
+	for i := range d {
+		d[i] = Inf
+	}
+	d[src] = 0
+	for iter := 0; iter < g.n; iter++ {
+		changed := false
+		for u, es := range g.adj {
+			if math.IsInf(d[u], 1) {
+				continue
+			}
+			for _, e := range es {
+				if v := d[u] + e.W; v < d[e.To] {
+					d[e.To] = v
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return d
+}
+
+// HopDiameter returns the maximum, over ordered pairs (u, v) with v
+// reachable from u, of the minimum number of edges on a u→v path. The
+// paper's convergence bound ⌈log2 d⌉ uses this d; for the 34-vertex chain
+// it is 33.
+func (g *Graph) HopDiameter() int {
+	max := 0
+	for src := 0; src < g.n; src++ {
+		dist := g.bfsHops(src)
+		for _, h := range dist {
+			if h > max {
+				max = h
+			}
+		}
+	}
+	return max
+}
+
+func (g *Graph) bfsHops(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[u] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// WidestPaths returns the maximum-bottleneck-path matrix: w[i][j] is the
+// largest, over i→j paths, of the minimum edge weight along the path, +Inf
+// on the diagonal and 0 for unreachable pairs. Computed by the max–min
+// Floyd–Warshall recurrence — the reference answer for the widest-path
+// iteration.
+func (g *Graph) WidestPaths() [][]float64 {
+	n := g.n
+	w := make([][]float64, n)
+	for i := range w {
+		row := make([]float64, n)
+		row[i] = math.Inf(1)
+		w[i] = row
+	}
+	for u, es := range g.adj {
+		for _, e := range es {
+			if u != e.To && e.W > w[u][e.To] {
+				w[u][e.To] = e.W
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			wik := w[i][k]
+			if wik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if via := math.Min(wik, w[k][j]); via > w[i][j] {
+					w[i][j] = via
+				}
+			}
+		}
+	}
+	return w
+}
+
+// Reachability returns the boolean reachability matrix (r[i][j] true iff j
+// is reachable from i, with r[i][i] always true) — the reference answer for
+// the transitive-closure iteration.
+func (g *Graph) Reachability() [][]bool {
+	r := make([][]bool, g.n)
+	for i := range r {
+		r[i] = make([]bool, g.n)
+		hops := g.bfsHops(i)
+		for j, h := range hops {
+			r[i][j] = h >= 0
+		}
+		r[i][i] = true
+	}
+	return r
+}
+
+// Chain returns the paper's chain workload generalized to n vertices: a
+// directed path n-1 → n-2 → ... → 1 → 0 with unit weights, so vertex 0 is
+// the sink and vertex n-1 the source. Its hop diameter is n-1.
+func Chain(n int) *Graph {
+	g := New(n)
+	for i := n - 1; i > 0; i-- {
+		g.AddEdge(i, i-1, 1)
+	}
+	return g
+}
+
+// Ring returns a directed unit-weight cycle 0 → 1 → ... → n-1 → 0 with hop
+// diameter n-1.
+func Ring(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+// Grid2D returns an rows×cols grid with unit-weight edges in all four
+// directions; vertex (i, j) has index i*cols + j.
+func Grid2D(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i+1 < rows {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+				g.AddEdge(id(i+1, j), id(i, j), 1)
+			}
+			if j+1 < cols {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+				g.AddEdge(id(i, j+1), id(i, j), 1)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete directed graph with unit weights (diameter
+// 1 — the fastest-converging APSP instance).
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(i, j, 1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomSparse returns a random directed graph with a Hamiltonian cycle (so
+// it is strongly connected) plus extra random edges, with integer weights in
+// [1, maxW]. It is deterministic in the seed.
+func RandomSparse(n, extraEdges, maxW int, seed uint64) *Graph {
+	r := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	g := New(n)
+	perm := r.Perm(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(perm[i], perm[(i+1)%n], float64(1+r.IntN(maxW)))
+	}
+	for e := 0; e < extraEdges; e++ {
+		u, v := r.IntN(n), r.IntN(n)
+		if u != v {
+			g.AddEdge(u, v, float64(1+r.IntN(maxW)))
+		}
+	}
+	return g
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChainShape(t *testing.T) {
+	g := Chain(5)
+	if g.N() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("chain(5): n=%d edges=%d", g.N(), g.NumEdges())
+	}
+	// Edges go from higher to lower index: vertex 0 is the sink.
+	if len(g.Edges(0)) != 0 {
+		t.Fatal("sink has out-edges")
+	}
+	if es := g.Edges(4); len(es) != 1 || es[0].To != 3 || es[0].W != 1 {
+		t.Fatalf("source edges = %v", es)
+	}
+}
+
+func TestChainAPSP(t *testing.T) {
+	g := Chain(4)
+	d := g.APSP()
+	// d[i][j] = i-j for i >= j, else Inf.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := Inf
+			if i >= j {
+				want = float64(i - j)
+			}
+			if d[i][j] != want {
+				t.Fatalf("d[%d][%d] = %v, want %v", i, j, d[i][j], want)
+			}
+		}
+	}
+}
+
+func TestPaperChainDiameter(t *testing.T) {
+	// The paper's input: 34-vertex chain, diameter 33.
+	if got := Chain(34).HopDiameter(); got != 33 {
+		t.Fatalf("chain(34) diameter = %d, want 33", got)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(6)
+	if got := g.HopDiameter(); got != 5 {
+		t.Fatalf("ring(6) diameter = %d, want 5", got)
+	}
+	d := g.APSP()
+	if d[0][5] != 5 || d[5][0] != 1 {
+		t.Fatalf("ring distances: 0->5=%v 5->0=%v", d[0][5], d[5][0])
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n = %d", g.N())
+	}
+	d := g.APSP()
+	// Manhattan distance between corners: (3-1)+(4-1) = 5.
+	if d[0][11] != 5 {
+		t.Fatalf("corner distance = %v, want 5", d[0][11])
+	}
+	if got := g.HopDiameter(); got != 5 {
+		t.Fatalf("diameter = %d, want 5", got)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(5)
+	if got := g.HopDiameter(); got != 1 {
+		t.Fatalf("complete diameter = %d", got)
+	}
+	d := g.APSP()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 1.0
+			if i == j {
+				want = 0
+			}
+			if d[i][j] != want {
+				t.Fatalf("d[%d][%d] = %v", i, j, d[i][j])
+			}
+		}
+	}
+}
+
+func TestAdjacencyParallelEdgesKeepMin(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(0, 1, 2)
+	if got := g.AdjacencyMatrix()[0][1]; got != 2 {
+		t.Fatalf("parallel edge weight = %v, want min 2", got)
+	}
+}
+
+func TestSSSPMatchesAPSP(t *testing.T) {
+	g := RandomSparse(20, 40, 9, 7)
+	d := g.APSP()
+	for src := 0; src < g.N(); src++ {
+		ss := g.SSSP(src)
+		for v := 0; v < g.N(); v++ {
+			if ss[v] != d[src][v] {
+				t.Fatalf("SSSP(%d)[%d] = %v, APSP = %v", src, v, ss[v], d[src][v])
+			}
+		}
+	}
+}
+
+func TestRandomSparseStronglyConnected(t *testing.T) {
+	g := RandomSparse(15, 10, 5, 3)
+	r := g.Reachability()
+	for i := range r {
+		for j := range r[i] {
+			if !r[i][j] {
+				t.Fatalf("vertex %d cannot reach %d; generator must embed a cycle", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomSparseDeterministic(t *testing.T) {
+	a := RandomSparse(10, 20, 5, 9)
+	b := RandomSparse(10, 20, 5, 9)
+	da, db := a.APSP(), b.APSP()
+	for i := range da {
+		for j := range da[i] {
+			if da[i][j] != db[i][j] {
+				t.Fatal("same seed produced different graphs")
+			}
+		}
+	}
+}
+
+func TestReachabilityChain(t *testing.T) {
+	r := Chain(4).Reachability()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got, want := r[i][j], i >= j; got != want {
+				t.Fatalf("reach[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAPSPUnreachableStaysInf(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	d := g.APSP()
+	if !math.IsInf(d[1][0], 1) || !math.IsInf(d[0][2], 1) {
+		t.Fatal("unreachable pairs must stay infinite")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	g.AddEdge(0, 5, 1)
+}

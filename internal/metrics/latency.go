@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// LatencyHist is a concurrency-safe log2-bucketed histogram of durations:
+// observation costs one atomic-free mutex-protected increment, memory is
+// constant (64 buckets cover nanoseconds to centuries), and quantiles are
+// accurate to within a factor of 2 — plenty for operation-latency
+// reporting.
+type LatencyHist struct {
+	mu      sync.Mutex
+	buckets [64]int64
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// bucketOf returns the bucket index for d: ⌊log2(ns)⌋, clamped.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		return 0
+	}
+	return bits.Len64(uint64(ns)) - 1
+}
+
+// Observe records one duration.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the exact mean of the observations.
+func (h *LatencyHist) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the exact maximum observation.
+func (h *LatencyHist) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound on the p-quantile (p in (0, 1]): the top
+// of the bucket containing it, so the estimate is within 2x of the true
+// value.
+func (h *LatencyHist) Quantile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(p * float64(h.count)))
+	if need < 1 {
+		need = 1
+	}
+	var acc int64
+	for b, c := range h.buckets {
+		acc += c
+		if acc >= need {
+			top := time.Duration(1) << uint(b+1)
+			if top > h.max && h.max > 0 {
+				return h.max
+			}
+			return top
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,118 @@
+// Package msg defines the wire vocabulary shared by every component of the
+// probabilistic-quorum register system: node and register identifiers,
+// timestamps, tagged values, and the four protocol messages exchanged between
+// register clients and replica servers.
+//
+// The message set mirrors the probabilistic quorum algorithm of Malkhi,
+// Reiter and Wright ("Probabilistic Quorum Systems", PODC 1997) as simplified
+// by Lee and Welch (ICDCS 2001, Section 4): a read queries a quorum and takes
+// the value with the largest timestamp; a write updates a quorum with a fresh
+// timestamp.
+package msg
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node (replica server or client process) in a system.
+// Servers and clients share one identifier space; by convention experiments
+// number servers 0..n-1 and clients n..n+p-1.
+type NodeID int32
+
+// RegisterID identifies one shared register. Iterative algorithms use one
+// register per vector component (Section 5 of the paper).
+type RegisterID int32
+
+// Value is the contents of a register. In-memory runtimes pass values
+// directly; callers must treat values as immutable after they are written
+// (copy at the boundary, per the usual Go guidance for shared slices).
+type Value = any
+
+// Timestamp orders the writes applied to a register. Seq is the writer-local
+// sequence number; Writer breaks ties between distinct writers so that the
+// multi-writer extension (Section 8 of the paper) has a total order.
+//
+// For the single-writer registers of the paper, Writer is constant and the
+// order degenerates to the sequence number.
+type Timestamp struct {
+	Seq    uint64
+	Writer int32
+}
+
+// Less reports whether t is ordered strictly before o, comparing sequence
+// numbers first and writer identifiers second.
+func (t Timestamp) Less(o Timestamp) bool {
+	if t.Seq != o.Seq {
+		return t.Seq < o.Seq
+	}
+	return t.Writer < o.Writer
+}
+
+// Compare returns -1, 0, or +1 as t is ordered before, equal to, or after o.
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Less(o):
+		return -1
+	case o.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether t is the zero timestamp, which tags the initial
+// value of every register (the "write" that initializes the register).
+func (t Timestamp) IsZero() bool { return t.Seq == 0 && t.Writer == 0 }
+
+// String renders the timestamp as "seq@writer" for logs and test failures.
+func (t Timestamp) String() string { return fmt.Sprintf("%d@%d", t.Seq, t.Writer) }
+
+// Tagged is a register value together with the timestamp of the write that
+// produced it. Replicas store Tagged values; reads return the Tagged value
+// with the maximum timestamp observed in the queried quorum.
+type Tagged struct {
+	TS  Timestamp
+	Val Value
+}
+
+// MaxTagged returns the tagged value with the larger timestamp; ties keep a.
+func MaxTagged(a, b Tagged) Tagged {
+	if a.TS.Less(b.TS) {
+		return b
+	}
+	return a
+}
+
+// OpID matches replies to the client operation that solicited them. Each
+// client engine issues operation identifiers from a local counter, so an
+// (engine, OpID) pair is unique within an execution.
+type OpID uint64
+
+// ReadReq asks a replica for its current tagged value of register Reg.
+type ReadReq struct {
+	Reg RegisterID
+	Op  OpID
+}
+
+// ReadReply carries a replica's current tagged value of register Reg back to
+// the client that issued read operation Op.
+type ReadReply struct {
+	Reg RegisterID
+	Op  OpID
+	Tag Tagged
+}
+
+// WriteReq asks a replica to update register Reg with Tag if Tag's timestamp
+// exceeds the replica's current timestamp for Reg.
+type WriteReq struct {
+	Reg RegisterID
+	Op  OpID
+	Tag Tagged
+}
+
+// WriteAck acknowledges that a replica applied (or deliberately ignored, if
+// stale) write operation Op on register Reg.
+type WriteAck struct {
+	Reg RegisterID
+	Op  OpID
+}

@@ -1,0 +1,93 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		want int
+	}{
+		{Timestamp{1, 0}, Timestamp{2, 0}, -1},
+		{Timestamp{2, 0}, Timestamp{1, 0}, 1},
+		{Timestamp{2, 1}, Timestamp{2, 2}, -1},
+		{Timestamp{2, 2}, Timestamp{2, 2}, 0},
+		{Timestamp{0, 0}, Timestamp{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Fatalf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTimestampTotalOrderProperties(t *testing.T) {
+	// Antisymmetry and totality: exactly one of <, =, > holds.
+	f := func(s1, s2 uint64, w1, w2 int32) bool {
+		a := Timestamp{Seq: s1, Writer: w1}
+		b := Timestamp{Seq: s2, Writer: w2}
+		less, greater, equal := a.Less(b), b.Less(a), a == b
+		count := 0
+		if less {
+			count++
+		}
+		if greater {
+			count++
+		}
+		if equal {
+			count++
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampTransitivity(t *testing.T) {
+	f := func(s1, s2, s3 uint8, w1, w2, w3 int8) bool {
+		a := Timestamp{Seq: uint64(s1 % 4), Writer: int32(w1 % 4)}
+		b := Timestamp{Seq: uint64(s2 % 4), Writer: int32(w2 % 4)}
+		c := Timestamp{Seq: uint64(s3 % 4), Writer: int32(w3 % 4)}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Timestamp{}).IsZero() {
+		t.Fatal("zero timestamp not zero")
+	}
+	if (Timestamp{Seq: 1}).IsZero() || (Timestamp{Writer: 1}).IsZero() {
+		t.Fatal("non-zero timestamp reported zero")
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	if got := (Timestamp{Seq: 5, Writer: 2}).String(); got != "5@2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMaxTaggedProperties(t *testing.T) {
+	// MaxTagged returns one of its arguments and its timestamp dominates.
+	f := func(s1, s2 uint64, w1, w2 int32) bool {
+		a := Tagged{TS: Timestamp{s1, w1}, Val: "a"}
+		b := Tagged{TS: Timestamp{s2, w2}, Val: "b"}
+		m := MaxTagged(a, b)
+		if m != a && m != b {
+			return false
+		}
+		return !m.TS.Less(a.TS) && !m.TS.Less(b.TS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package quorum_test
+
+import (
+	"fmt"
+
+	"probquorum/internal/quorum"
+	"probquorum/internal/rng"
+)
+
+// The probabilistic system picks uniformly random k-subsets; with k = √n it
+// achieves optimal load while keeping availability Θ(n).
+func ExampleProbabilistic() {
+	sys := quorum.NewProbabilistic(36, 6)
+	r := rng.New(1)
+	q := sys.Pick(r)
+	fmt.Println("quorum size:", len(q))
+	fmt.Println("strict:", sys.Strict())
+	fmt.Println("load:", quorum.TheoreticalLoad(sys))
+	fmt.Println("availability:", quorum.AvailabilityThreshold(sys))
+	// Output:
+	// quorum size: 6
+	// strict: false
+	// load: 0.16666666666666666
+	// availability: 31
+}
+
+// Strict systems trade availability against load: the grid has the same
+// Θ(1/√n)-scale load as the probabilistic system but only Θ(√n)
+// availability.
+func ExampleGrid() {
+	sys := quorum.NewSquareGrid(36)
+	fmt.Println("quorum size:", sys.Size())
+	fmt.Printf("load: %.4f\n", quorum.TheoreticalLoad(sys))
+	fmt.Println("availability:", quorum.AvailabilityThreshold(sys))
+	// Output:
+	// quorum size: 11
+	// load: 0.3056
+	// availability: 6
+}
+
+// Projective planes give the minimum possible strict quorum size, with any
+// two quorums meeting in exactly one server.
+func ExampleFPP() {
+	sys := quorum.MustFPP(3) // order-3 plane: 13 servers, lines of 4
+	fmt.Println("n:", sys.N())
+	fmt.Println("quorum size:", sys.Size())
+	fmt.Println("lines:", sys.Lines())
+	// Output:
+	// n: 13
+	// quorum size: 4
+	// lines: 13
+}

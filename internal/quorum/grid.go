@@ -1,0 +1,91 @@
+package quorum
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Grid is the grid quorum system of Cheung, Ammar and Ahamad ("The Grid
+// Protocol", ICDE 1990): the n = rows*cols servers are arranged in a grid
+// and each quorum is one full row plus one full column (size rows+cols-1).
+// Any two quorums intersect (the row of one crosses the column of the
+// other), so the system is strict, with load Θ(1/√n) for a square grid —
+// but availability only min(rows, cols), which is the Naor–Wool trade-off
+// the probabilistic system escapes.
+type Grid struct {
+	rows, cols int
+}
+
+var _ System = (*Grid)(nil)
+
+// NewGrid returns the grid system with the given shape.
+func NewGrid(rows, cols int) *Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("quorum: invalid grid %dx%d", rows, cols))
+	}
+	return &Grid{rows: rows, cols: cols}
+}
+
+// NewSquareGrid returns the √n × √n grid. It requires n to be a perfect
+// square and panics otherwise, because experiment configurations choose
+// square n on purpose.
+func NewSquareGrid(n int) *Grid {
+	s := intSqrt(n)
+	if s*s != n {
+		panic(fmt.Sprintf("quorum: grid requires square n, got %d", n))
+	}
+	return NewGrid(s, s)
+}
+
+// intSqrt returns floor(sqrt(n)) for n >= 0 using integer Newton iteration.
+func intSqrt(n int) int {
+	if n < 0 {
+		panic("quorum: negative intSqrt argument")
+	}
+	if n < 2 {
+		return n
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}
+
+// N implements System.
+func (g *Grid) N() int { return g.rows * g.cols }
+
+// Rows returns the number of grid rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols returns the number of grid columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Size returns rows+cols-1, the size of every row-plus-column quorum.
+func (g *Grid) Size() int { return g.rows + g.cols - 1 }
+
+// Strict implements System; row-plus-column quorums pairwise intersect.
+func (g *Grid) Strict() bool { return true }
+
+// Name implements System.
+func (g *Grid) Name() string { return fmt.Sprintf("grid(%dx%d)", g.rows, g.cols) }
+
+// Pick returns the quorum formed by a uniformly random row and a uniformly
+// random column. Server (i, j) has index i*cols + j.
+func (g *Grid) Pick(r *rand.Rand) []int {
+	row := r.IntN(g.rows)
+	col := r.IntN(g.cols)
+	q := make([]int, 0, g.Size())
+	for j := 0; j < g.cols; j++ {
+		q = append(q, row*g.cols+j)
+	}
+	for i := 0; i < g.rows; i++ {
+		if i == row {
+			continue // (row, col) is already in the row part
+		}
+		q = append(q, i*g.cols+col)
+	}
+	return q
+}

@@ -1,0 +1,77 @@
+package quorum
+
+// This file computes the two classic quorum-system quality measures the
+// paper reviews in Section 4 — load (Naor–Wool, FOCS 1994) and availability
+// (Peleg–Wool, 1995) — in closed form for every system in the package. The
+// experiment harness plots these analytic values next to Monte-Carlo
+// measurements.
+
+// TheoreticalLoad returns the access probability of the busiest server under
+// each system's uniform strategy.
+//
+//   - probabilistic / majority / all: each server appears in a uniformly
+//     random Size()-subset with probability Size()/n;
+//   - grid(r×c): a server is accessed iff its row or its column is chosen:
+//     1/r + 1/c − 1/(rc);
+//   - fpp(q): each point lies on q+1 of the q²+q+1 lines, so the uniform
+//     strategy loads every server (q+1)/(q²+q+1);
+//   - singleton: the fixed server is always accessed.
+func TheoreticalLoad(s System) float64 {
+	switch t := s.(type) {
+	case *Singleton:
+		return 1
+	case *Grid:
+		r := float64(t.rows)
+		c := float64(t.cols)
+		return 1/r + 1/c - 1/(r*c)
+	case *FPP:
+		return float64(t.Size()) / float64(t.N())
+	case *Tree:
+		probs := t.AccessProb()
+		max := 0.0
+		for _, p := range probs {
+			if p > max {
+				max = p
+			}
+		}
+		return max
+	default:
+		return float64(s.Size()) / float64(s.N())
+	}
+}
+
+// AvailabilityThreshold returns the minimum number of crash failures that
+// disable the system — i.e. that leave no quorum fully alive. Higher is
+// better; Ω(n) is "high availability" in the paper's terminology.
+//
+//   - Systems whose quorums are all k-subsets (probabilistic, majority, all):
+//     a failure set F kills every quorum iff fewer than k servers survive,
+//     so the threshold is n−k+1. For the probabilistic system with
+//     k = Θ(√n) this is Θ(n): high availability. For majority it is
+//     ⌈n/2⌉ = Θ(n). For all it is 1.
+//   - grid(r×c): killing one server per row (r servers) dirties every row,
+//     and every quorum contains a full row; symmetrically c servers dirty
+//     every column. The threshold is min(r, c) = Θ(√n).
+//   - fpp(q): killing the q+1 points of any one line intersects every other
+//     line (any two lines meet), so the threshold is at most q+1 = Θ(√n);
+//     no smaller set can hit all q²+q+1 lines because each point covers only
+//     q+1 lines and (q+1)·q < q²+q+1 when fewer than q+1 points are used...
+//     the exact threshold is q+1.
+//   - singleton: 1 (crash the fixed server).
+func AvailabilityThreshold(s System) int {
+	switch t := s.(type) {
+	case *Singleton:
+		return 1
+	case *Grid:
+		if t.rows < t.cols {
+			return t.rows
+		}
+		return t.cols
+	case *FPP:
+		return t.Size()
+	case *Tree:
+		return t.Availability()
+	default:
+		return s.N() - s.Size() + 1
+	}
+}

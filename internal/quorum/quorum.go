@@ -1,0 +1,221 @@
+// Package quorum implements the quorum systems the paper builds on and
+// compares against.
+//
+// A quorum system over n replica servers is a collection of subsets
+// ("quorums") of the servers together with a strategy for picking the quorum
+// an operation accesses. Strict systems (majority, grid, finite projective
+// plane) guarantee that every pair of quorums intersects; the probabilistic
+// system of Malkhi, Reiter and Wright relaxes this to intersection with high
+// probability, which breaks the Naor–Wool load/availability trade-off
+// (paper, Section 4).
+//
+// Every system here exposes the randomized access strategy the analyses
+// assume: probabilistic systems pick a uniformly random k-subset; strict
+// systems pick uniformly among their predefined quorums.
+package quorum
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// System is a quorum system together with its access strategy.
+//
+// Pick must return a quorum as a slice of server indices in [0, N()). The
+// returned slice is owned by the caller. Implementations must be
+// deterministic given the stream r.
+type System interface {
+	// N returns the number of replica servers.
+	N() int
+	// Size returns the size of the quorums the strategy picks. All systems
+	// in this package use uniform quorum sizes.
+	Size() int
+	// Pick selects the quorum for one operation using r.
+	Pick(r *rand.Rand) []int
+	// Strict reports whether every pair of quorums is guaranteed to
+	// intersect.
+	Strict() bool
+	// Name identifies the system in experiment output.
+	Name() string
+}
+
+// Probabilistic is the probabilistic quorum system: the quorums are all
+// k-subsets of the n servers and the strategy picks one uniformly at random.
+// Pairs of quorums intersect only with high probability (when k = Ω(√n)).
+type Probabilistic struct {
+	n, k int
+}
+
+var _ System = (*Probabilistic)(nil)
+
+// NewProbabilistic returns the probabilistic quorum system with n servers
+// and quorum size k. It panics if the parameters are out of range; the
+// constructor arguments come from experiment configuration, not runtime
+// input, so a panic surfaces a programming error immediately.
+func NewProbabilistic(n, k int) *Probabilistic {
+	if n <= 0 || k <= 0 || k > n {
+		panic(fmt.Sprintf("quorum: invalid probabilistic system n=%d k=%d", n, k))
+	}
+	return &Probabilistic{n: n, k: k}
+}
+
+// N implements System.
+func (p *Probabilistic) N() int { return p.n }
+
+// Size implements System.
+func (p *Probabilistic) Size() int { return p.k }
+
+// Strict reports whether the system happens to be strict, which holds only
+// when k > n/2 (every pair of k-subsets then intersects by pigeonhole).
+func (p *Probabilistic) Strict() bool { return 2*p.k > p.n }
+
+// Name implements System.
+func (p *Probabilistic) Name() string { return fmt.Sprintf("probabilistic(n=%d,k=%d)", p.n, p.k) }
+
+// Pick returns a uniformly random k-subset of the servers.
+func (p *Probabilistic) Pick(r *rand.Rand) []int {
+	return RandomSubset(r, p.n, p.k)
+}
+
+// Majority is the majority quorum system: the quorums are all subsets of
+// size floor(n/2)+1, picked uniformly. It is the strict system with maximal
+// availability (ceil(n/2) crash failures are needed to disable it) but load
+// about 1/2.
+type Majority struct {
+	n int
+}
+
+var _ System = (*Majority)(nil)
+
+// NewMajority returns the majority system over n servers.
+func NewMajority(n int) *Majority {
+	if n <= 0 {
+		panic(fmt.Sprintf("quorum: invalid majority system n=%d", n))
+	}
+	return &Majority{n: n}
+}
+
+// N implements System.
+func (m *Majority) N() int { return m.n }
+
+// Size returns floor(n/2)+1.
+func (m *Majority) Size() int { return m.n/2 + 1 }
+
+// Strict implements System; majorities always pairwise intersect.
+func (m *Majority) Strict() bool { return true }
+
+// Name implements System.
+func (m *Majority) Name() string { return fmt.Sprintf("majority(n=%d)", m.n) }
+
+// Pick returns a uniformly random majority.
+func (m *Majority) Pick(r *rand.Rand) []int {
+	return RandomSubset(r, m.n, m.Size())
+}
+
+// Singleton routes every operation to the same single server. It is the
+// degenerate strict system: minimal quorum size, load 1, availability 1.
+// Experiments use it as the extreme point of the load/availability
+// trade-off.
+type Singleton struct {
+	n      int
+	server int
+}
+
+var _ System = (*Singleton)(nil)
+
+// NewSingleton returns the singleton system over n servers that always picks
+// the given server.
+func NewSingleton(n, server int) *Singleton {
+	if n <= 0 || server < 0 || server >= n {
+		panic(fmt.Sprintf("quorum: invalid singleton system n=%d server=%d", n, server))
+	}
+	return &Singleton{n: n, server: server}
+}
+
+// N implements System.
+func (s *Singleton) N() int { return s.n }
+
+// Size implements System.
+func (s *Singleton) Size() int { return 1 }
+
+// Strict implements System.
+func (s *Singleton) Strict() bool { return true }
+
+// Name implements System.
+func (s *Singleton) Name() string { return fmt.Sprintf("singleton(n=%d)", s.n) }
+
+// Pick returns the fixed server.
+func (s *Singleton) Pick(*rand.Rand) []int { return []int{s.server} }
+
+// All is the read-nothing-miss system whose only quorum is the full server
+// set. It has perfect intersection and load 1; a single crash disables it.
+type All struct {
+	n int
+}
+
+var _ System = (*All)(nil)
+
+// NewAll returns the system whose single quorum is all n servers.
+func NewAll(n int) *All {
+	if n <= 0 {
+		panic(fmt.Sprintf("quorum: invalid all system n=%d", n))
+	}
+	return &All{n: n}
+}
+
+// N implements System.
+func (a *All) N() int { return a.n }
+
+// Size implements System.
+func (a *All) Size() int { return a.n }
+
+// Strict implements System.
+func (a *All) Strict() bool { return true }
+
+// Name implements System.
+func (a *All) Name() string { return fmt.Sprintf("all(n=%d)", a.n) }
+
+// Pick returns every server.
+func (a *All) Pick(*rand.Rand) []int {
+	q := make([]int, a.n)
+	for i := range q {
+		q[i] = i
+	}
+	return q
+}
+
+// RandomSubset returns a uniformly random k-subset of {0, ..., n-1} using a
+// partial Fisher–Yates shuffle, costing O(n) setup amortized away by reusing
+// no state: the straightforward O(n) version keeps the code obviously
+// correct and n is small (tens to hundreds of servers) in every experiment.
+func RandomSubset(r *rand.Rand, n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("quorum: subset size %d exceeds universe %d", k, n))
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.IntN(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:k:k]
+}
+
+// Overlaps reports whether the two quorums share at least one server.
+func Overlaps(a, b []int) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	set := make(map[int]struct{}, len(a))
+	for _, s := range a {
+		set[s] = struct{}{}
+	}
+	for _, s := range b {
+		if _, ok := set[s]; ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,498 @@
+package quorum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"probquorum/internal/rng"
+)
+
+func sorted(q []int) []int {
+	out := make([]int, len(q))
+	copy(out, q)
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+func assertValidQuorum(t *testing.T, q []int, n, size int) {
+	t.Helper()
+	if len(q) != size {
+		t.Fatalf("quorum size %d, want %d", len(q), size)
+	}
+	seen := make(map[int]bool, len(q))
+	for _, s := range q {
+		if s < 0 || s >= n {
+			t.Fatalf("server %d outside [0,%d)", s, n)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate server %d in quorum %v", s, q)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRandomSubsetValid(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.IntN(40)
+		k := 1 + r.IntN(n)
+		assertValidQuorum(t, RandomSubset(r, n, k), n, k)
+	}
+}
+
+func TestRandomSubsetUniformMembership(t *testing.T) {
+	// Each server should appear with frequency ~ k/n.
+	const n, k, trials = 20, 5, 100000
+	r := rng.New(7)
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, s := range RandomSubset(r, n, k) {
+			counts[s]++
+		}
+	}
+	want := float64(k) / float64(n)
+	for s, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("server %d frequency %v, want ~%v", s, got, want)
+		}
+	}
+}
+
+func TestRandomSubsetFullSet(t *testing.T) {
+	q := sorted(RandomSubset(rng.New(1), 5, 5))
+	for i, s := range q {
+		if s != i {
+			t.Fatalf("k=n subset = %v, want permutation of 0..4", q)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1, 2, 3}, []int{3, 4, 5}, true},
+		{[]int{1, 2}, []int{3, 4}, false},
+		{[]int{}, []int{1}, false},
+		{[]int{7}, []int{7}, true},
+		{[]int{1, 2, 3, 4, 5}, []int{5}, true},
+	}
+	for _, c := range cases {
+		if got := Overlaps(c.a, c.b); got != c.want {
+			t.Fatalf("Overlaps(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOverlapsProperty(t *testing.T) {
+	// Property: Overlaps agrees with a brute-force double loop.
+	f := func(a, b []uint8) bool {
+		as := make([]int, len(a))
+		bs := make([]int, len(b))
+		for i, v := range a {
+			as[i] = int(v % 16)
+		}
+		for i, v := range b {
+			bs[i] = int(v % 16)
+		}
+		brute := false
+		for _, x := range as {
+			for _, y := range bs {
+				if x == y {
+					brute = true
+				}
+			}
+		}
+		return Overlaps(as, bs) == brute
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilisticBasics(t *testing.T) {
+	p := NewProbabilistic(34, 6)
+	if p.N() != 34 || p.Size() != 6 {
+		t.Fatalf("n=%d k=%d", p.N(), p.Size())
+	}
+	if p.Strict() {
+		t.Fatal("k=6 of 34 must not be strict")
+	}
+	if !NewProbabilistic(34, 18).Strict() {
+		t.Fatal("k=18 of 34 (2k>n) must be strict by pigeonhole")
+	}
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		assertValidQuorum(t, p.Pick(r), 34, 6)
+	}
+}
+
+func TestProbabilisticPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{0, 1}, {5, 0}, {5, 6}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewProbabilistic(%d,%d) did not panic", c.n, c.k)
+				}
+			}()
+			NewProbabilistic(c.n, c.k)
+		}()
+	}
+}
+
+func TestMajorityIntersects(t *testing.T) {
+	m := NewMajority(7)
+	if m.Size() != 4 {
+		t.Fatalf("majority of 7 has size %d, want 4", m.Size())
+	}
+	if !m.Strict() {
+		t.Fatal("majority must be strict")
+	}
+	r := rng.New(3)
+	prev := m.Pick(r)
+	for i := 0; i < 500; i++ {
+		q := m.Pick(r)
+		assertValidQuorum(t, q, 7, 4)
+		if !Overlaps(prev, q) {
+			t.Fatalf("majorities %v and %v do not intersect", prev, q)
+		}
+		prev = q
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	s := NewSingleton(5, 2)
+	q := s.Pick(rng.New(1))
+	if len(q) != 1 || q[0] != 2 {
+		t.Fatalf("singleton pick = %v", q)
+	}
+	if !s.Strict() || s.Size() != 1 || s.N() != 5 {
+		t.Fatal("singleton properties wrong")
+	}
+}
+
+func TestAll(t *testing.T) {
+	a := NewAll(4)
+	q := sorted(a.Pick(rng.New(1)))
+	for i, s := range q {
+		if s != i {
+			t.Fatalf("all pick = %v", q)
+		}
+	}
+	if !a.Strict() || a.Size() != 4 {
+		t.Fatal("all properties wrong")
+	}
+}
+
+func TestGridQuorums(t *testing.T) {
+	g := NewGrid(3, 4)
+	if g.N() != 12 || g.Size() != 6 {
+		t.Fatalf("grid n=%d size=%d", g.N(), g.Size())
+	}
+	r := rng.New(5)
+	prev := g.Pick(r)
+	for i := 0; i < 500; i++ {
+		q := g.Pick(r)
+		assertValidQuorum(t, q, 12, 6)
+		if !Overlaps(prev, q) {
+			t.Fatalf("grid quorums %v and %v do not intersect", prev, q)
+		}
+		prev = q
+	}
+}
+
+func TestGridQuorumShape(t *testing.T) {
+	// Every quorum must contain a full row and a full column.
+	g := NewGrid(4, 4)
+	r := rng.New(6)
+	for trial := 0; trial < 200; trial++ {
+		q := g.Pick(r)
+		in := make(map[int]bool, len(q))
+		for _, s := range q {
+			in[s] = true
+		}
+		fullRow := false
+		for i := 0; i < 4; i++ {
+			all := true
+			for j := 0; j < 4; j++ {
+				if !in[i*4+j] {
+					all = false
+					break
+				}
+			}
+			if all {
+				fullRow = true
+			}
+		}
+		fullCol := false
+		for j := 0; j < 4; j++ {
+			all := true
+			for i := 0; i < 4; i++ {
+				if !in[i*4+j] {
+					all = false
+					break
+				}
+			}
+			if all {
+				fullCol = true
+			}
+		}
+		if !fullRow || !fullCol {
+			t.Fatalf("grid quorum %v lacks full row or column", q)
+		}
+	}
+}
+
+func TestNewSquareGrid(t *testing.T) {
+	g := NewSquareGrid(25)
+	if g.Rows() != 5 || g.Cols() != 5 {
+		t.Fatalf("square grid = %dx%d", g.Rows(), g.Cols())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square n must panic")
+		}
+	}()
+	NewSquareGrid(26)
+}
+
+func TestIntSqrt(t *testing.T) {
+	for n := 0; n < 2000; n++ {
+		got := intSqrt(n)
+		if got*got > n || (got+1)*(got+1) <= n {
+			t.Fatalf("intSqrt(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestFPPAxioms(t *testing.T) {
+	for _, order := range []int{2, 3, 5, 7} {
+		f := MustFPP(order)
+		n := order*order + order + 1
+		if f.N() != n {
+			t.Fatalf("order %d: n = %d, want %d", order, f.N(), n)
+		}
+		if f.Lines() != n {
+			t.Fatalf("order %d: %d lines, want %d", order, f.Lines(), n)
+		}
+		// Axiom: every line has exactly order+1 points; any two distinct
+		// lines meet in exactly one point.
+		lines := f.lines
+		for i, li := range lines {
+			if len(li) != order+1 {
+				t.Fatalf("order %d: line %d has %d points", order, i, len(li))
+			}
+			for j := i + 1; j < len(lines); j++ {
+				common := 0
+				set := make(map[int]bool, len(li))
+				for _, p := range li {
+					set[p] = true
+				}
+				for _, p := range lines[j] {
+					if set[p] {
+						common++
+					}
+				}
+				if common != 1 {
+					t.Fatalf("order %d: lines %d and %d share %d points, want 1", order, i, j, common)
+				}
+			}
+		}
+	}
+}
+
+func TestFPPRejectsNonPrime(t *testing.T) {
+	for _, bad := range []int{1, 4, 6, 8, 9, 10} {
+		if _, err := NewFPP(bad); err == nil {
+			t.Fatalf("order %d accepted, want error", bad)
+		}
+	}
+}
+
+func TestFPPPick(t *testing.T) {
+	f := MustFPP(3)
+	r := rng.New(9)
+	prev := f.Pick(r)
+	for i := 0; i < 300; i++ {
+		q := f.Pick(r)
+		assertValidQuorum(t, q, f.N(), f.Size())
+		if !Overlaps(prev, q) {
+			t.Fatal("projective-plane lines must intersect")
+		}
+		prev = q
+	}
+}
+
+func TestTheoreticalLoad(t *testing.T) {
+	cases := []struct {
+		sys  System
+		want float64
+	}{
+		{NewProbabilistic(100, 10), 0.1},
+		{NewMajority(9), 5.0 / 9},
+		{NewSingleton(5, 0), 1},
+		{NewAll(8), 1},
+		{NewGrid(4, 4), 1.0/4 + 1.0/4 - 1.0/16},
+		{MustFPP(3), 4.0 / 13},
+	}
+	for _, c := range cases {
+		if got := TheoreticalLoad(c.sys); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%s load = %v, want %v", c.sys.Name(), got, c.want)
+		}
+	}
+}
+
+func TestEmpiricalLoadMatchesTheory(t *testing.T) {
+	// Monte-Carlo check that the uniform strategies actually achieve the
+	// analytic load.
+	systems := []System{
+		NewProbabilistic(36, 6),
+		NewMajority(11),
+		NewGrid(6, 6),
+		MustFPP(5),
+	}
+	for _, sys := range systems {
+		r := rng.New(11)
+		counts := make([]int, sys.N())
+		const trials = 60000
+		for i := 0; i < trials; i++ {
+			for _, s := range sys.Pick(r) {
+				counts[s]++
+			}
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		got := float64(max) / trials
+		want := TheoreticalLoad(sys)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("%s empirical load %v, want ~%v", sys.Name(), got, want)
+		}
+	}
+}
+
+func TestAvailabilityThreshold(t *testing.T) {
+	cases := []struct {
+		sys  System
+		want int
+	}{
+		{NewProbabilistic(34, 6), 29}, // n-k+1: high availability
+		{NewMajority(34), 17},         // ceil(n/2)
+		{NewSingleton(9, 3), 1},
+		{NewAll(9), 1},
+		{NewGrid(5, 7), 5},
+		{MustFPP(3), 4},
+	}
+	for _, c := range cases {
+		if got := AvailabilityThreshold(c.sys); got != c.want {
+			t.Fatalf("%s availability = %d, want %d", c.sys.Name(), got, c.want)
+		}
+	}
+}
+
+func TestGridAvailabilityExact(t *testing.T) {
+	// Killing any full column of a 4x4 grid must disable every quorum;
+	// killing fewer than 4 servers must leave some quorum alive.
+	g := NewGrid(4, 4)
+	dead := map[int]bool{0 * 4: true, 1 * 4: true, 2 * 4: true, 3 * 4: true} // column 0
+	r := rng.New(13)
+	for i := 0; i < 200; i++ {
+		q := g.Pick(r)
+		alive := true
+		for _, s := range q {
+			if dead[s] {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			t.Fatalf("quorum %v survives a dead column", q)
+		}
+	}
+	// Any 3 failures leave a clean row and a clean column.
+	f := func(a, b, c uint8) bool {
+		dead := map[int]bool{int(a % 16): true, int(b % 16): true, int(c % 16): true}
+		cleanRow, cleanCol := -1, -1
+		for i := 0; i < 4; i++ {
+			rowClean, colClean := true, true
+			for j := 0; j < 4; j++ {
+				if dead[i*4+j] {
+					rowClean = false
+				}
+				if dead[j*4+i] {
+					colClean = false
+				}
+			}
+			if rowClean && cleanRow < 0 {
+				cleanRow = i
+			}
+			if colClean && cleanCol < 0 {
+				cleanCol = i
+			}
+		}
+		return cleanRow >= 0 && cleanCol >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatalf("3 failures disabled a 4x4 grid: %v", err)
+	}
+}
+
+func TestAllStrictSystemsPairwiseIntersect(t *testing.T) {
+	// One generic harness across every strict system in the package: any
+	// two sampled quorums must share a server. (The probabilistic system is
+	// included only in its pigeonhole-strict configuration.)
+	systems := []System{
+		NewMajority(13),
+		NewGrid(4, 5),
+		MustFPP(5),
+		NewTree(15, 0.4),
+		NewSingleton(7, 3),
+		NewAll(6),
+		NewProbabilistic(10, 6), // 2k > n
+	}
+	for _, sys := range systems {
+		if !sys.Strict() {
+			t.Fatalf("%s must report strict", sys.Name())
+		}
+		r := rng.New(77)
+		quorums := make([][]int, 40)
+		for i := range quorums {
+			quorums[i] = sys.Pick(r)
+		}
+		for i := range quorums {
+			for j := i + 1; j < len(quorums); j++ {
+				if !Overlaps(quorums[i], quorums[j]) {
+					t.Fatalf("%s: quorums %v and %v disjoint", sys.Name(), quorums[i], quorums[j])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadAtLeastNaorWoolBound(t *testing.T) {
+	// Sanity across all systems: analytic load never beats the Naor–Wool
+	// lower bound for the system's quorum size.
+	systems := []System{
+		NewProbabilistic(36, 6), NewMajority(21), NewGrid(5, 5),
+		MustFPP(3), NewTree(15, 0.3), NewSingleton(9, 0), NewAll(8),
+	}
+	for _, sys := range systems {
+		load := TheoreticalLoad(sys)
+		bound := 1 / float64(sys.Size()) // the 1/k arm of max(1/k, k/n)
+		if load+1e-9 < bound {
+			t.Fatalf("%s: load %v below 1/k bound %v", sys.Name(), load, bound)
+		}
+	}
+}

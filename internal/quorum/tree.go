@@ -1,0 +1,144 @@
+package quorum
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Tree is the tree quorum protocol of Agrawal and El Abbadi ("An efficient
+// and fault-tolerant solution for distributed mutual exclusion", 1991): the
+// n servers form a complete binary tree in heap order, and a quorum of a
+// subtree is either the subtree's root plus a quorum of one child, or the
+// union of quorums of both children (skipping the root). Any two such
+// quorums intersect, so the system is strict; its best quorums are
+// root-to-leaf paths of size Θ(log n), but its availability is only
+// Θ(log n) too, and the root is heavily loaded — a third point on the
+// strict load/availability trade-off surface that the probabilistic system
+// escapes.
+type Tree struct {
+	n int
+	// pBoth is the probability the strategy skips a node and descends into
+	// both children (where both exist).
+	pBoth float64
+}
+
+var _ System = (*Tree)(nil)
+
+// NewTree returns the tree system over n servers. pBoth in [0, 1) is the
+// probability of taking the both-children option at each internal node with
+// two children; higher values spread load off the root at the cost of
+// larger quorums.
+func NewTree(n int, pBoth float64) *Tree {
+	if n <= 0 || pBoth < 0 || pBoth >= 1 {
+		panic(fmt.Sprintf("quorum: invalid tree system n=%d pBoth=%v", n, pBoth))
+	}
+	return &Tree{n: n, pBoth: pBoth}
+}
+
+// N implements System.
+func (t *Tree) N() int { return t.n }
+
+// Size returns the minimum quorum size: the depth of the shallowest leaf
+// plus one (a root-to-leaf path). Actual picked quorums can be larger when
+// the strategy takes the both-children option.
+func (t *Tree) Size() int {
+	// In heap order the first leaf is index ⌊n/2⌋ and it is a shallowest
+	// leaf; a node at index i sits at depth ⌊log2(i+1)⌋.
+	depth := 0
+	for v := t.n / 2; v > 0; v = (v - 1) / 2 {
+		depth++
+	}
+	return depth + 1
+}
+
+// Strict implements System; tree quorums pairwise intersect.
+func (t *Tree) Strict() bool { return true }
+
+// Name implements System.
+func (t *Tree) Name() string { return fmt.Sprintf("tree(n=%d,p=%.2f)", t.n, t.pBoth) }
+
+// Pick returns one randomly constructed tree quorum.
+func (t *Tree) Pick(r *rand.Rand) []int {
+	var q []int
+	var rec func(v int)
+	rec = func(v int) {
+		l, rt := 2*v+1, 2*v+2
+		switch {
+		case l >= t.n: // leaf
+			q = append(q, v)
+		case rt >= t.n: // only a left child: must include v (skipping v
+			// would require both children)
+			q = append(q, v)
+			rec(l)
+		default:
+			if r.Float64() < t.pBoth {
+				rec(l)
+				rec(rt)
+				return
+			}
+			q = append(q, v)
+			if r.IntN(2) == 0 {
+				rec(l)
+			} else {
+				rec(rt)
+			}
+		}
+	}
+	rec(0)
+	return q
+}
+
+// AccessProb returns each server's exact probability of being included in
+// one picked quorum under the strategy — the analytic load profile.
+func (t *Tree) AccessProb() []float64 {
+	p := make([]float64, t.n)
+	var rec func(v int, reach float64)
+	rec = func(v int, reach float64) {
+		l, rt := 2*v+1, 2*v+2
+		switch {
+		case l >= t.n:
+			p[v] += reach
+		case rt >= t.n:
+			p[v] += reach
+			rec(l, reach)
+		default:
+			p[v] += reach * (1 - t.pBoth)
+			// Child is reached when skipped into (pBoth) or chosen as the
+			// single descent path ((1-pBoth)/2).
+			childReach := reach * (t.pBoth + (1-t.pBoth)/2)
+			rec(l, childReach)
+			rec(rt, childReach)
+		}
+	}
+	rec(0, 1)
+	return p
+}
+
+// treeAvailability computes the minimum number of crashes that kill every
+// quorum of the subtree rooted at v: A(v) = min(1 + min(A(l), A(r)),
+// A(l) + A(r)) with A(leaf) = 1 — Θ(log n) for balanced trees.
+func (t *Tree) treeAvailability(v int) int {
+	l, r := 2*v+1, 2*v+2
+	switch {
+	case l >= t.n:
+		return 1
+	case r >= t.n:
+		// Only a left child: every quorum of this subtree includes v
+		// (skipping v needs two children), so killing v suffices.
+		return 1
+	default:
+		al, ar := t.treeAvailability(l), t.treeAvailability(r)
+		minChild := al
+		if ar < minChild {
+			minChild = ar
+		}
+		both := al + ar
+		if 1+minChild < both {
+			return 1 + minChild
+		}
+		return both
+	}
+}
+
+// Availability returns the exact availability threshold of the tree system.
+func (t *Tree) Availability() int { return t.treeAvailability(0) }

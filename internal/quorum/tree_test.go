@@ -1,0 +1,203 @@
+package quorum
+
+import (
+	"math"
+	"testing"
+
+	"probquorum/internal/rng"
+)
+
+func TestTreeQuorumsIntersect(t *testing.T) {
+	// The Agrawal–El Abbadi theorem: any two tree quorums intersect.
+	for _, n := range []int{1, 2, 3, 7, 10, 15, 31} {
+		tree := NewTree(n, 0.4)
+		r := rng.New(uint64(n))
+		prev := tree.Pick(r)
+		for i := 0; i < 1000; i++ {
+			q := tree.Pick(r)
+			// Validity: distinct in-range servers.
+			seen := make(map[int]bool)
+			for _, s := range q {
+				if s < 0 || s >= n || seen[s] {
+					t.Fatalf("n=%d: invalid quorum %v", n, q)
+				}
+				seen[s] = true
+			}
+			if !Overlaps(prev, q) {
+				t.Fatalf("n=%d: tree quorums %v and %v disjoint", n, prev, q)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestTreePathOnlyStrategy(t *testing.T) {
+	// pBoth = 0: every quorum is a root-to-leaf path containing the root.
+	tree := NewTree(15, 0)
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		q := tree.Pick(r)
+		if q[0] != 0 {
+			t.Fatalf("path quorum %v does not start at the root", q)
+		}
+		if len(q) != 4 { // full tree of 15: depth 3, path length 4
+			t.Fatalf("path quorum %v has length %d, want 4", q, len(q))
+		}
+	}
+	if tree.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", tree.Size())
+	}
+}
+
+func TestTreeSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		// n=4: node 2 is already a leaf at depth 1, so the shortest
+		// root-to-leaf path has 2 nodes; n=8 similarly has a depth-2 leaf.
+		{1, 1}, {2, 2}, {3, 2}, {4, 2}, {7, 3}, {8, 3}, {15, 4}, {31, 5},
+	}
+	for _, c := range cases {
+		if got := NewTree(c.n, 0.3).Size(); got != c.want {
+			t.Fatalf("tree(%d).Size() = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTreeAccessProbMatchesEmpirical(t *testing.T) {
+	tree := NewTree(15, 0.35)
+	want := tree.AccessProb()
+	r := rng.New(9)
+	counts := make([]float64, 15)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		for _, s := range tree.Pick(r) {
+			counts[s]++
+		}
+	}
+	for v := range counts {
+		got := counts[v] / trials
+		if math.Abs(got-want[v]) > 0.01 {
+			t.Fatalf("node %d: empirical %v vs analytic %v", v, got, want[v])
+		}
+	}
+	// Root is the hottest node under mostly-path strategies.
+	max := 0.0
+	for _, p := range want {
+		if p > max {
+			max = p
+		}
+	}
+	if max != want[0] {
+		t.Fatalf("root load %v is not maximal (%v)", want[0], max)
+	}
+	if got := TheoreticalLoad(tree); got != max {
+		t.Fatalf("TheoreticalLoad = %v, want %v", got, max)
+	}
+}
+
+func TestTreeAvailabilityLogN(t *testing.T) {
+	// Full binary trees: availability is depth+1 = Θ(log n).
+	cases := []struct{ n, want int }{
+		{1, 1}, {3, 2}, {7, 3}, {15, 4}, {31, 5}, {63, 6},
+	}
+	for _, c := range cases {
+		tree := NewTree(c.n, 0.3)
+		if got := tree.Availability(); got != c.want {
+			t.Fatalf("tree(%d) availability = %d, want %d", c.n, got, c.want)
+		}
+		if got := AvailabilityThreshold(tree); got != c.want {
+			t.Fatalf("AvailabilityThreshold(tree(%d)) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTreeAvailabilityExactByBruteForce(t *testing.T) {
+	// Exhaustively verify on a 7-node tree: no 2-subset kills every quorum,
+	// and some 3-subset does.
+	tree := NewTree(7, 0.5)
+	r := rng.New(3)
+	// Collect the distinct quorums by sampling (7 nodes: the family is
+	// small; 2000 samples see all of them).
+	type quorumKey string
+	key := func(q []int) quorumKey {
+		var b []byte
+		mask := 0
+		for _, s := range q {
+			mask |= 1 << uint(s)
+		}
+		b = append(b, byte(mask))
+		return quorumKey(b)
+	}
+	masks := make(map[quorumKey]int)
+	for i := 0; i < 2000; i++ {
+		q := tree.Pick(r)
+		mask := 0
+		for _, s := range q {
+			mask |= 1 << uint(s)
+		}
+		masks[key(q)] = mask
+	}
+	killsAll := func(dead int) bool {
+		for _, m := range masks {
+			if m&dead == 0 {
+				return false // this quorum is untouched
+			}
+		}
+		return true
+	}
+	minKill := 8
+	for dead := 1; dead < 1<<7; dead++ {
+		bits := 0
+		for x := dead; x != 0; x &= x - 1 {
+			bits++
+		}
+		if bits < minKill && killsAll(dead) {
+			minKill = bits
+		}
+	}
+	if minKill != tree.Availability() {
+		t.Fatalf("brute-force availability %d, analytic %d", minKill, tree.Availability())
+	}
+}
+
+func TestTreePanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{0, 0.5}, {5, -0.1}, {5, 1.0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewTree(%d, %v) did not panic", c.n, c.p)
+				}
+			}()
+			NewTree(c.n, c.p)
+		}()
+	}
+}
+
+func TestTreeInExistsLiveQuorumFallback(t *testing.T) {
+	// The faults package's default Monte-Carlo branch must handle trees;
+	// exercised here via the quorum-side invariants it relies on: a picked
+	// quorum avoiding the dead set certifies liveness.
+	tree := NewTree(15, 0.5)
+	r := rng.New(4)
+	dead := map[int]bool{0: true} // root dead: both-children quorums remain
+	found := false
+	for i := 0; i < 2000; i++ {
+		q := tree.Pick(r)
+		alive := true
+		for _, s := range q {
+			if dead[s] {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no quorum avoids a dead root; the tree protocol must route around it")
+	}
+}

@@ -1,0 +1,233 @@
+package register
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+)
+
+// Engine holds one client process's register-subsystem state: the quorum
+// selection strategy, the operation and write-timestamp counters, and — for
+// the monotone variant — the freshest tagged value returned so far for each
+// register (paper, Section 6.2).
+//
+// An Engine belongs to a single client process and is not safe for
+// concurrent use; the paper's model allows at most one pending operation per
+// process, and the drivers respect that.
+type Engine struct {
+	writer   int32
+	sys      quorum.System
+	writeSys quorum.System // defaults to sys; see WithWriteSystem
+	rnd      *rand.Rand
+	monotone bool
+
+	nextOp     msg.OpID
+	wts        map[msg.RegisterID]uint64
+	cache      map[msg.RegisterID]msg.Tagged
+	readRepair bool
+	repairs    int64
+	maskB      int // b-masking parameter; -1 disables
+
+	tally    *metrics.AccessTally
+	messages *metrics.Counter
+
+	// cacheHits counts monotone reads answered from the cache because the
+	// queried quorum only returned older timestamps.
+	cacheHits int64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// Monotone enables the monotone cache of Section 6.2: a read whose quorum
+// returns only timestamps older than the freshest value this client has seen
+// returns the cached value instead, guaranteeing condition [R4].
+func Monotone() Option {
+	return func(e *Engine) { e.monotone = true }
+}
+
+// WithTally records every picked quorum into t, feeding the load
+// experiments.
+func WithTally(t *metrics.AccessTally) Option {
+	return func(e *Engine) { e.tally = t }
+}
+
+// WithMessageCounter adds 2·|quorum| to c for every operation (requests plus
+// replies), feeding the message-complexity experiments.
+func WithMessageCounter(c *metrics.Counter) Option {
+	return func(e *Engine) { e.messages = c }
+}
+
+// WithReadRepair makes every completed read push the freshest observed
+// value back to the quorum members that replied with older timestamps
+// ("write-back", as in the read phase of classic replicated-data
+// protocols). Repair costs up to |quorum| extra one-way messages per read
+// but spreads fresh values without the writer's help — an ablation knob for
+// the freshness/message trade-off. Drivers query RepairTargets after
+// FinishRead and send the returned requests without awaiting replies.
+func WithReadRepair() Option {
+	return func(e *Engine) { e.readRepair = true }
+}
+
+// WithWriteSystem makes writes pick quorums from a different system than
+// reads — the asymmetric configuration of Malkhi–Reiter–Wright, where the
+// intersection probability depends on both sizes: reads in an iterative
+// algorithm far outnumber writes (m reads per write in Alg. 1 with one
+// owned component), so shifting quorum mass from reads to writes can buy
+// the same freshness for fewer messages. Both systems must cover the same
+// servers.
+func WithWriteSystem(sys quorum.System) Option {
+	return func(e *Engine) { e.writeSys = sys }
+}
+
+// NewEngine returns a register engine for the given writer identity, quorum
+// system, and randomness stream.
+func NewEngine(writer int32, sys quorum.System, rnd *rand.Rand, opts ...Option) *Engine {
+	e := &Engine{
+		writer: writer,
+		sys:    sys,
+		rnd:    rnd,
+		wts:    make(map[msg.RegisterID]uint64),
+		cache:  make(map[msg.RegisterID]msg.Tagged),
+		maskB:  -1,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.writeSys == nil {
+		e.writeSys = sys
+	}
+	if e.writeSys.N() != sys.N() {
+		panic(fmt.Sprintf("register: write system covers %d servers, read system %d",
+			e.writeSys.N(), sys.N()))
+	}
+	return e
+}
+
+// System returns the engine's quorum system.
+func (e *Engine) System() quorum.System { return e.sys }
+
+// IsMonotone reports whether the monotone cache is enabled.
+func (e *Engine) IsMonotone() bool { return e.monotone }
+
+// CacheHits returns how many reads were answered from the monotone cache.
+func (e *Engine) CacheHits() int64 { return e.cacheHits }
+
+// Repairs returns how many repair messages RepairTargets has issued.
+func (e *Engine) Repairs() int64 { return e.repairs }
+
+// RepairTargets returns the write-back requests a completed read should
+// fan out (empty unless WithReadRepair is set): one WriteReq carrying the
+// read's result to each quorum member that returned an older timestamp.
+// Replicas ignore stale repairs by timestamp, so repairs are idempotent
+// and need no acknowledgment.
+func (e *Engine) RepairTargets(s *ReadSession, result msg.Tagged) (servers []int, req msg.WriteReq) {
+	if !e.readRepair || result.TS.IsZero() {
+		return nil, msg.WriteReq{}
+	}
+	servers = s.StaleMembers(result)
+	if len(servers) == 0 {
+		return nil, msg.WriteReq{}
+	}
+	e.nextOp++
+	e.repairs += int64(len(servers))
+	if e.messages != nil {
+		e.messages.Add(int64(len(servers)))
+	}
+	return servers, msg.WriteReq{Reg: s.Reg, Op: e.nextOp, Tag: result}
+}
+
+func (e *Engine) pick(sys quorum.System) []int {
+	q := sys.Pick(e.rnd)
+	if e.tally != nil {
+		e.tally.Touch(q)
+	}
+	if e.messages != nil {
+		e.messages.Add(2 * int64(len(q)))
+	}
+	return q
+}
+
+// BeginRead starts a read of reg: it picks the quorum and returns the
+// session the driver must complete by delivering every member's reply.
+func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
+	e.nextOp++
+	return &ReadSession{
+		Reg:     reg,
+		Op:      e.nextOp,
+		Quorum:  e.pick(e.sys),
+		replied: make(map[int]bool),
+		tags:    make(map[int]msg.Tagged),
+	}
+}
+
+// FinishRead applies the monotone filter to a completed read session and
+// returns the value the register returns to the application. For a
+// non-monotone engine it is simply the session's maximum-timestamp value.
+func (e *Engine) FinishRead(s *ReadSession) msg.Tagged {
+	best := s.Best()
+	if !e.monotone {
+		return best
+	}
+	if cached, ok := e.cache[s.Reg]; ok && best.TS.Less(cached.TS) {
+		e.cacheHits++
+		return cached
+	}
+	e.cache[s.Reg] = best
+	return best
+}
+
+// ObserveOwnWrite folds a value this client itself wrote into the monotone
+// cache, so a writer never reads a value older than its own latest write.
+// The paper's single-writer model has the writer of a register also reading
+// it in Alg. 1; without this the cache would be one write behind.
+func (e *Engine) ObserveOwnWrite(reg msg.RegisterID, tag msg.Tagged) {
+	if !e.monotone {
+		return
+	}
+	if cached, ok := e.cache[reg]; !ok || cached.TS.Less(tag.TS) {
+		e.cache[reg] = tag
+	}
+}
+
+// BeginWrite starts a single-writer write of val to reg: it advances the
+// register's write timestamp, picks the quorum, and returns the session the
+// driver must complete by delivering every member's acknowledgment.
+func (e *Engine) BeginWrite(reg msg.RegisterID, val msg.Value) *WriteSession {
+	e.nextOp++
+	e.wts[reg]++
+	tag := msg.Tagged{TS: msg.Timestamp{Seq: e.wts[reg], Writer: e.writer}, Val: val}
+	e.ObserveOwnWrite(reg, tag)
+	return &WriteSession{
+		Reg:    reg,
+		Op:     e.nextOp,
+		Tag:    tag,
+		Quorum: e.pick(e.writeSys),
+		acked:  make(map[int]bool),
+	}
+}
+
+// BeginWriteWithTS starts a write carrying an explicit timestamp. The
+// multi-writer extension uses it after a read phase has discovered the
+// current maximum timestamp; single-writer callers should use BeginWrite.
+func (e *Engine) BeginWriteWithTS(reg msg.RegisterID, tag msg.Tagged) *WriteSession {
+	e.nextOp++
+	e.ObserveOwnWrite(reg, tag)
+	return &WriteSession{
+		Reg:    reg,
+		Op:     e.nextOp,
+		Tag:    tag,
+		Quorum: e.pick(e.writeSys),
+		acked:  make(map[int]bool),
+	}
+}
+
+// NextMultiWriterTS returns the timestamp a multi-writer write should carry
+// after observing maxSeen as the largest timestamp in its read phase:
+// sequence one past the maximum, tie-broken by this engine's writer id.
+func (e *Engine) NextMultiWriterTS(maxSeen msg.Timestamp) msg.Timestamp {
+	return msg.Timestamp{Seq: maxSeen.Seq + 1, Writer: e.writer}
+}

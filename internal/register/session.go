@@ -1,0 +1,121 @@
+// Package register implements the client side of the probabilistic quorum
+// read/write register (paper Sections 4 and 6.2) as runtime-agnostic
+// protocol cores.
+//
+// A read picks a random quorum, queries every member, and returns the value
+// with the largest timestamp; a write picks a random quorum and installs the
+// new value with a fresh timestamp. The monotone variant additionally caches
+// the freshest tagged value each client has ever returned, so a read never
+// goes backwards in timestamp order (condition [R4]) — this is the paper's
+// "monotone probabilistic quorum algorithm".
+//
+// Sessions carry the per-operation state; Engine carries the per-client
+// state (operation counter, write timestamps, monotone cache, quorum
+// strategy). Drivers — the discrete-event simulator, the goroutine runtime,
+// and the TCP transport — shuttle messages between sessions and replica
+// servers without duplicating any protocol logic.
+package register
+
+import (
+	"probquorum/internal/msg"
+)
+
+// ReadSession is the client state of one in-flight read operation: it has
+// fanned a ReadReq out to every server in Quorum and completes when all of
+// them have replied (the network is reliable and, in the failure-free model
+// of the paper's Section 4, so are the servers).
+type ReadSession struct {
+	Reg    msg.RegisterID
+	Op     msg.OpID
+	Quorum []int
+
+	replied map[int]bool
+	tags    map[int]msg.Tagged
+	best    msg.Tagged
+	gotAny  bool
+}
+
+// Request returns the message to send to each quorum member.
+func (s *ReadSession) Request() msg.ReadReq {
+	return msg.ReadReq{Reg: s.Reg, Op: s.Op}
+}
+
+// member reports whether server belongs to the session's quorum; replies
+// from outsiders (misrouted or fabricated) are ignored.
+func member(quorum []int, server int) bool {
+	for _, q := range quorum {
+		if q == server {
+			return true
+		}
+	}
+	return false
+}
+
+// OnReply feeds one server's reply into the session and reports whether the
+// operation is complete. Replies for other operations, duplicate replies,
+// and replies from servers outside the quorum are ignored, so drivers may
+// deliver stale or stray messages safely.
+func (s *ReadSession) OnReply(server int, rep msg.ReadReply) (done bool) {
+	if rep.Op != s.Op || rep.Reg != s.Reg || s.replied[server] || !member(s.Quorum, server) {
+		return s.Done()
+	}
+	s.replied[server] = true
+	s.tags[server] = rep.Tag
+	if !s.gotAny || s.best.TS.Less(rep.Tag.TS) {
+		s.best = rep.Tag
+		s.gotAny = true
+	}
+	return s.Done()
+}
+
+// StaleMembers returns the quorum members whose reply carried a timestamp
+// older than tag's. The read-repair extension pushes tag back to exactly
+// these replicas after the read completes, spreading fresh values without
+// waiting for the writer to land on them again.
+func (s *ReadSession) StaleMembers(tag msg.Tagged) []int {
+	var out []int
+	for _, srv := range s.Quorum {
+		if t, ok := s.tags[srv]; ok && t.TS.Less(tag.TS) {
+			out = append(out, srv)
+		}
+	}
+	return out
+}
+
+// Done reports whether every quorum member has replied.
+func (s *ReadSession) Done() bool { return len(s.replied) == len(s.Quorum) }
+
+// Best returns the maximum-timestamp value observed so far. It is only
+// meaningful once Done reports true.
+func (s *ReadSession) Best() msg.Tagged { return s.best }
+
+// WriteSession is the client state of one in-flight write operation: it has
+// fanned a WriteReq out to every server in Quorum and completes when all of
+// them have acknowledged.
+type WriteSession struct {
+	Reg    msg.RegisterID
+	Op     msg.OpID
+	Tag    msg.Tagged
+	Quorum []int
+
+	acked map[int]bool
+}
+
+// Request returns the message to send to each quorum member.
+func (s *WriteSession) Request() msg.WriteReq {
+	return msg.WriteReq{Reg: s.Reg, Op: s.Op, Tag: s.Tag}
+}
+
+// OnAck feeds one server's acknowledgment into the session and reports
+// whether the operation is complete. Acknowledgments from servers outside
+// the quorum are ignored.
+func (s *WriteSession) OnAck(server int, ack msg.WriteAck) (done bool) {
+	if ack.Op != s.Op || ack.Reg != s.Reg || s.acked[server] || !member(s.Quorum, server) {
+		return s.Done()
+	}
+	s.acked[server] = true
+	return s.Done()
+}
+
+// Done reports whether every quorum member has acknowledged.
+func (s *WriteSession) Done() bool { return len(s.acked) == len(s.Quorum) }

@@ -1,0 +1,66 @@
+package replica
+
+import (
+	"sync"
+
+	"probquorum/internal/msg"
+)
+
+// Applier is the request/response surface of a replica server. The honest
+// Store implements it; the Byzantine wrapper implements it dishonestly.
+// Runtimes drive Appliers, so faulty servers drop in transparently.
+type Applier interface {
+	Apply(req any) (reply any, ok bool)
+}
+
+var (
+	_ Applier = (*Store)(nil)
+	_ Applier = (*Byzantine)(nil)
+)
+
+// Byzantine wraps a replica with arbitrary-failure behaviour: reads are
+// answered with a fabricated value carrying an enormous timestamp (the
+// strongest attack against a max-timestamp read rule), and writes are
+// acknowledged but discarded. This is the failure model the
+// Malkhi–Reiter–Wright masking quorums defend against; the register layer's
+// masking mode (b-masking: accept only values vouched for by more than b
+// servers) neutralizes it as long as quorums contain at most b liars.
+type Byzantine struct {
+	inner *Store
+
+	mu     sync.Mutex
+	poison msg.Value
+}
+
+// NewByzantine wraps store with fabricated-reply behaviour. The fabricated
+// value is poison with timestamp (MaxInt-ish, writer -1), so colluding
+// Byzantine servers fabricate identically — the worst case for masking.
+func NewByzantine(store *Store, poison msg.Value) *Byzantine {
+	return &Byzantine{inner: store, poison: poison}
+}
+
+// ID returns the underlying server's identity.
+func (b *Byzantine) ID() msg.NodeID { return b.inner.ID() }
+
+// Apply answers reads with the fabricated value and swallows writes
+// (acknowledging them so clients cannot detect the fault by timeout).
+func (b *Byzantine) Apply(req any) (reply any, ok bool) {
+	b.mu.Lock()
+	poison := b.poison
+	b.mu.Unlock()
+	switch m := req.(type) {
+	case msg.ReadReq:
+		return msg.ReadReply{
+			Reg: m.Reg,
+			Op:  m.Op,
+			Tag: msg.Tagged{
+				TS:  msg.Timestamp{Seq: 1 << 62, Writer: -1},
+				Val: poison,
+			},
+		}, true
+	case msg.WriteReq:
+		return msg.WriteAck{Reg: m.Reg, Op: m.Op}, true
+	default:
+		return nil, false
+	}
+}

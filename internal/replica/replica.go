@@ -1,0 +1,109 @@
+// Package replica implements the replica server of the probabilistic quorum
+// algorithm (paper, Section 4): each of the n servers keeps a local,
+// timestamped copy of every shared register and answers two requests —
+// a read request with its current tagged value, and a write request by
+// installing the new value if its timestamp is newer.
+//
+// The server is a pure state machine (Apply maps a request to a reply), so
+// the discrete-event simulator, the goroutine runtime, and the TCP transport
+// all drive the same code.
+package replica
+
+import (
+	"sync"
+
+	"probquorum/internal/msg"
+)
+
+// Store is one replica server's state: a timestamped value per register.
+// The zero timestamp tags each register's initial value, modeling the
+// notional initializing write.
+//
+// Store is safe for concurrent use; the goroutine runtime may deliver
+// requests from several clients at once.
+type Store struct {
+	id msg.NodeID
+
+	mu      sync.Mutex
+	regs    map[msg.RegisterID]msg.Tagged
+	crashed bool
+
+	reads  int64
+	writes int64
+}
+
+// New returns a replica server with the given identity and initial register
+// contents. The initial map is copied.
+func New(id msg.NodeID, initial map[msg.RegisterID]msg.Value) *Store {
+	regs := make(map[msg.RegisterID]msg.Tagged, len(initial))
+	for r, v := range initial {
+		regs[r] = msg.Tagged{Val: v} // zero timestamp
+	}
+	return &Store{id: id, regs: regs}
+}
+
+// ID returns the server's node identifier.
+func (s *Store) ID() msg.NodeID { return s.id }
+
+// Apply processes one protocol request and returns the reply to send back,
+// or ok=false when the request is not a replica request or the server is
+// crashed (a crashed server is silent, modeling a crash failure rather than
+// an explicit error).
+func (s *Store) Apply(req any) (reply any, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, false
+	}
+	switch m := req.(type) {
+	case msg.ReadReq:
+		s.reads++
+		return msg.ReadReply{Reg: m.Reg, Op: m.Op, Tag: s.regs[m.Reg]}, true
+	case msg.WriteReq:
+		s.writes++
+		if cur, exists := s.regs[m.Reg]; !exists || cur.TS.Less(m.Tag.TS) {
+			s.regs[m.Reg] = m.Tag
+		}
+		return msg.WriteAck{Reg: m.Reg, Op: m.Op}, true
+	default:
+		return nil, false
+	}
+}
+
+// Crash silences the server: subsequent requests get no reply until Recover
+// is called. State is retained (crash-recovery with stable storage).
+func (s *Store) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = true
+}
+
+// Recover brings a crashed server back with its retained state.
+func (s *Store) Recover() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = false
+}
+
+// Crashed reports whether the server is currently crashed.
+func (s *Store) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Get returns the server's current tagged value for reg; tests and the
+// Monte-Carlo experiments inspect replica state directly with it.
+func (s *Store) Get(reg msg.RegisterID) msg.Tagged {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regs[reg]
+}
+
+// Stats returns the number of read and write requests the server has
+// processed (excluding those dropped while crashed).
+func (s *Store) Stats() (reads, writes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes
+}

@@ -1,0 +1,155 @@
+package replica
+
+import (
+	"testing"
+
+	"probquorum/internal/msg"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	return New(0, map[msg.RegisterID]msg.Value{1: "init", 2: 0})
+}
+
+func TestReadInitialValue(t *testing.T) {
+	s := newStore(t)
+	rep, ok := s.Apply(msg.ReadReq{Reg: 1, Op: 7})
+	if !ok {
+		t.Fatal("read not handled")
+	}
+	rr, ok := rep.(msg.ReadReply)
+	if !ok {
+		t.Fatalf("reply type %T", rep)
+	}
+	if rr.Op != 7 || rr.Reg != 1 {
+		t.Fatalf("reply ids = %+v", rr)
+	}
+	if !rr.Tag.TS.IsZero() || rr.Tag.Val != "init" {
+		t.Fatalf("initial tag = %+v", rr.Tag)
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	s := newStore(t)
+	tag := msg.Tagged{TS: msg.Timestamp{Seq: 3}, Val: "v3"}
+	rep, ok := s.Apply(msg.WriteReq{Reg: 1, Op: 8, Tag: tag})
+	if !ok {
+		t.Fatal("write not handled")
+	}
+	if ack := rep.(msg.WriteAck); ack.Op != 8 || ack.Reg != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if got := s.Get(1); got.Val != "v3" || got.TS.Seq != 3 {
+		t.Fatalf("stored = %+v", got)
+	}
+}
+
+func TestStaleWriteIgnoredButAcked(t *testing.T) {
+	s := newStore(t)
+	s.Apply(msg.WriteReq{Reg: 1, Op: 1, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 5}, Val: "new"}})
+	rep, ok := s.Apply(msg.WriteReq{Reg: 1, Op: 2, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 2}, Val: "old"}})
+	if !ok {
+		t.Fatal("stale write must still be acknowledged")
+	}
+	if _, isAck := rep.(msg.WriteAck); !isAck {
+		t.Fatalf("reply type %T", rep)
+	}
+	if got := s.Get(1); got.Val != "new" {
+		t.Fatalf("stale write overwrote newer value: %+v", got)
+	}
+}
+
+func TestWriterTiebreak(t *testing.T) {
+	s := newStore(t)
+	s.Apply(msg.WriteReq{Reg: 1, Op: 1, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 5, Writer: 2}, Val: "w2"}})
+	// Same sequence, lower writer id: stale.
+	s.Apply(msg.WriteReq{Reg: 1, Op: 2, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 5, Writer: 1}, Val: "w1"}})
+	if got := s.Get(1); got.Val != "w2" {
+		t.Fatalf("tie-break violated: %+v", got)
+	}
+	// Same sequence, higher writer id: wins.
+	s.Apply(msg.WriteReq{Reg: 1, Op: 3, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 5, Writer: 3}, Val: "w3"}})
+	if got := s.Get(1); got.Val != "w3" {
+		t.Fatalf("tie-break violated: %+v", got)
+	}
+}
+
+func TestUnknownRegisterReadsZero(t *testing.T) {
+	s := newStore(t)
+	rep, _ := s.Apply(msg.ReadReq{Reg: 99, Op: 1})
+	rr := rep.(msg.ReadReply)
+	if rr.Tag.Val != nil || !rr.Tag.TS.IsZero() {
+		t.Fatalf("unknown register tag = %+v", rr.Tag)
+	}
+}
+
+func TestCrashSilence(t *testing.T) {
+	s := newStore(t)
+	s.Crash()
+	if !s.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, ok := s.Apply(msg.ReadReq{Reg: 1, Op: 1}); ok {
+		t.Fatal("crashed server must be silent")
+	}
+	if _, ok := s.Apply(msg.WriteReq{Reg: 1, Op: 2, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 1}}}); ok {
+		t.Fatal("crashed server must be silent for writes")
+	}
+	s.Recover()
+	if s.Crashed() {
+		t.Fatal("still crashed after recover")
+	}
+	rep, ok := s.Apply(msg.ReadReq{Reg: 1, Op: 3})
+	if !ok {
+		t.Fatal("recovered server must reply")
+	}
+	if rr := rep.(msg.ReadReply); rr.Tag.Val != "init" {
+		t.Fatal("state lost across crash")
+	}
+}
+
+func TestUnknownMessageIgnored(t *testing.T) {
+	s := newStore(t)
+	if _, ok := s.Apply("not a protocol message"); ok {
+		t.Fatal("non-protocol message must be rejected")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := newStore(t)
+	s.Apply(msg.ReadReq{Reg: 1, Op: 1})
+	s.Apply(msg.ReadReq{Reg: 1, Op: 2})
+	s.Apply(msg.WriteReq{Reg: 1, Op: 3, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 1}}})
+	r, w := s.Stats()
+	if r != 2 || w != 1 {
+		t.Fatalf("stats = %d reads, %d writes", r, w)
+	}
+	// Crashed requests do not count.
+	s.Crash()
+	s.Apply(msg.ReadReq{Reg: 1, Op: 4})
+	r, _ = s.Stats()
+	if r != 2 {
+		t.Fatalf("crashed read counted: %d", r)
+	}
+}
+
+func TestTimestampOrdering(t *testing.T) {
+	a := msg.Timestamp{Seq: 1, Writer: 0}
+	b := msg.Timestamp{Seq: 2, Writer: 0}
+	c := msg.Timestamp{Seq: 2, Writer: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("seq ordering broken")
+	}
+	if !b.Less(c) || c.Less(b) {
+		t.Fatal("writer tie-break broken")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare inconsistent")
+	}
+	if got := msg.MaxTagged(msg.Tagged{TS: a}, msg.Tagged{TS: b}); got.TS != b {
+		t.Fatal("MaxTagged picked the smaller")
+	}
+	if got := msg.MaxTagged(msg.Tagged{TS: a, Val: 1}, msg.Tagged{TS: a, Val: 2}); got.Val != 1 {
+		t.Fatal("MaxTagged must keep the first on ties")
+	}
+}

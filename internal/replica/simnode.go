@@ -1,0 +1,26 @@
+package replica
+
+import (
+	"probquorum/internal/msg"
+	"probquorum/internal/sim"
+)
+
+// SimNode adapts an Applier (an honest Store or a Byzantine wrapper) to the
+// discrete-event simulator: every delivered request is applied and the
+// reply (if any — crashed servers are silent) is sent back to the
+// requester.
+type SimNode struct {
+	Store Applier
+}
+
+var _ sim.Handler = (*SimNode)(nil)
+
+// Init implements sim.Handler; servers are passive and do nothing at start.
+func (n *SimNode) Init(*sim.Context) {}
+
+// Recv applies the request and replies to the sender.
+func (n *SimNode) Recv(ctx *sim.Context, from msg.NodeID, m any) {
+	if reply, ok := n.Store.Apply(m); ok {
+		ctx.Send(from, reply)
+	}
+}

@@ -1,0 +1,131 @@
+// Package rng provides the deterministic randomness substrate used by every
+// randomized component of the system: seeded top-level sources, labeled
+// derived streams (so that independent subsystems draw from independent
+// streams even when they share a seed), and the delay distributions named by
+// the paper's simulation section (constant delays for synchronous executions,
+// exponentially distributed delays for asynchronous ones).
+//
+// Determinism matters here: the paper's experiments average seven runs per
+// configuration, and reproducing a run exactly requires that the same seed
+// always yields the same execution. All experiment drivers thread a seed
+// through this package rather than touching global randomness.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// New returns a deterministic random source for the given seed. Two calls
+// with the same seed produce identical streams.
+func New(seed uint64) *rand.Rand {
+	// Mix the seed into both PCG words so that nearby seeds (1, 2, 3, ...)
+	// still yield well-separated streams.
+	return rand.New(rand.NewPCG(splitmix(seed), splitmix(seed^0x9e3779b97f4a7c15)))
+}
+
+// Derive returns a source derived deterministically from seed and a label.
+// Components that must not share a stream (for example, the network delay
+// model and the quorum selector) derive their own streams with distinct
+// labels.
+func Derive(seed uint64, label string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return New(seed ^ h.Sum64())
+}
+
+// splitmix is the SplitMix64 finalizer, used to decorrelate raw seeds.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Dist is a distribution over non-negative durations. The simulator draws a
+// message delay from a Dist for every message sent.
+type Dist interface {
+	// Sample draws one value using r.
+	Sample(r *rand.Rand) time.Duration
+	// Mean returns the distribution's expectation, used by experiment
+	// reports and by tests.
+	Mean() time.Duration
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// Constant is the degenerate distribution: every sample equals D. With
+// constant delays every process proceeds in lockstep, which is exactly the
+// paper's synchronous execution model.
+type Constant struct{ D time.Duration }
+
+var _ Dist = Constant{}
+
+// Sample returns the constant delay.
+func (c Constant) Sample(*rand.Rand) time.Duration { return c.D }
+
+// Mean returns the constant delay.
+func (c Constant) Mean() time.Duration { return c.D }
+
+// Name implements Dist.
+func (c Constant) Name() string { return "constant" }
+
+// Exponential samples exponentially distributed delays with the given mean,
+// the paper's asynchronous execution model ("message delays in asynchronous
+// executions are exponentially distributed", Section 7).
+type Exponential struct{ MeanD time.Duration }
+
+var _ Dist = Exponential{}
+
+// Sample draws an exponential variate with mean MeanD.
+func (e Exponential) Sample(r *rand.Rand) time.Duration {
+	return time.Duration(r.ExpFloat64() * float64(e.MeanD))
+}
+
+// Mean returns the configured mean.
+func (e Exponential) Mean() time.Duration { return e.MeanD }
+
+// Name implements Dist.
+func (e Exponential) Name() string { return "exponential" }
+
+// Uniform samples uniformly from [Min, Max). It is not used by the paper's
+// experiments but is useful for stress tests that want bounded jitter.
+type Uniform struct{ Min, Max time.Duration }
+
+var _ Dist = Uniform{}
+
+// Sample draws a uniform variate from [Min, Max).
+func (u Uniform) Sample(r *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Int64N(int64(u.Max-u.Min)))
+}
+
+// Mean returns the midpoint of the interval.
+func (u Uniform) Mean() time.Duration { return (u.Min + u.Max) / 2 }
+
+// Name implements Dist.
+func (u Uniform) Name() string { return "uniform" }
+
+// Geometric returns the probability that a geometric random variable with
+// success probability q takes the value r (r >= 1): (1-q)^(r-1) * q. It is
+// the distribution that bounds the read-freshness variable Y of the paper's
+// condition [R5].
+func Geometric(q float64, r int) float64 {
+	if r < 1 || q <= 0 || q > 1 {
+		return 0
+	}
+	return math.Pow(1-q, float64(r-1)) * q
+}
+
+// GeometricMean returns the expectation 1/q of a geometric random variable
+// with success probability q, the bound used by Theorem 5 of the paper.
+func GeometricMean(q float64) float64 {
+	if q <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / q
+}

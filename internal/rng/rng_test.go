@@ -1,0 +1,178 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestNewSeedsIndependent(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestDeriveLabelsIndependent(t *testing.T) {
+	a := Derive(7, "network")
+	b := Derive(7, "quorum")
+	c := Derive(7, "network")
+	if a.Uint64() != c.Uint64() {
+		t.Fatal("same seed+label must give the same stream")
+	}
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct labels collided on %d of 1000 draws", same)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{D: 5 * time.Millisecond}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if got := d.Sample(r); got != 5*time.Millisecond {
+			t.Fatalf("constant sample = %v, want 5ms", got)
+		}
+	}
+	if d.Mean() != 5*time.Millisecond {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	if d.Name() != "constant" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanD: 10 * time.Millisecond}
+	r := New(3)
+	const n = 200000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		s := d.Sample(r)
+		if s < 0 {
+			t.Fatalf("negative delay %v", s)
+		}
+		sum += s
+	}
+	got := float64(sum) / n
+	want := float64(10 * time.Millisecond)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("empirical mean %.0f, want within 2%% of %.0f", got, want)
+	}
+	if d.Mean() != 10*time.Millisecond {
+		t.Fatalf("Mean() = %v", d.Mean())
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform{Min: 2 * time.Millisecond, Max: 6 * time.Millisecond}
+	r := New(4)
+	const n = 100000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		s := d.Sample(r)
+		if s < d.Min || s >= d.Max {
+			t.Fatalf("sample %v outside [%v, %v)", s, d.Min, d.Max)
+		}
+		sum += s
+	}
+	got := float64(sum) / n
+	want := float64(d.Mean())
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("empirical mean %.0f, want ~%.0f", got, want)
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	d := Uniform{Min: 3 * time.Millisecond, Max: 3 * time.Millisecond}
+	if got := d.Sample(New(1)); got != 3*time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", got)
+	}
+}
+
+func TestGeometricPMFSums(t *testing.T) {
+	for _, q := range []float64{0.1, 0.5, 0.9, 1.0} {
+		var sum float64
+		for r := 1; r < 1000; r++ {
+			sum += Geometric(q, r)
+		}
+		if math.Abs(sum-1) > 1e-9 && q > 0.05 {
+			t.Fatalf("q=%v: pmf sums to %v", q, sum)
+		}
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	if Geometric(0.5, 0) != 0 {
+		t.Fatal("r=0 must have probability 0")
+	}
+	if Geometric(0, 1) != 0 {
+		t.Fatal("q=0 must yield 0")
+	}
+	if Geometric(1.5, 1) != 0 {
+		t.Fatal("q>1 must yield 0")
+	}
+	if got := Geometric(1, 1); got != 1 {
+		t.Fatalf("q=1, r=1: got %v, want 1", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean(0.25); got != 4 {
+		t.Fatalf("1/q for q=0.25: got %v", got)
+	}
+	if !math.IsInf(GeometricMean(0), 1) {
+		t.Fatal("q=0 must have infinite mean")
+	}
+}
+
+func TestGeometricMeanMatchesPMF(t *testing.T) {
+	// Property: the pmf's expectation matches 1/q.
+	f := func(raw uint8) bool {
+		q := 0.05 + float64(raw%90)/100 // q in [0.05, 0.94]
+		var mean float64
+		for r := 1; r < 5000; r++ {
+			mean += float64(r) * Geometric(q, r)
+		}
+		return math.Abs(mean-1/q) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitmixDecorrelates(t *testing.T) {
+	// Adjacent raw seeds should produce outputs differing in many bits.
+	a := splitmix(100)
+	b := splitmix(101)
+	diff := 0
+	for x := a ^ b; x != 0; x &= x - 1 {
+		diff++
+	}
+	if diff < 16 {
+		t.Fatalf("adjacent seeds differ in only %d bits", diff)
+	}
+}

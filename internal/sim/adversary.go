@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"probquorum/internal/msg"
+)
+
+// This file provides adversarial delay models. The paper's correctness
+// results are quantified over every adversary — a rule choosing the next
+// trigger — and in a reliable-delivery system an adversary is exactly a
+// delay-assignment rule. Tests use these models to check that convergence
+// (Theorem 3) and the register conditions survive hostile scheduling, not
+// just the friendly constant/exponential models of Section 7.
+
+// DelayFunc adapts a plain function to a DelayModel.
+type DelayFunc func(from, to msg.NodeID, m any, r *rand.Rand) time.Duration
+
+var _ DelayModel = DelayFunc(nil)
+
+// Delay implements DelayModel.
+func (f DelayFunc) Delay(from, to msg.NodeID, m any, r *rand.Rand) time.Duration {
+	return f(from, to, m, r)
+}
+
+// SlowNodes multiplies the base model's delay by Factor for every message
+// sent to or from a victim node — an adversary that starves chosen
+// processes or servers without violating reliable delivery.
+type SlowNodes struct {
+	Base    DelayModel
+	Victims map[msg.NodeID]bool
+	Factor  float64
+}
+
+var _ DelayModel = SlowNodes{}
+
+// Delay implements DelayModel.
+func (s SlowNodes) Delay(from, to msg.NodeID, m any, r *rand.Rand) time.Duration {
+	d := s.Base.Delay(from, to, m, r)
+	if s.Victims[from] || s.Victims[to] {
+		return time.Duration(float64(d) * s.Factor)
+	}
+	return d
+}
+
+// AlternatingDelay delivers every other message slowly — a crude
+// reordering adversary that maximizes interleaving between fast and slow
+// paths while staying deterministic given the seed.
+type AlternatingDelay struct {
+	Fast, Slow time.Duration
+	// count must only be touched by the simulator's single thread.
+	count int
+}
+
+var _ DelayModel = (*AlternatingDelay)(nil)
+
+// Delay implements DelayModel.
+func (a *AlternatingDelay) Delay(_, _ msg.NodeID, _ any, _ *rand.Rand) time.Duration {
+	a.count++
+	if a.count%2 == 0 {
+		return a.Slow
+	}
+	return a.Fast
+}
+
+// StaleReads is a protocol-aware adversary: it delivers read requests and
+// replies quickly but delays every write request by Factor times the base
+// delay, maximizing the staleness that reads observe. It exercises the
+// worst case of conditions [R3]/[R5]: the register may serve old values for
+// a long time, but convergence must still occur.
+type StaleReads struct {
+	Base   DelayModel
+	Factor float64
+}
+
+var _ DelayModel = StaleReads{}
+
+// Delay implements DelayModel.
+func (s StaleReads) Delay(from, to msg.NodeID, m any, r *rand.Rand) time.Duration {
+	d := s.Base.Delay(from, to, m, r)
+	if _, isWrite := m.(msg.WriteReq); isWrite {
+		return time.Duration(float64(d) * s.Factor)
+	}
+	return d
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/rng"
+)
+
+func TestDelayFunc(t *testing.T) {
+	model := DelayFunc(func(from, to msg.NodeID, _ any, _ *rand.Rand) time.Duration {
+		return time.Duration(from+to+1) * time.Millisecond
+	})
+	if got := model.Delay(1, 2, nil, nil); got != 4*time.Millisecond {
+		t.Fatalf("delay = %v", got)
+	}
+}
+
+func TestSlowNodes(t *testing.T) {
+	base := DistDelay{Dist: rng.Constant{D: time.Millisecond}}
+	model := SlowNodes{
+		Base:    base,
+		Victims: map[msg.NodeID]bool{3: true},
+		Factor:  10,
+	}
+	r := rng.New(1)
+	if got := model.Delay(0, 1, nil, r); got != time.Millisecond {
+		t.Fatalf("untargeted delay = %v", got)
+	}
+	if got := model.Delay(0, 3, nil, r); got != 10*time.Millisecond {
+		t.Fatalf("to-victim delay = %v", got)
+	}
+	if got := model.Delay(3, 0, nil, r); got != 10*time.Millisecond {
+		t.Fatalf("from-victim delay = %v", got)
+	}
+}
+
+func TestAlternatingDelay(t *testing.T) {
+	model := &AlternatingDelay{Fast: time.Millisecond, Slow: 9 * time.Millisecond}
+	a := model.Delay(0, 1, nil, nil)
+	b := model.Delay(0, 1, nil, nil)
+	c := model.Delay(0, 1, nil, nil)
+	if a != time.Millisecond || b != 9*time.Millisecond || c != time.Millisecond {
+		t.Fatalf("delays = %v %v %v", a, b, c)
+	}
+}
+
+func TestStaleReads(t *testing.T) {
+	base := DistDelay{Dist: rng.Constant{D: time.Millisecond}}
+	model := StaleReads{Base: base, Factor: 5}
+	r := rng.New(1)
+	if got := model.Delay(0, 1, msg.ReadReq{}, r); got != time.Millisecond {
+		t.Fatalf("read delay = %v", got)
+	}
+	if got := model.Delay(0, 1, msg.WriteReq{}, r); got != 5*time.Millisecond {
+		t.Fatalf("write delay = %v", got)
+	}
+	if got := model.Delay(0, 1, msg.WriteAck{}, r); got != time.Millisecond {
+		t.Fatalf("ack delay = %v", got)
+	}
+}
+
+// The adversaries must preserve the kernel's determinism: two runs with the
+// same seed and the same adversary produce identical executions.
+func TestAdversaryDeterministic(t *testing.T) {
+	run := func() []Time {
+		model := SlowNodes{
+			Base:    DistDelay{Dist: rng.Exponential{MeanD: time.Millisecond}},
+			Victims: map[msg.NodeID]bool{1: true},
+			Factor:  3,
+		}
+		s := New(7, model)
+		ping := &pingNode{peer: 1, count: 30}
+		s.Add(0, ping)
+		s.Add(1, &echoNode{})
+		s.Run()
+		return ping.pongAt
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("adversarial execution not reproducible")
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package sim is a deterministic discrete-event simulator for message-
+// passing protocols: nodes are event handlers, messages are delivered after
+// delays drawn from a configurable model, and virtual time advances from
+// event to event.
+//
+// It is the substrate for the paper's Section 7 experiments. Two properties
+// matter there and are guaranteed here:
+//
+//   - Determinism: given a seed, the execution is exactly reproducible. The
+//     event heap breaks equal-time ties by sequence number, and every source
+//     of randomness derives from the seed.
+//   - Faithfulness to the paper's two timing models: constant delays give
+//     the synchronous executions (all processes in lockstep), exponential
+//     delays give the asynchronous ones.
+//
+// The delay model doubles as the paper's adversary: an adversary is exactly
+// a rule for choosing what trigger happens next, and in a reliable-delivery
+// system that is a rule for choosing message delays. Custom DelayModel
+// implementations let tests build targeted adversaries (for example,
+// starving one process) without touching the kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/rng"
+)
+
+// Time is virtual time in nanoseconds since the start of the execution.
+type Time int64
+
+// Duration converts a standard duration to virtual time units.
+func durationToTime(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Handler is a simulated node: Init runs once before the first event, and
+// Recv runs for every message delivered to the node. Handlers run one at a
+// time (the simulator is single-threaded), so they may share plain Go state
+// such as experiment monitors.
+type Handler interface {
+	Init(ctx *Context)
+	Recv(ctx *Context, from msg.NodeID, m any)
+}
+
+// TimerHandler is implemented by handlers that set timers with
+// Context.After.
+type TimerHandler interface {
+	Timer(ctx *Context, kind int, payload any)
+}
+
+// DelayModel chooses the network delay of each message. It is the
+// simulator's adversary hook: the paper's adversary controls trigger order,
+// which in a reliable network reduces to delay choice.
+type DelayModel interface {
+	Delay(from, to msg.NodeID, m any, r *rand.Rand) time.Duration
+}
+
+// DistDelay draws every delay independently from a distribution — constant
+// for the paper's synchronous executions, exponential for asynchronous.
+type DistDelay struct {
+	Dist rng.Dist
+}
+
+var _ DelayModel = DistDelay{}
+
+// Delay implements DelayModel.
+func (d DistDelay) Delay(_, _ msg.NodeID, _ any, r *rand.Rand) time.Duration {
+	return d.Dist.Sample(r)
+}
+
+const (
+	evMessage = iota + 1
+	evTimer
+)
+
+type event struct {
+	at      Time
+	seq     uint64
+	kind    int
+	from    msg.NodeID
+	to      msg.NodeID
+	payload any
+	timer   int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is one simulated execution.
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	nodes   map[msg.NodeID]Handler
+	streams map[msg.NodeID]*rand.Rand
+	seed    uint64
+	delays  DelayModel
+	netRnd  *rand.Rand
+	stopped bool
+
+	messages  int64
+	delivered int64
+	maxEvents int64
+}
+
+// New returns a simulator seeded with seed whose message delays come from
+// the given model.
+func New(seed uint64, delays DelayModel) *Sim {
+	return &Sim{
+		nodes:     make(map[msg.NodeID]Handler),
+		streams:   make(map[msg.NodeID]*rand.Rand),
+		seed:      seed,
+		delays:    delays,
+		netRnd:    rng.Derive(seed, "sim.network"),
+		maxEvents: 1 << 40,
+	}
+}
+
+// SetMaxEvents caps the number of delivered events; Run returns once the cap
+// is hit. Experiments use it to bound non-terminating configurations (the
+// paper reports such runs as lower bounds).
+func (s *Sim) SetMaxEvents(n int64) { s.maxEvents = n }
+
+// Add registers a node. It panics on duplicate identifiers: node wiring is
+// experiment configuration, and failing fast beats silently replacing a
+// handler.
+func (s *Sim) Add(id msg.NodeID, h Handler) {
+	if _, dup := s.nodes[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate node %d", id))
+	}
+	s.nodes[id] = h
+	s.streams[id] = rng.Derive(s.seed, fmt.Sprintf("sim.node.%d", id))
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Messages returns the number of messages sent so far.
+func (s *Sim) Messages() int64 { return s.messages }
+
+// Delivered returns the number of events delivered so far.
+func (s *Sim) Delivered() int64 { return s.delivered }
+
+// Stop ends the run after the current event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+func (s *Sim) push(e *event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+}
+
+func (s *Sim) ctx(id msg.NodeID) *Context {
+	return &Context{sim: s, self: id}
+}
+
+// Run initializes every node and processes events until the queue drains,
+// Stop is called, or the event cap is reached. It returns the number of
+// events delivered.
+func (s *Sim) Run() int64 {
+	// Initialize in a deterministic order (ascending node id).
+	ids := make([]msg.NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		s.nodes[id].Init(s.ctx(id))
+	}
+	for len(s.events) > 0 && !s.stopped && s.delivered < s.maxEvents {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		s.delivered++
+		node, ok := s.nodes[e.to]
+		if !ok {
+			continue // message to a removed node is dropped
+		}
+		switch e.kind {
+		case evMessage:
+			node.Recv(s.ctx(e.to), e.from, e.payload)
+		case evTimer:
+			if th, ok := node.(TimerHandler); ok {
+				th.Timer(s.ctx(e.to), e.timer, e.payload)
+			}
+		}
+	}
+	return s.delivered
+}
+
+// Context is a node's window onto the simulator during one of its steps.
+type Context struct {
+	sim  *Sim
+	self msg.NodeID
+}
+
+// Self returns the node's identifier.
+func (c *Context) Self() msg.NodeID { return c.self }
+
+// Now returns the current virtual time.
+func (c *Context) Now() Time { return c.sim.now }
+
+// Rand returns the node's private randomness stream (derived from the
+// simulation seed and the node id, so executions replay exactly).
+func (c *Context) Rand() *rand.Rand { return c.sim.streams[c.self] }
+
+// Send schedules delivery of m to the destination after a delay drawn from
+// the delay model. Delivery is reliable and the payload is delivered as-is;
+// senders must not mutate it afterwards.
+func (c *Context) Send(to msg.NodeID, m any) {
+	s := c.sim
+	s.messages++
+	d := s.delays.Delay(c.self, to, m, s.netRnd)
+	if d < 0 {
+		d = 0
+	}
+	s.push(&event{at: s.now + durationToTime(d), kind: evMessage, from: c.self, to: to, payload: m})
+}
+
+// After schedules a timer for the node itself.
+func (c *Context) After(d time.Duration, kind int, payload any) {
+	s := c.sim
+	s.push(&event{at: s.now + durationToTime(d), kind: evTimer, from: c.self, to: c.self, timer: kind, payload: payload})
+}
+
+// Stop ends the simulation after the current event.
+func (c *Context) Stop() { c.sim.Stop() }
+
+// Stopped reports whether the simulation has been stopped; handlers check it
+// to avoid scheduling work that would never be delivered.
+func (c *Context) Stopped() bool { return c.sim.stopped }

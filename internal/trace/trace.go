@@ -1,0 +1,316 @@
+// Package trace records register operations and checks executions against
+// the paper's random-register conditions:
+//
+//	[R1] every invocation gets a response (structural; the runtimes
+//	     guarantee it, and the log can confirm it),
+//	[R2] every read reads from some write — the returned value was actually
+//	     written (or is the initial value) by a write that began before the
+//	     read ended,
+//	[R4] per-process monotonicity of the monotone variant: a read never
+//	     reads from a write preceding the write its predecessor read from.
+//
+// [R3] and [R5] are probabilistic statements about distributions, not single
+// executions; the package computes the statistics the experiments compare
+// against their bounds (staleness counts for [R3]-style decay, freshness
+// read counts for [R5]).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"probquorum/internal/msg"
+)
+
+// Kind distinguishes read and write operations.
+type Kind int
+
+// Operation kinds.
+const (
+	KindRead Kind = iota + 1
+	KindWrite
+)
+
+// Op is one completed register operation. Times are opaque logical
+// timestamps; the only requirement is that they order events consistently
+// within the execution (the simulator uses virtual time, the concurrent
+// runtime a global sequence counter).
+type Op struct {
+	Kind    Kind
+	Proc    msg.NodeID
+	Reg     msg.RegisterID
+	Invoke  int64
+	Respond int64
+	// Tag is the tagged value written (KindWrite) or returned (KindRead).
+	Tag msg.Tagged
+	// Pending marks an operation that was invoked but had not completed
+	// when the execution ended (for example, a write still awaiting
+	// acknowledgments when the run stopped at convergence). Pending ops
+	// have no meaningful Respond time.
+	Pending bool
+}
+
+// Log is an append-only operation log, safe for concurrent use.
+type Log struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// Record appends one completed operation.
+func (l *Log) Record(op Op) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops = append(l.ops, op)
+}
+
+// Begin records an operation at invocation time and returns a handle for
+// Complete. Until completed, the operation is Pending; runs that stop with
+// operations in flight (a write still collecting acknowledgments when the
+// application converged) leave them pending, which the checkers treat as
+// invoked-but-unfinished.
+func (l *Log) Begin(op Op) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	op.Pending = true
+	l.ops = append(l.ops, op)
+	return len(l.ops) - 1
+}
+
+// Complete marks a pending operation as finished at the given time.
+func (l *Log) Complete(handle int, respond int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops[handle].Pending = false
+	l.ops[handle].Respond = respond
+}
+
+// Len returns the number of recorded operations.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops)
+}
+
+// Ops returns a copy of the log sorted by invocation time (ties broken by
+// response time, then by record order).
+func (l *Log) Ops() []Op {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Op, len(l.ops))
+	copy(out, l.ops)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Invoke != out[j].Invoke {
+			return out[i].Invoke < out[j].Invoke
+		}
+		return out[i].Respond < out[j].Respond
+	})
+	return out
+}
+
+// CheckWellFormed verifies the structural register conditions: responses do
+// not precede invocations, and no process has two operations pending at
+// once (each process's operations, ordered by invocation, must not overlap).
+func CheckWellFormed(ops []Op) error {
+	lastRespond := make(map[msg.NodeID]int64)
+	lastSeen := make(map[msg.NodeID]bool)
+	pending := make(map[msg.NodeID]bool)
+	for i, op := range ops {
+		if pending[op.Proc] {
+			return fmt.Errorf("op %d: process %d invoked at %d after an operation that never completed",
+				i, op.Proc, op.Invoke)
+		}
+		if op.Pending {
+			pending[op.Proc] = true
+			continue // no response time to check
+		}
+		if op.Respond < op.Invoke {
+			return fmt.Errorf("op %d: responds at %d before invocation at %d", i, op.Respond, op.Invoke)
+		}
+		if lastSeen[op.Proc] && op.Invoke < lastRespond[op.Proc] {
+			return fmt.Errorf("op %d: process %d invoked at %d while an operation was pending until %d",
+				i, op.Proc, op.Invoke, lastRespond[op.Proc])
+		}
+		lastRespond[op.Proc] = op.Respond
+		lastSeen[op.Proc] = true
+	}
+	return nil
+}
+
+// CheckReadsFrom verifies condition [R2]: every read of every register
+// returns either the initial value (zero timestamp) or the tagged value of a
+// write to the same register that began before the read ended.
+func CheckReadsFrom(ops []Op) error {
+	// Index writes per register by timestamp.
+	writeInvoke := make(map[msg.RegisterID]map[msg.Timestamp]int64)
+	for _, op := range ops {
+		if op.Kind != KindWrite {
+			continue
+		}
+		m := writeInvoke[op.Reg]
+		if m == nil {
+			m = make(map[msg.Timestamp]int64)
+			writeInvoke[op.Reg] = m
+		}
+		if prev, dup := m[op.Tag.TS]; !dup || op.Invoke < prev {
+			m[op.Tag.TS] = op.Invoke
+		}
+	}
+	for i, op := range ops {
+		if op.Kind != KindRead {
+			continue
+		}
+		if op.Tag.TS.IsZero() {
+			continue // initial value: reads from the initializing write
+		}
+		inv, ok := writeInvoke[op.Reg][op.Tag.TS]
+		if !ok {
+			return fmt.Errorf("op %d: read of reg %d returned timestamp %v never written",
+				i, op.Reg, op.Tag.TS)
+		}
+		if inv >= op.Respond {
+			return fmt.Errorf("op %d: read of reg %d (ended %d) returned write invoked later (%d)",
+				i, op.Reg, op.Respond, inv)
+		}
+	}
+	return nil
+}
+
+// CheckMonotone verifies condition [R4]: for every process and register, the
+// timestamps returned by successive reads never decrease.
+func CheckMonotone(ops []Op) error {
+	type key struct {
+		proc msg.NodeID
+		reg  msg.RegisterID
+	}
+	last := make(map[key]msg.Timestamp)
+	for i, op := range ops {
+		if op.Kind != KindRead {
+			continue
+		}
+		k := key{op.Proc, op.Reg}
+		if prev, ok := last[k]; ok && op.Tag.TS.Less(prev) {
+			return fmt.Errorf("op %d: process %d read reg %d at timestamp %v after reading %v",
+				i, op.Proc, op.Reg, op.Tag.TS, prev)
+		}
+		last[k] = op.Tag.TS
+	}
+	return nil
+}
+
+// CheckAtomic verifies single-writer atomicity (no new–old inversion)
+// across ALL processes: if read R1 completes before read R2 begins — even
+// at different processes — R2 must not return an older timestamp, and a
+// read that begins after a write completes must not return anything older
+// than that write. Random registers deliberately violate this (they are
+// only probabilistically regular); the ABD-style atomic read over strict
+// quorums satisfies it. The checker is how the tests tell the two apart.
+func CheckAtomic(ops []Op) error {
+	type stamped struct {
+		idx     int
+		invoke  int64
+		respond int64
+		ts      msg.Timestamp
+	}
+	regs := make(map[msg.RegisterID]bool)
+	for _, op := range ops {
+		regs[op.Reg] = true
+	}
+	for reg := range regs {
+		// For every pair (a, b) with a.respond < b.invoke, b's visible
+		// timestamp must be >= a's when a is a read or completed write.
+		// O(n^2) is fine at test scale.
+		var reads, writes []stamped
+		for i, op := range ops {
+			if op.Reg != reg || op.Pending {
+				continue
+			}
+			s := stamped{idx: i, invoke: op.Invoke, respond: op.Respond, ts: op.Tag.TS}
+			if op.Kind == KindRead {
+				reads = append(reads, s)
+			} else {
+				writes = append(writes, s)
+			}
+		}
+		for _, r1 := range reads {
+			for _, r2 := range reads {
+				if r1.respond < r2.invoke && r2.ts.Less(r1.ts) {
+					return fmt.Errorf("atomicity: read op %d (ts %v) precedes read op %d (ts %v) — new-old inversion on reg %d",
+						r1.idx, r1.ts, r2.idx, r2.ts, reg)
+				}
+			}
+			for _, w := range writes {
+				if w.respond < r1.invoke && r1.ts.Less(w.ts) {
+					return fmt.Errorf("atomicity: read op %d returned %v older than completed write op %d (%v) on reg %d",
+						r1.idx, r1.ts, w.idx, w.ts, reg)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Staleness returns, for every read of a non-initial value, how many writes
+// to the same register were invoked between the read-from write's invocation
+// and the read's own invocation — the read's "staleness" in writes. Fresh
+// reads have staleness 0. The decay experiment compares the staleness
+// distribution against Theorem 1's bound.
+func Staleness(ops []Op) []int {
+	var out []int
+	// Per register: sorted write invocation times.
+	writes := make(map[msg.RegisterID][]Op)
+	for _, op := range ops {
+		if op.Kind == KindWrite {
+			writes[op.Reg] = append(writes[op.Reg], op)
+		}
+	}
+	for _, ws := range writes {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Invoke < ws[j].Invoke })
+	}
+	for _, op := range ops {
+		if op.Kind != KindRead || op.Tag.TS.IsZero() {
+			continue
+		}
+		ws := writes[op.Reg]
+		// Locate the read-from write and count later writes invoked before
+		// the read.
+		fromIdx := -1
+		for i, w := range ws {
+			if w.Tag.TS == op.Tag.TS {
+				fromIdx = i
+				break
+			}
+		}
+		if fromIdx < 0 {
+			continue // unverifiable; CheckReadsFrom reports this separately
+		}
+		stale := 0
+		for i := fromIdx + 1; i < len(ws); i++ {
+			if ws[i].Invoke < op.Invoke {
+				stale++
+			}
+		}
+		out = append(out, stale)
+	}
+	return out
+}
+
+// ReadFromCounts returns how many reads read from each written timestamp,
+// per register. Condition [R3] demands that in long executions with many
+// writes, every individual write is read from only finitely often; the decay
+// experiment uses these counts.
+func ReadFromCounts(ops []Op) map[msg.RegisterID]map[msg.Timestamp]int {
+	out := make(map[msg.RegisterID]map[msg.Timestamp]int)
+	for _, op := range ops {
+		if op.Kind != KindRead {
+			continue
+		}
+		m := out[op.Reg]
+		if m == nil {
+			m = make(map[msg.Timestamp]int)
+			out[op.Reg] = m
+		}
+		m[op.Tag.TS]++
+	}
+	return out
+}

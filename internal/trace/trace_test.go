@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"probquorum/internal/msg"
+)
+
+func ts(seq uint64) msg.Timestamp { return msg.Timestamp{Seq: seq} }
+
+func write(proc msg.NodeID, reg msg.RegisterID, seq uint64, at int64) Op {
+	return Op{Kind: KindWrite, Proc: proc, Reg: reg, Invoke: at, Respond: at + 1,
+		Tag: msg.Tagged{TS: ts(seq), Val: seq}}
+}
+
+func read(proc msg.NodeID, reg msg.RegisterID, seq uint64, at int64) Op {
+	return Op{Kind: KindRead, Proc: proc, Reg: reg, Invoke: at, Respond: at + 1,
+		Tag: msg.Tagged{TS: ts(seq), Val: seq}}
+}
+
+func TestLogOrdersByInvoke(t *testing.T) {
+	var l Log
+	l.Record(read(1, 0, 1, 10))
+	l.Record(write(0, 0, 1, 2))
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	ops := l.Ops()
+	if ops[0].Kind != KindWrite || ops[1].Kind != KindRead {
+		t.Fatal("ops not sorted by invocation time")
+	}
+}
+
+func TestCheckWellFormed(t *testing.T) {
+	good := []Op{write(0, 0, 1, 0), read(0, 0, 1, 2), read(1, 0, 1, 1)}
+	if err := CheckWellFormed(good); err != nil {
+		t.Fatal(err)
+	}
+	backwards := []Op{{Kind: KindRead, Proc: 0, Reg: 0, Invoke: 5, Respond: 3}}
+	if err := CheckWellFormed(backwards); err == nil {
+		t.Fatal("response before invocation accepted")
+	}
+	overlapping := []Op{
+		{Kind: KindRead, Proc: 0, Reg: 0, Invoke: 0, Respond: 10, Tag: msg.Tagged{TS: ts(0)}},
+		{Kind: KindRead, Proc: 0, Reg: 0, Invoke: 5, Respond: 15, Tag: msg.Tagged{TS: ts(0)}},
+	}
+	if err := CheckWellFormed(overlapping); err == nil {
+		t.Fatal("overlapping ops by one process accepted")
+	}
+}
+
+func TestCheckReadsFromAcceptsValidExecutions(t *testing.T) {
+	ops := []Op{
+		write(0, 0, 1, 0),
+		read(1, 0, 1, 5), // fresh
+		write(0, 0, 2, 10),
+		read(1, 0, 1, 15), // stale but previously written: fine for a random register
+		read(2, 0, 0, 20), // initial value: fine
+	}
+	ops[4].Tag = msg.Tagged{} // zero timestamp
+	if err := CheckReadsFrom(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckReadsFromRejectsInventedValue(t *testing.T) {
+	ops := []Op{
+		write(0, 0, 1, 0),
+		read(1, 0, 7, 5), // timestamp 7 never written
+	}
+	err := CheckReadsFrom(ops)
+	if err == nil || !strings.Contains(err.Error(), "never written") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckReadsFromRejectsFutureWrite(t *testing.T) {
+	ops := []Op{
+		read(1, 0, 1, 0),   // responds at 1...
+		write(0, 0, 1, 10), // ...but the write is invoked at 10
+	}
+	err := CheckReadsFrom(ops)
+	if err == nil || !strings.Contains(err.Error(), "invoked later") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCheckReadsFromIsPerRegister(t *testing.T) {
+	ops := []Op{
+		write(0, 1, 1, 0), // write to register 1
+		read(1, 0, 1, 5),  // read of register 0 returning that timestamp
+	}
+	if err := CheckReadsFrom(ops); err == nil {
+		t.Fatal("cross-register read-from accepted")
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	good := []Op{
+		read(1, 0, 1, 0),
+		read(1, 0, 1, 2),
+		read(1, 0, 3, 4),
+		read(2, 0, 2, 5), // other process: independent
+		read(1, 1, 1, 6), // other register: independent
+	}
+	if err := CheckMonotone(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Op{read(1, 0, 3, 0), read(1, 0, 2, 2)}
+	if err := CheckMonotone(bad); err == nil {
+		t.Fatal("regression accepted")
+	}
+}
+
+func TestCheckMonotoneIgnoresWrites(t *testing.T) {
+	ops := []Op{
+		read(1, 0, 5, 0),
+		write(1, 0, 2, 2), // writes carry timestamps but are not reads
+	}
+	if err := CheckMonotone(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	ops := []Op{
+		write(0, 0, 1, 0),
+		write(0, 0, 2, 10),
+		write(0, 0, 3, 20),
+		read(1, 0, 1, 25), // 2 writes (seq 2, 3) after seq 1 and before the read
+		read(1, 0, 3, 30), // fresh
+	}
+	s := Staleness(ops)
+	if len(s) != 2 || s[0] != 2 || s[1] != 0 {
+		t.Fatalf("staleness = %v, want [2 0]", s)
+	}
+}
+
+func TestStalenessSkipsInitialReads(t *testing.T) {
+	ops := []Op{
+		write(0, 0, 1, 10),
+		{Kind: KindRead, Proc: 1, Reg: 0, Invoke: 5, Respond: 6}, // zero ts
+	}
+	if s := Staleness(ops); len(s) != 0 {
+		t.Fatalf("staleness = %v, want empty", s)
+	}
+}
+
+func TestReadFromCounts(t *testing.T) {
+	ops := []Op{
+		write(0, 0, 1, 0),
+		read(1, 0, 1, 1),
+		read(2, 0, 1, 2),
+		read(1, 0, 1, 3),
+		write(0, 0, 2, 4),
+		read(1, 0, 2, 5),
+	}
+	counts := ReadFromCounts(ops)
+	if counts[0][ts(1)] != 3 || counts[0][ts(2)] != 1 {
+		t.Fatalf("counts = %v", counts[0])
+	}
+}
+
+func TestPendingWriteLifecycle(t *testing.T) {
+	var l Log
+	h := l.Begin(Op{Kind: KindWrite, Proc: 0, Reg: 0, Invoke: 5, Tag: msg.Tagged{TS: ts(1)}})
+	ops := l.Ops()
+	if !ops[0].Pending {
+		t.Fatal("begun op not pending")
+	}
+	// A read that observed the in-flight write is valid under [R2].
+	l.Record(read(1, 0, 1, 7))
+	if err := CheckReadsFrom(l.Ops()); err != nil {
+		t.Fatalf("in-flight write rejected: %v", err)
+	}
+	l.Complete(h, 20)
+	ops = l.Ops()
+	for _, op := range ops {
+		if op.Kind == KindWrite && (op.Pending || op.Respond != 20) {
+			t.Fatalf("completed op = %+v", op)
+		}
+	}
+}
+
+func TestWellFormedAllowsTrailingPending(t *testing.T) {
+	var l Log
+	l.Record(read(0, 0, 0, 1))
+	l.Begin(Op{Kind: KindWrite, Proc: 0, Reg: 0, Invoke: 5, Tag: msg.Tagged{TS: ts(1)}})
+	if err := CheckWellFormed(l.Ops()); err != nil {
+		t.Fatalf("trailing pending op rejected: %v", err)
+	}
+}
+
+func TestWellFormedRejectsOpAfterPending(t *testing.T) {
+	var l Log
+	l.Begin(Op{Kind: KindWrite, Proc: 0, Reg: 0, Invoke: 5, Tag: msg.Tagged{TS: ts(1)}})
+	l.Record(read(0, 0, 1, 9)) // same process operates again without completing
+	if err := CheckWellFormed(l.Ops()); err == nil {
+		t.Fatal("operation after a never-completed one accepted")
+	}
+}
+
+func TestCheckAtomic(t *testing.T) {
+	// Sequential reads (across processes) with non-decreasing timestamps:
+	// fine.
+	good := []Op{
+		write(0, 0, 1, 0),
+		read(1, 0, 1, 5),
+		read(2, 0, 1, 10),
+		write(0, 0, 2, 15),
+		read(1, 0, 2, 20),
+	}
+	if err := CheckAtomic(good); err != nil {
+		t.Fatal(err)
+	}
+	// New-old inversion across processes: read of ts 2, then a later read
+	// (by someone else) of ts 1.
+	bad := []Op{
+		write(0, 0, 1, 0),
+		write(0, 0, 2, 3),
+		read(1, 0, 2, 10),
+		read(2, 0, 1, 20),
+	}
+	if err := CheckAtomic(bad); err == nil {
+		t.Fatal("new-old inversion accepted")
+	}
+	// Read older than a completed write.
+	bad2 := []Op{
+		write(0, 0, 5, 0),
+		read(1, 0, 0, 10),
+	}
+	bad2[1].Tag = msg.Tagged{} // initial value, after write 5 completed
+	if err := CheckAtomic(bad2); err == nil {
+		t.Fatal("stale read after completed write accepted")
+	}
+	// Concurrent (overlapping) reads may disagree while the second write is
+	// still in flight: not an inversion.
+	concurrent := []Op{
+		write(0, 0, 1, 0),
+		{Kind: KindWrite, Proc: 0, Reg: 0, Invoke: 3, Respond: 40, Tag: msg.Tagged{TS: ts(2), Val: uint64(2)}},
+		{Kind: KindRead, Proc: 1, Reg: 0, Invoke: 10, Respond: 30, Tag: msg.Tagged{TS: ts(2), Val: uint64(2)}},
+		{Kind: KindRead, Proc: 2, Reg: 0, Invoke: 20, Respond: 25, Tag: msg.Tagged{TS: ts(1), Val: uint64(1)}},
+	}
+	if err := CheckAtomic(concurrent); err != nil {
+		t.Fatalf("overlapping reads wrongly flagged: %v", err)
+	}
+	// Pending ops are ignored.
+	withPending := append([]Op{}, good...)
+	withPending = append(withPending, Op{Kind: KindWrite, Proc: 0, Reg: 0, Invoke: 30, Pending: true, Tag: msg.Tagged{TS: ts(9)}})
+	if err := CheckAtomic(withPending); err != nil {
+		t.Fatalf("pending op broke the check: %v", err)
+	}
+}

@@ -1,0 +1,364 @@
+// Package tcp runs the register protocol over real TCP sockets using only
+// the standard library (net + encoding/gob). It exists to demonstrate that
+// the protocol cores are transport-independent: the same replica stores and
+// client sessions that run under the simulator and the goroutine runtime
+// serve here behind network sockets.
+//
+// The design is deliberately simple: each client holds one persistent
+// connection per replica server and performs one request/response exchange
+// at a time per connection. A quorum operation fans out across the quorum's
+// connections in parallel goroutines, so an operation still costs one
+// round-trip.
+package tcp
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/rng"
+)
+
+// envelope wraps a protocol message for gob, which needs a concrete struct
+// around interface-typed payloads.
+type envelope struct {
+	Payload any
+}
+
+var registerTypesOnce sync.Once
+
+func registerWireTypes() {
+	registerTypesOnce.Do(func() {
+		gob.Register(msg.ReadReq{})
+		gob.Register(msg.ReadReply{})
+		gob.Register(msg.WriteReq{})
+		gob.Register(msg.WriteAck{})
+		// Common register value types; applications with custom value
+		// types add theirs via RegisterValueType.
+		gob.Register([]float64(nil))
+		gob.Register([]bool(nil))
+		gob.Register("")
+		gob.Register(0)
+		gob.Register(0.0)
+		gob.Register(uint64(0))
+		gob.Register(false)
+	})
+}
+
+// RegisterValueType registers a custom register value type for transport.
+// Call it (in both client and server processes) before Serve or Dial when
+// register values are not among the built-in types.
+func RegisterValueType(v any) {
+	registerWireTypes()
+	gob.Register(v)
+}
+
+// Server serves one replica store over a listener.
+type Server struct {
+	store *replica.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving store on ln. It returns immediately; use Close to
+// stop. The caller owns neither ln nor the spawned goroutines afterwards.
+func Serve(store *replica.Store, ln net.Listener) *Server {
+	registerWireTypes()
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is a convenience combining net.Listen("tcp", addr) and Serve.
+// Use addr "127.0.0.1:0" to let the kernel pick a port (see Addr).
+func Listen(store *replica.Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp listen %s: %w", addr, err)
+	}
+	return Serve(store, ln), nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Store returns the served replica store (tests inject crashes through it).
+func (s *Server) Store() *replica.Store { return s.store }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // connection closed or corrupt; drop it
+		}
+		reply, ok := s.store.Apply(env.Payload)
+		if !ok {
+			// Crashed (or non-protocol message): silence, like the other
+			// runtimes. The client's timeout handles it.
+			continue
+		}
+		if err := enc.Encode(envelope{Payload: reply}); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for the serving
+// goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	_ = s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// clientConn is one connection to a replica server, used for one
+// request/response exchange at a time.
+type clientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (c *clientConn) call(req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(envelope{Payload: req}); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("recv: %w", err)
+	}
+	return env.Payload, nil
+}
+
+// Client is a register client over TCP connections to the replica servers.
+// It is safe for one goroutine at a time (one pending operation per
+// process, as the register model requires).
+type Client struct {
+	conns  []*clientConn
+	engine *register.Engine
+}
+
+// ClientOption configures a TCP client.
+type ClientOption func(*clientOpts)
+
+type clientOpts struct {
+	monotone bool
+	writer   int32
+	seed     uint64
+}
+
+// WithMonotone enables the monotone register variant.
+func WithMonotone() ClientOption {
+	return func(o *clientOpts) { o.monotone = true }
+}
+
+// WithWriter sets the client's writer identity (default 0); distinct
+// concurrent writers to the same register must use distinct identities.
+func WithWriter(id int32) ClientOption {
+	return func(o *clientOpts) { o.writer = id }
+}
+
+// WithSeed seeds quorum selection (default 1).
+func WithSeed(seed uint64) ClientOption {
+	return func(o *clientOpts) { o.seed = seed }
+}
+
+// Dial connects to every replica server address. The quorum system's N must
+// match the address count.
+func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, error) {
+	registerWireTypes()
+	if sys.N() != len(addrs) {
+		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
+			sys.N(), len(addrs))
+	}
+	o := clientOpts{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Client{}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("tcp dial %s: %w", addr, err)
+		}
+		c.conns = append(c.conns, &clientConn{
+			conn: conn,
+			enc:  gob.NewEncoder(conn),
+			dec:  gob.NewDecoder(conn),
+		})
+	}
+	var eopts []register.Option
+	if o.monotone {
+		eopts = append(eopts, register.Monotone())
+	}
+	c.engine = register.NewEngine(o.writer, sys,
+		rng.Derive(o.seed, fmt.Sprintf("tcp.client.%d", o.writer)), eopts...)
+	return c, nil
+}
+
+// Close closes every server connection.
+func (c *Client) Close() {
+	for _, cc := range c.conns {
+		if cc != nil && cc.conn != nil {
+			_ = cc.conn.Close()
+		}
+	}
+}
+
+// Engine exposes the client's register engine.
+func (c *Client) Engine() *register.Engine { return c.engine }
+
+// Read performs one quorum read of reg.
+func (c *Client) Read(reg msg.RegisterID) (msg.Tagged, error) {
+	s := c.engine.BeginRead(reg)
+	req := s.Request()
+	replies, err := c.fanOut(s.Quorum, req)
+	if err != nil {
+		return msg.Tagged{}, fmt.Errorf("read reg %d: %w", reg, err)
+	}
+	for srv, raw := range replies {
+		rep, ok := raw.(msg.ReadReply)
+		if !ok {
+			return msg.Tagged{}, fmt.Errorf("read reg %d: server %d sent %T", reg, srv, raw)
+		}
+		s.OnReply(srv, rep)
+	}
+	if !s.Done() {
+		return msg.Tagged{}, errors.New("read incomplete") // unreachable with errors surfaced above
+	}
+	return c.engine.FinishRead(s), nil
+}
+
+// ReadAtomic performs an ABD-style atomic read over TCP: a quorum read
+// followed by an awaited write-back of the observed value to a fresh
+// quorum. Over a strict quorum system this gives single-writer atomicity.
+func (c *Client) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
+	tag, err := c.Read(reg)
+	if err != nil {
+		return msg.Tagged{}, err
+	}
+	s := c.engine.BeginWriteWithTS(reg, tag)
+	replies, err := c.fanOut(s.Quorum, s.Request())
+	if err != nil {
+		return msg.Tagged{}, fmt.Errorf("atomic read write-back reg %d: %w", reg, err)
+	}
+	for srv, raw := range replies {
+		ack, ok := raw.(msg.WriteAck)
+		if !ok {
+			return msg.Tagged{}, fmt.Errorf("atomic read reg %d: server %d sent %T", reg, srv, raw)
+		}
+		s.OnAck(srv, ack)
+	}
+	if !s.Done() {
+		return msg.Tagged{}, errors.New("atomic read write-back incomplete")
+	}
+	return tag, nil
+}
+
+// Write performs one quorum write of val to reg.
+func (c *Client) Write(reg msg.RegisterID, val msg.Value) error {
+	s := c.engine.BeginWrite(reg, val)
+	req := s.Request()
+	replies, err := c.fanOut(s.Quorum, req)
+	if err != nil {
+		return fmt.Errorf("write reg %d: %w", reg, err)
+	}
+	for srv, raw := range replies {
+		ack, ok := raw.(msg.WriteAck)
+		if !ok {
+			return fmt.Errorf("write reg %d: server %d sent %T", reg, srv, raw)
+		}
+		s.OnAck(srv, ack)
+	}
+	if !s.Done() {
+		return errors.New("write incomplete")
+	}
+	return nil
+}
+
+// fanOut sends req to every quorum member in parallel and collects each
+// member's reply.
+func (c *Client) fanOut(quorumMembers []int, req any) (map[int]any, error) {
+	type result struct {
+		srv   int
+		reply any
+		err   error
+	}
+	ch := make(chan result, len(quorumMembers))
+	for _, srv := range quorumMembers {
+		go func(srv int) {
+			reply, err := c.conns[srv].call(req)
+			ch <- result{srv: srv, reply: reply, err: err}
+		}(srv)
+	}
+	out := make(map[int]any, len(quorumMembers))
+	var firstErr error
+	for range quorumMembers {
+		r := <-ch
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server %d: %w", r.srv, r.err)
+			}
+			continue
+		}
+		out[r.srv] = r.reply
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package tcp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/replica"
+)
+
+// startCluster launches n loopback servers and returns their addresses.
+func startCluster(t *testing.T, n int, initial map[msg.RegisterID]msg.Value) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := Listen(replica.New(msg.NodeID(i), initial), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+func TestReadWriteOverTCP(t *testing.T) {
+	addrs := startCluster(t, 5, map[msg.RegisterID]msg.Value{0: "init"})
+	c, err := Dial(addrs, quorum.NewMajority(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tag, err := c.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.Val != "init" {
+		t.Fatalf("initial read = %v", tag.Val)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := c.Write(0, i); err != nil {
+			t.Fatal(err)
+		}
+		tag, err := c.Read(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag.Val != i {
+			t.Fatalf("read %v after write %d", tag.Val, i)
+		}
+	}
+}
+
+func TestSliceValuesOverTCP(t *testing.T) {
+	addrs := startCluster(t, 3, map[msg.RegisterID]msg.Value{0: []float64{0, 1}})
+	c, err := Dial(addrs, quorum.NewAll(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	want := []float64{3.5, 2.5, 1.5}
+	if err := c.Write(0, want); err != nil {
+		t.Fatal(err)
+	}
+	tag, err := c.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tag.Val.([]float64)
+	if !ok {
+		t.Fatalf("value type %T", tag.Val)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTwoClientsSeparateWriters(t *testing.T) {
+	addrs := startCluster(t, 5, map[msg.RegisterID]msg.Value{0: nil, 1: nil})
+	a, err := Dial(addrs, quorum.NewMajority(5), WithWriter(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addrs, quorum.NewMajority(5), WithWriter(2), WithMonotone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Single-writer-per-register discipline: a writes reg 0, b writes reg 1.
+	if err := a.Write(0, "from-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(1, "from-b"); err != nil {
+		t.Fatal(err)
+	}
+	ta, err := b.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := a.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Val != "from-a" || tb.Val != "from-b" {
+		t.Fatalf("cross reads = %v, %v", ta.Val, tb.Val)
+	}
+}
+
+func TestMonotoneOverTCP(t *testing.T) {
+	addrs := startCluster(t, 8, map[msg.RegisterID]msg.Value{0: nil})
+	w, err := Dial(addrs, quorum.NewProbabilistic(8, 1), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := Dial(addrs, quorum.NewProbabilistic(8, 1), WithMonotone(), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var last msg.Timestamp
+	for i := 0; i < 100; i++ {
+		if err := w.Write(0, i); err != nil {
+			t.Fatal(err)
+		}
+		tag, err := r.Read(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag.TS.Less(last) {
+			t.Fatalf("monotone TCP client regressed: %v after %v", tag.TS, last)
+		}
+		last = tag.TS
+	}
+	if r.Engine().CacheHits() == 0 {
+		t.Fatal("k=1 monotone client never used its cache")
+	}
+}
+
+func TestConcurrentQuorumFanOut(t *testing.T) {
+	addrs := startCluster(t, 9, map[msg.RegisterID]msg.Value{0: nil})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		c, err := Dial(addrs, quorum.NewMajority(9), WithWriter(int32(w)), WithSeed(uint64(w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(c *Client, reg msg.RegisterID) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if err := c.Write(reg, i); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := c.Read(reg); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c, msg.RegisterID(0))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	addrs := startCluster(t, 3, nil)
+	if _, err := Dial(addrs, quorum.NewMajority(5)); err == nil {
+		t.Fatal("mismatched system accepted")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1"}, quorum.NewSingleton(1, 0)); err == nil {
+		t.Fatal("dead address accepted")
+	}
+}
+
+func TestReadAfterServerClose(t *testing.T) {
+	initial := map[msg.RegisterID]msg.Value{0: "x"}
+	srv, err := Listen(replica.New(0, initial), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial([]string{srv.Addr()}, quorum.NewSingleton(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+	if _, err := c.Read(0); err == nil {
+		t.Fatal("read over closed connection succeeded")
+	} else if !strings.Contains(err.Error(), "server 0") {
+		t.Fatalf("error lacks server context: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Listen(replica.New(0, nil), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close()
+}
+
+func TestRegisterValueType(t *testing.T) {
+	type custom struct{ A, B int }
+	RegisterValueType(custom{})
+	addrs := startCluster(t, 3, map[msg.RegisterID]msg.Value{0: nil})
+	c, err := Dial(addrs, quorum.NewAll(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Write(0, custom{A: 1, B: 2}); err != nil {
+		t.Fatal(err)
+	}
+	tag, err := c.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tag.Val.(custom); !ok || got.A != 1 || got.B != 2 {
+		t.Fatalf("custom value = %#v", tag.Val)
+	}
+}
+
+func TestReadAtomicOverTCP(t *testing.T) {
+	addrs := startCluster(t, 5, map[msg.RegisterID]msg.Value{0: nil})
+	// Write reaches only server 0.
+	w, err := Dial(addrs, quorum.NewSingleton(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Write(0, "abd"); err != nil {
+		t.Fatal(err)
+	}
+	// Atomic read over a full quorum: must see the value and write it back
+	// everywhere before returning.
+	r, err := Dial(addrs, quorum.NewAll(5), WithWriter(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	tag, err := r.ReadAtomic(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.Val != "abd" {
+		t.Fatalf("atomic read = %v", tag.Val)
+	}
+	// Any subsequent single-server read sees it: the write-back completed
+	// before ReadAtomic returned.
+	for srv := 0; srv < 5; srv++ {
+		single, err := Dial(addrs, quorum.NewSingleton(5, srv), WithWriter(int32(3+srv)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := single.Read(0)
+		single.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Val != "abd" {
+			t.Fatalf("server %d missed the awaited write-back: %v", srv, got.Val)
+		}
+	}
+}
