@@ -1,4 +1,4 @@
-// Command reproduce runs every experiment in DESIGN.md's index (E1–E15) at
+// Command reproduce runs every experiment in DESIGN.md's index (E1–E16) at
 // paper scale and writes one consolidated report to stdout — the single
 // entry point for regenerating the entire evaluation. Individual
 // experiments are available with finer control through the dedicated tools
@@ -267,6 +267,27 @@ func run() error {
 		return err
 	}
 	if err := csvOut("E15-systems", sysRes); err != nil {
+		return err
+	}
+
+	section("E16", "TCP fault tolerance: crash, retry with fresh quorums, reconnect")
+	tcpCfg := experiments.TCPFaultConfig{Seed: *seed}
+	if *quick {
+		tcpCfg.N = 6
+		tcpCfg.Vertices = 6
+		tcpCfg.Procs = 3
+		tcpCfg.Crashed = 1
+		tcpCfg.CrashAt = time.Millisecond
+		tcpCfg.RecoverAt = 150 * time.Millisecond
+	}
+	tcpRes, err := experiments.RunTCPFault(tcpCfg)
+	if err != nil {
+		return err
+	}
+	if err := tcpRes.Render(w); err != nil {
+		return err
+	}
+	if err := csvOut("E16-tcpfault", tcpRes); err != nil {
 		return err
 	}
 

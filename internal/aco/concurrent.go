@@ -76,13 +76,16 @@ type ConcurrentResult struct {
 }
 
 // convergenceTracker coordinates the workers' stopping condition: the run is
-// done when every worker's most recent iteration produced correct values.
+// done when every worker's most recent iteration produced correct values —
+// or when any worker fails, which releases the others promptly instead of
+// letting them spin to their iteration cap.
 type convergenceTracker struct {
 	mu      sync.Mutex
 	correct []bool
 	n       int
 	done    chan struct{}
 	closed  bool
+	failure error
 }
 
 func newConvergenceTracker(p int) *convergenceTracker {
@@ -107,6 +110,35 @@ func (t *convergenceTracker) report(proc int, correct bool) {
 		t.closed = true
 		close(t.done)
 	}
+}
+
+// fail aborts the run: it records the first worker failure and closes the
+// done channel so every other worker's loop condition stops it on its next
+// iteration. Later failures are dropped (first error wins).
+func (t *convergenceTracker) fail(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.failure = err
+	close(t.done)
+}
+
+// err returns the failure that aborted the run, if any.
+func (t *convergenceTracker) err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failure
+}
+
+// converged reports whether the run completed because every worker was
+// simultaneously correct (as opposed to a failure or an iteration cap).
+func (t *convergenceTracker) converged() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed && t.failure == nil
 }
 
 func (t *convergenceTracker) isDone() bool {
@@ -204,6 +236,7 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 					tag, err := cl.Read(msg.RegisterID(j))
 					if err != nil {
 						errs[pi] = err
+						tracker.fail(fmt.Errorf("worker %d: %w", pi, err))
 						return
 					}
 					view[j] = tag.Val
@@ -212,6 +245,7 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 					newVals[li] = op.Apply(comp, view)
 					if err := cl.Write(msg.RegisterID(comp), newVals[li]); err != nil {
 						errs[pi] = err
+						tracker.fail(fmt.Errorf("worker %d: %w", pi, err))
 						return
 					}
 				}
@@ -254,7 +288,7 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 		final[i] = best.Val
 	}
 	return ConcurrentResult{
-		Converged:  tracker.isDone(),
+		Converged:  tracker.converged(),
 		Iterations: total,
 		Messages:   c.Messages(),
 		Elapsed:    elapsed,

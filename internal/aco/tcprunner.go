@@ -5,9 +5,11 @@ import (
 	"sync"
 	"time"
 
+	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
 	"probquorum/internal/replica"
+	"probquorum/internal/rng"
 	"probquorum/internal/transport/tcp"
 )
 
@@ -34,6 +36,20 @@ type TCPConfig struct {
 	Seed uint64
 	// MaxIterations caps each worker's loop; 0 means 10000.
 	MaxIterations int
+	// OpTimeout bounds every per-member TCP exchange and makes failed
+	// operations retry on freshly picked quorums (the paper's availability
+	// mechanism). Required when Crashes is non-empty: crashed servers never
+	// reply, so operations can only make progress by timing out and
+	// re-picking.
+	OpTimeout time.Duration
+	// Retries caps the attempts per operation when OpTimeout is set
+	// (0 = unlimited). Exhaustion surfaces tcp.ErrQuorumUnavailable.
+	Retries int
+	// Crashes schedules replica crashes and recoveries at wall-clock
+	// offsets from the start of the worker phase — the TCP analogue of
+	// SimConfig.Crashes (CrashEvent.At is real elapsed time here, not
+	// virtual time).
+	Crashes []CrashEvent
 }
 
 // TCPResult reports a TCP execution's outcome.
@@ -47,6 +63,12 @@ type TCPResult struct {
 	Elapsed time.Duration
 	// Final is the register contents read back from the replicas.
 	Final []msg.Value
+	// Retries counts operations that were re-issued on a fresh quorum.
+	Retries int64
+	// Timeouts counts per-member calls that hit their deadline.
+	Timeouts int64
+	// Reconnects counts dead connections that were re-dialed.
+	Reconnects int64
 }
 
 // RunTCP executes Alg. 1 with workers talking to replica servers over TCP.
@@ -56,6 +78,9 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 	procs := cfg.Procs
 	if procs == 0 {
 		procs = m
+	}
+	if err := validateCrashes(cfg.Crashes, cfg.Servers, cfg.OpTimeout); err != nil {
+		return TCPResult{}, err
 	}
 	target := cfg.Target
 	if target == nil {
@@ -90,14 +115,22 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		addrs[i] = srv.Addr()
 	}
 
+	counters := &metrics.TransportCounters{}
 	clients := make([]*tcp.Client, procs)
 	for pi := range clients {
 		opts := []tcp.ClientOption{
 			tcp.WithWriter(int32(pi + 1)),
-			tcp.WithSeed(cfg.Seed + uint64(pi)*131),
+			// Labeled derivation keeps the per-proc streams independent
+			// even across nearby base seeds (a linear "seed + pi*const"
+			// collides: base 1 proc 1 equals base 132 proc 0).
+			tcp.WithSeed(rng.Derive(cfg.Seed, fmt.Sprintf("tcp.proc.%d", pi)).Uint64()),
+			tcp.WithTransportCounters(counters),
 		}
 		if cfg.Monotone {
 			opts = append(opts, tcp.WithMonotone())
+		}
+		if cfg.OpTimeout > 0 {
+			opts = append(opts, tcp.WithOpTimeout(cfg.OpTimeout), tcp.WithRetries(cfg.Retries))
 		}
 		cl, err := tcp.Dial(addrs, cfg.System, opts...)
 		if err != nil {
@@ -111,6 +144,31 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 	iters := make([]int64, procs)
 	errs := make([]error, procs)
 	start := time.Now()
+
+	// Apply the crash schedule on wall-clock timers. The stop channel both
+	// cancels unfired events when the run ends early and ensures no store
+	// mutation races with the final read-back below.
+	stopFaults := make(chan struct{})
+	var faultWG sync.WaitGroup
+	for _, ev := range cfg.Crashes {
+		ev := ev
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			t := time.NewTimer(ev.At)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				if ev.Recover {
+					stores[ev.Server].Recover()
+				} else {
+					stores[ev.Server].Crash()
+				}
+			case <-stopFaults:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for pi := 0; pi < procs; pi++ {
 		wg.Add(1)
@@ -124,6 +182,7 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 					tag, err := cl.Read(msg.RegisterID(j))
 					if err != nil {
 						errs[pi] = err
+						tracker.fail(fmt.Errorf("tcp worker %d: %w", pi, err))
 						return
 					}
 					view[j] = tag.Val
@@ -133,6 +192,7 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 					next := op.Apply(comp, view)
 					if err := cl.Write(msg.RegisterID(comp), next); err != nil {
 						errs[pi] = err
+						tracker.fail(fmt.Errorf("tcp worker %d: %w", pi, err))
 						return
 					}
 					if !op.Equal(comp, next, target[comp]) {
@@ -145,6 +205,8 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		}(pi)
 	}
 	wg.Wait()
+	close(stopFaults)
+	faultWG.Wait()
 	elapsed := time.Since(start)
 	for pi, err := range errs {
 		if err != nil {
@@ -163,10 +225,14 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		}
 		final[i] = best.Val
 	}
+	retries, timeouts, reconnects := counters.Snapshot()
 	return TCPResult{
-		Converged:  tracker.isDone(),
+		Converged:  tracker.converged(),
 		Iterations: total,
 		Elapsed:    elapsed,
 		Final:      final,
+		Retries:    retries,
+		Timeouts:   timeouts,
+		Reconnects: reconnects,
 	}, nil
 }

@@ -1,0 +1,63 @@
+package aco
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConvergenceTrackerAllCorrect(t *testing.T) {
+	tr := newConvergenceTracker(3)
+	tr.report(0, true)
+	tr.report(1, true)
+	if tr.isDone() {
+		t.Fatal("done before every worker is correct")
+	}
+	tr.report(2, true)
+	if !tr.isDone() {
+		t.Fatal("not done with every worker correct")
+	}
+	if !tr.converged() {
+		t.Fatal("all-correct run not reported as converged")
+	}
+	if tr.err() != nil {
+		t.Fatalf("err = %v on a clean run", tr.err())
+	}
+}
+
+func TestConvergenceTrackerFailStopsRun(t *testing.T) {
+	tr := newConvergenceTracker(3)
+	tr.report(0, true)
+	first := errors.New("worker 1: boom")
+	tr.fail(first)
+	if !tr.isDone() {
+		t.Fatal("fail did not release the workers")
+	}
+	if tr.converged() {
+		t.Fatal("failed run reported as converged")
+	}
+	if !errors.Is(tr.err(), first) {
+		t.Fatalf("err = %v, want the failure", tr.err())
+	}
+	// Reports and later failures after the first failure are ignored.
+	tr.report(1, true)
+	tr.report(2, true)
+	if tr.converged() {
+		t.Fatal("reports after a failure flipped the run to converged")
+	}
+	tr.fail(errors.New("worker 2: later"))
+	if !errors.Is(tr.err(), first) {
+		t.Fatalf("first error not preserved: %v", tr.err())
+	}
+}
+
+func TestConvergenceTrackerFailAfterConvergence(t *testing.T) {
+	tr := newConvergenceTracker(1)
+	tr.report(0, true)
+	tr.fail(errors.New("too late"))
+	if !tr.converged() {
+		t.Fatal("failure after convergence demoted the run")
+	}
+	if tr.err() != nil {
+		t.Fatalf("err = %v after convergence", tr.err())
+	}
+}

@@ -398,8 +398,13 @@ func (cl *Client) Read(reg msg.RegisterID) (msg.Tagged, error) {
 	}
 	invoke := cl.c.tick()
 	attempts := 0
+	var s *register.ReadSession
 	for {
-		s := cl.engine.BeginRead(reg)
+		if s == nil {
+			s = cl.engine.BeginRead(reg)
+		} else {
+			s = cl.engine.RetryRead(s)
+		}
 		req := s.Request()
 		for _, srv := range s.Quorum {
 			cl.c.deliverToServer(cl.id, srv, req)
@@ -458,8 +463,13 @@ func (cl *Client) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
 	}
 	invoke := cl.c.tick()
 	attempts := 0
+	var s *register.ReadSession
 	for {
-		s := cl.engine.BeginRead(reg)
+		if s == nil {
+			s = cl.engine.BeginRead(reg)
+		} else {
+			s = cl.engine.RetryRead(s)
+		}
 		req := s.Request()
 		for _, srv := range s.Quorum {
 			cl.c.deliverToServer(cl.id, srv, req)
@@ -542,8 +552,16 @@ func (cl *Client) write(begin func() *register.WriteSession, reg msg.RegisterID)
 	}
 	invoke := cl.c.tick()
 	attempts := 0
+	var s *register.WriteSession
 	for {
-		s := begin()
+		if s == nil {
+			s = begin()
+		} else {
+			// A retried write is the same logical write on a fresh quorum:
+			// the timestamp is preserved (replicas deduplicate by it), only
+			// the operation id and quorum are new.
+			s = cl.engine.RetryWrite(s)
+		}
 		req := s.Request()
 		for _, srv := range s.Quorum {
 			cl.c.deliverToServer(cl.id, srv, req)

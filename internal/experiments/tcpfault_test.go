@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTCPFaultSmoke(t *testing.T) {
+	res, err := RunTCPFault(TCPFaultConfig{
+		N:        6,
+		K:        3,
+		Vertices: 6,
+		Procs:    3,
+		Crashed:  1,
+		// Crash almost immediately so the outage provably overlaps the
+		// run, whatever the host's speed.
+		CrashAt:   time.Millisecond,
+		RecoverAt: 150 * time.Millisecond,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Converged {
+			t.Fatalf("scenario %q did not converge", row.Scenario)
+		}
+	}
+	if res.Rows[0].Retries != 0 {
+		t.Fatalf("healthy run retried %d times", res.Rows[0].Retries)
+	}
+	if res.Rows[1].Retries == 0 {
+		t.Fatal("crash scenario recorded no retries")
+	}
+	var tbl, csv strings.Builder
+	if err := res.Render(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "reconnects") {
+		t.Fatalf("table lacks the reconnect column:\n%s", tbl.String())
+	}
+	if err := res.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 3 {
+		t.Fatalf("CSV has %d lines, want 3", got)
+	}
+}
+
+func TestTCPFaultValidation(t *testing.T) {
+	if _, err := RunTCPFault(TCPFaultConfig{N: 4, Crashed: 4}); err == nil {
+		t.Fatal("crashing the whole cluster accepted")
+	}
+}
+
+func TestTCPFaultDefaults(t *testing.T) {
+	var cfg TCPFaultConfig
+	cfg.applyDefaults()
+	if cfg.N == 0 || cfg.K == 0 || cfg.OpTimeout == 0 || cfg.RecoverAt <= cfg.CrashAt {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+	if cfg.OpTimeout < 10*time.Millisecond {
+		t.Fatalf("default deadline %v too tight for loopback CI", cfg.OpTimeout)
+	}
+}

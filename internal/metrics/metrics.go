@@ -30,6 +30,25 @@ func (c *Counter) Value() int64 { return c.n.Load() }
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.n.Store(0) }
 
+// TransportCounters groups the fault-path events of a networked register
+// client: operations re-attempted on a freshly picked quorum, per-member
+// calls that exceeded their deadline, and dead connections successfully
+// re-dialed. A zero TransportCounters is ready to use; several clients may
+// share one to aggregate a whole deployment's fault activity.
+type TransportCounters struct {
+	// Retries counts operations abandoned and re-issued on a fresh quorum.
+	Retries Counter
+	// Timeouts counts per-member calls that hit their deadline.
+	Timeouts Counter
+	// Reconnects counts dead connections successfully re-dialed.
+	Reconnects Counter
+}
+
+// Snapshot returns the three counts at once.
+func (t *TransportCounters) Snapshot() (retries, timeouts, reconnects int64) {
+	return t.Retries.Value(), t.Timeouts.Value(), t.Reconnects.Value()
+}
+
 // AccessTally counts how many operations touched each of n servers. The load
 // experiments (paper Section 4, Naor–Wool load) derive the busiest-server
 // access frequency from a tally.

@@ -164,6 +164,42 @@ func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
 	}
 }
 
+// RetryRead abandons a read session whose fan-out could not complete —
+// quorum members crashed, timed out, or became unreachable — and starts the
+// operation over with a fresh operation id and a freshly picked quorum.
+// This is the paper's availability mechanism (Section 4): a probabilistic
+// quorum client never depends on any particular quorum, so a client facing
+// unavailable servers simply draws another. The new operation id makes
+// stale replies addressed to the abandoned session fall through the
+// session's duplicate filter.
+func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
+	e.nextOp++
+	return &ReadSession{
+		Reg:     s.Reg,
+		Op:      e.nextOp,
+		Quorum:  e.pick(e.sys),
+		replied: make(map[int]bool),
+		tags:    make(map[int]msg.Tagged),
+	}
+}
+
+// RetryWrite abandons a write session whose fan-out could not complete and
+// re-issues the same logical write to a freshly picked quorum. The tag is
+// preserved: a retried write is the same write, and replicas deduplicate by
+// timestamp, so members reached by both the abandoned and the retried
+// attempt converge on one installation. Only the operation id is fresh, so
+// stray acknowledgments of the abandoned attempt are ignored.
+func (e *Engine) RetryWrite(s *WriteSession) *WriteSession {
+	e.nextOp++
+	return &WriteSession{
+		Reg:    s.Reg,
+		Op:     e.nextOp,
+		Tag:    s.Tag,
+		Quorum: e.pick(e.writeSys),
+		acked:  make(map[int]bool),
+	}
+}
+
 // FinishRead applies the monotone filter to a completed read session and
 // returns the value the register returns to the application. For a
 // non-monotone engine it is simply the session's maximum-timestamp value.

@@ -1,0 +1,91 @@
+package register_test
+
+import (
+	"testing"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/rng"
+)
+
+func TestRetryReadFreshSession(t *testing.T) {
+	e := register.NewEngine(1, quorum.NewProbabilistic(8, 3), rng.Derive(1, "retry.read"))
+	s := e.BeginRead(2)
+	s2 := e.RetryRead(s)
+	if s2.Op == s.Op {
+		t.Fatal("retried read kept the abandoned operation id")
+	}
+	if s2.Reg != s.Reg {
+		t.Fatalf("retried read targets reg %d, want %d", s2.Reg, s.Reg)
+	}
+	if len(s2.Quorum) != 3 {
+		t.Fatalf("retried read picked %d members, want 3", len(s2.Quorum))
+	}
+	// A stale reply addressed to the abandoned session must not complete
+	// the fresh one.
+	stale := msg.ReadReply{Reg: s.Reg, Op: s.Op, Tag: msg.Tagged{Val: "stale"}}
+	if s2.OnReply(s2.Quorum[0], stale); s2.Done() && len(s2.Quorum) == 1 {
+		t.Fatal("stale reply completed the retried session")
+	}
+	for _, srv := range s2.Quorum {
+		s2.OnReply(srv, msg.ReadReply{Reg: s2.Reg, Op: s2.Op, Tag: msg.Tagged{Val: "fresh"}})
+	}
+	if !s2.Done() {
+		t.Fatal("retried session did not complete on its own replies")
+	}
+	if got := e.FinishRead(s2); got.Val != "fresh" {
+		t.Fatalf("retried read returned %v", got.Val)
+	}
+}
+
+func TestRetryWritePreservesTag(t *testing.T) {
+	e := register.NewEngine(4, quorum.NewProbabilistic(8, 3), rng.Derive(1, "retry.write"))
+	s := e.BeginWrite(1, "v")
+	s2 := e.RetryWrite(s)
+	if s2.Op == s.Op {
+		t.Fatal("retried write kept the abandoned operation id")
+	}
+	if s2.Tag != s.Tag {
+		t.Fatalf("retried write changed the tag: %v -> %v", s.Tag, s2.Tag)
+	}
+	if s2.Reg != s.Reg {
+		t.Fatalf("retried write targets reg %d, want %d", s2.Reg, s.Reg)
+	}
+	// A stray ack for the abandoned attempt is ignored; the fresh quorum's
+	// own acks complete the session.
+	s2.OnAck(s2.Quorum[0], msg.WriteAck{Reg: s.Reg, Op: s.Op})
+	if s2.Done() && len(s2.Quorum) == 1 {
+		t.Fatal("stray ack completed the retried session")
+	}
+	for _, srv := range s2.Quorum {
+		s2.OnAck(srv, msg.WriteAck{Reg: s2.Reg, Op: s2.Op})
+	}
+	if !s2.Done() {
+		t.Fatal("retried write did not complete on its own acks")
+	}
+	// A later write still advances the timestamp past the retried one.
+	s3 := e.BeginWrite(1, "w")
+	if !s.Tag.TS.Less(s3.Tag.TS) {
+		t.Fatalf("next write timestamp %v does not exceed retried %v", s3.Tag.TS, s.Tag.TS)
+	}
+}
+
+func TestRetryCountsMessages(t *testing.T) {
+	var c metrics.Counter
+	e := register.NewEngine(1, quorum.NewProbabilistic(6, 2), rng.Derive(1, "retry.msgs"),
+		register.WithMessageCounter(&c))
+	s := e.BeginRead(0)
+	before := c.Value()
+	e.RetryRead(s)
+	if c.Value() != before+4 {
+		t.Fatalf("retried read counted %d messages, want 4 (2·|quorum|)", c.Value()-before)
+	}
+	w := e.BeginWrite(0, 1)
+	before = c.Value()
+	e.RetryWrite(w)
+	if c.Value() != before+4 {
+		t.Fatalf("retried write counted %d messages, want 4 (2·|quorum|)", c.Value()-before)
+	}
+}

@@ -9,6 +9,28 @@
 // at a time per connection. A quorum operation fans out across the quorum's
 // connections in parallel goroutines, so an operation still costs one
 // round-trip.
+//
+// # Fault model
+//
+// Replica servers may crash (Store.Crash) and later recover; connections
+// may break. The client survives both through three mechanisms, enabled by
+// WithOpTimeout:
+//
+//   - Deadlines: every per-member exchange carries a read/write deadline,
+//     so a silent peer costs at most the operation timeout instead of
+//     wedging the client forever.
+//   - Retry with a fresh quorum: an operation whose fan-out fails abandons
+//     its session and re-picks a new random quorum from the engine — the
+//     paper's availability mechanism (Section 4): a probabilistic quorum
+//     client depends on no particular quorum, so it simply draws another.
+//     Attempts are paced by capped exponential backoff and bounded by
+//     WithRetries; exhaustion surfaces ErrQuorumUnavailable.
+//   - Reconnect: a connection that errored is marked dead and transparently
+//     re-dialed (with its own capped backoff) on next use, so a recovered
+//     replica rejoins without restarting the client.
+//
+// Without WithOpTimeout the client keeps the strict one-shot behaviour:
+// any member failure fails the operation immediately.
 package tcp
 
 import (
@@ -17,13 +39,20 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
 	"probquorum/internal/register"
 	"probquorum/internal/replica"
 	"probquorum/internal/rng"
 )
+
+// ErrQuorumUnavailable is returned when an operation exhausts its retry
+// budget without completing on any quorum — too many servers crashed,
+// unreachable, or silent for any picked quorum to answer in time.
+var ErrQuorumUnavailable = errors.New("tcp: no live quorum answered (retries exhausted)")
 
 // envelope wraps a protocol message for gob, which needs a concrete struct
 // around interface-typed payloads.
@@ -133,9 +162,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		reply, ok := s.store.Apply(env.Payload)
 		if !ok {
-			// Crashed (or non-protocol message): silence, like the other
-			// runtimes. The client's timeout handles it.
-			continue
+			// Crashed store (or a non-protocol message): close the
+			// connection instead of silently skipping the reply. Skipping
+			// one reply on a persistent connection would desynchronize
+			// request/reply pairing for every operation after Recover; a
+			// closed connection surfaces promptly as an error on the
+			// client's pending call, and the client re-dials on next use.
+			return
 		}
 		if err := enc.Encode(envelope{Payload: reply}); err != nil {
 			return
@@ -161,24 +194,106 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Re-dial pacing: a dead connection is re-dialed on next use, but failed
+// dials back off exponentially between these bounds so a long-gone server
+// is not hammered with connection attempts.
+const (
+	redialBackoffMin = 5 * time.Millisecond
+	redialBackoffMax = time.Second
+)
+
 // clientConn is one connection to a replica server, used for one
-// request/response exchange at a time.
+// request/response exchange at a time. A connection that errors is marked
+// dead and transparently re-dialed on next use.
 type clientConn struct {
+	addr string
+
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	dead bool
+
+	redialWait time.Duration // current re-dial backoff; 0 until a dial fails
+	nextDial   time.Time     // earliest time for the next re-dial attempt
+
+	counters *metrics.TransportCounters
 }
 
-func (c *clientConn) call(req any) (any, error) {
+// ensureConn re-dials a dead connection, honouring the re-dial backoff.
+// Callers hold mu.
+func (c *clientConn) ensureConn(timeout time.Duration) error {
+	if c.conn != nil && !c.dead {
+		return nil
+	}
+	if now := time.Now(); now.Before(c.nextDial) {
+		return fmt.Errorf("reconnect %s: backed off for %v", c.addr,
+			c.nextDial.Sub(now).Round(time.Millisecond))
+	}
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		if c.redialWait == 0 {
+			c.redialWait = redialBackoffMin
+		} else {
+			c.redialWait *= 2
+			if c.redialWait > redialBackoffMax {
+				c.redialWait = redialBackoffMax
+			}
+		}
+		c.nextDial = time.Now().Add(c.redialWait)
+		return fmt.Errorf("reconnect %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	c.dead = false
+	c.redialWait = 0
+	c.nextDial = time.Time{}
+	if c.counters != nil {
+		c.counters.Reconnects.Inc()
+	}
+	return nil
+}
+
+// fail marks the connection dead. Any error on a gob stream — timeout
+// included, since the peer may still emit the abandoned reply later — ruins
+// the request/reply framing, so the connection must be re-dialed before it
+// can be used again. Callers hold mu.
+func (c *clientConn) fail(err error) {
+	c.dead = true
+	_ = c.conn.Close()
+	var nerr net.Error
+	if c.counters != nil && errors.As(err, &nerr) && nerr.Timeout() {
+		c.counters.Timeouts.Inc()
+	}
+}
+
+// call performs one request/response exchange. A positive timeout bounds
+// the whole exchange via the connection's read/write deadline.
+func (c *clientConn) call(req any, timeout time.Duration) (any, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.ensureConn(timeout); err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(timeout))
+	}
 	if err := c.enc.Encode(envelope{Payload: req}); err != nil {
+		c.fail(err)
 		return nil, fmt.Errorf("send: %w", err)
 	}
 	var env envelope
 	if err := c.dec.Decode(&env); err != nil {
+		c.fail(err)
 		return nil, fmt.Errorf("recv: %w", err)
+	}
+	if timeout > 0 {
+		_ = c.conn.SetDeadline(time.Time{})
 	}
 	return env.Payload, nil
 }
@@ -189,15 +304,26 @@ func (c *clientConn) call(req any) (any, error) {
 type Client struct {
 	conns  []*clientConn
 	engine *register.Engine
+
+	opTimeout   time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	counters    *metrics.TransportCounters
 }
 
 // ClientOption configures a TCP client.
 type ClientOption func(*clientOpts)
 
 type clientOpts struct {
-	monotone bool
-	writer   int32
-	seed     uint64
+	monotone    bool
+	writer      int32
+	seed        uint64
+	opTimeout   time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	counters    *metrics.TransportCounters
 }
 
 // WithMonotone enables the monotone register variant.
@@ -216,6 +342,35 @@ func WithSeed(seed uint64) ClientOption {
 	return func(o *clientOpts) { o.seed = seed }
 }
 
+// WithOpTimeout bounds every per-member exchange by d and makes operations
+// whose fan-out fails retry on a freshly picked quorum instead of failing —
+// required to ride out crashed or silent replicas. Zero (the default) keeps
+// the strict one-shot behaviour.
+func WithOpTimeout(d time.Duration) ClientOption {
+	return func(o *clientOpts) { o.opTimeout = d }
+}
+
+// WithRetries caps the attempts per operation when WithOpTimeout is set;
+// an operation that exhausts the budget returns ErrQuorumUnavailable.
+// Zero (the default) means unlimited retries.
+func WithRetries(n int) ClientOption {
+	return func(o *clientOpts) { o.retries = n }
+}
+
+// WithRetryBackoff sets the pacing between an operation's retry attempts:
+// the first retry waits base, each further retry doubles the wait, capped
+// at max. Defaults are 2ms and 100ms.
+func WithRetryBackoff(base, max time.Duration) ClientOption {
+	return func(o *clientOpts) { o.backoffBase = base; o.backoffMax = max }
+}
+
+// WithTransportCounters makes the client record its retries, timeouts, and
+// reconnects into tc, which may be shared across clients to aggregate a
+// deployment's fault activity.
+func WithTransportCounters(tc *metrics.TransportCounters) ClientOption {
+	return func(o *clientOpts) { o.counters = tc }
+}
+
 // Dial connects to every replica server address. The quorum system's N must
 // match the address count.
 func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, error) {
@@ -224,11 +379,20 @@ func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, err
 		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
 			sys.N(), len(addrs))
 	}
-	o := clientOpts{seed: 1}
+	o := clientOpts{seed: 1, backoffBase: 2 * time.Millisecond, backoffMax: 100 * time.Millisecond}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	c := &Client{}
+	if o.counters == nil {
+		o.counters = &metrics.TransportCounters{}
+	}
+	c := &Client{
+		opTimeout:   o.opTimeout,
+		retries:     o.retries,
+		backoffBase: o.backoffBase,
+		backoffMax:  o.backoffMax,
+		counters:    o.counters,
+	}
 	for _, addr := range addrs {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
@@ -236,9 +400,11 @@ func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, err
 			return nil, fmt.Errorf("tcp dial %s: %w", addr, err)
 		}
 		c.conns = append(c.conns, &clientConn{
-			conn: conn,
-			enc:  gob.NewEncoder(conn),
-			dec:  gob.NewDecoder(conn),
+			addr:     addr,
+			conn:     conn,
+			enc:      gob.NewEncoder(conn),
+			dec:      gob.NewDecoder(conn),
+			counters: o.counters,
 		})
 	}
 	var eopts []register.Option
@@ -253,34 +419,79 @@ func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, err
 // Close closes every server connection.
 func (c *Client) Close() {
 	for _, cc := range c.conns {
-		if cc != nil && cc.conn != nil {
+		if cc == nil {
+			continue
+		}
+		cc.mu.Lock()
+		if cc.conn != nil {
 			_ = cc.conn.Close()
 		}
+		cc.dead = true
+		cc.mu.Unlock()
 	}
 }
 
 // Engine exposes the client's register engine.
 func (c *Client) Engine() *register.Engine { return c.engine }
 
-// Read performs one quorum read of reg.
+// Counters exposes the client's transport fault counters.
+func (c *Client) Counters() *metrics.TransportCounters { return c.counters }
+
+// retryOrFail decides an errored fan-out's fate. Without an operation
+// timeout the error is final (the strict one-shot behaviour). With one, the
+// operation sleeps a capped exponential backoff and retries on a fresh
+// quorum — until the retry budget (if any) runs out, which surfaces
+// ErrQuorumUnavailable wrapping the last cause.
+func (c *Client) retryOrFail(what string, reg msg.RegisterID, attempt int, cause error) error {
+	if c.opTimeout <= 0 {
+		return fmt.Errorf("%s reg %d: %w", what, reg, cause)
+	}
+	if c.retries > 0 && attempt+1 > c.retries {
+		return fmt.Errorf("%s reg %d: %w after %d attempts (last: %v)",
+			what, reg, ErrQuorumUnavailable, attempt+1, cause)
+	}
+	c.counters.Retries.Inc()
+	shift := attempt
+	if shift > 20 {
+		shift = 20
+	}
+	d := c.backoffBase << uint(shift)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	time.Sleep(d)
+	return nil
+}
+
+// Read performs one quorum read of reg, retrying on fresh quorums when an
+// operation timeout is configured.
 func (c *Client) Read(reg msg.RegisterID) (msg.Tagged, error) {
-	s := c.engine.BeginRead(reg)
-	req := s.Request()
-	replies, err := c.fanOut(s.Quorum, req)
-	if err != nil {
-		return msg.Tagged{}, fmt.Errorf("read reg %d: %w", reg, err)
-	}
-	for srv, raw := range replies {
-		rep, ok := raw.(msg.ReadReply)
-		if !ok {
-			return msg.Tagged{}, fmt.Errorf("read reg %d: server %d sent %T", reg, srv, raw)
+	var s *register.ReadSession
+	for attempt := 0; ; attempt++ {
+		if s == nil {
+			s = c.engine.BeginRead(reg)
+		} else {
+			s = c.engine.RetryRead(s)
 		}
-		s.OnReply(srv, rep)
+		replies, err := c.fanOut(s.Quorum, s.Request())
+		if err != nil {
+			if ferr := c.retryOrFail("read", reg, attempt, err); ferr != nil {
+				return msg.Tagged{}, ferr
+			}
+			continue
+		}
+		for srv, raw := range replies {
+			rep, ok := raw.(msg.ReadReply)
+			if !ok {
+				return msg.Tagged{}, fmt.Errorf("read reg %d: server %d sent %T", reg, srv, raw)
+			}
+			s.OnReply(srv, rep)
+		}
+		if !s.Done() {
+			return msg.Tagged{}, errors.New("read incomplete") // unreachable with errors surfaced above
+		}
+		return c.engine.FinishRead(s), nil
 	}
-	if !s.Done() {
-		return msg.Tagged{}, errors.New("read incomplete") // unreachable with errors surfaced above
-	}
-	return c.engine.FinishRead(s), nil
 }
 
 // ReadAtomic performs an ABD-style atomic read over TCP: a quorum read
@@ -291,47 +502,70 @@ func (c *Client) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
 	if err != nil {
 		return msg.Tagged{}, err
 	}
-	s := c.engine.BeginWriteWithTS(reg, tag)
-	replies, err := c.fanOut(s.Quorum, s.Request())
-	if err != nil {
-		return msg.Tagged{}, fmt.Errorf("atomic read write-back reg %d: %w", reg, err)
-	}
-	for srv, raw := range replies {
-		ack, ok := raw.(msg.WriteAck)
-		if !ok {
-			return msg.Tagged{}, fmt.Errorf("atomic read reg %d: server %d sent %T", reg, srv, raw)
+	var s *register.WriteSession
+	for attempt := 0; ; attempt++ {
+		if s == nil {
+			s = c.engine.BeginWriteWithTS(reg, tag)
+		} else {
+			s = c.engine.RetryWrite(s)
 		}
-		s.OnAck(srv, ack)
+		replies, err := c.fanOut(s.Quorum, s.Request())
+		if err != nil {
+			if ferr := c.retryOrFail("atomic read write-back", reg, attempt, err); ferr != nil {
+				return msg.Tagged{}, ferr
+			}
+			continue
+		}
+		for srv, raw := range replies {
+			ack, ok := raw.(msg.WriteAck)
+			if !ok {
+				return msg.Tagged{}, fmt.Errorf("atomic read reg %d: server %d sent %T", reg, srv, raw)
+			}
+			s.OnAck(srv, ack)
+		}
+		if !s.Done() {
+			return msg.Tagged{}, errors.New("atomic read write-back incomplete")
+		}
+		return tag, nil
 	}
-	if !s.Done() {
-		return msg.Tagged{}, errors.New("atomic read write-back incomplete")
-	}
-	return tag, nil
 }
 
-// Write performs one quorum write of val to reg.
+// Write performs one quorum write of val to reg, retrying on fresh quorums
+// when an operation timeout is configured. A retried write keeps its
+// timestamp (replicas deduplicate installations by timestamp), so partial
+// fan-outs of abandoned attempts are harmless.
 func (c *Client) Write(reg msg.RegisterID, val msg.Value) error {
-	s := c.engine.BeginWrite(reg, val)
-	req := s.Request()
-	replies, err := c.fanOut(s.Quorum, req)
-	if err != nil {
-		return fmt.Errorf("write reg %d: %w", reg, err)
-	}
-	for srv, raw := range replies {
-		ack, ok := raw.(msg.WriteAck)
-		if !ok {
-			return fmt.Errorf("write reg %d: server %d sent %T", reg, srv, raw)
+	var s *register.WriteSession
+	for attempt := 0; ; attempt++ {
+		if s == nil {
+			s = c.engine.BeginWrite(reg, val)
+		} else {
+			s = c.engine.RetryWrite(s)
 		}
-		s.OnAck(srv, ack)
+		replies, err := c.fanOut(s.Quorum, s.Request())
+		if err != nil {
+			if ferr := c.retryOrFail("write", reg, attempt, err); ferr != nil {
+				return ferr
+			}
+			continue
+		}
+		for srv, raw := range replies {
+			ack, ok := raw.(msg.WriteAck)
+			if !ok {
+				return fmt.Errorf("write reg %d: server %d sent %T", reg, srv, raw)
+			}
+			s.OnAck(srv, ack)
+		}
+		if !s.Done() {
+			return errors.New("write incomplete")
+		}
+		return nil
 	}
-	if !s.Done() {
-		return errors.New("write incomplete")
-	}
-	return nil
 }
 
 // fanOut sends req to every quorum member in parallel and collects each
-// member's reply.
+// member's reply. It waits for every member (success or failure) so that a
+// slow member's reply never leaks into a later operation's exchange.
 func (c *Client) fanOut(quorumMembers []int, req any) (map[int]any, error) {
 	type result struct {
 		srv   int
@@ -341,7 +575,7 @@ func (c *Client) fanOut(quorumMembers []int, req any) (map[int]any, error) {
 	ch := make(chan result, len(quorumMembers))
 	for _, srv := range quorumMembers {
 		go func(srv int) {
-			reply, err := c.conns[srv].call(req)
+			reply, err := c.conns[srv].call(req, c.opTimeout)
 			ch <- result{srv: srv, reply: reply, err: err}
 		}(srv)
 	}
