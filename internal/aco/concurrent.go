@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"probquorum/internal/cluster"
+	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
+	"probquorum/internal/register"
 	"probquorum/internal/rng"
 	"probquorum/internal/trace"
 )
@@ -49,6 +51,14 @@ type ConcurrentConfig struct {
 	// Masking, when positive, enables b-masking reads with b = Masking,
 	// defending the workers against Byzantine servers injected via Faults.
 	Masking int
+	// Pipelined runs each worker through a pipelined client: the m reads
+	// of an iteration are submitted at once and overlap their quorum
+	// round-trips, as do the writes of the owned components. Incompatible
+	// with Masking (the pipeline does not support masking reads).
+	Pipelined bool
+	// Gauge, if non-nil, tracks the pipelined workers' in-flight operation
+	// count; its high-watermark is how tests assert genuine overlap.
+	Gauge *metrics.Gauge
 	// Trace optionally records every register operation.
 	Trace *trace.Log
 	// Correct, if non-nil, replaces the fixed-point comparison as the
@@ -192,8 +202,12 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 	}
 	defer c.Close()
 
+	if cfg.Pipelined && cfg.Masking > 0 {
+		return ConcurrentResult{}, fmt.Errorf("aco: pipelined workers do not support masking reads")
+	}
 	clients := make([]*cluster.Client, procs)
-	for pi := range clients {
+	pipeClients := make([]*cluster.PipeClient, procs)
+	for pi := 0; pi < procs; pi++ {
 		opts := []cluster.ClientOption{}
 		if cfg.Monotone {
 			opts = append(opts, cluster.WithMonotone())
@@ -206,6 +220,18 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 		}
 		if cfg.Masking > 0 {
 			opts = append(opts, cluster.WithMasking(cfg.Masking))
+		}
+		if cfg.Pipelined {
+			if cfg.Gauge != nil {
+				opts = append(opts, cluster.WithInFlightGauge(cfg.Gauge))
+			}
+			pc, err := c.NewPipeline(cfg.System, opts...)
+			if err != nil {
+				return ConcurrentResult{}, err
+			}
+			defer pc.Close()
+			pipeClients[pi] = pc
+			continue
 		}
 		cl, err := c.NewClient(cfg.System, opts...)
 		if err != nil {
@@ -227,26 +253,57 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 		wg.Add(1)
 		go func(pi int) {
 			defer wg.Done()
-			cl := clients[pi]
 			owned := part.Owned(pi)
 			view := make([]msg.Value, m)
 			newVals := make([]msg.Value, len(owned))
+			readOps := make([]*register.PendingOp, m)
+			writeOps := make([]*register.PendingOp, len(owned))
 			for iter := 0; iter < maxIters && !tracker.isDone(); iter++ {
-				for j := 0; j < m; j++ {
-					tag, err := cl.Read(msg.RegisterID(j))
-					if err != nil {
-						errs[pi] = err
-						tracker.fail(fmt.Errorf("worker %d: %w", pi, err))
-						return
+				if cfg.Pipelined {
+					// Submit all m reads at once; their quorum round-trips
+					// overlap inside the pipeline.
+					pc := pipeClients[pi]
+					for j := 0; j < m; j++ {
+						readOps[j] = pc.ReadAsync(msg.RegisterID(j))
 					}
-					view[j] = tag.Val
-				}
-				for li, comp := range owned {
-					newVals[li] = op.Apply(comp, view)
-					if err := cl.Write(msg.RegisterID(comp), newVals[li]); err != nil {
-						errs[pi] = err
-						tracker.fail(fmt.Errorf("worker %d: %w", pi, err))
-						return
+					for j, rop := range readOps {
+						tag, err := rop.Wait()
+						if err != nil {
+							errs[pi] = err
+							tracker.fail(fmt.Errorf("worker %d: %w", pi, err))
+							return
+						}
+						view[j] = tag.Val
+					}
+					for li, comp := range owned {
+						newVals[li] = op.Apply(comp, view)
+						writeOps[li] = pc.WriteAsync(msg.RegisterID(comp), newVals[li])
+					}
+					for _, wop := range writeOps {
+						if _, err := wop.Wait(); err != nil {
+							errs[pi] = err
+							tracker.fail(fmt.Errorf("worker %d: %w", pi, err))
+							return
+						}
+					}
+				} else {
+					cl := clients[pi]
+					for j := 0; j < m; j++ {
+						tag, err := cl.Read(msg.RegisterID(j))
+						if err != nil {
+							errs[pi] = err
+							tracker.fail(fmt.Errorf("worker %d: %w", pi, err))
+							return
+						}
+						view[j] = tag.Val
+					}
+					for li, comp := range owned {
+						newVals[li] = op.Apply(comp, view)
+						if err := cl.Write(msg.RegisterID(comp), newVals[li]); err != nil {
+							errs[pi] = err
+							tracker.fail(fmt.Errorf("worker %d: %w", pi, err))
+							return
+						}
 					}
 				}
 				var correct bool
@@ -277,7 +334,11 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 	var total, hits int64
 	for pi, n := range iters {
 		total += n
-		hits += clients[pi].Engine().CacheHits()
+		if cfg.Pipelined {
+			hits += pipeClients[pi].Engine().CacheHits()
+		} else {
+			hits += clients[pi].Engine().CacheHits()
+		}
 	}
 	final := make([]msg.Value, m)
 	for i := 0; i < m; i++ {

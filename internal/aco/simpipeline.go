@@ -1,0 +1,112 @@
+package aco
+
+import (
+	"probquorum/internal/msg"
+	"probquorum/internal/register"
+	"probquorum/internal/sim"
+)
+
+// pipeProcNode is one application process of Alg. 1 running its register
+// operations through a register.Pipeline instead of the strict one-op-at-a-
+// time session flow: all m reads of an iteration are issued at once and
+// their quorum round-trips overlap, as do the writes of the owned
+// components. Same-register operations stay FIFO inside the Pipeline, so
+// the monotone variant's guarantees are unchanged.
+//
+// The simulator is single-threaded and runs on virtual time, so the
+// pipelined mode here is failure-free: no per-operation deadlines (those
+// are wall-clock timers) and no crash schedule. Crash injection against the
+// Pipeline is exercised on the cluster and TCP runtimes, where real time is
+// available.
+type pipeProcNode struct {
+	idx     int
+	pl      *register.Pipeline
+	op      Operator
+	owned   []int
+	m       int
+	target  []msg.Value
+	correct func(owned []int, newVals, view []msg.Value) bool
+	mon     *monitor
+	self    msg.NodeID
+	view    []msg.Value
+	newVals []msg.Value
+
+	// ctx is the current event's context, refreshed on every callback from
+	// the simulator; Pipeline completion callbacks run synchronously inside
+	// Recv, so it is always the live one when they fire.
+	ctx       *sim.Context
+	iterStart sim.Time
+	pending   int
+}
+
+var _ sim.Handler = (*pipeProcNode)(nil)
+
+func (p *pipeProcNode) Init(ctx *sim.Context) {
+	p.ctx = ctx
+	p.view = make([]msg.Value, p.m)
+	p.newVals = make([]msg.Value, len(p.owned))
+	p.startIteration()
+}
+
+func (p *pipeProcNode) Recv(ctx *sim.Context, from msg.NodeID, m any) {
+	p.ctx = ctx
+	p.pl.Deliver(int(from), m)
+}
+
+// startIteration issues the reads of all m registers at once; the pipeline
+// overlaps their quorum round-trips.
+func (p *pipeProcNode) startIteration() {
+	p.iterStart = p.ctx.Now()
+	p.pending = p.m
+	for j := 0; j < p.m; j++ {
+		j := j
+		p.pl.ReadAsyncFunc(msg.RegisterID(j), func(tag msg.Tagged, err error) {
+			if err != nil || p.ctx.Stopped() {
+				return
+			}
+			p.view[j] = tag.Val
+			if p.pending--; p.pending == 0 {
+				p.computePhase()
+			}
+		})
+	}
+}
+
+// computePhase applies the operator to the completed view and issues the
+// writes of all owned components at once.
+func (p *pipeProcNode) computePhase() {
+	for li, comp := range p.owned {
+		p.newVals[li] = p.op.Apply(comp, p.view)
+	}
+	p.pending = len(p.owned)
+	for li, comp := range p.owned {
+		p.pl.WriteAsyncFunc(msg.RegisterID(comp), p.newVals[li], func(_ msg.Tagged, err error) {
+			if err != nil || p.ctx.Stopped() {
+				return
+			}
+			if p.pending--; p.pending == 0 {
+				p.finishIteration()
+			}
+		})
+	}
+}
+
+func (p *pipeProcNode) finishIteration() {
+	var correct bool
+	if p.correct != nil {
+		correct = p.correct(p.owned, p.newVals, p.view)
+	} else {
+		correct = true
+		for li, comp := range p.owned {
+			if !p.op.Equal(comp, p.newVals[li], p.target[comp]) {
+				correct = false
+				break
+			}
+		}
+	}
+	p.mon.iterationDone(p.ctx, p.idx, p.iterStart, correct)
+	if p.ctx.Stopped() {
+		return
+	}
+	p.startIteration()
+}

@@ -40,6 +40,19 @@ type SimConfig struct {
 	// stale quorum members after every read (an ablation extension; not
 	// part of the paper's algorithm).
 	ReadRepair bool
+	// Pipelined runs each process's register operations through a
+	// register.Pipeline: the m reads of an iteration overlap their quorum
+	// round-trips, as do the writes of the owned components. Only
+	// failure-free executions are supported in the simulator (the
+	// Pipeline's retry deadlines are wall-clock timers, which have no
+	// meaning on virtual time): OpTimeout, Crashes, and ReadRepair are
+	// rejected. Crash injection against pipelined clients runs on the
+	// cluster and TCP runtimes instead.
+	Pipelined bool
+	// Gauge, if non-nil, tracks the pipelined processes' in-flight
+	// operation count; its high-watermark is how tests assert that
+	// operations genuinely overlapped.
+	Gauge *metrics.Gauge
 	// Delay is the message-delay distribution: rng.Constant for the paper's
 	// synchronous executions, rng.Exponential for asynchronous ones.
 	Delay rng.Dist
@@ -412,6 +425,14 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	if err := validateCrashes(cfg.Crashes, cfg.Servers, cfg.OpTimeout); err != nil {
 		return SimResult{}, err
 	}
+	if cfg.Pipelined {
+		if cfg.OpTimeout > 0 || len(cfg.Crashes) > 0 {
+			return SimResult{}, fmt.Errorf("aco: pipelined simulation is failure-free: OpTimeout and Crashes are not supported (use the cluster or TCP runtime for pipelined crash injection)")
+		}
+		if cfg.ReadRepair {
+			return SimResult{}, fmt.Errorf("aco: pipelined clients do not support read repair")
+		}
+	}
 
 	model := cfg.DelayModel
 	if model == nil {
@@ -458,6 +479,31 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 		}
 		engines[pi] = register.NewEngine(int32(pi), cfg.System,
 			rng.Derive(cfg.Seed, fmt.Sprintf("aco.engine.%d", pi)), opts...)
+		if cfg.Pipelined {
+			node := &pipeProcNode{
+				idx:     pi,
+				op:      op,
+				owned:   part.Owned(pi),
+				m:       m,
+				target:  target,
+				correct: cfg.Correct,
+				mon:     mon,
+				self:    msg.NodeID(cfg.Servers + pi),
+			}
+			send := func(server int, req any) { node.ctx.Send(msg.NodeID(server), req) }
+			plOpts := []register.PipelineOption{
+				register.PipeClock(func() int64 { return int64(node.ctx.Now()) }),
+			}
+			if cfg.Trace != nil {
+				plOpts = append(plOpts, register.PipeTrace(cfg.Trace, node.self))
+			}
+			if cfg.Gauge != nil {
+				plOpts = append(plOpts, register.PipeGauge(cfg.Gauge))
+			}
+			node.pl = register.NewPipeline(engines[pi], send, plOpts...)
+			s.Add(node.self, node)
+			continue
+		}
 		node := &procNode{
 			idx:     pi,
 			engine:  engines[pi],
@@ -482,7 +528,9 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 		cacheHits += e.CacheHits()
 	}
 	for _, node := range nodes {
-		retries += node.retries
+		if node != nil {
+			retries += node.retries
+		}
 	}
 	rounds := mon.roundsConv
 	if !mon.converged {

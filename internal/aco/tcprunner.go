@@ -8,8 +8,10 @@ import (
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
+	"probquorum/internal/register"
 	"probquorum/internal/replica"
 	"probquorum/internal/rng"
+	"probquorum/internal/trace"
 	"probquorum/internal/transport/tcp"
 )
 
@@ -50,6 +52,23 @@ type TCPConfig struct {
 	// SimConfig.Crashes (CrashEvent.At is real elapsed time here, not
 	// virtual time).
 	Crashes []CrashEvent
+	// Pipelined dials pipelined clients (tcp.DialPipelined): the m reads
+	// of an iteration are submitted at once and overlap their quorum
+	// round-trips over multiplexed, batch-framed connections.
+	Pipelined bool
+	// MaxBatch caps how many queued requests a pipelined client coalesces
+	// into one frame per server (0 = transport default). 1 disables
+	// coalescing — the ablation the batching benchmarks compare against.
+	MaxBatch int
+	// Trace optionally records every register operation (pipelined mode
+	// only; the serial TCP client does not trace).
+	Trace *trace.Log
+	// Gauge, if non-nil, tracks the pipelined workers' in-flight operation
+	// count (pipelined mode only).
+	Gauge *metrics.Gauge
+	// BatchHist, if non-nil, records the size of every flushed batch frame
+	// (pipelined mode only).
+	BatchHist *metrics.IntHistogram
 }
 
 // TCPResult reports a TCP execution's outcome.
@@ -117,7 +136,8 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 
 	counters := &metrics.TransportCounters{}
 	clients := make([]*tcp.Client, procs)
-	for pi := range clients {
+	pipeClients := make([]*tcp.PipelinedClient, procs)
+	for pi := 0; pi < procs; pi++ {
 		opts := []tcp.ClientOption{
 			tcp.WithWriter(int32(pi + 1)),
 			// Labeled derivation keeps the per-proc streams independent
@@ -131,6 +151,27 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		}
 		if cfg.OpTimeout > 0 {
 			opts = append(opts, tcp.WithOpTimeout(cfg.OpTimeout), tcp.WithRetries(cfg.Retries))
+		}
+		if cfg.Pipelined {
+			if cfg.MaxBatch > 0 {
+				opts = append(opts, tcp.WithMaxBatch(cfg.MaxBatch))
+			}
+			if cfg.Trace != nil {
+				opts = append(opts, tcp.WithTrace(cfg.Trace))
+			}
+			if cfg.Gauge != nil {
+				opts = append(opts, tcp.WithInFlightGauge(cfg.Gauge))
+			}
+			if cfg.BatchHist != nil {
+				opts = append(opts, tcp.WithBatchHistogram(cfg.BatchHist))
+			}
+			pc, err := tcp.DialPipelined(addrs, cfg.System, opts...)
+			if err != nil {
+				return TCPResult{}, err
+			}
+			defer pc.Close()
+			pipeClients[pi] = pc
+			continue
 		}
 		cl, err := tcp.Dial(addrs, cfg.System, opts...)
 		if err != nil {
@@ -174,29 +215,66 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		wg.Add(1)
 		go func(pi int) {
 			defer wg.Done()
-			cl := clients[pi]
 			owned := part.Owned(pi)
 			view := make([]msg.Value, m)
+			readOps := make([]*register.PendingOp, m)
+			writeOps := make([]*register.PendingOp, 0, len(owned))
+			nextVals := make([]msg.Value, len(owned))
 			for iter := 0; iter < maxIters && !tracker.isDone(); iter++ {
-				for j := 0; j < m; j++ {
-					tag, err := cl.Read(msg.RegisterID(j))
-					if err != nil {
-						errs[pi] = err
-						tracker.fail(fmt.Errorf("tcp worker %d: %w", pi, err))
-						return
-					}
-					view[j] = tag.Val
-				}
 				correct := true
-				for _, comp := range owned {
-					next := op.Apply(comp, view)
-					if err := cl.Write(msg.RegisterID(comp), next); err != nil {
-						errs[pi] = err
-						tracker.fail(fmt.Errorf("tcp worker %d: %w", pi, err))
-						return
+				if cfg.Pipelined {
+					// Submit all m reads at once: the quorum round-trips
+					// overlap and the per-server requests coalesce into
+					// batch frames.
+					pc := pipeClients[pi]
+					for j := 0; j < m; j++ {
+						readOps[j] = pc.ReadAsync(msg.RegisterID(j))
 					}
-					if !op.Equal(comp, next, target[comp]) {
-						correct = false
+					for j, rop := range readOps {
+						tag, err := rop.Wait()
+						if err != nil {
+							errs[pi] = err
+							tracker.fail(fmt.Errorf("tcp worker %d: %w", pi, err))
+							return
+						}
+						view[j] = tag.Val
+					}
+					writeOps = writeOps[:0]
+					for li, comp := range owned {
+						nextVals[li] = op.Apply(comp, view)
+						writeOps = append(writeOps, pc.WriteAsync(msg.RegisterID(comp), nextVals[li]))
+						if !op.Equal(comp, nextVals[li], target[comp]) {
+							correct = false
+						}
+					}
+					for _, wop := range writeOps {
+						if _, err := wop.Wait(); err != nil {
+							errs[pi] = err
+							tracker.fail(fmt.Errorf("tcp worker %d: %w", pi, err))
+							return
+						}
+					}
+				} else {
+					cl := clients[pi]
+					for j := 0; j < m; j++ {
+						tag, err := cl.Read(msg.RegisterID(j))
+						if err != nil {
+							errs[pi] = err
+							tracker.fail(fmt.Errorf("tcp worker %d: %w", pi, err))
+							return
+						}
+						view[j] = tag.Val
+					}
+					for _, comp := range owned {
+						next := op.Apply(comp, view)
+						if err := cl.Write(msg.RegisterID(comp), next); err != nil {
+							errs[pi] = err
+							tracker.fail(fmt.Errorf("tcp worker %d: %w", pi, err))
+							return
+						}
+						if !op.Equal(comp, next, target[comp]) {
+							correct = false
+						}
 					}
 				}
 				iters[pi]++
@@ -226,6 +304,14 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		final[i] = best.Val
 	}
 	retries, timeouts, reconnects := counters.Snapshot()
+	if cfg.Pipelined {
+		// Pipelined retries are counted by the pipelines, not the transport
+		// (the multiplexed connections have no per-operation exchanges).
+		retries = 0
+		for _, pc := range pipeClients {
+			retries += pc.Pipeline().Retries()
+		}
+	}
 	return TCPResult{
 		Converged:  tracker.converged(),
 		Iterations: total,

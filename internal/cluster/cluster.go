@@ -287,6 +287,7 @@ type clientConfig struct {
 	log        *trace.Log
 	tally      *metrics.AccessTally
 	latency    *metrics.LatencyHist
+	gauge      *metrics.Gauge // pipelined clients only
 }
 
 // WithMonotone enables the monotone register variant for this client.

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/rng"
+)
+
+// This file layers the pipelined register client onto the cluster runtime:
+// a register.Pipeline fed by a pump goroutine that forwards the client's
+// inbox into Pipeline.Deliver. Unlike the blocking Client, a PipeClient
+// keeps many operations in flight at once — reads and writes to different
+// registers proceed concurrently; same-register operations stay FIFO per
+// client, which preserves the monotone variant's [R4].
+
+// WithInFlightGauge tracks the pipelined client's submitted-but-incomplete
+// operation count (and its high-watermark) in g. It has no effect on the
+// blocking Client.
+func WithInFlightGauge(g *metrics.Gauge) ClientOption {
+	return func(c *clientConfig) { c.gauge = g }
+}
+
+// PipeClient is a pipelined register client attached to a cluster. All of
+// its methods are safe for concurrent use.
+type PipeClient struct {
+	c         *Cluster
+	id        msg.NodeID
+	engine    *register.Engine
+	pl        *register.Pipeline
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewPipeline registers a pipelined client process using the given quorum
+// system. The blocking Client's options apply, except WithReadRepair and
+// WithMasking, which require the strict one-op-at-a-time session flow and
+// are rejected. With crashes in play, set WithTimeout so stalled operations
+// re-issue on fresh quorums.
+func (c *Cluster) NewPipeline(sys quorum.System, opts ...ClientOption) (*PipeClient, error) {
+	if sys.N() != len(c.servers) {
+		return nil, fmt.Errorf("cluster: quorum system covers %d servers, cluster has %d",
+			sys.N(), len(c.servers))
+	}
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	var cc clientConfig
+	for _, o := range opts {
+		o(&cc)
+	}
+	if cc.readRepair {
+		return nil, fmt.Errorf("cluster: pipelined clients do not support read repair")
+	}
+	if cc.masking {
+		return nil, fmt.Errorf("cluster: pipelined clients do not support masking reads")
+	}
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	inbox := make(chan envelope, 16*len(c.servers))
+	c.clients[id] = inbox
+	c.mu.Unlock()
+
+	var eopts []register.Option
+	if cc.monotone {
+		eopts = append(eopts, register.Monotone())
+	}
+	if cc.tally != nil {
+		eopts = append(eopts, register.WithTally(cc.tally))
+	}
+	engine := register.NewEngine(int32(id), sys, rng.Derive(c.seed, fmt.Sprintf("cluster.pipeclient.%d", id)), eopts...)
+
+	pc := &PipeClient{c: c, id: id, engine: engine, done: make(chan struct{})}
+	send := func(server int, req any) { c.deliverToServer(id, server, req) }
+	plOpts := []register.PipelineOption{
+		register.PipeClock(func() int64 { return c.tick() }),
+		register.PipeTimeout(cc.timeout, cc.retries),
+	}
+	if cc.log != nil {
+		plOpts = append(plOpts, register.PipeTrace(cc.log, id))
+	}
+	if cc.gauge != nil {
+		plOpts = append(plOpts, register.PipeGauge(cc.gauge))
+	}
+	pc.pl = register.NewPipeline(engine, send, plOpts...)
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case env := <-inbox:
+				pc.pl.Deliver(int(env.from), env.payload)
+			case <-pc.done:
+				return
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+	return pc, nil
+}
+
+// ID returns the client's node identifier.
+func (pc *PipeClient) ID() msg.NodeID { return pc.id }
+
+// Engine exposes the client's register engine (tests inspect cache hits).
+// It is owned by the pipeline; do not call its methods directly while
+// operations are in flight.
+func (pc *PipeClient) Engine() *register.Engine { return pc.engine }
+
+// Pipeline exposes the underlying pipeline (for Retries and InFlight).
+func (pc *PipeClient) Pipeline() *register.Pipeline { return pc.pl }
+
+// Read performs one pipelined read, blocking until it completes.
+func (pc *PipeClient) Read(reg msg.RegisterID) (msg.Tagged, error) {
+	return pc.pl.Read(reg)
+}
+
+// Write performs one pipelined write, blocking until acknowledged.
+func (pc *PipeClient) Write(reg msg.RegisterID, val msg.Value) error {
+	return pc.pl.Write(reg, val)
+}
+
+// ReadAsync submits a read and returns immediately.
+func (pc *PipeClient) ReadAsync(reg msg.RegisterID) *register.PendingOp {
+	return pc.pl.ReadAsync(reg)
+}
+
+// WriteAsync submits a write and returns immediately.
+func (pc *PipeClient) WriteAsync(reg msg.RegisterID, val msg.Value) *register.PendingOp {
+	return pc.pl.WriteAsync(reg, val)
+}
+
+// Close detaches the client and fails all pending operations with ErrClosed.
+// It is idempotent.
+func (pc *PipeClient) Close() {
+	pc.closeOnce.Do(func() {
+		pc.c.mu.Lock()
+		delete(pc.c.clients, pc.id)
+		pc.c.mu.Unlock()
+		close(pc.done)
+		pc.pl.Close(ErrClosed)
+	})
+}

@@ -1,0 +1,36 @@
+package metrics
+
+import "sync/atomic"
+
+// Gauge is a concurrency-safe up/down counter with a high-watermark: the
+// pipelined register client tracks its in-flight operation count with one,
+// and tests assert genuine overlap by inspecting the watermark (a pipelined
+// execution that silently degraded to serial would never raise it above 1).
+type Gauge struct {
+	cur atomic.Int64
+	max atomic.Int64
+}
+
+// Inc raises the gauge by one and updates the high-watermark.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.cur.Add(-1) }
+
+// Add moves the gauge by delta (which may be negative) and updates the
+// high-watermark when the new value exceeds it.
+func (g *Gauge) Add(delta int64) {
+	v := g.cur.Add(delta)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 { return g.cur.Load() }
+
+// Max returns the largest value the gauge has ever held (0 if never raised).
+func (g *Gauge) Max() int64 { return g.max.Load() }

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeSequential(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatalf("zero gauge = (%d, %d), want (0, 0)", g.Value(), g.Max())
+	}
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+	if got := g.Max(); got != 4 {
+		t.Fatalf("Max = %d, want 4", got)
+	}
+	g.Add(-4)
+	if got, max := g.Value(), g.Max(); got != 0 || max != 4 {
+		t.Fatalf("after drain: Value=%d Max=%d, want 0 and 4 (high-watermark sticks)", got, max)
+	}
+}
+
+// TestGaugeConcurrentWriters hammers one gauge from many goroutines — the
+// usage pattern of the pipeline's in-flight gauge — and checks the
+// accounting invariants that must survive any interleaving: the value
+// returns to zero when every Inc has a matching Dec, and the high-watermark
+// is at least the guaranteed simultaneous occupancy and at most the total.
+func TestGaugeConcurrentWriters(t *testing.T) {
+	var g Gauge
+	const (
+		writers = 16
+		perG    = 1000
+	)
+	// Phase 1: all writers hold one increment across a barrier, pinning a
+	// lower bound on the observable high-watermark.
+	var hold, release sync.WaitGroup
+	hold.Add(writers)
+	release.Add(1)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Inc()
+			hold.Done()
+			release.Wait()
+			for i := 0; i < perG; i++ {
+				g.Inc()
+				g.Dec()
+			}
+			g.Dec()
+		}()
+	}
+	hold.Wait()
+	if got := g.Value(); got != writers {
+		t.Fatalf("held value = %d, want %d", got, writers)
+	}
+	release.Done()
+	wg.Wait()
+
+	if got := g.Value(); got != 0 {
+		t.Fatalf("final value = %d, want 0", got)
+	}
+	if max := g.Max(); max < writers || max > writers*(perG+1) {
+		t.Fatalf("high-watermark = %d, want within [%d, %d]", max, writers, writers*(perG+1))
+	}
+}
+
+// TestIntHistogramConcurrentObservers covers the batch-size histogram's
+// concurrent path: one writer goroutine per connection observes into the
+// same histogram in the pipelined TCP client.
+func TestIntHistogramConcurrentObservers(t *testing.T) {
+	h := NewIntHistogram()
+	const (
+		writers = 8
+		perG    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(w%4 + 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Total(); got != writers*perG {
+		t.Fatalf("Total = %d, want %d", got, writers*perG)
+	}
+	if got := h.Max(); got != 4 {
+		t.Fatalf("Max = %d, want 4", got)
+	}
+}

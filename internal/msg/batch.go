@@ -1,0 +1,16 @@
+package msg
+
+// Batch carries several protocol messages in one transport frame. The
+// pipelined register client coalesces the requests queued for one server
+// into a single Batch, amortizing the per-frame encoding and syscall cost;
+// the server answers with a Batch of the corresponding replies.
+//
+// Ordering inside a batch carries no meaning: every request and reply is
+// self-identifying through its operation id, so receivers match replies to
+// operations by id, never by position. That property is what lets a server
+// drop an unrecognized element of a batch (a malformed or foreign message)
+// without desynchronizing the stream — the dropped element's operation
+// simply never completes and the client's per-operation deadline handles it.
+type Batch struct {
+	Msgs []any
+}

@@ -1,0 +1,117 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+func init() {
+	// Mirror the transport's wire-type registration: batch elements and
+	// interface-typed register values travel inside `any` fields.
+	gob.Register(ReadReq{})
+	gob.Register(ReadReply{})
+	gob.Register(WriteReq{})
+	gob.Register(WriteAck{})
+	gob.Register(Batch{})
+	gob.Register(float64(0))
+}
+
+func encodeBatch(t testing.TB, b Batch) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&b); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestBatchRoundTripMixed(t *testing.T) {
+	in := Batch{Msgs: []any{
+		ReadReq{Reg: 3, Op: 17},
+		WriteReq{Reg: 1, Op: 18, Tag: Tagged{TS: Timestamp{Seq: 4, Writer: 2}, Val: 2.5}},
+		ReadReply{Reg: 3, Op: 17, Tag: Tagged{TS: Timestamp{Seq: 9, Writer: 1}, Val: -1.0}},
+		WriteAck{Reg: 1, Op: 18},
+	}}
+	var out Batch
+	if err := gob.NewDecoder(bytes.NewReader(encodeBatch(t, in))).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", in, out)
+	}
+}
+
+func TestBatchRoundTripEmpty(t *testing.T) {
+	var out Batch
+	if err := gob.NewDecoder(bytes.NewReader(encodeBatch(t, Batch{}))).Decode(&out); err != nil {
+		t.Fatalf("decode empty batch: %v", err)
+	}
+	if len(out.Msgs) != 0 {
+		t.Fatalf("empty batch decoded to %d elements", len(out.Msgs))
+	}
+}
+
+// FuzzBatchRoundTrip builds batches of every protocol message kind from the
+// fuzzed parameters and asserts a gob round trip is lossless — the property
+// the batched TCP framing relies on.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add(uint8(4), int32(1), uint64(7), uint64(9), int32(2), 3.5)
+	f.Add(uint8(0), int32(0), uint64(0), uint64(0), int32(0), 0.0)
+	f.Add(uint8(255), int32(-5), uint64(1<<63), uint64(1), int32(-1), -12.75)
+	f.Fuzz(func(t *testing.T, n uint8, reg int32, op, seq uint64, writer int32, val float64) {
+		count := int(n % 9)
+		var in Batch
+		for i := 0; i < count; i++ {
+			r := RegisterID(reg) + RegisterID(i)
+			id := OpID(op) + OpID(i)
+			tag := Tagged{TS: Timestamp{Seq: seq + uint64(i), Writer: writer}, Val: val}
+			switch i % 4 {
+			case 0:
+				in.Msgs = append(in.Msgs, ReadReq{Reg: r, Op: id})
+			case 1:
+				in.Msgs = append(in.Msgs, WriteReq{Reg: r, Op: id, Tag: tag})
+			case 2:
+				in.Msgs = append(in.Msgs, ReadReply{Reg: r, Op: id, Tag: tag})
+			case 3:
+				in.Msgs = append(in.Msgs, WriteAck{Reg: r, Op: id})
+			}
+		}
+		var out Batch
+		if err := gob.NewDecoder(bytes.NewReader(encodeBatch(t, in))).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if count == 0 {
+			if len(out.Msgs) != 0 {
+				t.Fatalf("empty batch decoded to %d elements", len(out.Msgs))
+			}
+			return
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", in, out)
+		}
+	})
+}
+
+// FuzzBatchDecodeGarbage throws arbitrary bytes at the decoder: malformed
+// frames must surface as errors, never panics or hangs — the server relies
+// on this to reject junk without crashing.
+func FuzzBatchDecodeGarbage(f *testing.F) {
+	valid := encodeBatch(f, Batch{Msgs: []any{ReadReq{Reg: 1, Op: 2}}})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x37})
+	if len(valid) > 3 {
+		truncated := valid[:len(valid)-3]
+		f.Add(truncated)
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)/2] ^= 0x5a
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out Batch
+		// Error or success are both acceptable; panicking is not.
+		_ = gob.NewDecoder(bytes.NewReader(data)).Decode(&out)
+	})
+}

@@ -16,8 +16,14 @@ import (
 //
 // An Engine belongs to a single client process and is not safe for
 // concurrent use; the paper's model allows at most one pending operation per
-// process, and the drivers respect that.
+// process, and the drivers respect that. The discipline is enforced: every
+// state-mutating method carries a cheap atomic assertion (see opGuard) that
+// panics on concurrent entry instead of corrupting state silently. Clients
+// that want many operations in flight wrap the Engine in a Pipeline, which
+// serializes its Engine calls while overlapping the network round-trips.
 type Engine struct {
+	guard opGuard
+
 	writer   int32
 	sys      quorum.System
 	writeSys quorum.System // defaults to sys; see WithWriteSystem
@@ -125,6 +131,8 @@ func (e *Engine) Repairs() int64 { return e.repairs }
 // Replicas ignore stale repairs by timestamp, so repairs are idempotent
 // and need no acknowledgment.
 func (e *Engine) RepairTargets(s *ReadSession, result msg.Tagged) (servers []int, req msg.WriteReq) {
+	e.guard.enter()
+	defer e.guard.leave()
 	if !e.readRepair || result.TS.IsZero() {
 		return nil, msg.WriteReq{}
 	}
@@ -154,6 +162,8 @@ func (e *Engine) pick(sys quorum.System) []int {
 // BeginRead starts a read of reg: it picks the quorum and returns the
 // session the driver must complete by delivering every member's reply.
 func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
+	e.guard.enter()
+	defer e.guard.leave()
 	e.nextOp++
 	return &ReadSession{
 		Reg:     reg,
@@ -173,6 +183,8 @@ func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
 // stale replies addressed to the abandoned session fall through the
 // session's duplicate filter.
 func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
+	e.guard.enter()
+	defer e.guard.leave()
 	e.nextOp++
 	return &ReadSession{
 		Reg:     s.Reg,
@@ -190,6 +202,8 @@ func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
 // attempt converge on one installation. Only the operation id is fresh, so
 // stray acknowledgments of the abandoned attempt are ignored.
 func (e *Engine) RetryWrite(s *WriteSession) *WriteSession {
+	e.guard.enter()
+	defer e.guard.leave()
 	e.nextOp++
 	return &WriteSession{
 		Reg:    s.Reg,
@@ -204,6 +218,12 @@ func (e *Engine) RetryWrite(s *WriteSession) *WriteSession {
 // returns the value the register returns to the application. For a
 // non-monotone engine it is simply the session's maximum-timestamp value.
 func (e *Engine) FinishRead(s *ReadSession) msg.Tagged {
+	e.guard.enter()
+	defer e.guard.leave()
+	return e.finishRead(s)
+}
+
+func (e *Engine) finishRead(s *ReadSession) msg.Tagged {
 	best := s.Best()
 	if !e.monotone {
 		return best
@@ -221,6 +241,12 @@ func (e *Engine) FinishRead(s *ReadSession) msg.Tagged {
 // The paper's single-writer model has the writer of a register also reading
 // it in Alg. 1; without this the cache would be one write behind.
 func (e *Engine) ObserveOwnWrite(reg msg.RegisterID, tag msg.Tagged) {
+	e.guard.enter()
+	defer e.guard.leave()
+	e.observeOwnWrite(reg, tag)
+}
+
+func (e *Engine) observeOwnWrite(reg msg.RegisterID, tag msg.Tagged) {
 	if !e.monotone {
 		return
 	}
@@ -233,10 +259,12 @@ func (e *Engine) ObserveOwnWrite(reg msg.RegisterID, tag msg.Tagged) {
 // register's write timestamp, picks the quorum, and returns the session the
 // driver must complete by delivering every member's acknowledgment.
 func (e *Engine) BeginWrite(reg msg.RegisterID, val msg.Value) *WriteSession {
+	e.guard.enter()
+	defer e.guard.leave()
 	e.nextOp++
 	e.wts[reg]++
 	tag := msg.Tagged{TS: msg.Timestamp{Seq: e.wts[reg], Writer: e.writer}, Val: val}
-	e.ObserveOwnWrite(reg, tag)
+	e.observeOwnWrite(reg, tag)
 	return &WriteSession{
 		Reg:    reg,
 		Op:     e.nextOp,
@@ -250,8 +278,10 @@ func (e *Engine) BeginWrite(reg msg.RegisterID, val msg.Value) *WriteSession {
 // multi-writer extension uses it after a read phase has discovered the
 // current maximum timestamp; single-writer callers should use BeginWrite.
 func (e *Engine) BeginWriteWithTS(reg msg.RegisterID, tag msg.Tagged) *WriteSession {
+	e.guard.enter()
+	defer e.guard.leave()
 	e.nextOp++
-	e.ObserveOwnWrite(reg, tag)
+	e.observeOwnWrite(reg, tag)
 	return &WriteSession{
 		Reg:    reg,
 		Op:     e.nextOp,

@@ -40,8 +40,10 @@ func (e *Engine) MaskB() int { return e.maskB }
 // if enabled, applies after masking, and only successful masked reads
 // update it.
 func (e *Engine) FinishReadMasked(s *ReadSession) (msg.Tagged, bool) {
+	e.guard.enter()
+	defer e.guard.leave()
 	if e.maskB < 0 {
-		return e.FinishRead(s), true
+		return e.finishRead(s), true
 	}
 	type group struct {
 		tag   msg.Tagged

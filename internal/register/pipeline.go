@@ -1,0 +1,493 @@
+package register
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/trace"
+)
+
+// ErrRetriesExhausted is returned by a pipelined operation that timed out on
+// every quorum its retry budget allowed it to try.
+var ErrRetriesExhausted = errors.New("register: pipelined operation exhausted its retry budget")
+
+// ErrPipelineClosed is returned by operations submitted to (or pending in) a
+// Pipeline that has been closed.
+var ErrPipelineClosed = errors.New("register: pipeline closed")
+
+// SendFunc transmits one protocol request to one replica server. It must not
+// block indefinitely and must be safe for concurrent use; transports coalesce
+// the requests queued for a server into batch frames on their own schedule.
+// Delivery may fail silently (a dead connection, a dropped frame) — the
+// Pipeline's per-operation deadline re-issues the operation on a fresh quorum.
+type SendFunc func(server int, req any)
+
+// Pipeline is a concurrency-safe register client layered on an Engine that
+// keeps many operations in flight per process. The paper's model allows one
+// pending operation per process, which serializes every quorum round-trip;
+// the Pipeline relaxes exactly the part of that discipline that latency-bound
+// deployments cannot afford while preserving the guarantees the algorithm's
+// correctness actually rests on:
+//
+//   - Operations on different registers proceed fully concurrently — reads of
+//     m registers overlap their quorum round-trips instead of paying m
+//     sequential ones.
+//   - Operations on the same register are ordered per client (FIFO): an
+//     operation starts only after the previous same-register operation by
+//     this client completed. This is what keeps the monotone variant's [R4]
+//     (per-process read monotonicity) and write-timestamp ordering intact —
+//     the Engine's monotone cache and timestamp counter are only touched in
+//     per-register program order.
+//   - All Engine calls are serialized under one mutex, so the Engine's
+//     single-caller assertion (opGuard) never trips: session bookkeeping is
+//     cheap and local, and only the network fan-outs overlap.
+//
+// Replies are matched to operations by operation id (Deliver), not by
+// request/reply pairing, so a transport may deliver replies in any order,
+// deliver duplicates, or drop them entirely — a per-operation deadline
+// (PipeTimeout) re-issues abandoned operations on freshly picked quorums,
+// the paper's availability mechanism.
+type Pipeline struct {
+	mu     sync.Mutex
+	engine *Engine
+	send   SendFunc
+
+	clock func() int64
+	log   *trace.Log
+	proc  msg.NodeID
+	gauge *metrics.Gauge
+
+	opTimeout time.Duration
+	retries   int
+
+	inflight map[msg.OpID]*PendingOp
+	queues   map[msg.RegisterID][]*PendingOp
+
+	closed   bool
+	closeErr error
+	retried  atomic.Int64
+}
+
+// globalClock is the default logical clock for trace records: one atomic
+// counter shared by every Pipeline in the process, so the records of
+// concurrent clients interleave consistently.
+var globalClock atomic.Int64
+
+func nextGlobalTick() int64 { return globalClock.Add(1) }
+
+// PipelineOption configures a Pipeline.
+type PipelineOption func(*Pipeline)
+
+// PipeTrace records every completed operation into log under process
+// identity proc. Reads are recorded at completion; writes are recorded at
+// start (pending) and completed when acknowledged, so a run that stops with
+// writes in flight still validates reads against them.
+func PipeTrace(log *trace.Log, proc msg.NodeID) PipelineOption {
+	return func(p *Pipeline) { p.log = log; p.proc = proc }
+}
+
+// PipeClock overrides the logical clock used for trace timestamps. The
+// default is a process-wide atomic counter; the simulator passes its virtual
+// clock, the cluster runtime its tick counter.
+func PipeClock(clock func() int64) PipelineOption {
+	return func(p *Pipeline) { p.clock = clock }
+}
+
+// PipeGauge tracks the number of submitted-but-incomplete operations in g;
+// its high-watermark is how tests assert that operations genuinely
+// overlapped.
+func PipeGauge(g *metrics.Gauge) PipelineOption {
+	return func(p *Pipeline) { p.gauge = g }
+}
+
+// PipeTimeout arms a per-operation deadline: an operation not complete
+// within d is abandoned and re-issued on a freshly picked quorum (writes
+// keep their timestamp, so duplicate installations converge). retries caps
+// the total attempts per operation (0 = unlimited); exhaustion surfaces
+// ErrRetriesExhausted. Without PipeTimeout operations wait forever, which is
+// only safe on transports that cannot silently lose messages.
+//
+// Deadlines use wall-clock timers; do not combine with virtual-time
+// runtimes (the simulator runs the Pipeline failure-free instead).
+func PipeTimeout(d time.Duration, retries int) PipelineOption {
+	return func(p *Pipeline) { p.opTimeout = d; p.retries = retries }
+}
+
+// NewPipeline wraps engine for concurrent use, sending requests through
+// send. The Pipeline owns the engine from now on: calling Engine methods
+// directly while the Pipeline is live trips the engine's concurrency guard.
+//
+// Masking and read-repair engines are not supported (both assume the serial
+// one-op discipline for their retry/write-back decisions).
+func NewPipeline(engine *Engine, send SendFunc, opts ...PipelineOption) *Pipeline {
+	p := &Pipeline{
+		engine:   engine,
+		send:     send,
+		clock:    nextGlobalTick,
+		inflight: make(map[msg.OpID]*PendingOp),
+		queues:   make(map[msg.RegisterID][]*PendingOp),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Engine returns the wrapped engine. Callers must not invoke its methods
+// while operations are in flight.
+func (p *Pipeline) Engine() *Engine { return p.engine }
+
+// Retries returns how many times operations were re-issued on fresh quorums.
+func (p *Pipeline) Retries() int64 { return p.retried.Load() }
+
+// InFlight returns the number of submitted-but-incomplete operations.
+func (p *Pipeline) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+type opKind int
+
+const (
+	opRead opKind = iota + 1
+	opWrite
+)
+
+// PendingOp is one submitted pipeline operation. Wait blocks until it
+// completes; Done exposes the completion signal for select loops.
+type PendingOp struct {
+	kind opKind
+	reg  msg.RegisterID
+	val  msg.Value
+
+	rs       *ReadSession
+	ws       *WriteSession
+	invoke   int64
+	wsHandle int
+	attempt  int
+	timer    *time.Timer
+	finished bool
+
+	done     chan struct{}
+	callback func(msg.Tagged, error)
+	tag      msg.Tagged
+	err      error
+}
+
+// Reg returns the register the operation addresses.
+func (o *PendingOp) Reg() msg.RegisterID { return o.reg }
+
+// Done returns a channel closed when the operation completes.
+func (o *PendingOp) Done() <-chan struct{} { return o.done }
+
+// Wait blocks until the operation completes and returns its result: the
+// tagged value read (reads) or written (writes), and the terminal error if
+// the operation failed.
+func (o *PendingOp) Wait() (msg.Tagged, error) {
+	<-o.done
+	return o.tag, o.err
+}
+
+// outMsg is a request captured under the pipeline lock and sent after it is
+// released, so a transport (or the simulator) may call back into the
+// Pipeline from Send without deadlocking.
+type outMsg struct {
+	server int
+	req    any
+}
+
+// Read performs one pipelined read, blocking until it completes. Operations
+// submitted by other goroutines proceed concurrently underneath it.
+func (p *Pipeline) Read(reg msg.RegisterID) (msg.Tagged, error) {
+	return p.ReadAsync(reg).Wait()
+}
+
+// Write performs one pipelined write, blocking until it is acknowledged.
+func (p *Pipeline) Write(reg msg.RegisterID, val msg.Value) error {
+	_, err := p.WriteAsync(reg, val).Wait()
+	return err
+}
+
+// ReadAsync submits a read and returns immediately; Wait on the returned
+// operation for the result.
+func (p *Pipeline) ReadAsync(reg msg.RegisterID) *PendingOp {
+	return p.submit(opRead, reg, nil, nil)
+}
+
+// WriteAsync submits a write and returns immediately.
+func (p *Pipeline) WriteAsync(reg msg.RegisterID, val msg.Value) *PendingOp {
+	return p.submit(opWrite, reg, val, nil)
+}
+
+// ReadAsyncFunc submits a read whose completion invokes fn (outside the
+// pipeline lock, on the goroutine that completed the operation). Callback
+// submission is how single-threaded drivers — the discrete-event simulator —
+// chain pipelined operations without blocking.
+func (p *Pipeline) ReadAsyncFunc(reg msg.RegisterID, fn func(msg.Tagged, error)) *PendingOp {
+	return p.submit(opRead, reg, nil, fn)
+}
+
+// WriteAsyncFunc submits a write whose completion invokes fn.
+func (p *Pipeline) WriteAsyncFunc(reg msg.RegisterID, val msg.Value, fn func(msg.Tagged, error)) *PendingOp {
+	return p.submit(opWrite, reg, val, fn)
+}
+
+func (p *Pipeline) submit(kind opKind, reg msg.RegisterID, val msg.Value, fn func(msg.Tagged, error)) *PendingOp {
+	op := &PendingOp{kind: kind, reg: reg, val: val, done: make(chan struct{}), callback: fn}
+	p.mu.Lock()
+	if p.closed {
+		err := p.closeErr
+		p.mu.Unlock()
+		op.err = err
+		close(op.done)
+		if fn != nil {
+			fn(msg.Tagged{}, err)
+		}
+		return op
+	}
+	if p.gauge != nil {
+		p.gauge.Inc()
+	}
+	p.queues[reg] = append(p.queues[reg], op)
+	var sends []outMsg
+	if len(p.queues[reg]) == 1 {
+		p.startLocked(op, &sends)
+	}
+	p.mu.Unlock()
+	p.dispatch(sends)
+	return op
+}
+
+// startLocked begins the head-of-queue operation: it opens the engine
+// session (assigning the operation id and, for writes, the timestamp — so
+// same-register timestamps are assigned in client FIFO order), registers the
+// operation in the in-flight map, and captures the quorum fan-out.
+func (p *Pipeline) startLocked(op *PendingOp, sends *[]outMsg) {
+	op.invoke = p.clock()
+	switch op.kind {
+	case opRead:
+		op.rs = p.engine.BeginRead(op.reg)
+		p.inflight[op.rs.Op] = op
+		req := op.rs.Request()
+		for _, srv := range op.rs.Quorum {
+			*sends = append(*sends, outMsg{server: srv, req: req})
+		}
+	case opWrite:
+		op.ws = p.engine.BeginWrite(op.reg, op.val)
+		p.inflight[op.ws.Op] = op
+		if p.log != nil {
+			op.wsHandle = p.log.Begin(trace.Op{
+				Kind: trace.KindWrite, Proc: p.proc, Reg: op.reg,
+				Invoke: op.invoke, Tag: op.ws.Tag,
+			})
+		}
+		req := op.ws.Request()
+		for _, srv := range op.ws.Quorum {
+			*sends = append(*sends, outMsg{server: srv, req: req})
+		}
+	}
+	p.armTimerLocked(op)
+}
+
+func (p *Pipeline) armTimerLocked(op *PendingOp) {
+	if p.opTimeout <= 0 {
+		return
+	}
+	attempt := op.attempt
+	op.timer = time.AfterFunc(p.opTimeout, func() { p.onTimeout(op, attempt) })
+}
+
+// onTimeout re-issues a still-incomplete operation on a freshly picked
+// quorum (the paper's availability mechanism: a probabilistic quorum client
+// depends on no particular quorum). The stale session's operation id leaves
+// the in-flight map, so late replies to it are ignored.
+func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
+	p.mu.Lock()
+	if op.finished || op.attempt != attempt || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if p.retries > 0 && op.attempt+1 >= p.retries {
+		p.finishLocked(op, msg.Tagged{}, ErrRetriesExhausted)
+		var sends []outMsg
+		p.advanceQueueLocked(op.reg, &sends)
+		p.mu.Unlock()
+		p.dispatch(sends)
+		p.signal(op)
+		return
+	}
+	p.retried.Add(1)
+	op.attempt++
+	var sends []outMsg
+	switch op.kind {
+	case opRead:
+		delete(p.inflight, op.rs.Op)
+		op.rs = p.engine.RetryRead(op.rs)
+		p.inflight[op.rs.Op] = op
+		req := op.rs.Request()
+		for _, srv := range op.rs.Quorum {
+			sends = append(sends, outMsg{server: srv, req: req})
+		}
+	case opWrite:
+		delete(p.inflight, op.ws.Op)
+		op.ws = p.engine.RetryWrite(op.ws)
+		p.inflight[op.ws.Op] = op
+		req := op.ws.Request()
+		for _, srv := range op.ws.Quorum {
+			sends = append(sends, outMsg{server: srv, req: req})
+		}
+	}
+	p.armTimerLocked(op)
+	p.mu.Unlock()
+	p.dispatch(sends)
+}
+
+// Deliver feeds one server's message into the pipeline. Replies are matched
+// to operations by id; duplicates, messages for abandoned attempts, and
+// non-protocol payloads are ignored, so transports may deliver anything they
+// receive. It is safe for concurrent use.
+func (p *Pipeline) Deliver(server int, payload any) {
+	var sends []outMsg
+	var completed *PendingOp
+	p.mu.Lock()
+	switch m := payload.(type) {
+	case msg.ReadReply:
+		op := p.inflight[m.Op]
+		if op == nil || op.rs == nil {
+			break
+		}
+		if op.rs.OnReply(server, m) {
+			tag := p.engine.FinishRead(op.rs)
+			p.finishLocked(op, tag, nil)
+			p.advanceQueueLocked(op.reg, &sends)
+			completed = op
+		}
+	case msg.WriteAck:
+		op := p.inflight[m.Op]
+		if op == nil || op.ws == nil {
+			break
+		}
+		if op.ws.OnAck(server, m) {
+			p.finishLocked(op, op.ws.Tag, nil)
+			p.advanceQueueLocked(op.reg, &sends)
+			completed = op
+		}
+	}
+	p.mu.Unlock()
+	p.dispatch(sends)
+	if completed != nil {
+		p.signal(completed)
+	}
+}
+
+// finishLocked records the operation's terminal state and removes it from
+// the in-flight map. The caller signals the operation after unlocking.
+func (p *Pipeline) finishLocked(op *PendingOp, tag msg.Tagged, err error) {
+	op.finished = true
+	op.tag, op.err = tag, err
+	switch {
+	case op.rs != nil:
+		delete(p.inflight, op.rs.Op)
+	case op.ws != nil:
+		delete(p.inflight, op.ws.Op)
+	}
+	if p.log != nil {
+		respond := p.clock()
+		switch op.kind {
+		case opRead:
+			if err == nil {
+				p.log.Record(trace.Op{
+					Kind: trace.KindRead, Proc: p.proc, Reg: op.reg,
+					Invoke: op.invoke, Respond: respond, Tag: tag,
+				})
+			}
+		case opWrite:
+			if err == nil {
+				p.log.Complete(op.wsHandle, respond)
+			}
+		}
+	}
+	if p.gauge != nil {
+		p.gauge.Dec()
+	}
+}
+
+// advanceQueueLocked pops the completed head of a register's FIFO queue and
+// starts the next waiting operation, preserving per-client per-register
+// order.
+func (p *Pipeline) advanceQueueLocked(reg msg.RegisterID, sends *[]outMsg) {
+	q := p.queues[reg]
+	if len(q) == 0 {
+		return
+	}
+	q = q[1:]
+	if len(q) == 0 {
+		delete(p.queues, reg)
+		return
+	}
+	p.queues[reg] = q
+	p.startLocked(q[0], sends)
+}
+
+func (p *Pipeline) dispatch(sends []outMsg) {
+	for _, s := range sends {
+		p.send(s.server, s.req)
+	}
+}
+
+// signal completes an operation towards its waiters: stops its retry timer,
+// closes its done channel, and invokes its callback — all outside the
+// pipeline lock, so callbacks may submit follow-up operations.
+func (p *Pipeline) signal(op *PendingOp) {
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	close(op.done)
+	if op.callback != nil {
+		op.callback(op.tag, op.err)
+	}
+}
+
+// Close fails every pending and queued operation with err (defaulting to
+// ErrPipelineClosed) and makes further submissions fail immediately. It does
+// not touch the transport; callers close that separately.
+func (p *Pipeline) Close(err error) {
+	if err == nil {
+		err = ErrPipelineClosed
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.closeErr = err
+	var victims []*PendingOp
+	for _, q := range p.queues {
+		for _, op := range q {
+			if !op.finished {
+				op.finished = true
+				op.tag, op.err = msg.Tagged{}, err
+				if p.gauge != nil {
+					p.gauge.Dec()
+				}
+				victims = append(victims, op)
+			}
+		}
+	}
+	p.inflight = make(map[msg.OpID]*PendingOp)
+	p.queues = make(map[msg.RegisterID][]*PendingOp)
+	p.mu.Unlock()
+	for _, op := range victims {
+		p.signal(op)
+	}
+}

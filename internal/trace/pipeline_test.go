@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"testing"
+
+	"probquorum/internal/msg"
+)
+
+func TestCheckPipelinedWellFormedAcceptsCrossRegisterOverlap(t *testing.T) {
+	// One process, two registers, fully overlapping operations: illegal for
+	// CheckWellFormed, legal for the pipelined checker.
+	ops := []Op{
+		{Kind: KindWrite, Proc: 1, Reg: 0, Invoke: 1, Respond: 10, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 1, Writer: 1}}},
+		{Kind: KindRead, Proc: 1, Reg: 1, Invoke: 2, Respond: 9},
+		{Kind: KindRead, Proc: 1, Reg: 0, Invoke: 10, Respond: 12, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 1, Writer: 1}}},
+	}
+	if err := CheckWellFormed(ops); err == nil {
+		t.Fatalf("CheckWellFormed accepted an overlapping trace; the pipelined checker would be redundant")
+	}
+	if err := CheckPipelinedWellFormed(ops); err != nil {
+		t.Fatalf("pipelined checker rejected cross-register overlap: %v", err)
+	}
+}
+
+func TestCheckPipelinedWellFormedRejectsSameRegisterOverlap(t *testing.T) {
+	ops := []Op{
+		{Kind: KindRead, Proc: 1, Reg: 0, Invoke: 1, Respond: 10},
+		{Kind: KindRead, Proc: 1, Reg: 0, Invoke: 5, Respond: 12},
+	}
+	if err := CheckPipelinedWellFormed(ops); err == nil {
+		t.Fatalf("pipelined checker accepted same-register overlap (per-client FIFO violated)")
+	}
+}
+
+func TestCheckPipelinedWellFormedRejectsResponseBeforeInvoke(t *testing.T) {
+	ops := []Op{{Kind: KindRead, Proc: 1, Reg: 0, Invoke: 5, Respond: 3}}
+	if err := CheckPipelinedWellFormed(ops); err == nil {
+		t.Fatalf("pipelined checker accepted respond < invoke")
+	}
+}
+
+func TestCheckPipelinedWellFormedRejectsOpAfterPending(t *testing.T) {
+	ops := []Op{
+		{Kind: KindWrite, Proc: 1, Reg: 0, Invoke: 1, Pending: true},
+		{Kind: KindWrite, Proc: 1, Reg: 0, Invoke: 2, Respond: 3},
+	}
+	if err := CheckPipelinedWellFormed(ops); err == nil {
+		t.Fatalf("pipelined checker accepted an op after a never-completed one on the same register")
+	}
+	// A pending op on a DIFFERENT register is fine.
+	ops[1].Reg = 1
+	if err := CheckPipelinedWellFormed(ops); err != nil {
+		t.Fatalf("pending op blocked an unrelated register: %v", err)
+	}
+}
+
+func TestMaxInFlight(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+		want int
+	}{
+		{name: "empty", ops: nil, want: 0},
+		{name: "serial", ops: []Op{
+			{Proc: 1, Invoke: 1, Respond: 2},
+			{Proc: 1, Invoke: 2, Respond: 3}, // half-open: touching endpoints do not overlap
+		}, want: 1},
+		{name: "pair", ops: []Op{
+			{Proc: 1, Reg: 0, Invoke: 1, Respond: 10},
+			{Proc: 1, Reg: 1, Invoke: 2, Respond: 9},
+		}, want: 2},
+		{name: "distinct procs do not combine", ops: []Op{
+			{Proc: 1, Invoke: 1, Respond: 10},
+			{Proc: 2, Invoke: 2, Respond: 9},
+		}, want: 1},
+		{name: "pending stays open", ops: []Op{
+			{Proc: 1, Reg: 0, Invoke: 1, Pending: true},
+			{Proc: 1, Reg: 1, Invoke: 5, Respond: 6},
+		}, want: 2},
+		{name: "triple", ops: []Op{
+			{Proc: 1, Reg: 0, Invoke: 1, Respond: 4},
+			{Proc: 1, Reg: 1, Invoke: 2, Respond: 5},
+			{Proc: 1, Reg: 2, Invoke: 3, Respond: 6},
+		}, want: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MaxInFlight(tc.ops); got != tc.want {
+				t.Fatalf("MaxInFlight = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaxInFlightByProc(t *testing.T) {
+	ops := []Op{
+		{Proc: 1, Reg: 0, Invoke: 1, Respond: 10},
+		{Proc: 1, Reg: 1, Invoke: 2, Respond: 9},
+		{Proc: 2, Reg: 0, Invoke: 3, Respond: 4},
+	}
+	per := MaxInFlightByProc(ops)
+	if per[msg.NodeID(1)] != 2 || per[msg.NodeID(2)] != 1 {
+		t.Fatalf("per-proc max = %v, want proc1=2 proc2=1", per)
+	}
+}

@@ -1,0 +1,303 @@
+package tcp
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/trace"
+)
+
+// pipeCluster starts n loopback replica servers with every register of
+// initial and returns their addresses.
+func pipeCluster(t *testing.T, n int, initial map[msg.RegisterID]msg.Value) ([]string, []*Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := Listen(replica.New(msg.NodeID(i), initial), "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen server %d: %v", i, err)
+		}
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+		servers[i] = srv
+	}
+	return addrs, servers
+}
+
+func TestPipelinedClientReadWrite(t *testing.T) {
+	initial := map[msg.RegisterID]msg.Value{0: 0.0, 1: 0.0}
+	addrs, _ := pipeCluster(t, 5, initial)
+	c, err := DialPipelined(addrs, quorum.NewMajority(5), WithMonotone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Write(0, 1.5); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	tag, err := c.Read(0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if tag.Val != 1.5 {
+		t.Fatalf("read = %v, want 1.5", tag.Val)
+	}
+	tag, err = c.Read(1)
+	if err != nil {
+		t.Fatalf("read untouched reg: %v", err)
+	}
+	if !tag.TS.IsZero() {
+		t.Fatalf("untouched register has timestamp %v", tag.TS)
+	}
+}
+
+// TestPipelinedClientConcurrencyTraced is the TCP leg of the trace-checked
+// concurrency harness: many goroutines hammer one pipelined client, the
+// execution is trace-logged, and the checkers confirm pipelined
+// well-formedness, [R2], [R4], and genuinely overlapping operations.
+func TestPipelinedClientConcurrencyTraced(t *testing.T) {
+	const regs = 4
+	initial := map[msg.RegisterID]msg.Value{}
+	for r := 0; r < regs; r++ {
+		initial[msg.RegisterID(r)] = 0.0
+	}
+	addrs, _ := pipeCluster(t, 5, initial)
+
+	log := &trace.Log{}
+	gauge := &metrics.Gauge{}
+	hist := metrics.NewIntHistogram()
+	c, err := DialPipelined(addrs, quorum.NewMajority(5),
+		WithMonotone(), WithTrace(log), WithInFlightGauge(gauge), WithBatchHistogram(hist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				reg := msg.RegisterID((w + i) % regs)
+				if (w+i)%3 == 0 {
+					if err := c.Write(reg, float64(w*1000+i)); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				} else if _, err := c.Read(reg); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// One async burst on top, so overlap is guaranteed even if the
+	// goroutines above happen to serialize.
+	burst := make([]*register.PendingOp, regs)
+	for r := 0; r < regs; r++ {
+		burst[r] = c.ReadAsync(msg.RegisterID(r))
+	}
+	for _, op := range burst {
+		if _, err := op.Wait(); err != nil {
+			t.Fatalf("burst read: %v", err)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	ops := log.Ops()
+	if err := trace.CheckPipelinedWellFormed(ops); err != nil {
+		t.Fatalf("pipelined well-formedness: %v", err)
+	}
+	if err := trace.CheckReadsFrom(ops); err != nil {
+		t.Fatalf("[R2]: %v", err)
+	}
+	if err := trace.CheckMonotone(ops); err != nil {
+		t.Fatalf("[R4]: %v", err)
+	}
+	if got := trace.MaxInFlight(ops); got < 2 {
+		t.Fatalf("MaxInFlight = %d, want >= 2 (execution did not overlap operations)", got)
+	}
+	if gauge.Max() < 2 {
+		t.Fatalf("in-flight gauge high-watermark = %d, want >= 2", gauge.Max())
+	}
+	if hist.Total() == 0 {
+		t.Fatalf("batch histogram recorded nothing")
+	}
+	if hist.Max() > defaultMaxBatch {
+		t.Fatalf("batch of %d exceeds the %d cap", hist.Max(), defaultMaxBatch)
+	}
+}
+
+// TestPipeConnCoalesces pins the batching behaviour deterministically: five
+// requests queued before the writer runs leave in one frame.
+func TestPipeConnCoalesces(t *testing.T) {
+	registerWireTypes()
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	hist := metrics.NewIntHistogram()
+	pc := &pipeConn{
+		server:   0,
+		out:      make(chan any, 64),
+		stop:     make(chan struct{}),
+		maxBatch: 16,
+		hist:     hist,
+	}
+	pc.conn = client
+	pc.enc = gob.NewEncoder(client)
+	pc.gen = 1
+	for i := 0; i < 5; i++ {
+		pc.enqueue(msg.ReadReq{Reg: msg.RegisterID(i), Op: msg.OpID(i + 1)})
+	}
+	pc.wg.Add(1)
+	go pc.writeLoop()
+	defer func() {
+		close(pc.stop)
+		pc.wg.Wait()
+	}()
+
+	dec := gob.NewDecoder(server)
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		t.Fatalf("decode frame: %v", err)
+	}
+	batch, ok := env.Payload.(msg.Batch)
+	if !ok {
+		t.Fatalf("frame payload is %T, want msg.Batch", env.Payload)
+	}
+	if len(batch.Msgs) != 5 {
+		t.Fatalf("frame carries %d requests, want 5 coalesced", len(batch.Msgs))
+	}
+	// net.Pipe is synchronous: the decoder can return before flush() gets to
+	// record the batch size, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for hist.Max() != 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if hist.Max() != 5 {
+		t.Fatalf("batch histogram max = %d, want 5", hist.Max())
+	}
+}
+
+// TestBatchMalformedFrameSurvives sends a batch whose first element is junk:
+// the server must apply the valid element, reply with a one-element batch,
+// and keep the connection usable — op-id matching makes dropping junk safe,
+// where the strict request/reply path would have to kill the stream.
+func TestBatchMalformedFrameSurvives(t *testing.T) {
+	initial := map[msg.RegisterID]msg.Value{0: 7.0}
+	addrs, _ := pipeCluster(t, 1, initial)
+	registerWireTypes()
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	junk := msg.Batch{Msgs: []any{
+		"this is not a protocol message",
+		3.25,
+		msg.ReadReq{Reg: 0, Op: 41},
+	}}
+	if err := enc.Encode(envelope{Payload: junk}); err != nil {
+		t.Fatalf("send junk batch: %v", err)
+	}
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		t.Fatalf("reply to junk batch: %v", err)
+	}
+	replies, ok := env.Payload.(msg.Batch)
+	if !ok {
+		t.Fatalf("reply payload is %T, want msg.Batch", env.Payload)
+	}
+	if len(replies.Msgs) != 1 {
+		t.Fatalf("reply batch has %d elements, want 1 (junk dropped, valid served)", len(replies.Msgs))
+	}
+	rep, ok := replies.Msgs[0].(msg.ReadReply)
+	if !ok || rep.Op != 41 || rep.Tag.Val != 7.0 {
+		t.Fatalf("reply = %#v, want ReadReply op 41 value 7", replies.Msgs[0])
+	}
+
+	// The connection must still serve subsequent frames.
+	if err := enc.Encode(envelope{Payload: msg.Batch{Msgs: []any{msg.ReadReq{Reg: 0, Op: 42}}}}); err != nil {
+		t.Fatalf("send follow-up batch: %v", err)
+	}
+	if err := dec.Decode(&env); err != nil {
+		t.Fatalf("connection died after junk batch: %v", err)
+	}
+}
+
+// TestPipelinedClientRidesOutCrash crashes one replica mid-run; the
+// per-operation deadlines must re-issue stalled operations on fresh quorums
+// and the workload completes.
+func TestPipelinedClientRidesOutCrash(t *testing.T) {
+	initial := map[msg.RegisterID]msg.Value{0: 0.0, 1: 0.0}
+	addrs, servers := pipeCluster(t, 5, initial)
+	c, err := DialPipelined(addrs, quorum.NewMajority(5),
+		WithMonotone(), WithOpTimeout(100*time.Millisecond), WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Write(0, 1.0); err != nil {
+		t.Fatalf("warm-up write: %v", err)
+	}
+	servers[0].Store().Crash()
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; time.Now().Before(deadline) && i < 40; i++ {
+		if err := c.Write(msg.RegisterID(i%2), float64(i)); err != nil {
+			t.Fatalf("write %d with crashed replica: %v", i, err)
+		}
+		if _, err := c.Read(msg.RegisterID(i % 2)); err != nil {
+			t.Fatalf("read %d with crashed replica: %v", i, err)
+		}
+	}
+	servers[0].Store().Recover()
+	if _, err := c.Read(0); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+// TestPipelinedClientRetriesExhausted kills every replica: bounded retries
+// must surface ErrRetriesExhausted instead of hanging.
+func TestPipelinedClientRetriesExhausted(t *testing.T) {
+	initial := map[msg.RegisterID]msg.Value{0: 0.0}
+	addrs, servers := pipeCluster(t, 3, initial)
+	c, err := DialPipelined(addrs, quorum.NewAll(3),
+		WithOpTimeout(50*time.Millisecond), WithRetries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, s := range servers {
+		s.Store().Crash()
+	}
+	done := make(chan error, 1)
+	go func() { _, err := c.Read(0); done <- err }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("read against an all-crashed cluster succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("bounded retries did not surface within 10s")
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"probquorum/internal/register"
 	"probquorum/internal/replica"
 	"probquorum/internal/rng"
+	"probquorum/internal/trace"
 )
 
 // ErrQuorumUnavailable is returned when an operation exhausts its retry
@@ -68,6 +69,7 @@ func registerWireTypes() {
 		gob.Register(msg.ReadReply{})
 		gob.Register(msg.WriteReq{})
 		gob.Register(msg.WriteAck{})
+		gob.Register(msg.Batch{})
 		// Common register value types; applications with custom value
 		// types add theirs via RegisterValueType.
 		gob.Register([]float64(nil))
@@ -160,6 +162,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&env); err != nil {
 			return // connection closed or corrupt; drop it
 		}
+		if batch, ok := env.Payload.(msg.Batch); ok {
+			if !s.serveBatch(enc, batch) {
+				return
+			}
+			continue
+		}
 		reply, ok := s.store.Apply(env.Payload)
 		if !ok {
 			// Crashed store (or a non-protocol message): close the
@@ -174,6 +182,32 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveBatch applies every recognized request in a batch frame and answers
+// with one batch of replies; it reports whether the connection should stay
+// open. Unlike the strict request/reply path above, a malformed element
+// inside a well-formed frame is dropped rather than fatal: batch replies are
+// matched by operation id, not position, so skipping junk cannot
+// desynchronize the stream — the junk element's "operation" simply never
+// completes and the sender's per-operation deadline deals with it. A crashed
+// store still closes the connection, which is the client's prompt crash
+// signal.
+func (s *Server) serveBatch(enc *gob.Encoder, batch msg.Batch) bool {
+	replies := make([]any, 0, len(batch.Msgs))
+	for _, m := range batch.Msgs {
+		switch m.(type) {
+		case msg.ReadReq, msg.WriteReq:
+			reply, ok := s.store.Apply(m)
+			if !ok {
+				return false // crashed
+			}
+			replies = append(replies, reply)
+		default:
+			// Malformed or foreign element: drop it, keep the connection.
+		}
+	}
+	return enc.Encode(envelope{Payload: msg.Batch{Msgs: replies}}) == nil
 }
 
 // Close stops accepting, closes all connections, and waits for the serving
@@ -324,6 +358,13 @@ type clientOpts struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	counters    *metrics.TransportCounters
+
+	// Pipelined-client options (see DialPipelined).
+	maxBatch  int
+	batchHist *metrics.IntHistogram
+	gauge     *metrics.Gauge
+	traceLog  *trace.Log
+	clock     func() int64
 }
 
 // WithMonotone enables the monotone register variant.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package probquorum
+
+const raceEnabled = false

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Runs the pipelined-client throughput benchmark and writes the results as
+# BENCH_pipeline.json in the repo root. Usage:
+#
+#   scripts/bench.sh [benchtime]
+#
+# benchtime defaults to 2s per sub-benchmark; pass e.g. "1x" for a smoke run.
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2s}"
+out="BENCH_pipeline.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench=BenchmarkPipelineTCP -benchtime="$benchtime" -run XXX . | tee "$raw"
+
+# Convert `BenchmarkPipelineTCP/<variant>-N  iters  ns/op  ops/s` lines into
+# a JSON object keyed by variant, using only POSIX awk (no jq dependency).
+BENCHTIME="$benchtime" awk '
+BEGIN { n = 0 }
+$1 ~ /^BenchmarkPipelineTCP\// {
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    name[n] = parts[2]
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ops/s")  rate[n] = $(i - 1)
+        if ($(i) == "ns/op")  nsop[n] = $(i - 1)
+    }
+    n++
+}
+END {
+    if (n == 0) { print "no benchmark lines found" > "/dev/stderr"; exit 1 }
+    print "{"
+    printf "  \"benchmark\": \"BenchmarkPipelineTCP\",\n"
+    printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"]
+    printf "  \"results\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": {\"ops_per_sec\": %s, \"ns_per_op\": %s}%s\n", \
+            name[i], rate[i], nsop[i], (i < n - 1 ? "," : "")
+    }
+    print "  }"
+    print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out"
