@@ -37,13 +37,10 @@ type ConcurrentConfig struct {
 	Seed uint64
 	// MaxIterations caps each worker's loop; 0 means 100000.
 	MaxIterations int
-	// OpTimeout makes workers' operations retry on a fresh quorum when a
-	// quorum member does not answer in time — required to ride out server
-	// crashes injected via the returned cluster hooks. Retries bounds the
-	// attempts per operation (0 = unlimited).
-	OpTimeout time.Duration
-	// Retries is the per-operation retry budget when OpTimeout is set.
-	Retries int
+	// DriverConfig carries the per-operation deadline, retry budget, and
+	// retry backoff shared with the simulator and TCP runners. OpTimeout is
+	// required to ride out server crashes injected via Faults.
+	DriverConfig
 	// Faults, if non-nil, is called with the running cluster right after
 	// the clients are connected and before the workers start — the hook
 	// for crash, partition, and Byzantine injection.
@@ -217,6 +214,13 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 		}
 		if cfg.OpTimeout > 0 {
 			opts = append(opts, cluster.WithTimeout(cfg.OpTimeout, cfg.Retries))
+		}
+		if cfg.RetryBackoff > 0 {
+			max := cfg.RetryBackoffMax
+			if max <= 0 {
+				max = cfg.RetryBackoff
+			}
+			opts = append(opts, cluster.WithRetryBackoff(cfg.RetryBackoff, max))
 		}
 		if cfg.Masking > 0 {
 			opts = append(opts, cluster.WithMasking(cfg.Masking))

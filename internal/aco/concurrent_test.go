@@ -124,14 +124,16 @@ func TestRunConcurrentFewerProcs(t *testing.T) {
 func TestRunConcurrentWithCrashedServers(t *testing.T) {
 	g := graph.Chain(6)
 	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
-		Op:        semiring.NewAPSP(g),
-		Target:    semiring.APSPTarget(g),
-		Servers:   6,
-		System:    quorum.NewProbabilistic(6, 2),
-		Monotone:  true,
-		Seed:      11,
-		OpTimeout: 5 * time.Millisecond,
-		Retries:   500,
+		Op:       semiring.NewAPSP(g),
+		Target:   semiring.APSPTarget(g),
+		Servers:  6,
+		System:   quorum.NewProbabilistic(6, 2),
+		Monotone: true,
+		Seed:     11,
+		DriverConfig: aco.DriverConfig{
+			OpTimeout: 5 * time.Millisecond,
+			Retries:   500,
+		},
 		Faults: func(c *cluster.Cluster) {
 			c.Server(0).Crash()
 			c.Server(1).Crash()
@@ -152,15 +154,17 @@ func TestRunConcurrentWithByzantineMasking(t *testing.T) {
 	op := semiring.NewAPSP(g)
 	target := semiring.APSPTarget(g)
 	res, err := aco.RunConcurrent(aco.ConcurrentConfig{
-		Op:        op,
-		Target:    target,
-		Servers:   5,
-		System:    quorum.NewProbabilistic(5, 3),
-		Monotone:  true,
-		Seed:      12,
-		OpTimeout: 5 * time.Millisecond,
-		Retries:   2000,
-		Masking:   1,
+		Op:       op,
+		Target:   target,
+		Servers:  5,
+		System:   quorum.NewProbabilistic(5, 3),
+		Monotone: true,
+		Seed:     12,
+		DriverConfig: aco.DriverConfig{
+			OpTimeout: 5 * time.Millisecond,
+			Retries:   2000,
+		},
+		Masking: 1,
 		Faults: func(c *cluster.Cluster) {
 			c.SetByzantine(4, "POISON")
 		},

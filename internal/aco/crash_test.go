@@ -14,15 +14,15 @@ import (
 func crashConfig(n, k int, seed uint64) aco.SimConfig {
 	g := graph.Chain(n)
 	return aco.SimConfig{
-		Op:        semiring.NewAPSP(g),
-		Target:    semiring.APSPTarget(g),
-		Servers:   n,
-		System:    quorum.NewProbabilistic(n, k),
-		Monotone:  true,
-		Delay:     rng.Constant{D: time.Millisecond},
-		Seed:      seed,
-		OpTimeout: 10 * time.Millisecond,
-		MaxRounds: 2000,
+		Op:           semiring.NewAPSP(g),
+		Target:       semiring.APSPTarget(g),
+		Servers:      n,
+		System:       quorum.NewProbabilistic(n, k),
+		Monotone:     true,
+		Delay:        rng.Constant{D: time.Millisecond},
+		Seed:         seed,
+		DriverConfig: aco.DriverConfig{OpTimeout: 10 * time.Millisecond},
+		MaxRounds:    2000,
 	}
 }
 

@@ -269,7 +269,7 @@ func TestRunTCPPipelinedThroughCrashAndRecovery(t *testing.T) {
 		Monotone:      true,
 		Seed:          1,
 		MaxIterations: 20000,
-		OpTimeout:     100 * time.Millisecond,
+		DriverConfig:  aco.DriverConfig{OpTimeout: 100 * time.Millisecond},
 		Pipelined:     true,
 		Trace:         log,
 		Crashes: []aco.CrashEvent{

@@ -67,11 +67,12 @@ type SimConfig struct {
 	// not converged (the paper reports these as lower bounds). Defaults to
 	// 10000.
 	MaxRounds int
-	// OpTimeout, when positive, makes an operation whose quorum has not
-	// fully replied by the deadline retry with a fresh quorum (same
-	// timestamp for writes). Required when Crashes is non-empty: crashed
-	// servers are silent.
-	OpTimeout time.Duration
+	// DriverConfig carries the per-operation deadline and retry budget
+	// shared with the cluster and TCP runners. Deadlines are virtual-time
+	// events here; the wall-clock backoff fields are ignored. A process
+	// whose operation exhausts a non-zero Retries budget aborts the run
+	// with register.ErrQuorumUnavailable.
+	DriverConfig
 	// Crashes schedules replica crash/recovery events at virtual times,
 	// exercising the availability story end-to-end.
 	Crashes []CrashEvent
@@ -118,11 +119,6 @@ type SimResult struct {
 	// component, the maximum-timestamp value across all replicas.
 	Final []msg.Value
 }
-
-const (
-	phaseRead = iota + 1
-	phaseWrite
-)
 
 // monitor tracks convergence and round structure across all processes. A
 // round is the minimal contiguous window in which every process completes
@@ -194,7 +190,11 @@ func (mo *monitor) iterationDone(ctx *sim.Context, proc int, start sim.Time, cor
 
 // procNode is one application process of Alg. 1 as a simulator state
 // machine: read all m registers (sequentially), apply F to the view,
-// write the owned registers, check convergence, repeat.
+// write the owned registers, check convergence, repeat. The register
+// protocol itself — quorum sessions, retry on a fresh quorum, repair
+// dispatch — lives in register.Operation; this node only carries the
+// iteration structure and pushes the Operation's fan-outs into the
+// simulator's message layer.
 type procNode struct {
 	idx     int
 	engine  *register.Engine
@@ -209,17 +209,18 @@ type procNode struct {
 	view    []msg.Value
 	newVals []msg.Value // recomputed owned values, parallel to owned
 
-	phase     int
+	reading   bool // current phase: reading the view vs writing owned
 	cursor    int
-	rs        *register.ReadSession
-	ws        *register.WriteSession
+	cur       *register.Operation
 	iterStart sim.Time
 	opInvoke  sim.Time
 	wsHandle  int // trace handle of the in-flight write, if tr != nil
 
 	timeout time.Duration
-	attempt uint64 // increments per (re)issued operation; stale timers no-op
+	budget  int    // per-operation attempt cap (0 = unlimited)
+	attempt uint64 // increments per (re)issued fan-out; stale timers no-op
 	retries int64
+	err     error // first quorum-unavailability failure; aborts the run
 }
 
 var _ sim.Handler = (*procNode)(nil)
@@ -232,7 +233,7 @@ func (p *procNode) Init(ctx *sim.Context) {
 
 func (p *procNode) startIteration(ctx *sim.Context) {
 	p.iterStart = ctx.Now()
-	p.phase = phaseRead
+	p.reading = true
 	p.cursor = 0
 	p.beginRead(ctx)
 }
@@ -244,13 +245,49 @@ func (p *procNode) armTimeout(ctx *sim.Context) {
 	}
 }
 
-func (p *procNode) beginRead(ctx *sim.Context) {
-	p.rs = p.engine.BeginRead(msg.RegisterID(p.cursor))
-	p.opInvoke = ctx.Now()
-	req := p.rs.Request()
-	for _, s := range p.rs.Quorum {
-		ctx.Send(msg.NodeID(s), req)
+func (p *procNode) dispatch(ctx *sim.Context, sends []register.Send) {
+	for _, s := range sends {
+		ctx.Send(msg.NodeID(s.Server), s.Req)
 	}
+}
+
+func (p *procNode) beginRead(ctx *sim.Context) {
+	p.cur = p.engine.NewReadOp(msg.RegisterID(p.cursor), p.budget)
+	p.opInvoke = ctx.Now()
+	p.dispatch(ctx, p.cur.Start())
+	p.armTimeout(ctx)
+}
+
+func (p *procNode) beginWrite(ctx *sim.Context) {
+	comp := p.owned[p.cursor]
+	p.cur = p.engine.NewWriteOp(msg.RegisterID(comp), p.newVals[p.cursor], p.budget)
+	p.opInvoke = ctx.Now()
+	sends := p.cur.Start()
+	if p.tr != nil {
+		// Writes are logged at invocation so that reads observing a write
+		// still in flight when the run stops can be validated against it.
+		p.wsHandle = p.tr.Begin(trace.Op{
+			Kind: trace.KindWrite, Proc: p.self, Reg: p.cur.Reg(),
+			Invoke: int64(p.opInvoke), Tag: p.cur.PendingTag(),
+		})
+	}
+	p.dispatch(ctx, sends)
+	p.armTimeout(ctx)
+}
+
+// retryOp reissues the current operation on a freshly picked quorum (writes
+// keep their timestamp). An exhausted retry budget aborts the whole run:
+// under the configured fault load no quorum answered this process in time.
+func (p *procNode) retryOp(ctx *sim.Context) {
+	sends, err := p.cur.Retry()
+	if err != nil {
+		p.err = fmt.Errorf("aco: proc %d: %s reg %d: %w after %d attempts",
+			p.idx, p.cur.Desc(), p.cur.Reg(), err, p.cur.Attempts())
+		ctx.Stop()
+		return
+	}
+	p.retries++
+	p.dispatch(ctx, sends)
 	p.armTimeout(ctx)
 }
 
@@ -262,97 +299,59 @@ func (p *procNode) Timer(ctx *sim.Context, _ int, payload any) {
 	if !ok || att != p.attempt || ctx.Stopped() {
 		return // a newer operation superseded this deadline
 	}
-	switch {
-	case p.phase == phaseRead && p.rs != nil && !p.rs.Done():
-		p.retries++
-		p.beginRead(ctx)
-	case p.phase == phaseWrite && p.ws != nil && !p.ws.Done():
-		p.retries++
-		tag := p.ws.Tag
-		p.ws = p.engine.BeginWriteWithTS(msg.RegisterID(p.owned[p.cursor]), tag)
-		req := p.ws.Request()
-		for _, s := range p.ws.Quorum {
-			ctx.Send(msg.NodeID(s), req)
-		}
-		p.armTimeout(ctx)
+	if p.cur == nil || p.cur.Done() || p.err != nil {
+		return
 	}
-}
-
-func (p *procNode) beginWrite(ctx *sim.Context) {
-	comp := p.owned[p.cursor]
-	p.ws = p.engine.BeginWrite(msg.RegisterID(comp), p.newVals[p.cursor])
-	p.opInvoke = ctx.Now()
-	if p.tr != nil {
-		// Writes are logged at invocation so that reads observing a write
-		// still in flight when the run stops can be validated against it.
-		p.wsHandle = p.tr.Begin(trace.Op{
-			Kind: trace.KindWrite, Proc: p.self, Reg: p.ws.Reg,
-			Invoke: int64(p.opInvoke), Tag: p.ws.Tag,
-		})
-	}
-	req := p.ws.Request()
-	for _, s := range p.ws.Quorum {
-		ctx.Send(msg.NodeID(s), req)
-	}
-	p.armTimeout(ctx)
+	p.retryOp(ctx)
 }
 
 func (p *procNode) Recv(ctx *sim.Context, from msg.NodeID, m any) {
-	switch rep := m.(type) {
-	case msg.ReadReply:
-		if p.phase != phaseRead || p.rs == nil {
-			return // stale reply from a completed operation
-		}
-		if !p.rs.OnReply(int(from), rep) {
-			return
-		}
-		tag := p.engine.FinishRead(p.rs)
+	if p.cur == nil || p.cur.Done() || p.err != nil {
+		return // stale reply from a completed operation
+	}
+	// Repair write-backs ride along in the returned fan-out: fire-and-forget,
+	// replicas drop stale installs and stray acks are filtered by op id.
+	p.dispatch(ctx, p.cur.Deliver(int(from), m))
+	if p.cur.Rejected() {
+		p.retryOp(ctx) // masked read outvoted; draw a fresh quorum now
+		return
+	}
+	if !p.cur.Done() {
+		return
+	}
+	if p.reading {
+		tag := p.cur.Result()
 		if p.tr != nil {
 			p.tr.Record(trace.Op{
-				Kind: trace.KindRead, Proc: p.self, Reg: p.rs.Reg,
+				Kind: trace.KindRead, Proc: p.self, Reg: p.cur.Reg(),
 				Invoke: int64(p.opInvoke), Respond: int64(ctx.Now()), Tag: tag,
 			})
 		}
-		if servers, repair := p.engine.RepairTargets(p.rs, tag); len(servers) > 0 {
-			// Fire-and-forget write-back; replicas drop it if already
-			// newer, and the stray acks are filtered by operation id.
-			for _, s := range servers {
-				ctx.Send(msg.NodeID(s), repair)
-			}
-		}
 		p.view[p.cursor] = tag.Val
-		p.rs = nil
 		p.cursor++
 		if p.cursor < p.m {
 			p.beginRead(ctx)
 			return
 		}
 		p.computePhase(ctx)
-	case msg.WriteAck:
-		if p.phase != phaseWrite || p.ws == nil {
-			return
-		}
-		if !p.ws.OnAck(int(from), rep) {
-			return
-		}
-		if p.tr != nil {
-			p.tr.Complete(p.wsHandle, int64(ctx.Now()))
-		}
-		p.ws = nil
-		p.cursor++
-		if p.cursor < len(p.owned) {
-			p.beginWrite(ctx)
-			return
-		}
-		p.finishIteration(ctx)
+		return
 	}
+	if p.tr != nil {
+		p.tr.Complete(p.wsHandle, int64(ctx.Now()))
+	}
+	p.cursor++
+	if p.cursor < len(p.owned) {
+		p.beginWrite(ctx)
+		return
+	}
+	p.finishIteration(ctx)
 }
 
 func (p *procNode) computePhase(ctx *sim.Context) {
 	for li, comp := range p.owned {
 		p.newVals[li] = p.op.Apply(comp, p.view)
 	}
-	p.phase = phaseWrite
+	p.reading = false
 	p.cursor = 0
 	p.beginWrite(ctx)
 }
@@ -516,6 +515,7 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 			tr:      cfg.Trace,
 			self:    msg.NodeID(cfg.Servers + pi),
 			timeout: cfg.OpTimeout,
+			budget:  cfg.Retries,
 		}
 		nodes[pi] = node
 		s.Add(node.self, node)
@@ -528,9 +528,13 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 		cacheHits += e.CacheHits()
 	}
 	for _, node := range nodes {
-		if node != nil {
-			retries += node.retries
+		if node == nil {
+			continue
 		}
+		if node.err != nil {
+			return SimResult{}, node.err
+		}
+		retries += node.retries
 	}
 	rounds := mon.roundsConv
 	if !mon.converged {

@@ -75,14 +75,14 @@ func TestSmallModelSweepWithFaults(t *testing.T) {
 	target := semiring.APSPTarget(g)
 	for seed := uint64(1); seed <= 10; seed++ {
 		res, err := aco.RunSim(aco.SimConfig{
-			Op:        op,
-			Target:    target,
-			Servers:   4,
-			System:    quorum.NewProbabilistic(4, 2),
-			Monotone:  true,
-			Delay:     rng.Exponential{MeanD: time.Millisecond},
-			Seed:      seed,
-			OpTimeout: 15 * time.Millisecond,
+			Op:           op,
+			Target:       target,
+			Servers:      4,
+			System:       quorum.NewProbabilistic(4, 2),
+			Monotone:     true,
+			Delay:        rng.Exponential{MeanD: time.Millisecond},
+			Seed:         seed,
+			DriverConfig: aco.DriverConfig{OpTimeout: 15 * time.Millisecond},
 			Crashes: []aco.CrashEvent{
 				{At: 3 * time.Millisecond, Server: int(seed) % 4},
 				{At: 50 * time.Millisecond, Server: int(seed) % 4, Recover: true},

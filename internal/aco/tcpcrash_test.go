@@ -29,7 +29,7 @@ func TestRunTCPConvergesThroughCrashAndRecovery(t *testing.T) {
 		Monotone:      true,
 		Seed:          1,
 		MaxIterations: 20000,
-		OpTimeout:     100 * time.Millisecond,
+		DriverConfig:  aco.DriverConfig{OpTimeout: 100 * time.Millisecond},
 		Crashes: []aco.CrashEvent{
 			{At: 0, Server: 1},
 			{At: 150 * time.Millisecond, Server: 1, Recover: true},
@@ -69,14 +69,14 @@ func TestRunTCPCrashScheduleRequiresTimeout(t *testing.T) {
 		t.Fatal("crash schedule without OpTimeout accepted")
 	}
 	_, err = aco.RunTCP(aco.TCPConfig{
-		Op:        semiring.NewAPSP(g),
-		Target:    semiring.APSPTarget(g),
-		Servers:   4,
-		Procs:     2,
-		System:    quorum.NewProbabilistic(4, 2),
-		Seed:      1,
-		OpTimeout: 10 * time.Millisecond,
-		Crashes:   []aco.CrashEvent{{At: time.Millisecond, Server: 99}},
+		Op:           semiring.NewAPSP(g),
+		Target:       semiring.APSPTarget(g),
+		Servers:      4,
+		Procs:        2,
+		System:       quorum.NewProbabilistic(4, 2),
+		Seed:         1,
+		DriverConfig: aco.DriverConfig{OpTimeout: 10 * time.Millisecond},
+		Crashes:      []aco.CrashEvent{{At: time.Millisecond, Server: 99}},
 	})
 	if err == nil {
 		t.Fatal("out-of-range crash server accepted")
@@ -98,8 +98,10 @@ func TestRunTCPAllCrashedFailsFast(t *testing.T) {
 		System:        quorum.NewProbabilistic(4, 2),
 		Seed:          3,
 		MaxIterations: 1_000_000,
-		OpTimeout:     30 * time.Millisecond,
-		Retries:       3,
+		DriverConfig: aco.DriverConfig{
+			OpTimeout: 30 * time.Millisecond,
+			Retries:   3,
+		},
 		Crashes: []aco.CrashEvent{
 			{At: 0, Server: 0},
 			{At: 0, Server: 1},

@@ -38,15 +38,12 @@ type TCPConfig struct {
 	Seed uint64
 	// MaxIterations caps each worker's loop; 0 means 10000.
 	MaxIterations int
-	// OpTimeout bounds every per-member TCP exchange and makes failed
-	// operations retry on freshly picked quorums (the paper's availability
-	// mechanism). Required when Crashes is non-empty: crashed servers never
-	// reply, so operations can only make progress by timing out and
-	// re-picking.
-	OpTimeout time.Duration
-	// Retries caps the attempts per operation when OpTimeout is set
-	// (0 = unlimited). Exhaustion surfaces tcp.ErrQuorumUnavailable.
-	Retries int
+	// DriverConfig carries the per-operation deadline, retry budget, and
+	// retry backoff shared with the simulator and cluster runners.
+	// OpTimeout is required when Crashes is non-empty: crashed servers
+	// never reply, so operations can only make progress by timing out and
+	// re-picking. Exhausting Retries surfaces register.ErrQuorumUnavailable.
+	DriverConfig
 	// Crashes schedules replica crashes and recoveries at wall-clock
 	// offsets from the start of the worker phase — the TCP analogue of
 	// SimConfig.Crashes (CrashEvent.At is real elapsed time here, not
@@ -60,8 +57,7 @@ type TCPConfig struct {
 	// into one frame per server (0 = transport default). 1 disables
 	// coalescing — the ablation the batching benchmarks compare against.
 	MaxBatch int
-	// Trace optionally records every register operation (pipelined mode
-	// only; the serial TCP client does not trace).
+	// Trace optionally records every register operation.
 	Trace *trace.Log
 	// Gauge, if non-nil, tracks the pipelined workers' in-flight operation
 	// count (pipelined mode only).
@@ -152,12 +148,19 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		if cfg.OpTimeout > 0 {
 			opts = append(opts, tcp.WithOpTimeout(cfg.OpTimeout), tcp.WithRetries(cfg.Retries))
 		}
+		if cfg.RetryBackoff > 0 {
+			max := cfg.RetryBackoffMax
+			if max <= 0 {
+				max = cfg.RetryBackoff
+			}
+			opts = append(opts, tcp.WithRetryBackoff(cfg.RetryBackoff, max))
+		}
+		if cfg.Trace != nil {
+			opts = append(opts, tcp.WithTrace(cfg.Trace))
+		}
 		if cfg.Pipelined {
 			if cfg.MaxBatch > 0 {
 				opts = append(opts, tcp.WithMaxBatch(cfg.MaxBatch))
-			}
-			if cfg.Trace != nil {
-				opts = append(opts, tcp.WithTrace(cfg.Trace))
 			}
 			if cfg.Gauge != nil {
 				opts = append(opts, tcp.WithInFlightGauge(cfg.Gauge))

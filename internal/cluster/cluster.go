@@ -25,6 +25,7 @@ import (
 	"probquorum/internal/replica"
 	"probquorum/internal/rng"
 	"probquorum/internal/trace"
+	"probquorum/internal/transport"
 )
 
 // ErrClosed is returned by operations on a closed cluster.
@@ -33,7 +34,11 @@ var ErrClosed = errors.New("cluster: closed")
 // ErrTooManyRetries is returned when an operation exhausts its retry budget
 // (for example because too many servers have crashed for any quorum to
 // answer).
-var ErrTooManyRetries = errors.New("cluster: operation retries exhausted")
+//
+// Deprecated: it is now an alias for register.ErrQuorumUnavailable, the
+// single typed unavailability error shared by every transport; match with
+// errors.Is against either name.
+var ErrTooManyRetries = register.ErrQuorumUnavailable
 
 type envelope struct {
 	from    msg.NodeID
@@ -262,32 +267,81 @@ func (c *Cluster) deliverToClient(client, from msg.NodeID, payload any) {
 	c.deliver(ch, envelope{from: from, payload: payload})
 }
 
-// Client is one application process's blocking register interface.
+// clusterTransport adapts one client's slice of the cluster to the
+// transport.Transport seam: Send routes through the cluster's delivery
+// machinery (delays, partitions, message counting) and a pump goroutine
+// drains the client's inbox into the bound sink. The register layer on top
+// owns all protocol logic.
+type clusterTransport struct {
+	c     *Cluster
+	id    msg.NodeID
+	inbox chan envelope
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (t *clusterTransport) N() int { return len(t.c.servers) }
+
+func (t *clusterTransport) Bind(sink transport.Sink) {
+	go func() {
+		for {
+			select {
+			case env := <-t.inbox:
+				sink(int(env.from), env.payload, nil)
+			case <-t.c.stop:
+				sink(transport.Broadcast, nil, ErrClosed)
+				return
+			case <-t.done:
+				return
+			}
+		}
+	}()
+}
+
+// Send never fails: partition drops and crashed servers surface as missing
+// replies, which the client's deadline machinery handles.
+func (t *clusterTransport) Send(server int, req any) error {
+	t.c.deliverToServer(t.id, server, req)
+	return nil
+}
+
+func (t *clusterTransport) Close() error {
+	t.once.Do(func() {
+		t.c.mu.Lock()
+		delete(t.c.clients, t.id)
+		t.c.mu.Unlock()
+		close(t.done)
+	})
+	return nil
+}
+
+// Client is one application process's blocking register interface: a thin
+// adapter binding a transport-agnostic register.Client to this cluster.
 type Client struct {
-	c       *Cluster
-	id      msg.NodeID
-	engine  *register.Engine
-	inbox   chan envelope
-	timeout time.Duration
-	retries int
-	log     *trace.Log
-	latency *metrics.LatencyHist
+	c      *Cluster
+	id     msg.NodeID
+	engine *register.Engine
+	rc     *register.Client
+	tr     *clusterTransport
 }
 
 // ClientOption configures a client.
 type ClientOption func(*clientConfig)
 
 type clientConfig struct {
-	monotone   bool
-	readRepair bool
-	maskB      int
-	masking    bool
-	timeout    time.Duration
-	retries    int
-	log        *trace.Log
-	tally      *metrics.AccessTally
-	latency    *metrics.LatencyHist
-	gauge      *metrics.Gauge // pipelined clients only
+	monotone    bool
+	readRepair  bool
+	maskB       int
+	masking     bool
+	timeout     time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	log         *trace.Log
+	tally       *metrics.AccessTally
+	latency     *metrics.LatencyHist
+	counters    *metrics.TransportCounters
+	gauge       *metrics.Gauge // pipelined clients only
 }
 
 // WithMonotone enables the monotone register variant for this client.
@@ -331,6 +385,21 @@ func WithLatency(h *metrics.LatencyHist) ClientOption {
 	return func(c *clientConfig) { c.latency = h }
 }
 
+// WithTransportCounters shares tc with the client: retries, plus the logical
+// message counts (one MsgsSent per request handed to the cluster, one
+// MsgsRecv per reply delivered back) for cross-transport message-complexity
+// comparisons.
+func WithTransportCounters(tc *metrics.TransportCounters) ClientOption {
+	return func(c *clientConfig) { c.counters = tc }
+}
+
+// WithRetryBackoff sleeps before each retry: base doubled per attempt,
+// capped at max. Zero base (the default) retries immediately, which suits
+// the in-process cluster's microsecond round-trips.
+func WithRetryBackoff(base, max time.Duration) ClientOption {
+	return func(c *clientConfig) { c.backoffBase = base; c.backoffMax = max }
+}
+
 // NewClient registers a new client process using the given quorum system.
 func (c *Cluster) NewClient(sys quorum.System, opts ...ClientOption) (*Client, error) {
 	if sys.N() != len(c.servers) {
@@ -365,15 +434,32 @@ func (c *Cluster) NewClient(sys quorum.System, opts ...ClientOption) (*Client, e
 		eopts = append(eopts, register.WithTally(cc.tally))
 	}
 	engine := register.NewEngine(int32(id), sys, rng.Derive(c.seed, fmt.Sprintf("cluster.client.%d", id)), eopts...)
+	tr := &clusterTransport{c: c, id: id, inbox: inbox, done: make(chan struct{})}
+	ropts := []register.ClientOption{
+		register.WithOpTimeout(cc.timeout),
+		register.WithRetries(cc.retries),
+		register.WithClock(c.tick),
+	}
+	if cc.log != nil {
+		ropts = append(ropts, register.WithTrace(cc.log, id))
+	}
+	if cc.latency != nil {
+		ropts = append(ropts, register.WithLatency(cc.latency))
+	}
+	if cc.backoffBase > 0 {
+		ropts = append(ropts, register.WithRetryBackoff(cc.backoffBase, cc.backoffMax))
+	}
+	var rt transport.Transport = tr
+	if cc.counters != nil {
+		ropts = append(ropts, register.WithTransportCounters(cc.counters))
+		rt = transport.Instrument(tr, cc.counters)
+	}
 	return &Client{
-		c:       c,
-		id:      id,
-		engine:  engine,
-		inbox:   inbox,
-		timeout: cc.timeout,
-		retries: cc.retries,
-		log:     cc.log,
-		latency: cc.latency,
+		c:      c,
+		id:     id,
+		engine: engine,
+		rc:     register.NewClient(engine, rt, ropts...),
+		tr:     tr,
 	}, nil
 }
 
@@ -383,9 +469,7 @@ func (cl *Client) ID() msg.NodeID { return cl.id }
 // Detach unregisters the client from the cluster: subsequent deliveries to
 // it are dropped. The client must not be used afterwards.
 func (cl *Client) Detach() {
-	cl.c.mu.Lock()
-	delete(cl.c.clients, cl.id)
-	cl.c.mu.Unlock()
+	cl.tr.Close()
 }
 
 // Engine exposes the client's register engine (tests inspect cache hits).
@@ -393,141 +477,21 @@ func (cl *Client) Engine() *register.Engine { return cl.engine }
 
 // Read performs one read of reg and returns the tagged value.
 func (cl *Client) Read(reg msg.RegisterID) (msg.Tagged, error) {
-	if cl.latency != nil {
-		start := time.Now()
-		defer func() { cl.latency.Observe(time.Since(start)) }()
-	}
-	invoke := cl.c.tick()
-	attempts := 0
-	var s *register.ReadSession
-	for {
-		if s == nil {
-			s = cl.engine.BeginRead(reg)
-		} else {
-			s = cl.engine.RetryRead(s)
-		}
-		req := s.Request()
-		for _, srv := range s.Quorum {
-			cl.c.deliverToServer(cl.id, srv, req)
-		}
-		ok, err := cl.await(func(env envelope) bool {
-			rep, isRep := env.payload.(msg.ReadReply)
-			if !isRep {
-				return false
-			}
-			return s.OnReply(int(env.from), rep)
-		})
-		if err != nil {
-			return msg.Tagged{}, err
-		}
-		if ok {
-			tag, accepted := cl.engine.FinishReadMasked(s)
-			if !accepted {
-				// Not enough identical votes under b-masking: retry with a
-				// fresh quorum, charging the retry budget.
-				if attempts++; cl.retries > 0 && attempts > cl.retries {
-					return msg.Tagged{}, fmt.Errorf("read reg %d: %w", reg, ErrTooManyRetries)
-				}
-				continue
-			}
-			if cl.log != nil {
-				cl.log.Record(trace.Op{
-					Kind: trace.KindRead, Proc: cl.id, Reg: reg,
-					Invoke: invoke, Respond: cl.c.tick(), Tag: tag,
-				})
-			}
-			if servers, repair := cl.engine.RepairTargets(s, tag); len(servers) > 0 {
-				for _, srv := range servers {
-					cl.c.deliverToServer(cl.id, srv, repair)
-				}
-			}
-			return tag, nil
-		}
-		if attempts++; cl.retries > 0 && attempts > cl.retries {
-			return msg.Tagged{}, fmt.Errorf("read reg %d: %w", reg, ErrTooManyRetries)
-		}
-	}
+	return cl.rc.Read(reg)
 }
 
 // ReadAtomic performs an ABD-style atomic read: a quorum read followed by a
 // write-back of the observed value to a full (write-)quorum, awaited before
 // returning. Over a strict quorum system this yields single-writer
-// atomicity — once a reader returns a value, every later read (by anyone)
-// sees it or newer — the classic construction the paper's Section 8 points
-// to for building stronger registers. Over a probabilistic system the
-// write-back still helps freshness but atomicity only holds with high
-// probability; the tests discriminate the two with trace.CheckAtomic.
+// atomicity; over a probabilistic system atomicity holds with high
+// probability (see register.Client.ReadAtomic).
 func (cl *Client) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
-	if cl.latency != nil {
-		start := time.Now()
-		defer func() { cl.latency.Observe(time.Since(start)) }()
-	}
-	invoke := cl.c.tick()
-	attempts := 0
-	var s *register.ReadSession
-	for {
-		if s == nil {
-			s = cl.engine.BeginRead(reg)
-		} else {
-			s = cl.engine.RetryRead(s)
-		}
-		req := s.Request()
-		for _, srv := range s.Quorum {
-			cl.c.deliverToServer(cl.id, srv, req)
-		}
-		ok, err := cl.await(func(env envelope) bool {
-			rep, isRep := env.payload.(msg.ReadReply)
-			if !isRep {
-				return false
-			}
-			return s.OnReply(int(env.from), rep)
-		})
-		if err != nil {
-			return msg.Tagged{}, err
-		}
-		if !ok {
-			if attempts++; cl.retries > 0 && attempts > cl.retries {
-				return msg.Tagged{}, fmt.Errorf("atomic read reg %d: %w", reg, ErrTooManyRetries)
-			}
-			continue
-		}
-		tag := cl.engine.FinishRead(s)
-		// Phase 2: write the observed value back to a fresh quorum and wait
-		// for every acknowledgment before returning.
-		ws := cl.engine.BeginWriteWithTS(reg, tag)
-		wreq := ws.Request()
-		for _, srv := range ws.Quorum {
-			cl.c.deliverToServer(cl.id, srv, wreq)
-		}
-		ok, err = cl.await(func(env envelope) bool {
-			ack, isAck := env.payload.(msg.WriteAck)
-			if !isAck {
-				return false
-			}
-			return ws.OnAck(int(env.from), ack)
-		})
-		if err != nil {
-			return msg.Tagged{}, err
-		}
-		if !ok {
-			if attempts++; cl.retries > 0 && attempts > cl.retries {
-				return msg.Tagged{}, fmt.Errorf("atomic read write-back reg %d: %w", reg, ErrTooManyRetries)
-			}
-			continue
-		}
-		if cl.log != nil {
-			cl.log.Record(trace.Op{
-				Kind: trace.KindRead, Proc: cl.id, Reg: reg,
-				Invoke: invoke, Respond: cl.c.tick(), Tag: tag,
-			})
-		}
-		return tag, nil
-	}
+	return cl.rc.ReadAtomic(reg)
 }
 
 // Write performs one single-writer write of val to reg.
 func (cl *Client) Write(reg msg.RegisterID, val msg.Value) error {
-	_, err := cl.write(func() *register.WriteSession { return cl.engine.BeginWrite(reg, val) }, reg)
+	_, err := cl.rc.Write(reg, val)
 	return err
 }
 
@@ -536,81 +500,5 @@ func (cl *Client) Write(reg msg.RegisterID, val msg.Value) error {
 // (the paper's Section 8 extension built from known register algorithms).
 // It returns the timestamp the write carried.
 func (cl *Client) WriteMulti(reg msg.RegisterID, val msg.Value) (msg.Timestamp, error) {
-	cur, err := cl.Read(reg)
-	if err != nil {
-		return msg.Timestamp{}, fmt.Errorf("multi-writer read phase: %w", err)
-	}
-	ts := cl.engine.NextMultiWriterTS(cur.TS)
-	tag := msg.Tagged{TS: ts, Val: val}
-	_, err = cl.write(func() *register.WriteSession { return cl.engine.BeginWriteWithTS(reg, tag) }, reg)
-	return ts, err
-}
-
-func (cl *Client) write(begin func() *register.WriteSession, reg msg.RegisterID) (msg.Tagged, error) {
-	if cl.latency != nil {
-		start := time.Now()
-		defer func() { cl.latency.Observe(time.Since(start)) }()
-	}
-	invoke := cl.c.tick()
-	attempts := 0
-	var s *register.WriteSession
-	for {
-		if s == nil {
-			s = begin()
-		} else {
-			// A retried write is the same logical write on a fresh quorum:
-			// the timestamp is preserved (replicas deduplicate by it), only
-			// the operation id and quorum are new.
-			s = cl.engine.RetryWrite(s)
-		}
-		req := s.Request()
-		for _, srv := range s.Quorum {
-			cl.c.deliverToServer(cl.id, srv, req)
-		}
-		ok, err := cl.await(func(env envelope) bool {
-			ack, isAck := env.payload.(msg.WriteAck)
-			if !isAck {
-				return false
-			}
-			return s.OnAck(int(env.from), ack)
-		})
-		if err != nil {
-			return msg.Tagged{}, err
-		}
-		if ok {
-			if cl.log != nil {
-				cl.log.Record(trace.Op{
-					Kind: trace.KindWrite, Proc: cl.id, Reg: reg,
-					Invoke: invoke, Respond: cl.c.tick(), Tag: s.Tag,
-				})
-			}
-			return s.Tag, nil
-		}
-		if attempts++; cl.retries > 0 && attempts > cl.retries {
-			return msg.Tagged{}, fmt.Errorf("write reg %d: %w", reg, ErrTooManyRetries)
-		}
-	}
-}
-
-// await pumps the inbox into done until it reports completion, the
-// per-attempt timeout expires (ok=false), or the cluster closes (error).
-func (cl *Client) await(done func(envelope) bool) (bool, error) {
-	var timeoutC <-chan time.Time
-	if cl.timeout > 0 {
-		t := time.NewTimer(cl.timeout)
-		defer t.Stop()
-		timeoutC = t.C
-	}
-	for {
-		select {
-		case env := <-cl.inbox:
-			if done(env) {
-				return true, nil
-			}
-		case <-timeoutC:
-			return false, nil
-		case <-cl.c.stop:
-			return false, ErrClosed
-		}
-	}
+	return cl.rc.WriteMulti(reg, val)
 }

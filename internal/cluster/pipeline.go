@@ -9,6 +9,7 @@ import (
 	"probquorum/internal/quorum"
 	"probquorum/internal/register"
 	"probquorum/internal/rng"
+	"probquorum/internal/transport"
 )
 
 // This file layers the pipelined register client onto the cluster runtime:
@@ -32,7 +33,7 @@ type PipeClient struct {
 	id        msg.NodeID
 	engine    *register.Engine
 	pl        *register.Pipeline
-	done      chan struct{}
+	tr        *clusterTransport
 	closeOnce sync.Once
 }
 
@@ -75,8 +76,8 @@ func (c *Cluster) NewPipeline(sys quorum.System, opts ...ClientOption) (*PipeCli
 	}
 	engine := register.NewEngine(int32(id), sys, rng.Derive(c.seed, fmt.Sprintf("cluster.pipeclient.%d", id)), eopts...)
 
-	pc := &PipeClient{c: c, id: id, engine: engine, done: make(chan struct{})}
-	send := func(server int, req any) { c.deliverToServer(id, server, req) }
+	tr := &clusterTransport{c: c, id: id, inbox: inbox, done: make(chan struct{})}
+	pc := &PipeClient{c: c, id: id, engine: engine, tr: tr}
 	plOpts := []register.PipelineOption{
 		register.PipeClock(func() int64 { return c.tick() }),
 		register.PipeTimeout(cc.timeout, cc.retries),
@@ -87,22 +88,11 @@ func (c *Cluster) NewPipeline(sys quorum.System, opts ...ClientOption) (*PipeCli
 	if cc.gauge != nil {
 		plOpts = append(plOpts, register.PipeGauge(cc.gauge))
 	}
-	pc.pl = register.NewPipeline(engine, send, plOpts...)
-
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		for {
-			select {
-			case env := <-inbox:
-				pc.pl.Deliver(int(env.from), env.payload)
-			case <-pc.done:
-				return
-			case <-c.stop:
-				return
-			}
-		}
-	}()
+	var rt transport.Transport = tr
+	if cc.counters != nil {
+		rt = transport.Instrument(tr, cc.counters)
+	}
+	pc.pl = register.NewPipelineOver(engine, rt, plOpts...)
 	return pc, nil
 }
 
@@ -141,10 +131,7 @@ func (pc *PipeClient) WriteAsync(reg msg.RegisterID, val msg.Value) *register.Pe
 // It is idempotent.
 func (pc *PipeClient) Close() {
 	pc.closeOnce.Do(func() {
-		pc.c.mu.Lock()
-		delete(pc.c.clients, pc.id)
-		pc.c.mu.Unlock()
-		close(pc.done)
+		pc.tr.Close()
 		pc.pl.Close(ErrClosed)
 	})
 }

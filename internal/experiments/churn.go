@@ -104,17 +104,17 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		row := ChurnRow{System: sys.Name(), Runs: cfg.Runs}
 		for run := 0; run < cfg.Runs; run++ {
 			r, err := aco.RunSim(aco.SimConfig{
-				Op:        op,
-				Target:    target,
-				Servers:   cfg.N,
-				System:    sys,
-				Monotone:  true,
-				Delay:     rng.Constant{D: time.Millisecond},
-				Seed:      cfg.Seed + uint64(run)*11,
-				OpTimeout: 10 * time.Millisecond,
-				Crashes:   crashes,
-				MaxRounds: cfg.MaxRounds,
-				MaxEvents: 5_000_000,
+				Op:           op,
+				Target:       target,
+				Servers:      cfg.N,
+				System:       sys,
+				Monotone:     true,
+				Delay:        rng.Constant{D: time.Millisecond},
+				Seed:         cfg.Seed + uint64(run)*11,
+				DriverConfig: aco.DriverConfig{OpTimeout: 10 * time.Millisecond},
+				Crashes:      crashes,
+				MaxRounds:    cfg.MaxRounds,
+				MaxEvents:    5_000_000,
 			})
 			if err != nil {
 				return ChurnResult{}, fmt.Errorf("churn %s: %w", sys.Name(), err)

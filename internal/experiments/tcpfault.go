@@ -128,7 +128,7 @@ func RunTCPFault(cfg TCPFaultConfig) (TCPFaultResult, error) {
 			Monotone:      true,
 			Seed:          cfg.Seed,
 			MaxIterations: cfg.MaxIterations,
-			OpTimeout:     cfg.OpTimeout,
+			DriverConfig:  aco.DriverConfig{OpTimeout: cfg.OpTimeout},
 			Crashes:       sc.crashes,
 		})
 		if err != nil {

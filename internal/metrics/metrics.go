@@ -35,6 +35,14 @@ func (c *Counter) Reset() { c.n.Store(0) }
 // calls that exceeded their deadline, and dead connections successfully
 // re-dialed. A zero TransportCounters is ready to use; several clients may
 // share one to aggregate a whole deployment's fault activity.
+//
+// MsgsSent and MsgsRecv count client-side transport messages with one shared
+// granularity across every transport: one request handed to the transport per
+// (operation attempt, quorum member), and one reply delivered back per
+// member. Batch framing (the pipelined TCP client coalescing requests into
+// one wire frame) does not change the count — the unit is the logical
+// register message, matching the paper's message-complexity accounting
+// (Eqns 1–3), so cross-transport experiments compare like with like.
 type TransportCounters struct {
 	// Retries counts operations abandoned and re-issued on a fresh quorum.
 	Retries Counter
@@ -42,11 +50,20 @@ type TransportCounters struct {
 	Timeouts Counter
 	// Reconnects counts dead connections successfully re-dialed.
 	Reconnects Counter
+	// MsgsSent counts logical register requests handed to the transport.
+	MsgsSent Counter
+	// MsgsRecv counts logical register replies delivered to the client.
+	MsgsRecv Counter
 }
 
-// Snapshot returns the three counts at once.
+// Snapshot returns the three fault-path counts at once.
 func (t *TransportCounters) Snapshot() (retries, timeouts, reconnects int64) {
 	return t.Retries.Value(), t.Timeouts.Value(), t.Reconnects.Value()
+}
+
+// Messages returns the logical message counts at once.
+func (t *TransportCounters) Messages() (sent, recv int64) {
+	return t.MsgsSent.Value(), t.MsgsRecv.Value()
 }
 
 // AccessTally counts how many operations touched each of n servers. The load

@@ -1,0 +1,739 @@
+package register_test
+
+// Cross-transport conformance suite: one table of register-semantics
+// scenarios executed against all three runtimes — the goroutine cluster, a
+// loopback TCP cluster, and the discrete-event simulator. Every runtime is a
+// thin adapter over the same transport-agnostic client stack, so the
+// observable properties ([R2] reads-from, [R4] monotonicity, ABD atomicity,
+// retry-budget exhaustion, pipelined well-formedness) must hold identically
+// on each. A scenario that passes on one transport and fails on another is a
+// seam bug in that adapter, not a protocol bug.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"probquorum/internal/cluster"
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/rng"
+	"probquorum/internal/sim"
+	"probquorum/internal/trace"
+	"probquorum/internal/transport/tcp"
+)
+
+// confStep is one scripted client operation: 'r' read, 'a' atomic read,
+// 'w' write.
+type confStep struct {
+	kind byte
+	reg  msg.RegisterID
+	val  msg.Value
+}
+
+// confResult is what a harness hands back to the scenario's check function.
+type confResult struct {
+	ops       []trace.Op
+	cacheHits int64
+	gaugeMax  int64
+	errs      []error // one slot per script: first operation error, or nil
+}
+
+// confScenario is one row of the conformance table. Serial scenarios carry
+// one script per client process; the pipelined scenario instead runs the
+// fixed async write-then-read flow of runPipelinedFlow.
+type confScenario struct {
+	name      string
+	servers   int
+	regs      int
+	sys       func(n int) quorum.System
+	monotone  bool
+	crashAll  bool          // crash every replica before the scripts run
+	timeout   time.Duration // per-attempt deadline (0 = strict mode)
+	retries   int           // attempt budget passed with the deadline
+	pipelined bool
+	scripts   [][]confStep
+	check     func(t *testing.T, r confResult)
+}
+
+func confMajority(n int) quorum.System { return quorum.NewMajority(n) }
+
+func confInitial(regs int) map[msg.RegisterID]msg.Value {
+	m := make(map[msg.RegisterID]msg.Value, regs)
+	for r := 0; r < regs; r++ {
+		m[msg.RegisterID(r)] = 0.0
+	}
+	return m
+}
+
+func repeatSteps(kind byte, reg msg.RegisterID, n int) []confStep {
+	steps := make([]confStep, n)
+	for i := range steps {
+		steps[i] = confStep{kind: kind, reg: reg}
+	}
+	return steps
+}
+
+// writeReadSteps interleaves n writes of ascending values with a read after
+// each — the writer's half of the regular-register scenarios.
+func writeReadSteps(reg msg.RegisterID, n int) []confStep {
+	var steps []confStep
+	for i := 1; i <= n; i++ {
+		steps = append(steps,
+			confStep{kind: 'w', reg: reg, val: float64(i)},
+			confStep{kind: 'r', reg: reg})
+	}
+	return steps
+}
+
+func noErrs(t *testing.T, r confResult) {
+	t.Helper()
+	for pi, err := range r.errs {
+		if err != nil {
+			t.Fatalf("script %d failed: %v", pi, err)
+		}
+	}
+}
+
+var confScenarios = []confScenario{
+	{
+		// [R2]/[R4]: a writer and an independent reader over strict
+		// majorities with monotone engines; the combined trace must be
+		// well-formed, every read must return a written-or-initial value,
+		// and each process's reads must be tag-monotone.
+		name:     "serial-regular",
+		servers:  5,
+		regs:     1,
+		sys:      confMajority,
+		monotone: true,
+		scripts: [][]confStep{
+			writeReadSteps(0, 6),
+			repeatSteps('r', 0, 12),
+		},
+		check: func(t *testing.T, r confResult) {
+			noErrs(t, r)
+			if err := trace.CheckWellFormed(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.CheckReadsFrom(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.CheckMonotone(r.ops); err != nil {
+				t.Fatal(err)
+			}
+		},
+	},
+	{
+		// Monotone cache: with k=1 quorums over 8 servers, most reads draw a
+		// quorum that missed the write; the client's own-write cache must win
+		// those races (CacheHits > 0) while keeping reads monotone.
+		name:     "monotone-cache",
+		servers:  8,
+		regs:     1,
+		sys:      func(n int) quorum.System { return quorum.NewProbabilistic(n, 1) },
+		monotone: true,
+		scripts: [][]confStep{
+			append([]confStep{{kind: 'w', reg: 0, val: 7.0}}, repeatSteps('r', 0, 40)...),
+		},
+		check: func(t *testing.T, r confResult) {
+			noErrs(t, r)
+			if r.cacheHits == 0 {
+				t.Fatal("40 k=1 reads after an own write produced no cache hits")
+			}
+			if err := trace.CheckMonotone(r.ops); err != nil {
+				t.Fatal(err)
+			}
+		},
+	},
+	{
+		// ABD: a writer races two ReadAtomic readers over strict majorities;
+		// the combined trace must be atomic (no new-old inversions).
+		name:    "atomic-read",
+		servers: 5,
+		regs:    1,
+		sys:     confMajority,
+		scripts: [][]confStep{
+			func() []confStep {
+				var steps []confStep
+				for i := 1; i <= 8; i++ {
+					steps = append(steps, confStep{kind: 'w', reg: 0, val: float64(i)})
+				}
+				return steps
+			}(),
+			repeatSteps('a', 0, 10),
+			repeatSteps('a', 0, 10),
+		},
+		check: func(t *testing.T, r confResult) {
+			noErrs(t, r)
+			if err := trace.CheckWellFormed(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.CheckReadsFrom(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.CheckAtomic(r.ops); err != nil {
+				t.Fatalf("ABD reads violated atomicity: %v", err)
+			}
+		},
+	},
+	{
+		// Availability floor: with every replica crashed, a read must burn
+		// its whole attempt budget and surface ErrQuorumUnavailable — the
+		// same typed error on every transport.
+		name:     "retry-exhaustion",
+		servers:  3,
+		regs:     1,
+		sys:      confMajority,
+		crashAll: true,
+		timeout:  10 * time.Millisecond,
+		retries:  2,
+		scripts:  [][]confStep{repeatSteps('r', 0, 1)},
+		check: func(t *testing.T, r confResult) {
+			if r.errs[0] == nil {
+				t.Fatal("read against an all-crashed cluster succeeded")
+			}
+			if !errors.Is(r.errs[0], register.ErrQuorumUnavailable) {
+				t.Fatalf("want ErrQuorumUnavailable, got %v", r.errs[0])
+			}
+		},
+	},
+	{
+		// Pipelined: six same-client writes in flight at once, then six
+		// reads. The trace must be pipelined-well-formed, reads must return
+		// the written values, and the in-flight gauge must prove genuine
+		// overlap.
+		name:      "pipelined",
+		servers:   5,
+		regs:      6,
+		sys:       confMajority,
+		pipelined: true,
+		check: func(t *testing.T, r confResult) {
+			noErrs(t, r)
+			if err := trace.CheckPipelinedWellFormed(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.CheckReadsFrom(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if r.gaugeMax < 2 {
+				t.Fatalf("in-flight high-watermark = %d, want >= 2 (operations never overlapped)", r.gaugeMax)
+			}
+		},
+	},
+}
+
+// confClient is the operation surface the script runner needs; the cluster
+// and TCP adapter clients both satisfy it directly.
+type confClient interface {
+	Read(msg.RegisterID) (msg.Tagged, error)
+	ReadAtomic(msg.RegisterID) (msg.Tagged, error)
+	Write(msg.RegisterID, msg.Value) error
+}
+
+func runConfScript(cl confClient, script []confStep) error {
+	for _, st := range script {
+		var err error
+		switch st.kind {
+		case 'r':
+			_, err = cl.Read(st.reg)
+		case 'a':
+			_, err = cl.ReadAtomic(st.reg)
+		default:
+			err = cl.Write(st.reg, st.val)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// asyncClient is the pipelined surface shared by cluster.PipeClient and
+// tcp.PipelinedClient.
+type asyncClient interface {
+	ReadAsync(msg.RegisterID) *register.PendingOp
+	WriteAsync(msg.RegisterID, msg.Value) *register.PendingOp
+}
+
+// runPipelinedFlow writes regs distinct registers with all writes in flight
+// at once, then reads them all back the same way, checking the values.
+func runPipelinedFlow(pc asyncClient, regs int) error {
+	pend := make([]*register.PendingOp, 0, regs)
+	for r := 0; r < regs; r++ {
+		pend = append(pend, pc.WriteAsync(msg.RegisterID(r), float64(r+1)))
+	}
+	for _, op := range pend {
+		if _, err := op.Wait(); err != nil {
+			return err
+		}
+	}
+	pend = pend[:0]
+	for r := 0; r < regs; r++ {
+		pend = append(pend, pc.ReadAsync(msg.RegisterID(r)))
+	}
+	for i, op := range pend {
+		tag, err := op.Wait()
+		if err != nil {
+			return err
+		}
+		if tag.Val != float64(i+1) {
+			return fmt.Errorf("pipelined read reg %d = %v, want %v", i, tag.Val, float64(i+1))
+		}
+	}
+	return nil
+}
+
+// runConfScripts runs one goroutine per script against its client and
+// collects each script's first error.
+func runConfScripts(clients []confClient, scripts [][]confStep) []error {
+	errs := make([]error, len(scripts))
+	var wg sync.WaitGroup
+	for pi := range scripts {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			errs[pi] = runConfScript(clients[pi], scripts[pi])
+		}(pi)
+	}
+	wg.Wait()
+	return errs
+}
+
+func runClusterScenario(t *testing.T, sc confScenario) confResult {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Servers: sc.servers, Initial: confInitial(sc.regs), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	log := &trace.Log{}
+	sys := sc.sys(sc.servers)
+	if sc.crashAll {
+		for i := 0; i < sc.servers; i++ {
+			c.Server(i).Crash()
+		}
+	}
+	if sc.pipelined {
+		var g metrics.Gauge
+		pc, err := c.NewPipeline(sys, cluster.WithTrace(log), cluster.WithInFlightGauge(&g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pc.Close()
+		ferr := runPipelinedFlow(pc, sc.regs)
+		return confResult{ops: log.Ops(), gaugeMax: g.Max(), errs: []error{ferr}}
+	}
+	clients := make([]confClient, len(sc.scripts))
+	engines := make([]*register.Engine, len(sc.scripts))
+	for pi := range sc.scripts {
+		opts := []cluster.ClientOption{cluster.WithTrace(log)}
+		if sc.monotone {
+			opts = append(opts, cluster.WithMonotone())
+		}
+		if sc.timeout > 0 {
+			opts = append(opts, cluster.WithTimeout(sc.timeout, sc.retries))
+		}
+		cl, err := c.NewClient(sys, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[pi] = cl
+		engines[pi] = cl.Engine()
+	}
+	errs := runConfScripts(clients, sc.scripts)
+	var hits int64
+	for _, e := range engines {
+		hits += e.CacheHits()
+	}
+	return confResult{ops: log.Ops(), cacheHits: hits, errs: errs}
+}
+
+func runTCPScenario(t *testing.T, sc confScenario) confResult {
+	t.Helper()
+	initial := confInitial(sc.regs)
+	addrs := make([]string, sc.servers)
+	stores := make([]*replica.Store, sc.servers)
+	for i := range addrs {
+		stores[i] = replica.New(msg.NodeID(i), initial)
+		srv, err := tcp.Listen(stores[i], "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen server %d: %v", i, err)
+		}
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+	}
+	log := &trace.Log{}
+	sys := sc.sys(sc.servers)
+	if sc.pipelined {
+		var g metrics.Gauge
+		pc, err := tcp.DialPipelined(addrs, sys, tcp.WithTrace(log), tcp.WithInFlightGauge(&g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pc.Close()
+		ferr := runPipelinedFlow(pc, sc.regs)
+		return confResult{ops: log.Ops(), gaugeMax: g.Max(), errs: []error{ferr}}
+	}
+	clients := make([]confClient, len(sc.scripts))
+	engines := make([]*register.Engine, len(sc.scripts))
+	for pi := range sc.scripts {
+		opts := []tcp.ClientOption{
+			tcp.WithTrace(log),
+			tcp.WithWriter(int32(pi + 1)),
+			tcp.WithSeed(uint64(pi + 1)),
+		}
+		if sc.monotone {
+			opts = append(opts, tcp.WithMonotone())
+		}
+		if sc.timeout > 0 {
+			opts = append(opts, tcp.WithOpTimeout(sc.timeout), tcp.WithRetries(sc.retries))
+		}
+		cl, err := tcp.Dial(addrs, sys, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		clients[pi] = cl
+		engines[pi] = cl.Engine()
+	}
+	// Crash after dialing: the eager dial needs live listeners, and a
+	// crashed store then closes connections on the next request — the same
+	// observable silence the other transports inject.
+	if sc.crashAll {
+		for _, st := range stores {
+			st.Crash()
+		}
+	}
+	errs := runConfScripts(clients, sc.scripts)
+	var hits int64
+	for _, e := range engines {
+		hits += e.CacheHits()
+	}
+	return confResult{ops: log.Ops(), cacheHits: hits, errs: errs}
+}
+
+// confSimNode drives one script's register.Operations inside the simulator —
+// the same state-machine pattern as the aco runner's procNode, reduced to a
+// scripted operation list. Timers pace retries on virtual time; the attempt
+// counter filters deadlines armed for superseded attempts.
+type confSimNode struct {
+	engine  *register.Engine
+	script  []confStep
+	self    msg.NodeID
+	tr      *trace.Log
+	timeout time.Duration
+	budget  int
+
+	idx      int
+	cur      *register.Operation
+	invoke   sim.Time
+	wsHandle int
+	attempt  uint64
+	finished bool
+	err      error
+}
+
+var _ sim.Handler = (*confSimNode)(nil)
+
+func (n *confSimNode) Init(ctx *sim.Context) { n.next(ctx) }
+
+func (n *confSimNode) next(ctx *sim.Context) {
+	if n.idx >= len(n.script) {
+		n.finished = true
+		n.cur = nil
+		return
+	}
+	st := n.script[n.idx]
+	switch st.kind {
+	case 'r':
+		n.cur = n.engine.NewReadOp(st.reg, n.budget)
+	case 'a':
+		n.cur = n.engine.NewAtomicReadOp(st.reg, n.budget)
+	default:
+		n.cur = n.engine.NewWriteOp(st.reg, st.val, n.budget)
+	}
+	n.invoke = ctx.Now()
+	sends := n.cur.Start()
+	if st.kind == 'w' && n.tr != nil {
+		n.wsHandle = n.tr.Begin(trace.Op{
+			Kind: trace.KindWrite, Proc: n.self, Reg: st.reg,
+			Invoke: int64(n.invoke), Tag: n.cur.PendingTag(),
+		})
+	}
+	n.dispatch(ctx, sends)
+	n.arm(ctx)
+}
+
+func (n *confSimNode) dispatch(ctx *sim.Context, sends []register.Send) {
+	for _, sd := range sends {
+		ctx.Send(msg.NodeID(sd.Server), sd.Req)
+	}
+}
+
+func (n *confSimNode) arm(ctx *sim.Context) {
+	if n.timeout > 0 {
+		n.attempt++
+		ctx.After(n.timeout, 1, n.attempt)
+	}
+}
+
+func (n *confSimNode) retry(ctx *sim.Context) {
+	sends, err := n.cur.Retry()
+	if err != nil {
+		n.err = fmt.Errorf("sim proc %d: %s reg %d after %d attempts: %w",
+			int(n.self), n.cur.Desc(), n.cur.Reg(), n.cur.Attempts(), err)
+		n.cur = nil
+		return
+	}
+	n.dispatch(ctx, sends)
+	n.arm(ctx)
+}
+
+func (n *confSimNode) Timer(ctx *sim.Context, _ int, payload any) {
+	att, ok := payload.(uint64)
+	if !ok || att != n.attempt {
+		return // a newer attempt superseded this deadline
+	}
+	if n.cur == nil || n.cur.Done() {
+		return
+	}
+	n.retry(ctx)
+}
+
+func (n *confSimNode) Recv(ctx *sim.Context, from msg.NodeID, m any) {
+	if n.cur == nil || n.cur.Done() {
+		return // stale reply from a completed operation
+	}
+	n.dispatch(ctx, n.cur.Deliver(int(from), m))
+	if n.cur.Rejected() {
+		n.retry(ctx)
+		return
+	}
+	if !n.cur.Done() {
+		return
+	}
+	if st := n.script[n.idx]; st.kind == 'w' {
+		if n.tr != nil {
+			n.tr.Complete(n.wsHandle, int64(ctx.Now()))
+		}
+	} else if n.tr != nil {
+		n.tr.Record(trace.Op{
+			Kind: trace.KindRead, Proc: n.self, Reg: n.cur.Reg(),
+			Invoke: int64(n.invoke), Respond: int64(ctx.Now()), Tag: n.cur.Result(),
+		})
+	}
+	n.idx++
+	n.next(ctx)
+}
+
+// confPipeNode drives the pipelined flow inside the simulator. Completion
+// callbacks run synchronously inside Deliver, so ctx is refreshed on every
+// entry point before the pipeline can emit sends through it.
+type confPipeNode struct {
+	pl      *register.Pipeline
+	ctx     *sim.Context
+	regs    int
+	phase   int // 0: writes in flight; 1: reads in flight
+	pending int
+	done    bool
+	err     error
+}
+
+func (n *confPipeNode) Init(ctx *sim.Context) {
+	n.ctx = ctx
+	n.pending = n.regs
+	for r := 0; r < n.regs; r++ {
+		n.pl.WriteAsyncFunc(msg.RegisterID(r), float64(r+1), func(_ msg.Tagged, err error) {
+			n.wrote(err)
+		})
+	}
+}
+
+func (n *confPipeNode) wrote(err error) {
+	if err != nil && n.err == nil {
+		n.err = err
+	}
+	n.pending--
+	if n.pending > 0 || n.phase != 0 || n.err != nil {
+		return
+	}
+	n.phase = 1
+	n.pending = n.regs
+	for r := 0; r < n.regs; r++ {
+		r := r
+		n.pl.ReadAsyncFunc(msg.RegisterID(r), func(tag msg.Tagged, err error) {
+			n.read(r, tag, err)
+		})
+	}
+}
+
+func (n *confPipeNode) read(r int, tag msg.Tagged, err error) {
+	if err != nil {
+		if n.err == nil {
+			n.err = err
+		}
+	} else if tag.Val != float64(r+1) && n.err == nil {
+		n.err = fmt.Errorf("pipelined read reg %d = %v, want %v", r, tag.Val, float64(r+1))
+	}
+	n.pending--
+	if n.pending == 0 && n.phase == 1 {
+		n.done = true
+	}
+}
+
+func (n *confPipeNode) Recv(ctx *sim.Context, from msg.NodeID, m any) {
+	n.ctx = ctx
+	n.pl.Deliver(int(from), m)
+}
+
+func runSimScenario(t *testing.T, sc confScenario) confResult {
+	t.Helper()
+	s := sim.New(13, sim.DistDelay{Dist: rng.Exponential{MeanD: time.Millisecond}})
+	stores := make([]*replica.Store, sc.servers)
+	for srv := 0; srv < sc.servers; srv++ {
+		stores[srv] = replica.New(msg.NodeID(srv), confInitial(sc.regs))
+		s.Add(msg.NodeID(srv), &replica.SimNode{Store: stores[srv]})
+	}
+	if sc.crashAll {
+		for _, st := range stores {
+			st.Crash()
+		}
+	}
+	log := &trace.Log{}
+	sys := sc.sys(sc.servers)
+	newEngine := func(pi int) *register.Engine {
+		var eopts []register.Option
+		if sc.monotone {
+			eopts = append(eopts, register.Monotone())
+		}
+		return register.NewEngine(int32(pi+1), sys,
+			rng.Derive(17, fmt.Sprintf("conf.sim.%d", pi)), eopts...)
+	}
+	if sc.pipelined {
+		var g metrics.Gauge
+		engine := newEngine(0)
+		self := msg.NodeID(sc.servers)
+		node := &confPipeNode{regs: sc.regs}
+		send := func(server int, req any) { node.ctx.Send(msg.NodeID(server), req) }
+		node.pl = register.NewPipeline(engine, send,
+			register.PipeClock(func() int64 { return int64(node.ctx.Now()) }),
+			register.PipeTrace(log, self),
+			register.PipeGauge(&g))
+		s.Add(self, node)
+		s.Run()
+		if node.err == nil && !node.done {
+			t.Fatal("pipelined sim flow stalled before completing")
+		}
+		return confResult{ops: log.Ops(), gaugeMax: g.Max(), errs: []error{node.err}}
+	}
+	engines := make([]*register.Engine, len(sc.scripts))
+	nodes := make([]*confSimNode, len(sc.scripts))
+	for pi, script := range sc.scripts {
+		engines[pi] = newEngine(pi)
+		nodes[pi] = &confSimNode{
+			engine:  engines[pi],
+			script:  script,
+			self:    msg.NodeID(sc.servers + pi),
+			tr:      log,
+			timeout: sc.timeout,
+			budget:  sc.retries,
+		}
+		s.Add(nodes[pi].self, nodes[pi])
+	}
+	s.Run()
+	errs := make([]error, len(nodes))
+	var hits int64
+	for pi, node := range nodes {
+		if node.err == nil && !node.finished {
+			t.Fatalf("sim script %d stalled at step %d", pi, node.idx)
+		}
+		errs[pi] = node.err
+		hits += engines[pi].CacheHits()
+	}
+	return confResult{ops: log.Ops(), cacheHits: hits, errs: errs}
+}
+
+// TestConformance runs every scenario against every transport.
+func TestConformance(t *testing.T) {
+	harnesses := []struct {
+		name string
+		run  func(t *testing.T, sc confScenario) confResult
+	}{
+		{"cluster", runClusterScenario},
+		{"tcp", runTCPScenario},
+		{"sim", runSimScenario},
+	}
+	for _, sc := range confScenarios {
+		sc := sc
+		for _, h := range harnesses {
+			h := h
+			t.Run(sc.name+"/"+h.name, func(t *testing.T) {
+				t.Parallel()
+				sc.check(t, h.run(t, sc))
+			})
+		}
+	}
+}
+
+// TestTransportMessageCountersAlign pins the message-counting seam: the
+// cluster and TCP transports instrument at the same layer, so an identical
+// deterministic script over all-server quorums must report identical
+// MsgsSent/MsgsRecv on both (batch frames count per element, not per frame).
+func TestTransportMessageCountersAlign(t *testing.T) {
+	script := []confStep{
+		{kind: 'w', reg: 0, val: 1.0},
+		{kind: 'r', reg: 0},
+		{kind: 'w', reg: 0, val: 2.0},
+		{kind: 'r', reg: 0},
+		{kind: 'a', reg: 0},
+	}
+	const servers = 3
+
+	var ctc metrics.TransportCounters
+	c, err := cluster.New(cluster.Config{Servers: servers, Initial: confInitial(1), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ccl, err := c.NewClient(quorum.NewAll(servers), cluster.WithTransportCounters(&ctc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runConfScript(ccl, script); err != nil {
+		t.Fatalf("cluster script: %v", err)
+	}
+
+	var ttc metrics.TransportCounters
+	addrs := make([]string, servers)
+	for i := range addrs {
+		srv, err := tcp.Listen(replica.New(msg.NodeID(i), confInitial(1)), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+	}
+	tcl, err := tcp.Dial(addrs, quorum.NewAll(servers), tcp.WithTransportCounters(&ttc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcl.Close()
+	if err := runConfScript(tcl, script); err != nil {
+		t.Fatalf("tcp script: %v", err)
+	}
+
+	csent, crecv := ctc.Messages()
+	tsent, trecv := ttc.Messages()
+	if csent == 0 || crecv == 0 {
+		t.Fatalf("cluster counters empty: sent=%d recv=%d", csent, crecv)
+	}
+	if csent != tsent || crecv != trecv {
+		t.Fatalf("message counts diverge: cluster sent=%d recv=%d, tcp sent=%d recv=%d",
+			csent, crecv, tsent, trecv)
+	}
+}

@@ -1,0 +1,243 @@
+package register
+
+import (
+	"probquorum/internal/msg"
+)
+
+// Send is one outbound fan-out request: hand Req to server Server. The
+// transport-agnostic Operation below returns slices of these instead of
+// touching a network; the caller (Client, Pipeline, or a simulator node)
+// pushes them through whatever carrier it runs over.
+type Send struct {
+	Server int
+	Req    any
+}
+
+// opAtomicRead extends the pipeline's opKind enumeration for the serial
+// client's ABD read: a read phase followed by an awaited write-back phase.
+const opAtomicRead opKind = opWrite + 1
+
+// opPhase distinguishes the two halves of an atomic read (and trivially
+// labels plain reads and writes).
+type opPhase int
+
+const (
+	opPhaseRead opPhase = iota + 1
+	opPhaseWrite
+)
+
+// Operation is the full state machine of one register operation, decoupled
+// from any transport: the caller starts it, feeds it inbound payloads, and
+// fans out whatever Sends it returns. It owns the protocol — quorum
+// sessions, the ABD read→write-back phase transition, b-masking acceptance,
+// read-repair dispatch, and the fresh-quorum retry budget — so every runtime
+// (blocking client, pipeline, simulator node) drives the identical logic.
+//
+// An Operation is not safe for concurrent use; it inherits the Engine's
+// one-pending-operation-per-process discipline.
+type Operation struct {
+	e      *Engine
+	kind   opKind
+	reg    msg.RegisterID
+	val    msg.Value
+	tagIn  msg.Tagged
+	hasTag bool
+	// retries caps the total attempts at retries+1 (0 = unlimited).
+	retries int
+
+	phase    opPhase
+	rs       *ReadSession
+	ws       *WriteSession
+	attempts int
+	result   msg.Tagged
+	done     bool
+	// rejected marks a completed read whose vote count failed the b-masking
+	// threshold: the attempt is over but the operation is not done, and the
+	// caller should Retry on a fresh quorum.
+	rejected bool
+}
+
+// NewReadOp prepares a read of reg with the given retry budget.
+func (e *Engine) NewReadOp(reg msg.RegisterID, retries int) *Operation {
+	return &Operation{e: e, kind: opRead, reg: reg, retries: retries}
+}
+
+// NewAtomicReadOp prepares an ABD atomic read of reg: a read phase followed
+// by an awaited write-back of the result (Attiya–Bar-Noy–Dolev), giving
+// atomicity on top of strict quorums.
+func (e *Engine) NewAtomicReadOp(reg msg.RegisterID, retries int) *Operation {
+	return &Operation{e: e, kind: opAtomicRead, reg: reg, retries: retries}
+}
+
+// NewWriteOp prepares a single-writer write of val to reg.
+func (e *Engine) NewWriteOp(reg msg.RegisterID, val msg.Value, retries int) *Operation {
+	return &Operation{e: e, kind: opWrite, reg: reg, val: val, retries: retries}
+}
+
+// NewWriteTagOp prepares a write carrying an explicit tag — the write phase
+// of the multi-writer extension, after NextMultiWriterTS has chosen the
+// timestamp.
+func (e *Engine) NewWriteTagOp(reg msg.RegisterID, tag msg.Tagged, retries int) *Operation {
+	return &Operation{e: e, kind: opWrite, reg: reg, tagIn: tag, hasTag: true, retries: retries}
+}
+
+func fanOutRead(s *ReadSession) []Send {
+	req := s.Request()
+	out := make([]Send, len(s.Quorum))
+	for i, srv := range s.Quorum {
+		out[i] = Send{Server: srv, Req: req}
+	}
+	return out
+}
+
+func fanOutWrite(s *WriteSession) []Send {
+	req := s.Request()
+	out := make([]Send, len(s.Quorum))
+	for i, srv := range s.Quorum {
+		out[i] = Send{Server: srv, Req: req}
+	}
+	return out
+}
+
+// Start begins the first attempt and returns its fan-out.
+func (o *Operation) Start() []Send {
+	o.attempts = 1
+	switch o.kind {
+	case opRead, opAtomicRead:
+		o.phase = opPhaseRead
+		o.rs = o.e.BeginRead(o.reg)
+		return fanOutRead(o.rs)
+	default:
+		o.phase = opPhaseWrite
+		if o.hasTag {
+			o.ws = o.e.BeginWriteWithTS(o.reg, o.tagIn)
+		} else {
+			o.ws = o.e.BeginWrite(o.reg, o.val)
+		}
+		return fanOutWrite(o.ws)
+	}
+}
+
+// Deliver feeds one server's payload into the current attempt. It returns a
+// non-empty fan-out when the delivery triggered a new send phase: the
+// write-back of an atomic read (awaited — keep pumping), or the
+// fire-and-forget repair messages of a completed repaired read (Done is
+// already true; send them without awaiting anything). Irrelevant payloads —
+// stale sessions, non-members, duplicate replies, foreign types — are
+// ignored.
+func (o *Operation) Deliver(server int, payload any) []Send {
+	if o.done || o.rejected {
+		return nil
+	}
+	switch m := payload.(type) {
+	case msg.ReadReply:
+		if o.phase != opPhaseRead || !o.rs.OnReply(server, m) {
+			return nil
+		}
+		if o.kind == opAtomicRead {
+			// Phase transition: write the read's result back and await the
+			// acknowledgments before returning it (ABD).
+			o.result = o.e.FinishRead(o.rs)
+			o.phase = opPhaseWrite
+			o.ws = o.e.BeginWriteWithTS(o.reg, o.result)
+			return fanOutWrite(o.ws)
+		}
+		tag, ok := o.e.FinishReadMasked(o.rs)
+		if !ok {
+			o.rejected = true
+			return nil
+		}
+		o.result = tag
+		o.done = true
+		servers, req := o.e.RepairTargets(o.rs, tag)
+		if len(servers) == 0 {
+			return nil
+		}
+		out := make([]Send, len(servers))
+		for i, srv := range servers {
+			out[i] = Send{Server: srv, Req: req}
+		}
+		return out
+	case msg.WriteAck:
+		if o.phase != opPhaseWrite || !o.ws.OnAck(server, m) {
+			return nil
+		}
+		if o.kind == opWrite {
+			o.result = o.ws.Tag
+		}
+		o.done = true
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Retry abandons the current attempt — quorum members crashed, timed out, or
+// (under masking) outvoted the honest replicas — and starts a fresh one on a
+// freshly picked quorum, returning its fan-out. When the budget is exhausted
+// it returns ErrQuorumUnavailable instead. An atomic read retries the phase
+// it is in: a failed write-back re-fans the same tag, it does not restart
+// the read.
+func (o *Operation) Retry() ([]Send, error) {
+	if o.retries > 0 && o.attempts > o.retries {
+		return nil, ErrQuorumUnavailable
+	}
+	o.attempts++
+	o.rejected = false
+	if o.phase == opPhaseRead {
+		o.rs = o.e.RetryRead(o.rs)
+		return fanOutRead(o.rs), nil
+	}
+	o.ws = o.e.RetryWrite(o.ws)
+	return fanOutWrite(o.ws), nil
+}
+
+// Done reports whether the operation has completed successfully.
+func (o *Operation) Done() bool { return o.done }
+
+// Rejected reports whether the current attempt completed but was rejected by
+// the b-masking vote count; the caller should Retry.
+func (o *Operation) Rejected() bool { return o.rejected }
+
+// Result returns the operation's tagged value: the value read, or the tag
+// the write installed. Only meaningful once Done reports true.
+func (o *Operation) Result() msg.Tagged { return o.result }
+
+// Reg returns the register the operation targets.
+func (o *Operation) Reg() msg.RegisterID { return o.reg }
+
+// Attempts returns how many attempts have been started.
+func (o *Operation) Attempts() int { return o.attempts }
+
+// PendingTag returns the tag of the in-flight write phase — what a trace
+// records at invocation time, before any acknowledgment arrives. Only
+// meaningful while a write phase is active.
+func (o *Operation) PendingTag() msg.Tagged { return o.ws.Tag }
+
+// Member reports whether server belongs to the current attempt's quorum —
+// the filter deciding whether a per-server transport failure dooms this
+// attempt or concerns someone else's traffic.
+func (o *Operation) Member(server int) bool {
+	if o.phase == opPhaseRead && o.rs != nil {
+		return member(o.rs.Quorum, server)
+	}
+	if o.ws != nil {
+		return member(o.ws.Quorum, server)
+	}
+	return false
+}
+
+// Desc names the operation for error messages.
+func (o *Operation) Desc() string {
+	switch o.kind {
+	case opAtomicRead:
+		if o.phase == opPhaseWrite {
+			return "atomic read write-back"
+		}
+		return "atomic read"
+	case opWrite:
+		return "write"
+	default:
+		return "read"
+	}
+}

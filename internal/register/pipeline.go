@@ -9,6 +9,7 @@ import (
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
 	"probquorum/internal/trace"
+	"probquorum/internal/transport"
 )
 
 // ErrRetriesExhausted is returned by a pipelined operation that timed out on
@@ -134,6 +135,29 @@ func NewPipeline(engine *Engine, send SendFunc, opts ...PipelineOption) *Pipelin
 	for _, o := range opts {
 		o(p)
 	}
+	return p
+}
+
+// NewPipelineOver builds a Pipeline running over a Transport: sends go
+// through tr.Send (hand-off failures surface as missing replies, resolved by
+// the per-operation deadline), and the transport's sink feeds Deliver. A
+// transport-wide fatal error closes the pipeline with it; per-server error
+// events are ignored — the deadline machinery already covers lost replies,
+// and a pipelined client cannot attribute a connection failure to any one of
+// its many in-flight operations.
+func NewPipelineOver(engine *Engine, tr transport.Transport, opts ...PipelineOption) *Pipeline {
+	p := NewPipeline(engine, func(server int, req any) {
+		_ = tr.Send(server, req)
+	}, opts...)
+	tr.Bind(func(server int, payload any, err error) {
+		if err != nil {
+			if server == transport.Broadcast {
+				p.Close(err)
+			}
+			return
+		}
+		p.Deliver(server, payload)
+	})
 	return p
 }
 

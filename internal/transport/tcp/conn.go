@@ -1,0 +1,347 @@
+package tcp
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/transport"
+)
+
+// tcpTransport implements transport.Transport over one persistent gob
+// connection per replica server. It carries no protocol logic: the
+// transport-agnostic register client (or pipeline) above it owns quorums,
+// deadlines, and retries; this layer owns dialing, framing, reconnect
+// backoff, and the fault counters.
+//
+// Two wire modes share the connection machinery:
+//
+//   - Serial (async=false): Send encodes the request inline and arms a read
+//     deadline; each reply decrements the connection's outstanding count.
+//     Encode and decode failures surface as per-server error deliveries, the
+//     prompt crash signal the strict (no-timeout) client relies on.
+//   - Pipelined (async=true): Send enqueues without blocking (overflow drops
+//     the request — the operation's deadline re-issues it) and a writer
+//     goroutine coalesces the queue into batch frames of up to maxBatch
+//     requests, amortizing encode and syscall cost.
+type tcpTransport struct {
+	conns []*netConn
+
+	// sink is atomic, not mutex-guarded: every reply from every reader
+	// goroutine passes through emit, and a shared lock there serializes the
+	// reply fan-in the pipelined client exists to parallelize.
+	sink atomic.Pointer[transport.Sink]
+}
+
+func newTCPTransport(addrs []string, timeout time.Duration, counters *metrics.TransportCounters,
+	async bool, maxBatch int, hist *metrics.IntHistogram) *tcpTransport {
+	t := &tcpTransport{}
+	for srv, addr := range addrs {
+		nc := &netConn{
+			t:        t,
+			server:   srv,
+			addr:     addr,
+			timeout:  timeout,
+			counters: counters,
+			async:    async,
+			maxBatch: maxBatch,
+			hist:     hist,
+		}
+		if async {
+			nc.out = make(chan any, pipeOutBuffer)
+			nc.stop = make(chan struct{})
+		}
+		t.conns = append(t.conns, nc)
+	}
+	return t
+}
+
+// start dials every server eagerly so an unreachable address fails
+// construction; later failures re-dial lazily with backoff.
+func (t *tcpTransport) start() error {
+	for _, nc := range t.conns {
+		nc.mu.Lock()
+		err := nc.ensureLocked()
+		nc.mu.Unlock()
+		if err != nil {
+			_ = t.Close()
+			return fmt.Errorf("tcp dial %s: %w", nc.addr, err)
+		}
+		if nc.async {
+			nc.wg.Add(1)
+			go nc.writeLoop()
+		}
+	}
+	return nil
+}
+
+func (t *tcpTransport) N() int { return len(t.conns) }
+
+func (t *tcpTransport) Bind(sink transport.Sink) {
+	t.sink.Store(&sink)
+}
+
+func (t *tcpTransport) emit(server int, payload any, err error) {
+	if sink := t.sink.Load(); sink != nil {
+		(*sink)(server, payload, err)
+	}
+}
+
+func (t *tcpTransport) Send(server int, req any) error {
+	nc := t.conns[server]
+	if nc.async {
+		nc.enqueue(req)
+		return nil
+	}
+	return nc.send(req)
+}
+
+func (t *tcpTransport) Close() error {
+	for _, nc := range t.conns {
+		nc.close()
+	}
+	t.emit(transport.Broadcast, nil, ErrClientClosed)
+	return nil
+}
+
+// netConn is one connection to a replica server. A connection that errors is
+// dropped and transparently re-dialed on next use, with capped backoff
+// between failed dial attempts so a long-gone server is not hammered.
+type netConn struct {
+	t        *tcpTransport
+	server   int
+	addr     string
+	timeout  time.Duration
+	counters *metrics.TransportCounters
+
+	async    bool
+	maxBatch int
+	hist     *metrics.IntHistogram
+	out      chan any      // async mode: the writer goroutine's send queue
+	stop     chan struct{} // async mode: stops the writer goroutine
+
+	wg sync.WaitGroup
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	// gen is the connection generation; a reader only kills (and reports)
+	// its own connection, so a re-dialed successor is never collateral
+	// damage of a stale reader's death.
+	gen int
+	// outstanding counts sent-but-unanswered requests (serial mode); the
+	// read deadline stays armed while it is positive, so a silent peer
+	// costs at most the operation timeout instead of wedging the client.
+	outstanding int
+	redialWait  time.Duration
+	nextDial    time.Time
+	closed      bool
+}
+
+// send encodes one request inline (serial mode) and arms the read deadline
+// for its reply.
+func (nc *netConn) send(req any) error {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.closed {
+		return ErrClientClosed
+	}
+	if err := nc.ensureLocked(); err != nil {
+		return err
+	}
+	if nc.timeout > 0 {
+		_ = nc.conn.SetWriteDeadline(time.Now().Add(nc.timeout))
+	}
+	if err := nc.enc.Encode(envelope{Payload: req}); err != nil {
+		nc.dropLocked(err)
+		return fmt.Errorf("send: %w", err)
+	}
+	nc.outstanding++
+	if nc.timeout > 0 {
+		_ = nc.conn.SetReadDeadline(time.Now().Add(nc.timeout))
+	}
+	return nil
+}
+
+// enqueue queues one request for the writer goroutine (async mode),
+// dropping it if the queue is full (the operation's deadline re-issues it).
+func (nc *netConn) enqueue(req any) {
+	select {
+	case nc.out <- req:
+	default:
+	}
+}
+
+func (nc *netConn) writeLoop() {
+	defer nc.wg.Done()
+	batch := make([]any, 0, nc.maxBatch)
+	for {
+		select {
+		case <-nc.stop:
+			return
+		case m := <-nc.out:
+			batch = append(batch[:0], m)
+		drain:
+			for len(batch) < nc.maxBatch {
+				select {
+				case m2 := <-nc.out:
+					batch = append(batch, m2)
+				default:
+					break drain
+				}
+			}
+			nc.flush(batch)
+		}
+	}
+}
+
+// flush writes one batch frame, transparently re-dialing a dead connection
+// first. Failures drop the batch: the operations' deadlines take over.
+func (nc *netConn) flush(batch []any) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.closed {
+		return
+	}
+	if err := nc.ensureLocked(); err != nil {
+		return
+	}
+	if nc.timeout > 0 {
+		_ = nc.conn.SetWriteDeadline(time.Now().Add(nc.timeout))
+	}
+	if err := nc.enc.Encode(envelope{Payload: msg.Batch{Msgs: batch}}); err != nil {
+		nc.dropLocked(err)
+		return
+	}
+	if nc.hist != nil {
+		nc.hist.Observe(len(batch))
+	}
+}
+
+// ensureLocked re-dials a dead connection, honouring the re-dial backoff,
+// and spawns the reader for the new connection. Callers hold mu.
+func (nc *netConn) ensureLocked() error {
+	if nc.conn != nil {
+		return nil
+	}
+	if now := time.Now(); now.Before(nc.nextDial) {
+		return fmt.Errorf("reconnect %s: backed off for %v", nc.addr,
+			nc.nextDial.Sub(now).Round(time.Millisecond))
+	}
+	d := net.Dialer{Timeout: nc.timeout}
+	conn, err := d.Dial("tcp", nc.addr)
+	if err != nil {
+		if nc.redialWait == 0 {
+			nc.redialWait = redialBackoffMin
+		} else {
+			nc.redialWait *= 2
+			if nc.redialWait > redialBackoffMax {
+				nc.redialWait = redialBackoffMax
+			}
+		}
+		nc.nextDial = time.Now().Add(nc.redialWait)
+		return fmt.Errorf("reconnect %s: %w", nc.addr, err)
+	}
+	nc.conn = conn
+	nc.enc = gob.NewEncoder(conn)
+	nc.gen++
+	nc.outstanding = 0
+	nc.redialWait = 0
+	nc.nextDial = time.Time{}
+	if nc.gen > 1 && nc.counters != nil {
+		nc.counters.Reconnects.Inc()
+	}
+	nc.wg.Add(1)
+	go nc.readLoop(conn, gob.NewDecoder(conn), nc.gen)
+	return nil
+}
+
+// dropLocked discards the current connection after an error. Any error on a
+// gob stream — timeout included, since the peer may still emit the
+// abandoned reply later — ruins the framing, so the connection must be
+// re-dialed before reuse. Callers hold mu.
+func (nc *netConn) dropLocked(err error) {
+	if nc.conn != nil {
+		_ = nc.conn.Close()
+		nc.conn = nil
+		nc.enc = nil
+	}
+	nc.outstanding = 0
+	var nerr net.Error
+	if nc.counters != nil && errors.As(err, &nerr) && nerr.Timeout() {
+		nc.counters.Timeouts.Inc()
+	}
+}
+
+// readLoop delivers every reply arriving on one connection to the bound
+// sink (batch frames unpacked per element). A decode error — connection
+// closed by a crashed server, read deadline hit, corrupt stream — kills
+// only this connection and surfaces as one per-server error delivery, but
+// only while this reader is current: a stale generation's death is not
+// news.
+func (nc *netConn) readLoop(conn net.Conn, dec *gob.Decoder, gen int) {
+	defer nc.wg.Done()
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			nc.mu.Lock()
+			stale := nc.gen != gen || nc.closed
+			if !stale && nc.conn == conn {
+				nc.dropLocked(err)
+			}
+			nc.mu.Unlock()
+			_ = conn.Close()
+			if !stale {
+				nc.t.emit(nc.server, nil, fmt.Errorf("recv: %w", err))
+			}
+			return
+		}
+		if !nc.async {
+			// Serial-mode bookkeeping only: async sends never arm per-reply
+			// read deadlines, so the reply hot path skips the lock entirely.
+			nc.mu.Lock()
+			if nc.gen == gen && nc.conn == conn {
+				if nc.outstanding > 0 {
+					nc.outstanding--
+				}
+				if nc.outstanding == 0 && nc.timeout > 0 {
+					_ = conn.SetReadDeadline(time.Time{})
+				}
+			}
+			nc.mu.Unlock()
+		}
+		if batch, ok := env.Payload.(msg.Batch); ok {
+			for _, m := range batch.Msgs {
+				nc.t.emit(nc.server, m, nil)
+			}
+			continue
+		}
+		nc.t.emit(nc.server, env.Payload, nil)
+	}
+}
+
+func (nc *netConn) close() {
+	nc.mu.Lock()
+	if nc.closed {
+		nc.mu.Unlock()
+		nc.wg.Wait()
+		return
+	}
+	nc.closed = true
+	if nc.stop != nil {
+		close(nc.stop)
+	}
+	if nc.conn != nil {
+		_ = nc.conn.Close()
+		nc.conn = nil
+		nc.enc = nil
+	}
+	nc.mu.Unlock()
+	nc.wg.Wait()
+}

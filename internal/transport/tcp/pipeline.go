@@ -1,11 +1,8 @@
 package tcp
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"net"
-	"sync"
 	"time"
 
 	"probquorum/internal/metrics"
@@ -14,6 +11,7 @@ import (
 	"probquorum/internal/register"
 	"probquorum/internal/rng"
 	"probquorum/internal/trace"
+	"probquorum/internal/transport"
 )
 
 // ErrClientClosed is returned by operations pending in a pipelined client
@@ -54,10 +52,10 @@ func WithInFlightGauge(g *metrics.Gauge) ClientOption {
 	return func(o *clientOpts) { o.gauge = g }
 }
 
-// WithTrace records the pipelined client's completed operations into log,
-// under the client's writer id as the process identity. All pipelined
-// clients of one process share a logical clock by default, so one log can
-// absorb several clients' records consistently.
+// WithTrace records the client's completed operations into log, under the
+// client's writer id as the process identity. All clients of one process
+// share a logical clock by default, so one log can absorb several clients'
+// records consistently.
 func WithTrace(log *trace.Log) ClientOption {
 	return func(o *clientOpts) { o.traceLog = log }
 }
@@ -68,11 +66,13 @@ func WithClock(clock func() int64) ClientOption {
 }
 
 // PipelinedClient is a register client that keeps many operations in flight
-// over one TCP connection per replica server. Outgoing requests queued for a
-// server are coalesced into batch frames (one gob envelope carrying several
-// requests, amortizing encode and syscall cost), and replies are matched to
-// operations by operation id rather than request/reply pairing, so the
-// connection carries any number of interleaved exchanges at once.
+// over one TCP connection per replica server: a thin adapter binding a
+// transport-agnostic register.Pipeline to a tcpTransport in its batching
+// (async) mode. Outgoing requests queued for a server are coalesced into
+// batch frames (one gob envelope carrying several requests, amortizing
+// encode and syscall cost), and replies are matched to operations by
+// operation id rather than request/reply pairing, so the connection carries
+// any number of interleaved exchanges at once.
 //
 // Ordering guarantees are the Pipeline's: operations on different registers
 // proceed concurrently; same-register operations are FIFO per client, which
@@ -85,7 +85,7 @@ func WithClock(clock func() int64) ClientOption {
 type PipelinedClient struct {
 	pl       *register.Pipeline
 	engine   *register.Engine
-	conns    []*pipeConn
+	tr       *tcpTransport
 	counters *metrics.TransportCounters
 }
 
@@ -104,6 +104,8 @@ func DialPipelined(addrs []string, sys quorum.System, opts ...ClientOption) (*Pi
 	for _, opt := range opts {
 		opt(&o)
 	}
+	// As in Dial: per-message counting is opt-in via WithTransportCounters.
+	counted := o.counters != nil
 	if o.counters == nil {
 		o.counters = &metrics.TransportCounters{}
 	}
@@ -121,21 +123,10 @@ func DialPipelined(addrs []string, sys quorum.System, opts ...ClientOption) (*Pi
 	engine := register.NewEngine(o.writer, sys,
 		rng.Derive(o.seed, fmt.Sprintf("tcp.pipeclient.%d", o.writer)), eopts...)
 
-	c := &PipelinedClient{engine: engine, counters: o.counters}
-	for srv, addr := range addrs {
-		pc := &pipeConn{
-			server:   srv,
-			addr:     addr,
-			out:      make(chan any, pipeOutBuffer),
-			stop:     make(chan struct{}),
-			maxBatch: o.maxBatch,
-			timeout:  o.opTimeout,
-			hist:     o.batchHist,
-			counters: o.counters,
-		}
-		c.conns = append(c.conns, pc)
+	tr := newTCPTransport(addrs, o.opTimeout, o.counters, true, o.maxBatch, o.batchHist)
+	if err := tr.start(); err != nil {
+		return nil, err
 	}
-	send := func(server int, req any) { c.conns[server].enqueue(req) }
 	plOpts := []register.PipelineOption{
 		register.PipeTimeout(o.opTimeout, o.retries),
 	}
@@ -148,21 +139,12 @@ func DialPipelined(addrs []string, sys quorum.System, opts ...ClientOption) (*Pi
 	if o.clock != nil {
 		plOpts = append(plOpts, register.PipeClock(o.clock))
 	}
-	c.pl = register.NewPipeline(engine, send, plOpts...)
-	for _, pc := range c.conns {
-		pc.deliver = c.pl.Deliver
-		// Dial eagerly so an unreachable address fails construction, like
-		// the serial client; later failures re-dial lazily with backoff.
-		pc.mu.Lock()
-		err := pc.ensureLocked()
-		pc.mu.Unlock()
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("tcp dial %s: %w", pc.addr, err)
-		}
-		pc.wg.Add(1)
-		go pc.writeLoop()
+	var rt transport.Transport = tr
+	if counted {
+		rt = transport.Instrument(tr, o.counters)
 	}
+	c := &PipelinedClient{engine: engine, tr: tr, counters: o.counters}
+	c.pl = register.NewPipelineOver(engine, rt, plOpts...)
 	return c, nil
 }
 
@@ -199,189 +181,6 @@ func (c *PipelinedClient) Counters() *metrics.TransportCounters { return c.count
 // Close tears down every connection and fails all pending operations with
 // ErrClientClosed.
 func (c *PipelinedClient) Close() {
-	for _, pc := range c.conns {
-		pc.close()
-	}
-	if c.pl != nil {
-		c.pl.Close(ErrClientClosed)
-	}
-}
-
-// pipeConn is one multiplexed connection to a replica server: a writer
-// goroutine drains the send queue, coalescing whatever is queued (up to
-// maxBatch) into one batch frame per flush, and a reader goroutine per live
-// connection dispatches every incoming reply to the pipeline by operation
-// id. The connection re-dials lazily with capped backoff after failures;
-// requests that raced a dead connection are simply lost, which the
-// pipeline's per-operation deadline repairs.
-type pipeConn struct {
-	server   int
-	addr     string
-	deliver  func(server int, payload any)
-	out      chan any
-	stop     chan struct{}
-	wg       sync.WaitGroup
-	maxBatch int
-	timeout  time.Duration
-	hist     *metrics.IntHistogram
-	counters *metrics.TransportCounters
-
-	mu         sync.Mutex
-	conn       net.Conn
-	enc        *gob.Encoder
-	gen        int // connection generation; a reader only kills its own conn
-	redialWait time.Duration
-	nextDial   time.Time
-	closed     bool
-}
-
-// enqueue queues one request for the writer, dropping it if the queue is
-// full (the operation's deadline re-issues it).
-func (pc *pipeConn) enqueue(req any) {
-	select {
-	case pc.out <- req:
-	default:
-	}
-}
-
-func (pc *pipeConn) writeLoop() {
-	defer pc.wg.Done()
-	batch := make([]any, 0, pc.maxBatch)
-	for {
-		select {
-		case <-pc.stop:
-			return
-		case m := <-pc.out:
-			batch = append(batch[:0], m)
-		drain:
-			for len(batch) < pc.maxBatch {
-				select {
-				case m2 := <-pc.out:
-					batch = append(batch, m2)
-				default:
-					break drain
-				}
-			}
-			pc.flush(batch)
-		}
-	}
-}
-
-// flush writes one batch frame, transparently re-dialing a dead connection
-// first. Failures drop the batch: the operations' deadlines take over.
-func (pc *pipeConn) flush(batch []any) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.closed {
-		return
-	}
-	if err := pc.ensureLocked(); err != nil {
-		return
-	}
-	if pc.timeout > 0 {
-		_ = pc.conn.SetWriteDeadline(time.Now().Add(pc.timeout))
-	}
-	if err := pc.enc.Encode(envelope{Payload: msg.Batch{Msgs: batch}}); err != nil {
-		pc.dropLocked(err)
-		return
-	}
-	if pc.hist != nil {
-		pc.hist.Observe(len(batch))
-	}
-}
-
-// ensureLocked re-dials a dead connection, honouring the re-dial backoff,
-// and spawns the reader for the new connection. Callers hold mu.
-func (pc *pipeConn) ensureLocked() error {
-	if pc.conn != nil {
-		return nil
-	}
-	if now := time.Now(); now.Before(pc.nextDial) {
-		return fmt.Errorf("reconnect %s: backed off for %v", pc.addr,
-			pc.nextDial.Sub(now).Round(time.Millisecond))
-	}
-	d := net.Dialer{Timeout: pc.timeout}
-	conn, err := d.Dial("tcp", pc.addr)
-	if err != nil {
-		if pc.redialWait == 0 {
-			pc.redialWait = redialBackoffMin
-		} else {
-			pc.redialWait *= 2
-			if pc.redialWait > redialBackoffMax {
-				pc.redialWait = redialBackoffMax
-			}
-		}
-		pc.nextDial = time.Now().Add(pc.redialWait)
-		return fmt.Errorf("reconnect %s: %w", pc.addr, err)
-	}
-	pc.conn = conn
-	pc.enc = gob.NewEncoder(conn)
-	pc.gen++
-	pc.redialWait = 0
-	pc.nextDial = time.Time{}
-	if pc.gen > 1 && pc.counters != nil {
-		pc.counters.Reconnects.Inc()
-	}
-	pc.wg.Add(1)
-	go pc.readLoop(conn, gob.NewDecoder(conn), pc.gen)
-	return nil
-}
-
-// dropLocked discards the current connection after an error. Callers hold
-// mu.
-func (pc *pipeConn) dropLocked(err error) {
-	if pc.conn != nil {
-		_ = pc.conn.Close()
-		pc.conn = nil
-		pc.enc = nil
-	}
-	var nerr net.Error
-	if pc.counters != nil && errors.As(err, &nerr) && nerr.Timeout() {
-		pc.counters.Timeouts.Inc()
-	}
-}
-
-// readLoop dispatches every reply arriving on one connection to the
-// pipeline. A decode error (connection closed by a crashed server, corrupt
-// stream) kills only this connection — and only if it is still the current
-// one — so a re-dialed successor is never collateral damage.
-func (pc *pipeConn) readLoop(conn net.Conn, dec *gob.Decoder, gen int) {
-	defer pc.wg.Done()
-	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			pc.mu.Lock()
-			if pc.gen == gen && !pc.closed && pc.conn == conn {
-				pc.dropLocked(err)
-			}
-			pc.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		switch p := env.Payload.(type) {
-		case msg.Batch:
-			for _, m := range p.Msgs {
-				pc.deliver(pc.server, m)
-			}
-		default:
-			pc.deliver(pc.server, p)
-		}
-	}
-}
-
-func (pc *pipeConn) close() {
-	pc.mu.Lock()
-	if pc.closed {
-		pc.mu.Unlock()
-		return
-	}
-	pc.closed = true
-	close(pc.stop)
-	if pc.conn != nil {
-		_ = pc.conn.Close()
-		pc.conn = nil
-		pc.enc = nil
-	}
-	pc.mu.Unlock()
-	pc.wg.Wait()
+	_ = c.tr.Close()
+	c.pl.Close(ErrClientClosed)
 }

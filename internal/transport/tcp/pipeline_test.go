@@ -152,8 +152,10 @@ func TestPipeConnCoalesces(t *testing.T) {
 	defer server.Close()
 
 	hist := metrics.NewIntHistogram()
-	pc := &pipeConn{
+	pc := &netConn{
+		t:        &tcpTransport{},
 		server:   0,
+		async:    true,
 		out:      make(chan any, 64),
 		stop:     make(chan struct{}),
 		maxBatch: 16,

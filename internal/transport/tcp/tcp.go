@@ -35,7 +35,6 @@ package tcp
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -48,12 +47,17 @@ import (
 	"probquorum/internal/replica"
 	"probquorum/internal/rng"
 	"probquorum/internal/trace"
+	"probquorum/internal/transport"
 )
 
 // ErrQuorumUnavailable is returned when an operation exhausts its retry
 // budget without completing on any quorum — too many servers crashed,
 // unreachable, or silent for any picked quorum to answer in time.
-var ErrQuorumUnavailable = errors.New("tcp: no live quorum answered (retries exhausted)")
+//
+// Deprecated: it is now an alias for register.ErrQuorumUnavailable, the
+// single typed unavailability error shared by every transport; match with
+// errors.Is against either name.
+var ErrQuorumUnavailable = register.ErrQuorumUnavailable
 
 // envelope wraps a protocol message for gob, which needs a concrete struct
 // around interface-typed payloads.
@@ -236,114 +240,15 @@ const (
 	redialBackoffMax = time.Second
 )
 
-// clientConn is one connection to a replica server, used for one
-// request/response exchange at a time. A connection that errors is marked
-// dead and transparently re-dialed on next use.
-type clientConn struct {
-	addr string
-
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	dead bool
-
-	redialWait time.Duration // current re-dial backoff; 0 until a dial fails
-	nextDial   time.Time     // earliest time for the next re-dial attempt
-
-	counters *metrics.TransportCounters
-}
-
-// ensureConn re-dials a dead connection, honouring the re-dial backoff.
-// Callers hold mu.
-func (c *clientConn) ensureConn(timeout time.Duration) error {
-	if c.conn != nil && !c.dead {
-		return nil
-	}
-	if now := time.Now(); now.Before(c.nextDial) {
-		return fmt.Errorf("reconnect %s: backed off for %v", c.addr,
-			c.nextDial.Sub(now).Round(time.Millisecond))
-	}
-	if c.conn != nil {
-		_ = c.conn.Close()
-	}
-	d := net.Dialer{Timeout: timeout}
-	conn, err := d.Dial("tcp", c.addr)
-	if err != nil {
-		if c.redialWait == 0 {
-			c.redialWait = redialBackoffMin
-		} else {
-			c.redialWait *= 2
-			if c.redialWait > redialBackoffMax {
-				c.redialWait = redialBackoffMax
-			}
-		}
-		c.nextDial = time.Now().Add(c.redialWait)
-		return fmt.Errorf("reconnect %s: %w", c.addr, err)
-	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	c.dead = false
-	c.redialWait = 0
-	c.nextDial = time.Time{}
-	if c.counters != nil {
-		c.counters.Reconnects.Inc()
-	}
-	return nil
-}
-
-// fail marks the connection dead. Any error on a gob stream — timeout
-// included, since the peer may still emit the abandoned reply later — ruins
-// the request/reply framing, so the connection must be re-dialed before it
-// can be used again. Callers hold mu.
-func (c *clientConn) fail(err error) {
-	c.dead = true
-	_ = c.conn.Close()
-	var nerr net.Error
-	if c.counters != nil && errors.As(err, &nerr) && nerr.Timeout() {
-		c.counters.Timeouts.Inc()
-	}
-}
-
-// call performs one request/response exchange. A positive timeout bounds
-// the whole exchange via the connection's read/write deadline.
-func (c *clientConn) call(req any, timeout time.Duration) (any, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ensureConn(timeout); err != nil {
-		return nil, err
-	}
-	if timeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(timeout))
-	}
-	if err := c.enc.Encode(envelope{Payload: req}); err != nil {
-		c.fail(err)
-		return nil, fmt.Errorf("send: %w", err)
-	}
-	var env envelope
-	if err := c.dec.Decode(&env); err != nil {
-		c.fail(err)
-		return nil, fmt.Errorf("recv: %w", err)
-	}
-	if timeout > 0 {
-		_ = c.conn.SetDeadline(time.Time{})
-	}
-	return env.Payload, nil
-}
-
-// Client is a register client over TCP connections to the replica servers.
-// It is safe for one goroutine at a time (one pending operation per
-// process, as the register model requires).
+// Client is a register client over TCP connections to the replica servers:
+// a thin adapter binding a transport-agnostic register.Client to a
+// tcpTransport. It is safe for one goroutine at a time (one pending
+// operation per process, as the register model requires).
 type Client struct {
-	conns  []*clientConn
-	engine *register.Engine
-
-	opTimeout   time.Duration
-	retries     int
-	backoffBase time.Duration
-	backoffMax  time.Duration
-	counters    *metrics.TransportCounters
+	rc       *register.Client
+	engine   *register.Engine
+	tr       *tcpTransport
+	counters *metrics.TransportCounters
 }
 
 // ClientOption configures a TCP client.
@@ -424,52 +329,46 @@ func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, err
 	for _, opt := range opts {
 		opt(&o)
 	}
+	// Message counting costs two contended atomics per message, so the
+	// transport is only instrumented when the caller asked for counters.
+	counted := o.counters != nil
 	if o.counters == nil {
 		o.counters = &metrics.TransportCounters{}
-	}
-	c := &Client{
-		opTimeout:   o.opTimeout,
-		retries:     o.retries,
-		backoffBase: o.backoffBase,
-		backoffMax:  o.backoffMax,
-		counters:    o.counters,
-	}
-	for _, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("tcp dial %s: %w", addr, err)
-		}
-		c.conns = append(c.conns, &clientConn{
-			addr:     addr,
-			conn:     conn,
-			enc:      gob.NewEncoder(conn),
-			dec:      gob.NewDecoder(conn),
-			counters: o.counters,
-		})
 	}
 	var eopts []register.Option
 	if o.monotone {
 		eopts = append(eopts, register.Monotone())
 	}
-	c.engine = register.NewEngine(o.writer, sys,
+	engine := register.NewEngine(o.writer, sys,
 		rng.Derive(o.seed, fmt.Sprintf("tcp.client.%d", o.writer)), eopts...)
-	return c, nil
+
+	tr := newTCPTransport(addrs, o.opTimeout, o.counters, false, 0, nil)
+	if err := tr.start(); err != nil {
+		return nil, err
+	}
+	ropts := []register.ClientOption{
+		register.WithOpTimeout(o.opTimeout),
+		register.WithRetries(o.retries),
+		register.WithRetryBackoff(o.backoffBase, o.backoffMax),
+		register.WithTransportCounters(o.counters),
+	}
+	if o.traceLog != nil {
+		ropts = append(ropts, register.WithTrace(o.traceLog, msg.NodeID(o.writer)))
+	}
+	if o.clock != nil {
+		ropts = append(ropts, register.WithClock(o.clock))
+	}
+	var rt transport.Transport = tr
+	if counted {
+		rt = transport.Instrument(tr, o.counters)
+	}
+	rc := register.NewClient(engine, rt, ropts...)
+	return &Client{rc: rc, engine: engine, tr: tr, counters: o.counters}, nil
 }
 
 // Close closes every server connection.
 func (c *Client) Close() {
-	for _, cc := range c.conns {
-		if cc == nil {
-			continue
-		}
-		cc.mu.Lock()
-		if cc.conn != nil {
-			_ = cc.conn.Close()
-		}
-		cc.dead = true
-		cc.mu.Unlock()
-	}
+	_ = c.tr.Close()
 }
 
 // Engine exposes the client's register engine.
@@ -478,97 +377,17 @@ func (c *Client) Engine() *register.Engine { return c.engine }
 // Counters exposes the client's transport fault counters.
 func (c *Client) Counters() *metrics.TransportCounters { return c.counters }
 
-// retryOrFail decides an errored fan-out's fate. Without an operation
-// timeout the error is final (the strict one-shot behaviour). With one, the
-// operation sleeps a capped exponential backoff and retries on a fresh
-// quorum — until the retry budget (if any) runs out, which surfaces
-// ErrQuorumUnavailable wrapping the last cause.
-func (c *Client) retryOrFail(what string, reg msg.RegisterID, attempt int, cause error) error {
-	if c.opTimeout <= 0 {
-		return fmt.Errorf("%s reg %d: %w", what, reg, cause)
-	}
-	if c.retries > 0 && attempt+1 > c.retries {
-		return fmt.Errorf("%s reg %d: %w after %d attempts (last: %v)",
-			what, reg, ErrQuorumUnavailable, attempt+1, cause)
-	}
-	c.counters.Retries.Inc()
-	shift := attempt
-	if shift > 20 {
-		shift = 20
-	}
-	d := c.backoffBase << uint(shift)
-	if d > c.backoffMax || d <= 0 {
-		d = c.backoffMax
-	}
-	time.Sleep(d)
-	return nil
-}
-
 // Read performs one quorum read of reg, retrying on fresh quorums when an
 // operation timeout is configured.
 func (c *Client) Read(reg msg.RegisterID) (msg.Tagged, error) {
-	var s *register.ReadSession
-	for attempt := 0; ; attempt++ {
-		if s == nil {
-			s = c.engine.BeginRead(reg)
-		} else {
-			s = c.engine.RetryRead(s)
-		}
-		replies, err := c.fanOut(s.Quorum, s.Request())
-		if err != nil {
-			if ferr := c.retryOrFail("read", reg, attempt, err); ferr != nil {
-				return msg.Tagged{}, ferr
-			}
-			continue
-		}
-		for srv, raw := range replies {
-			rep, ok := raw.(msg.ReadReply)
-			if !ok {
-				return msg.Tagged{}, fmt.Errorf("read reg %d: server %d sent %T", reg, srv, raw)
-			}
-			s.OnReply(srv, rep)
-		}
-		if !s.Done() {
-			return msg.Tagged{}, errors.New("read incomplete") // unreachable with errors surfaced above
-		}
-		return c.engine.FinishRead(s), nil
-	}
+	return c.rc.Read(reg)
 }
 
 // ReadAtomic performs an ABD-style atomic read over TCP: a quorum read
 // followed by an awaited write-back of the observed value to a fresh
 // quorum. Over a strict quorum system this gives single-writer atomicity.
 func (c *Client) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
-	tag, err := c.Read(reg)
-	if err != nil {
-		return msg.Tagged{}, err
-	}
-	var s *register.WriteSession
-	for attempt := 0; ; attempt++ {
-		if s == nil {
-			s = c.engine.BeginWriteWithTS(reg, tag)
-		} else {
-			s = c.engine.RetryWrite(s)
-		}
-		replies, err := c.fanOut(s.Quorum, s.Request())
-		if err != nil {
-			if ferr := c.retryOrFail("atomic read write-back", reg, attempt, err); ferr != nil {
-				return msg.Tagged{}, ferr
-			}
-			continue
-		}
-		for srv, raw := range replies {
-			ack, ok := raw.(msg.WriteAck)
-			if !ok {
-				return msg.Tagged{}, fmt.Errorf("atomic read reg %d: server %d sent %T", reg, srv, raw)
-			}
-			s.OnAck(srv, ack)
-		}
-		if !s.Done() {
-			return msg.Tagged{}, errors.New("atomic read write-back incomplete")
-		}
-		return tag, nil
-	}
+	return c.rc.ReadAtomic(reg)
 }
 
 // Write performs one quorum write of val to reg, retrying on fresh quorums
@@ -576,64 +395,6 @@ func (c *Client) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
 // timestamp (replicas deduplicate installations by timestamp), so partial
 // fan-outs of abandoned attempts are harmless.
 func (c *Client) Write(reg msg.RegisterID, val msg.Value) error {
-	var s *register.WriteSession
-	for attempt := 0; ; attempt++ {
-		if s == nil {
-			s = c.engine.BeginWrite(reg, val)
-		} else {
-			s = c.engine.RetryWrite(s)
-		}
-		replies, err := c.fanOut(s.Quorum, s.Request())
-		if err != nil {
-			if ferr := c.retryOrFail("write", reg, attempt, err); ferr != nil {
-				return ferr
-			}
-			continue
-		}
-		for srv, raw := range replies {
-			ack, ok := raw.(msg.WriteAck)
-			if !ok {
-				return fmt.Errorf("write reg %d: server %d sent %T", reg, srv, raw)
-			}
-			s.OnAck(srv, ack)
-		}
-		if !s.Done() {
-			return errors.New("write incomplete")
-		}
-		return nil
-	}
-}
-
-// fanOut sends req to every quorum member in parallel and collects each
-// member's reply. It waits for every member (success or failure) so that a
-// slow member's reply never leaks into a later operation's exchange.
-func (c *Client) fanOut(quorumMembers []int, req any) (map[int]any, error) {
-	type result struct {
-		srv   int
-		reply any
-		err   error
-	}
-	ch := make(chan result, len(quorumMembers))
-	for _, srv := range quorumMembers {
-		go func(srv int) {
-			reply, err := c.conns[srv].call(req, c.opTimeout)
-			ch <- result{srv: srv, reply: reply, err: err}
-		}(srv)
-	}
-	out := make(map[int]any, len(quorumMembers))
-	var firstErr error
-	for range quorumMembers {
-		r := <-ch
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("server %d: %w", r.srv, r.err)
-			}
-			continue
-		}
-		out[r.srv] = r.reply
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	_, err := c.rc.Write(reg, val)
+	return err
 }

@@ -1,0 +1,81 @@
+// Package transport defines the seam between the transport-agnostic register
+// client (internal/register) and the concrete message carriers: the
+// goroutine cluster, TCP sockets, and the discrete-event simulator.
+//
+// A Transport is a minimal fan-out primitive. It knows how to hand an opaque
+// request to one of N servers and how to deliver whatever comes back — it
+// has no idea what a quorum, a timestamp, or a retry is. All protocol logic
+// (pick quorum, fan out, collect, deadline, fresh-quorum retry, ABD
+// write-back, b-masking) lives above this interface in internal/register;
+// fault injection and metrics attach below it, so every runtime gets them
+// for free.
+package transport
+
+import "probquorum/internal/metrics"
+
+// Broadcast is the pseudo-server index used by Sink deliveries that concern
+// the whole transport rather than one server — most importantly the fatal
+// "transport closed" notification (payload nil, err non-nil).
+const Broadcast = -1
+
+// Sink receives inbound traffic from a Transport. For a normal reply, server
+// is the replying server's index, payload the decoded message, and err nil.
+// For a per-server failure (connection died, decode error), payload is nil
+// and err describes the failure. For a transport-wide fatal condition
+// (shutdown, crash of the underlying runtime), server is Broadcast and err
+// is the terminal error; no further deliveries follow.
+//
+// Implementations of Transport may invoke the sink from internal goroutines;
+// the sink must not block.
+type Sink func(server int, payload any, err error)
+
+// Transport is the fan-out primitive a register client runs over.
+type Transport interface {
+	// N returns the number of servers the transport can reach. Quorum
+	// systems handed to a client must be sized to match.
+	N() int
+	// Bind installs the inbound delivery sink. It must be called exactly
+	// once, before the first Send; implementations may start their receive
+	// machinery here.
+	Bind(sink Sink)
+	// Send hands req to the given server. A nil error means the request was
+	// accepted for delivery, not that it arrived: lost messages surface as
+	// missing replies (the client's deadline machinery handles those). A
+	// non-nil error means the request could not even be handed off — e.g. a
+	// dead connection that could not be re-dialed.
+	Send(server int, req any) error
+	// Close releases the transport. Subsequent Sends fail or are dropped;
+	// the sink receives no further deliveries (implementations may emit one
+	// final Broadcast error first).
+	Close() error
+}
+
+// Instrument wraps t so that every accepted Send increments tc.MsgsSent and
+// every per-server reply delivery increments tc.MsgsRecv. Error and
+// Broadcast deliveries are not counted — the counters measure the logical
+// message complexity of the protocol, not fault-path traffic.
+func Instrument(t Transport, tc *metrics.TransportCounters) Transport {
+	return &instrumented{Transport: t, tc: tc}
+}
+
+type instrumented struct {
+	Transport
+	tc *metrics.TransportCounters
+}
+
+func (i *instrumented) Bind(sink Sink) {
+	i.Transport.Bind(func(server int, payload any, err error) {
+		if err == nil && server >= 0 {
+			i.tc.MsgsRecv.Inc()
+		}
+		sink(server, payload, err)
+	})
+}
+
+func (i *instrumented) Send(server int, req any) error {
+	err := i.Transport.Send(server, req)
+	if err == nil {
+		i.tc.MsgsSent.Inc()
+	}
+	return err
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Static-quality gate: formatting, vet, build, and the full test suite.
+# Usage:
+#
+#   scripts/check.sh          # gofmt + vet + build + test
+#   scripts/check.sh -race    # same, with the race detector on the tests
+#
+# Exits non-zero on the first failure; the gofmt check lists offending
+# files instead of rewriting them.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+race=""
+if [ "${1:-}" = "-race" ]; then
+    race="-race"
+fi
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test $race ./...
+
+echo "check.sh: all gates passed"
