@@ -50,6 +50,10 @@ type TransportCounters struct {
 	Timeouts Counter
 	// Reconnects counts dead connections successfully re-dialed.
 	Reconnects Counter
+	// StaleDrops counts replies that arrived for operations the client had
+	// already abandoned (typically a late answer racing a per-op timeout)
+	// and were discarded by op-id instead of poisoning the stream.
+	StaleDrops Counter
 	// MsgsSent counts logical register requests handed to the transport.
 	MsgsSent Counter
 	// MsgsRecv counts logical register replies delivered to the client.

@@ -1,0 +1,522 @@
+package msg
+
+// wire.go is the hand-rolled binary wire codec for the protocol messages.
+// The TCP transport originally serialized every envelope with reflection-
+// driven encoding/gob; that dominated the hot path (reflection plus per-frame
+// type bookkeeping) and, worse, gob's stateful stream meant a read-deadline
+// timeout ruined the framing and forced a full reconnect. This codec fixes
+// both: frames are explicit, length-prefixed, and self-delimiting, so
+// encoding is a handful of fixed-width appends and a reader that times out
+// mid-frame simply resumes where it left off (see FrameReader).
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32 payload length | payload
+//
+// payload = 1 kind byte + kind-specific fields:
+//
+//	ReadReq   (kind 1): reg int32 · op uint64
+//	ReadReply (kind 2): reg int32 · op uint64 · tagged
+//	WriteReq  (kind 3): reg int32 · op uint64 · tagged
+//	WriteAck  (kind 4): reg int32 · op uint64
+//	Batch     (kind 5): count uint32, then per element
+//	                    uint32 element length | element payload
+//
+//	tagged = seq uint64 · writer int32 · value
+//	value  = 1 tag byte + tag-specific bytes (val* constants below)
+//
+// Batch elements carry their own length prefixes so a receiver can skip a
+// malformed or unrecognized element without losing the rest of the frame —
+// the same junk tolerance the gob batch path had, preserved byte-for-byte
+// here because replies are matched by operation id, never by position.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Wire kind bytes, one per frame-level message.
+const (
+	wireReadReq   byte = 1
+	wireReadReply byte = 2
+	wireWriteReq  byte = 3
+	wireWriteAck  byte = 4
+	wireBatch     byte = 5
+)
+
+// Value-union tag bytes. The codec preserves the Go type of a register value
+// exactly (an int round-trips as int, not int64), because replica stores and
+// application code compare values with interface equality.
+const (
+	valNil      byte = 0
+	valInt64    byte = 1
+	valInt      byte = 2
+	valUint64   byte = 3
+	valFloat64  byte = 4
+	valBool     byte = 5
+	valString   byte = 6
+	valBytes    byte = 7
+	valFloat64s byte = 8
+	valBools    byte = 9
+	// valGob wraps any other value type in a nested gob stream, so exotic
+	// application value types (registered via tcp.RegisterValueType) keep
+	// working without this codec knowing about them.
+	valGob byte = 255
+)
+
+// MaxWireFrame caps the payload length accepted in one frame. The length
+// prefix is validated against it before any allocation, bounding what a
+// corrupt or malicious peer can make the decoder allocate.
+const MaxWireFrame = 16 << 20
+
+// ErrFrameTooLarge reports a frame whose length prefix exceeds MaxWireFrame.
+var ErrFrameTooLarge = errors.New("msg: wire frame exceeds MaxWireFrame")
+
+var errShortPayload = errors.New("msg: truncated wire payload")
+
+// gobValue is the gob-fallback wrapper: gob needs a concrete struct around
+// an interface-typed payload.
+type gobValue struct{ V Value }
+
+// AppendMessage appends one complete wire frame (length prefix + payload)
+// for m to dst and returns the extended slice. Supported messages are the
+// four protocol messages and Batch (whose elements must themselves be
+// protocol messages). Encoding into a pre-grown dst does not allocate except
+// through the gob fallback for exotic value types.
+func AppendMessage(dst []byte, m any) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err := appendPayload(dst, m, true)
+	if err != nil {
+		return dst[:start], err
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst, nil
+}
+
+func appendPayload(dst []byte, m any, allowBatch bool) ([]byte, error) {
+	switch t := m.(type) {
+	case ReadReq:
+		dst = append(dst, wireReadReq)
+		return appendRegOp(dst, t.Reg, t.Op), nil
+	case WriteAck:
+		dst = append(dst, wireWriteAck)
+		return appendRegOp(dst, t.Reg, t.Op), nil
+	case ReadReply:
+		dst = append(dst, wireReadReply)
+		return appendTagged(appendRegOp(dst, t.Reg, t.Op), t.Tag)
+	case WriteReq:
+		dst = append(dst, wireWriteReq)
+		return appendTagged(appendRegOp(dst, t.Reg, t.Op), t.Tag)
+	case Batch:
+		if !allowBatch {
+			return dst, errors.New("msg: nested Batch cannot be encoded")
+		}
+		dst = append(dst, wireBatch)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.Msgs)))
+		for _, el := range t.Msgs {
+			lenAt := len(dst)
+			dst = append(dst, 0, 0, 0, 0)
+			var err error
+			dst, err = appendPayload(dst, el, false)
+			if err != nil {
+				return dst, err
+			}
+			binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+		}
+		return dst, nil
+	default:
+		return dst, fmt.Errorf("msg: cannot encode %T on the wire", m)
+	}
+}
+
+func appendRegOp(dst []byte, reg RegisterID, op OpID) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(reg))
+	return binary.BigEndian.AppendUint64(dst, uint64(op))
+}
+
+func appendTagged(dst []byte, tag Tagged) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint64(dst, tag.TS.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(tag.TS.Writer))
+	return appendValue(dst, tag.Val)
+}
+
+func appendValue(dst []byte, v Value) ([]byte, error) {
+	switch t := v.(type) {
+	case nil:
+		return append(dst, valNil), nil
+	case int64:
+		dst = append(dst, valInt64)
+		return binary.BigEndian.AppendUint64(dst, uint64(t)), nil
+	case int:
+		dst = append(dst, valInt)
+		return binary.BigEndian.AppendUint64(dst, uint64(t)), nil
+	case uint64:
+		dst = append(dst, valUint64)
+		return binary.BigEndian.AppendUint64(dst, t), nil
+	case float64:
+		dst = append(dst, valFloat64)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(t)), nil
+	case bool:
+		b := byte(0)
+		if t {
+			b = 1
+		}
+		return append(dst, valBool, b), nil
+	case string:
+		dst = append(dst, valString)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(t)))
+		return append(dst, t...), nil
+	case []byte:
+		dst = append(dst, valBytes)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(t)))
+		return append(dst, t...), nil
+	case []float64:
+		dst = append(dst, valFloat64s)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(t)))
+		for _, f := range t {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+		}
+		return dst, nil
+	case []bool:
+		dst = append(dst, valBools)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(t)))
+		for _, b := range t {
+			x := byte(0)
+			if b {
+				x = 1
+			}
+			dst = append(dst, x)
+		}
+		return dst, nil
+	default:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(gobValue{V: v}); err != nil {
+			return dst, fmt.Errorf("msg: gob-fallback encode of %T: %w", v, err)
+		}
+		dst = append(dst, valGob)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(buf.Len()))
+		return append(dst, buf.Bytes()...), nil
+	}
+}
+
+// DecodePayload decodes one frame payload (the bytes after the length
+// prefix). The input may be a transient buffer window: every decoded value
+// owns its memory (strings and slices are copied out).
+func DecodePayload(p []byte) (any, error) {
+	return decodePayload(p, true)
+}
+
+func decodePayload(p []byte, allowBatch bool) (any, error) {
+	if len(p) == 0 {
+		return nil, errShortPayload
+	}
+	kind, p := p[0], p[1:]
+	switch kind {
+	case wireReadReq, wireWriteAck:
+		reg, op, _, err := decodeRegOp(p)
+		if err != nil {
+			return nil, err
+		}
+		if kind == wireReadReq {
+			return ReadReq{Reg: reg, Op: op}, nil
+		}
+		return WriteAck{Reg: reg, Op: op}, nil
+	case wireReadReply, wireWriteReq:
+		reg, op, rest, err := decodeRegOp(p)
+		if err != nil {
+			return nil, err
+		}
+		tag, _, err := decodeTagged(rest)
+		if err != nil {
+			return nil, err
+		}
+		if kind == wireReadReply {
+			return ReadReply{Reg: reg, Op: op, Tag: tag}, nil
+		}
+		return WriteReq{Reg: reg, Op: op, Tag: tag}, nil
+	case wireBatch:
+		if !allowBatch {
+			return nil, errors.New("msg: nested Batch")
+		}
+		return decodeBatch(p)
+	default:
+		return nil, fmt.Errorf("msg: unknown wire kind %d", kind)
+	}
+}
+
+func decodeBatch(p []byte) (Batch, error) {
+	if len(p) < 4 {
+		return Batch{}, errShortPayload
+	}
+	count := int64(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	if count == 0 {
+		return Batch{}, nil
+	}
+	// Every element costs at least its 4-byte length prefix, so a claimed
+	// count beyond that bound is a lie — reject it before allocating.
+	if count > int64(len(p)/4) {
+		return Batch{}, fmt.Errorf("msg: batch claims %d elements in %d bytes", count, len(p))
+	}
+	msgs := make([]any, 0, count)
+	for i := int64(0); i < count; i++ {
+		if len(p) < 4 {
+			return Batch{}, errShortPayload
+		}
+		elen := int64(binary.BigEndian.Uint32(p))
+		p = p[4:]
+		if elen > int64(len(p)) {
+			return Batch{}, errShortPayload
+		}
+		el := p[:elen]
+		p = p[elen:]
+		// A malformed element is dropped, not fatal: replies are matched by
+		// operation id, so skipping junk cannot desynchronize anything.
+		if m, err := decodePayload(el, false); err == nil {
+			msgs = append(msgs, m)
+		}
+	}
+	return Batch{Msgs: msgs}, nil
+}
+
+func decodeRegOp(p []byte) (RegisterID, OpID, []byte, error) {
+	if len(p) < 12 {
+		return 0, 0, nil, errShortPayload
+	}
+	reg := RegisterID(int32(binary.BigEndian.Uint32(p)))
+	op := OpID(binary.BigEndian.Uint64(p[4:]))
+	return reg, op, p[12:], nil
+}
+
+func decodeTagged(p []byte) (Tagged, []byte, error) {
+	if len(p) < 12 {
+		return Tagged{}, nil, errShortPayload
+	}
+	ts := Timestamp{
+		Seq:    binary.BigEndian.Uint64(p),
+		Writer: int32(binary.BigEndian.Uint32(p[8:])),
+	}
+	val, rest, err := decodeValue(p[12:])
+	if err != nil {
+		return Tagged{}, nil, err
+	}
+	return Tagged{TS: ts, Val: val}, rest, nil
+}
+
+func decodeValue(p []byte) (Value, []byte, error) {
+	if len(p) == 0 {
+		return nil, nil, errShortPayload
+	}
+	tag, p := p[0], p[1:]
+	switch tag {
+	case valNil:
+		return nil, p, nil
+	case valInt64, valInt, valUint64, valFloat64:
+		if len(p) < 8 {
+			return nil, nil, errShortPayload
+		}
+		u := binary.BigEndian.Uint64(p)
+		p = p[8:]
+		switch tag {
+		case valInt64:
+			return int64(u), p, nil
+		case valInt:
+			return int(int64(u)), p, nil
+		case valUint64:
+			return u, p, nil
+		default:
+			return math.Float64frombits(u), p, nil
+		}
+	case valBool:
+		if len(p) < 1 {
+			return nil, nil, errShortPayload
+		}
+		return p[0] != 0, p[1:], nil
+	case valString:
+		b, rest, err := decodeLenBytes(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return string(b), rest, nil
+	case valBytes:
+		b, rest, err := decodeLenBytes(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append([]byte(nil), b...), rest, nil
+	case valFloat64s:
+		if len(p) < 4 {
+			return nil, nil, errShortPayload
+		}
+		n := int64(binary.BigEndian.Uint32(p))
+		p = p[4:]
+		if n*8 > int64(len(p)) {
+			return nil, nil, errShortPayload
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.BigEndian.Uint64(p[i*8:]))
+		}
+		return out, p[n*8:], nil
+	case valBools:
+		if len(p) < 4 {
+			return nil, nil, errShortPayload
+		}
+		n := int64(binary.BigEndian.Uint32(p))
+		p = p[4:]
+		if n > int64(len(p)) {
+			return nil, nil, errShortPayload
+		}
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = p[i] != 0
+		}
+		return out, p[n:], nil
+	case valGob:
+		b, rest, err := decodeLenBytes(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		var gv gobValue
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&gv); err != nil {
+			return nil, nil, fmt.Errorf("msg: gob-fallback decode: %w", err)
+		}
+		return gv.V, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("msg: unknown wire value tag %d", tag)
+	}
+}
+
+func decodeLenBytes(p []byte) (b, rest []byte, err error) {
+	if len(p) < 4 {
+		return nil, nil, errShortPayload
+	}
+	n := int64(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	if n > int64(len(p)) {
+		return nil, nil, errShortPayload
+	}
+	return p[:n], p[n:], nil
+}
+
+// frameReaderBuf is the FrameReader's window: frames that fit are decoded
+// zero-copy straight out of the bufio buffer (one Peek + Discard, no
+// intermediate payload allocation).
+const frameReaderBuf = 64 << 10
+
+// FrameReader reads length-prefixed wire frames from a stream. It is
+// resumable: a deadline-induced read timeout mid-frame leaves the reader's
+// state intact — buffered bytes stay buffered, a partially accumulated large
+// frame keeps its progress — so the caller can clear (or extend) the
+// deadline and call Next again. This is the property that lets the TCP
+// transport ride out per-operation timeouts without reconnecting: gob cannot
+// resume a half-decoded stream, so under gob any timeout burned the
+// connection.
+type FrameReader struct {
+	br *bufio.Reader
+	// pending is the current frame's payload length, or -1 when the next
+	// bytes are a frame header.
+	pending int
+	// big accumulates a payload larger than the bufio window across
+	// (possibly interrupted) reads; got is its fill level.
+	big []byte
+	got int
+}
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, frameReaderBuf), pending: -1}
+}
+
+// Next reads and decodes the next frame. A timeout error from the underlying
+// reader is returned as-is and does not invalidate the reader — call Next
+// again to resume. Any decode error leaves the stream aligned on the next
+// frame boundary.
+func (fr *FrameReader) Next() (any, error) {
+	if fr.pending < 0 {
+		hdr, err := fr.br.Peek(4)
+		if len(hdr) < 4 {
+			if err == nil {
+				err = io.ErrNoProgress
+			}
+			return nil, err
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n > MaxWireFrame {
+			return nil, ErrFrameTooLarge
+		}
+		if _, err := fr.br.Discard(4); err != nil {
+			return nil, err
+		}
+		fr.pending = int(n)
+		fr.got = 0
+	}
+	if fr.pending <= fr.br.Size() && fr.got == 0 {
+		p, err := fr.br.Peek(fr.pending)
+		if len(p) < fr.pending {
+			if err == nil {
+				err = io.ErrNoProgress
+			}
+			return nil, err
+		}
+		m, derr := DecodePayload(p)
+		_, _ = fr.br.Discard(fr.pending)
+		fr.pending = -1
+		return m, derr
+	}
+	// Oversized frame: accumulate into an owned buffer across calls, so a
+	// timeout mid-accumulation resumes instead of losing the prefix.
+	if cap(fr.big) < fr.pending {
+		fr.big = make([]byte, fr.pending)
+	}
+	buf := fr.big[:fr.pending]
+	for fr.got < fr.pending {
+		n, err := fr.br.Read(buf[fr.got:])
+		fr.got += n
+		if fr.got < fr.pending {
+			if err == nil && n == 0 {
+				err = io.ErrNoProgress
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	fr.pending = -1
+	return DecodePayload(buf)
+}
+
+// encodeBufs recycles AppendMessage scratch buffers across frames; one
+// encode is a short burst of appends, so pooling removes the per-frame
+// buffer allocation entirely on the steady state.
+var encodeBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// GetEncodeBuf returns a pooled, empty scratch buffer for AppendMessage.
+// Return it with PutEncodeBuf when the frame has been written out.
+func GetEncodeBuf() *[]byte {
+	b := encodeBufs.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutEncodeBuf recycles a scratch buffer. Buffers grown past 1 MiB are
+// dropped so one oversized frame does not pin memory in the pool forever.
+func PutEncodeBuf(b *[]byte) {
+	if cap(*b) > 1<<20 {
+		return
+	}
+	encodeBufs.Put(b)
+}

@@ -1,0 +1,510 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// exoticValue is a value type the binary codec has no tag for, exercising
+// the gob fallback.
+type exoticValue struct {
+	A int32
+	B string
+}
+
+func init() {
+	gob.Register(exoticValue{})
+}
+
+func encodeFrame(t testing.TB, m any) []byte {
+	t.Helper()
+	out, err := AppendMessage(nil, m)
+	if err != nil {
+		t.Fatalf("AppendMessage(%#v): %v", m, err)
+	}
+	return out
+}
+
+func decodeFrame(t testing.TB, frame []byte) any {
+	t.Helper()
+	if len(frame) < 4 {
+		t.Fatalf("frame shorter than its length prefix: %d bytes", len(frame))
+	}
+	if got := int(binary.BigEndian.Uint32(frame)); got != len(frame)-4 {
+		t.Fatalf("length prefix %d, payload %d bytes", got, len(frame)-4)
+	}
+	m, err := DecodePayload(frame[4:])
+	if err != nil {
+		t.Fatalf("DecodePayload: %v", err)
+	}
+	return m
+}
+
+func TestWireRoundTripKinds(t *testing.T) {
+	tag := func(v Value) Tagged {
+		return Tagged{TS: Timestamp{Seq: 42, Writer: -3}, Val: v}
+	}
+	msgs := []any{
+		ReadReq{Reg: 7, Op: 99},
+		ReadReq{Reg: -1, Op: 1<<64 - 1},
+		WriteAck{Reg: 0, Op: 0},
+		ReadReply{Reg: 3, Op: 17, Tag: tag(nil)},
+		ReadReply{Reg: 3, Op: 17, Tag: tag(int64(-12345))},
+		ReadReply{Reg: 3, Op: 17, Tag: tag(int(-7))},
+		ReadReply{Reg: 3, Op: 17, Tag: tag(uint64(1 << 63))},
+		ReadReply{Reg: 3, Op: 17, Tag: tag(2.5)},
+		ReadReply{Reg: 3, Op: 17, Tag: tag(true)},
+		ReadReply{Reg: 3, Op: 17, Tag: tag(false)},
+		ReadReply{Reg: 3, Op: 17, Tag: tag("hello wire")},
+		ReadReply{Reg: 3, Op: 17, Tag: tag("")},
+		ReadReply{Reg: 3, Op: 17, Tag: tag([]byte{0, 1, 2, 255})},
+		ReadReply{Reg: 3, Op: 17, Tag: tag([]float64{1.5, -2.25, 0})},
+		ReadReply{Reg: 3, Op: 17, Tag: tag([]float64{})},
+		ReadReply{Reg: 3, Op: 17, Tag: tag([]bool{true, false, true})},
+		ReadReply{Reg: 3, Op: 17, Tag: tag(exoticValue{A: 5, B: "fallback"})},
+		WriteReq{Reg: 1, Op: 18, Tag: tag(3.75)},
+		WriteReq{Reg: 1, Op: 18, Tag: Tagged{}},
+	}
+	for _, in := range msgs {
+		out := decodeFrame(t, encodeFrame(t, in))
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip mismatch:\n in=%#v\nout=%#v", in, out)
+		}
+	}
+}
+
+func TestWireRoundTripBatch(t *testing.T) {
+	in := Batch{Msgs: []any{
+		ReadReq{Reg: 3, Op: 17},
+		WriteReq{Reg: 1, Op: 18, Tag: Tagged{TS: Timestamp{Seq: 4, Writer: 2}, Val: 2.5}},
+		ReadReply{Reg: 3, Op: 17, Tag: Tagged{TS: Timestamp{Seq: 9, Writer: 1}, Val: -1.0}},
+		WriteAck{Reg: 1, Op: 18},
+	}}
+	out := decodeFrame(t, encodeFrame(t, in))
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("batch round trip mismatch:\n in=%#v\nout=%#v", in, out)
+	}
+
+	empty := decodeFrame(t, encodeFrame(t, Batch{}))
+	if b, ok := empty.(Batch); !ok || len(b.Msgs) != 0 {
+		t.Fatalf("empty batch decoded to %#v", empty)
+	}
+}
+
+// TestWireBatchSkipsJunkElements pins the junk tolerance the pipelined
+// transport relies on: an unrecognized element inside a well-formed batch
+// frame is dropped and the surrounding elements survive.
+func TestWireBatchSkipsJunkElements(t *testing.T) {
+	// Build a batch payload by hand with a junk element (unknown kind 0xEE)
+	// spliced between two real ones.
+	payload := []byte{wireBatch}
+	payload = binary.BigEndian.AppendUint32(payload, 3)
+	el1, _ := appendPayload(nil, ReadReq{Reg: 1, Op: 10}, false)
+	junk := []byte{0xEE, 1, 2, 3}
+	el2, _ := appendPayload(nil, ReadReq{Reg: 2, Op: 20}, false)
+	for _, el := range [][]byte{el1, junk, el2} {
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(el)))
+		payload = append(payload, el...)
+	}
+	m, err := DecodePayload(payload)
+	if err != nil {
+		t.Fatalf("DecodePayload: %v", err)
+	}
+	b, ok := m.(Batch)
+	if !ok || len(b.Msgs) != 2 {
+		t.Fatalf("want 2 surviving elements, got %#v", m)
+	}
+	if b.Msgs[0] != (ReadReq{Reg: 1, Op: 10}) || b.Msgs[1] != (ReadReq{Reg: 2, Op: 20}) {
+		t.Fatalf("surviving elements wrong: %#v", b.Msgs)
+	}
+}
+
+func TestWireMalformed(t *testing.T) {
+	// Empty payload, unknown kind, truncated fixed-size payload.
+	for _, p := range [][]byte{
+		{},
+		{0xEE, 1, 2, 3},
+		{wireReadReq, 0, 0},
+		{wireReadReply, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2}, // reg+op but no tag
+		{wireBatch, 0, 0},
+	} {
+		if _, err := DecodePayload(p); err == nil {
+			t.Errorf("DecodePayload(%v): want error, got nil", p)
+		}
+	}
+	// A batch claiming more elements than its bytes can hold must be
+	// rejected before allocating for the claimed count.
+	lie := []byte{wireBatch, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodePayload(lie); err == nil {
+		t.Error("batch with absurd element count: want error, got nil")
+	}
+	// A value slice claiming more entries than the payload holds likewise.
+	val := []byte{wireReadReply}
+	val = binary.BigEndian.AppendUint32(val, 1)
+	val = binary.BigEndian.AppendUint64(val, 2)
+	val = binary.BigEndian.AppendUint64(val, 3)
+	val = binary.BigEndian.AppendUint32(val, 4)
+	val = append(val, valFloat64s, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodePayload(val); err == nil {
+		t.Error("float64 slice with absurd count: want error, got nil")
+	}
+}
+
+func TestFrameReaderOversizedPrefix(t *testing.T) {
+	var frame []byte
+	frame = binary.BigEndian.AppendUint32(frame, MaxWireFrame+1)
+	fr := NewFrameReader(bytes.NewReader(frame))
+	if _, err := fr.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestFrameReaderStream(t *testing.T) {
+	var stream []byte
+	in := []any{
+		ReadReq{Reg: 1, Op: 2},
+		ReadReply{Reg: 1, Op: 2, Tag: Tagged{TS: Timestamp{Seq: 7, Writer: 1}, Val: "abc"}},
+		Batch{Msgs: []any{WriteAck{Reg: 9, Op: 8}}},
+	}
+	for _, m := range in {
+		var err error
+		stream, err = AppendMessage(stream, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	for i, want := range in {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frame %d mismatch:\nwant %#v\n got %#v", i, want, got)
+		}
+	}
+	if _, err := fr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+// chunkReader returns its bytes in tiny pieces, interleaving timeout errors,
+// to model a connection whose read deadline keeps firing mid-frame.
+type chunkReader struct {
+	data    []byte
+	pos     int
+	chunk   int
+	timeout bool // alternate: return a timeout error between chunks
+	tick    int
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if c.timeout {
+		c.tick++
+		if c.tick%2 == 0 {
+			return 0, timeoutErr{}
+		}
+	}
+	if c.pos >= len(c.data) {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(c.data)-c.pos {
+		n = len(c.data) - c.pos
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[c.pos:c.pos+n])
+	c.pos += n
+	return n, nil
+}
+
+// TestFrameReaderResumesAfterTimeout is the tentpole property: timeouts
+// between and inside frames must not lose stream position — Next returns the
+// timeout error, and a later Next picks up exactly where the stream left off.
+func TestFrameReaderResumesAfterTimeout(t *testing.T) {
+	var stream []byte
+	in := []any{
+		ReadReq{Reg: 1, Op: 2},
+		WriteReq{Reg: 5, Op: 6, Tag: Tagged{TS: Timestamp{Seq: 3, Writer: 2}, Val: []float64{1, 2, 3}}},
+		WriteAck{Reg: 5, Op: 6},
+	}
+	for _, m := range in {
+		var err error
+		stream, err = AppendMessage(stream, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&chunkReader{data: stream, chunk: 3, timeout: true})
+	var got []any
+	for len(got) < len(in) {
+		m, err := fr.Next()
+		if err != nil {
+			var ne interface{ Timeout() bool }
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue // resume: the reader must have kept its place
+			}
+			t.Fatalf("non-timeout error mid-stream: %v", err)
+		}
+		got = append(got, m)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("resumed stream mismatch:\nwant %#v\n got %#v", in, got)
+	}
+}
+
+// TestFrameReaderLargeFrame exercises the accumulation path for frames
+// bigger than the reader's buffer window, including timeout resumption.
+func TestFrameReaderLargeFrame(t *testing.T) {
+	big := make([]float64, (frameReaderBuf/8)+100)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	in := ReadReply{Reg: 1, Op: 2, Tag: Tagged{TS: Timestamp{Seq: 1, Writer: 1}, Val: big}}
+	stream, err := AppendMessage(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&chunkReader{data: stream, chunk: 4096, timeout: true})
+	for {
+		m, err := fr.Next()
+		if err != nil {
+			var ne interface{ Timeout() bool }
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			t.Fatalf("large frame: %v", err)
+		}
+		if !reflect.DeepEqual(in, m) {
+			t.Fatalf("large frame mismatch")
+		}
+		return
+	}
+}
+
+// FuzzWireRoundTrip mirrors FuzzBatchRoundTrip for the binary codec: every
+// message kind and value-union member must survive encode/decode exactly.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint8(4), int32(1), uint64(7), uint64(9), int32(2), 3.5, "s", []byte{1})
+	f.Add(uint8(0), int32(0), uint64(0), uint64(0), int32(0), 0.0, "", []byte{})
+	f.Add(uint8(255), int32(-5), uint64(1<<63), uint64(1), int32(-1), -12.75, "xyz", []byte{0xff, 0})
+	f.Fuzz(func(t *testing.T, n uint8, reg int32, op, seq uint64, writer int32, fval float64, sval string, bval []byte) {
+		count := int(n % 11)
+		var in Batch
+		for i := 0; i < count; i++ {
+			r := RegisterID(reg) + RegisterID(i)
+			id := OpID(op) + OpID(i)
+			var val Value
+			switch i % 7 {
+			case 0:
+				val = fval
+			case 1:
+				val = sval
+			case 2:
+				val = append([]byte(nil), bval...)
+			case 3:
+				val = int64(op) - int64(seq)
+			case 4:
+				val = nil
+			case 5:
+				val = []float64{fval, -fval}
+			case 6:
+				val = seq%2 == 0
+			}
+			tag := Tagged{TS: Timestamp{Seq: seq + uint64(i), Writer: writer}, Val: val}
+			switch i % 4 {
+			case 0:
+				in.Msgs = append(in.Msgs, ReadReq{Reg: r, Op: id})
+			case 1:
+				in.Msgs = append(in.Msgs, WriteReq{Reg: r, Op: id, Tag: tag})
+			case 2:
+				in.Msgs = append(in.Msgs, ReadReply{Reg: r, Op: id, Tag: tag})
+			case 3:
+				in.Msgs = append(in.Msgs, WriteAck{Reg: r, Op: id})
+			}
+		}
+		frame, err := AppendMessage(nil, in)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		out, err := DecodePayload(frame[4:])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if count == 0 {
+			if b, ok := out.(Batch); !ok || len(b.Msgs) != 0 {
+				t.Fatalf("empty batch decoded to %#v", out)
+			}
+			return
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", in, out)
+		}
+	})
+}
+
+// FuzzWireMalformed throws arbitrary bytes at both the payload decoder and
+// the frame reader: truncated, oversized, and garbage inputs must surface as
+// errors — never panics, hangs, or unbounded allocation (the length guards
+// bound every allocation by the bytes actually present).
+func FuzzWireMalformed(f *testing.F) {
+	valid, _ := AppendMessage(nil, ReadReply{Reg: 1, Op: 2, Tag: Tagged{Val: "v"}})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x37})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	if len(valid) > 3 {
+		f.Add(valid[:len(valid)-3])
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)/2] ^= 0x5a
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodePayload(data)
+		fr := NewFrameReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			if _, err := fr.Next(); err != nil {
+				break
+			}
+		}
+	})
+}
+
+// BenchmarkWireCodec compares gob and the binary codec per message kind on
+// an encode+decode round trip — the unit of work a connection performs per
+// frame. scripts/bench.sh collects the output into BENCH_wire.json.
+func BenchmarkWireCodec(b *testing.B) {
+	tag := Tagged{TS: Timestamp{Seq: 123456, Writer: 3}, Val: 42.5}
+	kinds := []struct {
+		name string
+		m    any
+	}{
+		{"readreq", ReadReq{Reg: 7, Op: 99}},
+		{"readreply", ReadReply{Reg: 7, Op: 99, Tag: tag}},
+		{"writereq", WriteReq{Reg: 7, Op: 99, Tag: tag}},
+		{"writeack", WriteAck{Reg: 7, Op: 99}},
+		{"batch16", func() any {
+			var bt Batch
+			for i := 0; i < 16; i++ {
+				bt.Msgs = append(bt.Msgs, WriteReq{Reg: RegisterID(i), Op: OpID(i), Tag: tag})
+			}
+			return bt
+		}()},
+	}
+
+	b.Run("gob", func(b *testing.B) {
+		for _, k := range kinds {
+			b.Run(k.name, func(b *testing.B) {
+				// Persistent encoder/decoder over one buffer, the transport's
+				// steady state (type descriptors amortized).
+				var buf bytes.Buffer
+				enc := gob.NewEncoder(&buf)
+				dec := gob.NewDecoder(&buf)
+				type env struct{ Payload any }
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := enc.Encode(env{Payload: k.m}); err != nil {
+						b.Fatal(err)
+					}
+					var out env
+					if err := dec.Decode(&out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+
+	b.Run("binary", func(b *testing.B) {
+		for _, k := range kinds {
+			b.Run(k.name, func(b *testing.B) {
+				buf := make([]byte, 0, 4096)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := AppendMessage(buf[:0], k.m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := DecodePayload(out[4:]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestWireAllocGates pins the allocation ceilings of a read round's wire
+// work — scripts/check.sh runs these as the allocation-regression gate.
+// Encoding into a pre-grown buffer must not allocate at all; decoding pays
+// only the unavoidable interface boxing of the returned message and value.
+func TestWireAllocGates(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	buf := make([]byte, 0, 4096)
+	// Box the messages once so the gate measures the codec, not the
+	// any-conversion at the call site (the transport boxes once per op too).
+	var req any = ReadReq{Reg: 7, Op: 99}
+	var reply any = ReadReply{Reg: 7, Op: 99, Tag: Tagged{TS: Timestamp{Seq: 1, Writer: 1}, Val: 42.5}}
+
+	encReq := testing.AllocsPerRun(200, func() {
+		if _, err := AppendMessage(buf[:0], req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encReq > 0 {
+		t.Errorf("encode ReadReq: %v allocs/op, want 0", encReq)
+	}
+	encReply := testing.AllocsPerRun(200, func() {
+		if _, err := AppendMessage(buf[:0], reply); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encReply > 0 {
+		t.Errorf("encode ReadReply: %v allocs/op, want 0", encReply)
+	}
+
+	frame, err := AppendMessage(nil, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decReply := testing.AllocsPerRun(200, func() {
+		if _, err := DecodePayload(frame[4:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One boxing for the ReadReply interface return, one for the float64
+	// value inside it.
+	if decReply > 2 {
+		t.Errorf("decode ReadReply: %v allocs/op, want <= 2", decReply)
+	}
+
+	reqFrame, err := AppendMessage(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decReq := testing.AllocsPerRun(200, func() {
+		if _, err := DecodePayload(reqFrame[4:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if decReq > 1 {
+		t.Errorf("decode ReadReq: %v allocs/op, want <= 1", decReq)
+	}
+}

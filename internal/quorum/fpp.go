@@ -106,10 +106,12 @@ func (f *FPP) Name() string { return fmt.Sprintf("fpp(q=%d,n=%d)", f.order, f.N(
 
 // Pick returns a uniformly random line.
 func (f *FPP) Pick(r *rand.Rand) []int {
-	line := f.lines[r.IntN(len(f.lines))]
-	out := make([]int, len(line))
-	copy(out, line)
-	return out
+	return f.PickInto(nil, r)
+}
+
+// PickInto implements IntoPicker; it consumes r identically to Pick.
+func (f *FPP) PickInto(dst []int, r *rand.Rand) []int {
+	return append(dst[:0], f.lines[r.IntN(len(f.lines))]...)
 }
 
 // Lines returns the number of lines (equal to the number of points).

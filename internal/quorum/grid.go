@@ -75,17 +75,22 @@ func (g *Grid) Name() string { return fmt.Sprintf("grid(%dx%d)", g.rows, g.cols)
 // Pick returns the quorum formed by a uniformly random row and a uniformly
 // random column. Server (i, j) has index i*cols + j.
 func (g *Grid) Pick(r *rand.Rand) []int {
+	return g.PickInto(make([]int, 0, g.Size()), r)
+}
+
+// PickInto implements IntoPicker; it consumes r identically to Pick.
+func (g *Grid) PickInto(dst []int, r *rand.Rand) []int {
 	row := r.IntN(g.rows)
 	col := r.IntN(g.cols)
-	q := make([]int, 0, g.Size())
+	dst = dst[:0]
 	for j := 0; j < g.cols; j++ {
-		q = append(q, row*g.cols+j)
+		dst = append(dst, row*g.cols+j)
 	}
 	for i := 0; i < g.rows; i++ {
 		if i == row {
 			continue // (row, col) is already in the row part
 		}
-		q = append(q, i*g.cols+col)
+		dst = append(dst, i*g.cols+col)
 	}
-	return q
+	return dst
 }

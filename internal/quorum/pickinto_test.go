@@ -1,0 +1,137 @@
+package quorum
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func pickIntoSystems(t *testing.T) []System {
+	t.Helper()
+	return []System{
+		NewProbabilistic(25, 7),
+		NewMajority(9),
+		NewSingleton(5, 3),
+		NewAll(6),
+		NewGrid(4, 5),
+		NewTree(15, 0.3),
+		MustFPP(3),
+	}
+}
+
+// TestPickIntoValid checks every implementation fills dst with a valid
+// quorum (indices in range, no duplicates) and reuses the caller's storage.
+func TestPickIntoValid(t *testing.T) {
+	for _, sys := range pickIntoSystems(t) {
+		r := rand.New(rand.NewPCG(1, 2))
+		dst := make([]int, 0, sys.N())
+		for i := 0; i < 200; i++ {
+			q := PickInto(sys, dst, r)
+			seen := make(map[int]bool, len(q))
+			for _, s := range q {
+				if s < 0 || s >= sys.N() {
+					t.Fatalf("%s: server %d out of range", sys.Name(), s)
+				}
+				if seen[s] {
+					t.Fatalf("%s: duplicate server %d in %v", sys.Name(), s, q)
+				}
+				seen[s] = true
+			}
+			if len(q) == 0 {
+				t.Fatalf("%s: empty quorum", sys.Name())
+			}
+			if cap(dst) >= len(q) && &q[0] != &dst[:1][0] {
+				t.Fatalf("%s: PickInto did not reuse dst", sys.Name())
+			}
+			dst = q
+		}
+	}
+}
+
+// TestPickIntoMatchesPick pins that for systems whose Pick delegates to
+// PickInto, both consume the random stream identically — a seeded
+// experiment replays the same quorum sequence through either entry point.
+func TestPickIntoMatchesPick(t *testing.T) {
+	for _, sys := range []System{
+		NewSingleton(5, 3),
+		NewAll(6),
+		NewGrid(4, 5),
+		NewTree(15, 0.3),
+		MustFPP(3),
+	} {
+		r1 := rand.New(rand.NewPCG(7, 11))
+		r2 := rand.New(rand.NewPCG(7, 11))
+		var dst []int
+		for i := 0; i < 100; i++ {
+			a := sys.Pick(r1)
+			dst = PickInto(sys, dst, r2)
+			if !reflect.DeepEqual(a, dst) {
+				t.Fatalf("%s: pick %d diverged: Pick=%v PickInto=%v", sys.Name(), i, a, dst)
+			}
+		}
+	}
+}
+
+// TestRandomSubsetIntoUniformMembership mirrors the RandomSubset uniformity
+// test for Floyd's sampler: every element should appear with frequency k/n.
+func TestRandomSubsetIntoUniformMembership(t *testing.T) {
+	const (
+		n, k   = 20, 6
+		rounds = 20000
+	)
+	r := rand.New(rand.NewPCG(3, 9))
+	counts := make([]int, n)
+	var dst []int
+	for i := 0; i < rounds; i++ {
+		dst = RandomSubsetInto(dst, r, n, k)
+		if len(dst) != k {
+			t.Fatalf("size %d, want %d", len(dst), k)
+		}
+		sorted := append([]int(nil), dst...)
+		sort.Ints(sorted)
+		for j := 1; j < len(sorted); j++ {
+			if sorted[j] == sorted[j-1] {
+				t.Fatalf("duplicate %d in %v", sorted[j], dst)
+			}
+		}
+		for _, v := range dst {
+			counts[v]++
+		}
+	}
+	want := float64(rounds) * float64(k) / float64(n)
+	for v, c := range counts {
+		if ratio := float64(c) / want; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("element %d appeared %d times, want ≈%.0f", v, c, want)
+		}
+	}
+}
+
+func TestRandomSubsetIntoFullSet(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	got := RandomSubsetInto(nil, r, 8, 8)
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("full-set sample missing %d: %v", i, got)
+		}
+	}
+}
+
+// TestPickIntoAllocs is the allocation-regression gate scripts/check.sh
+// runs: once dst has capacity, steady-state picking must not allocate.
+func TestPickIntoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	for _, sys := range pickIntoSystems(t) {
+		r := rand.New(rand.NewPCG(1, 2))
+		dst := make([]int, 0, sys.N())
+		allocs := testing.AllocsPerRun(200, func() {
+			dst = PickInto(sys, dst, r)
+		})
+		if allocs > 0 {
+			t.Errorf("%s: PickInto allocates %v/op, want 0", sys.Name(), allocs)
+		}
+	}
+}

@@ -39,6 +39,25 @@ type System interface {
 	Name() string
 }
 
+// IntoPicker is implemented by systems that can fill a caller-owned slice
+// instead of allocating a fresh quorum per pick. PickInto truncates dst and
+// appends the picked quorum, returning the result (which aliases dst when
+// capacity suffices); like Pick it must be deterministic given r. Every
+// system in this package implements it — the steady-state operation path
+// uses it to stop allocating a slice per attempt.
+type IntoPicker interface {
+	PickInto(dst []int, r *rand.Rand) []int
+}
+
+// PickInto picks a quorum from s into dst, falling back to a copy of
+// s.Pick for systems outside this package that predate IntoPicker.
+func PickInto(s System, dst []int, r *rand.Rand) []int {
+	if ip, ok := s.(IntoPicker); ok {
+		return ip.PickInto(dst, r)
+	}
+	return append(dst[:0], s.Pick(r)...)
+}
+
 // Probabilistic is the probabilistic quorum system: the quorums are all
 // k-subsets of the n servers and the strategy picks one uniformly at random.
 // Pairs of quorums intersect only with high probability (when k = Ω(√n)).
@@ -77,6 +96,13 @@ func (p *Probabilistic) Pick(r *rand.Rand) []int {
 	return RandomSubset(r, p.n, p.k)
 }
 
+// PickInto implements IntoPicker. It samples with Floyd's algorithm, which
+// consumes a different part of the stream than Pick's Fisher–Yates — both
+// are uniform over k-subsets, but seeded replays must not mix the two.
+func (p *Probabilistic) PickInto(dst []int, r *rand.Rand) []int {
+	return RandomSubsetInto(dst, r, p.n, p.k)
+}
+
 // Majority is the majority quorum system: the quorums are all subsets of
 // size floor(n/2)+1, picked uniformly. It is the strict system with maximal
 // availability (ceil(n/2) crash failures are needed to disable it) but load
@@ -112,6 +138,12 @@ func (m *Majority) Pick(r *rand.Rand) []int {
 	return RandomSubset(r, m.n, m.Size())
 }
 
+// PickInto implements IntoPicker; see Probabilistic.PickInto for the
+// stream-compatibility caveat.
+func (m *Majority) PickInto(dst []int, r *rand.Rand) []int {
+	return RandomSubsetInto(dst, r, m.n, m.Size())
+}
+
 // Singleton routes every operation to the same single server. It is the
 // degenerate strict system: minimal quorum size, load 1, availability 1.
 // Experiments use it as the extreme point of the load/availability
@@ -145,7 +177,12 @@ func (s *Singleton) Strict() bool { return true }
 func (s *Singleton) Name() string { return fmt.Sprintf("singleton(n=%d)", s.n) }
 
 // Pick returns the fixed server.
-func (s *Singleton) Pick(*rand.Rand) []int { return []int{s.server} }
+func (s *Singleton) Pick(r *rand.Rand) []int { return s.PickInto(nil, r) }
+
+// PickInto implements IntoPicker.
+func (s *Singleton) PickInto(dst []int, _ *rand.Rand) []int {
+	return append(dst[:0], s.server)
+}
 
 // All is the read-nothing-miss system whose only quorum is the full server
 // set. It has perfect intersection and load 1; a single crash disables it.
@@ -176,12 +213,15 @@ func (a *All) Strict() bool { return true }
 func (a *All) Name() string { return fmt.Sprintf("all(n=%d)", a.n) }
 
 // Pick returns every server.
-func (a *All) Pick(*rand.Rand) []int {
-	q := make([]int, a.n)
-	for i := range q {
-		q[i] = i
+func (a *All) Pick(r *rand.Rand) []int { return a.PickInto(nil, r) }
+
+// PickInto implements IntoPicker.
+func (a *All) PickInto(dst []int, _ *rand.Rand) []int {
+	dst = dst[:0]
+	for i := 0; i < a.n; i++ {
+		dst = append(dst, i)
 	}
-	return q
+	return dst
 }
 
 // RandomSubset returns a uniformly random k-subset of {0, ..., n-1} using a
@@ -201,6 +241,37 @@ func RandomSubset(r *rand.Rand, n, k int) []int {
 		perm[i], perm[j] = perm[j], perm[i]
 	}
 	return perm[:k:k]
+}
+
+// RandomSubsetInto fills dst (truncated first) with a uniformly random
+// k-subset of {0, ..., n-1} using Floyd's sampling algorithm: for each
+// j in [n-k, n) pick t uniformly from [0, j]; take t unless already taken,
+// else take j. It allocates nothing when cap(dst) >= k. The duplicate check
+// is a linear scan — O(k²) worst case, but k is tens at most in every
+// experiment and the scan beats a map or bitset allocation. Note the
+// resulting stream differs from RandomSubset's Fisher–Yates: both are
+// uniform, but a seeded replay must use one or the other consistently.
+func RandomSubsetInto(dst []int, r *rand.Rand, n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("quorum: subset size %d exceeds universe %d", k, n))
+	}
+	dst = dst[:0]
+	for j := n - k; j < n; j++ {
+		t := r.IntN(j + 1)
+		taken := false
+		for _, v := range dst {
+			if v == t {
+				taken = true
+				break
+			}
+		}
+		if taken {
+			dst = append(dst, j)
+		} else {
+			dst = append(dst, t)
+		}
+	}
+	return dst
 }
 
 // Overlaps reports whether the two quorums share at least one server.

@@ -59,33 +59,34 @@ func (t *Tree) Name() string { return fmt.Sprintf("tree(n=%d,p=%.2f)", t.n, t.pB
 
 // Pick returns one randomly constructed tree quorum.
 func (t *Tree) Pick(r *rand.Rand) []int {
-	var q []int
-	var rec func(v int)
-	rec = func(v int) {
-		l, rt := 2*v+1, 2*v+2
-		switch {
-		case l >= t.n: // leaf
-			q = append(q, v)
-		case rt >= t.n: // only a left child: must include v (skipping v
-			// would require both children)
-			q = append(q, v)
-			rec(l)
-		default:
-			if r.Float64() < t.pBoth {
-				rec(l)
-				rec(rt)
-				return
-			}
-			q = append(q, v)
-			if r.IntN(2) == 0 {
-				rec(l)
-			} else {
-				rec(rt)
-			}
+	return t.PickInto(nil, r)
+}
+
+// PickInto implements IntoPicker; it consumes r identically to Pick. The
+// recursion is a method rather than a closure so the pick allocates nothing
+// beyond quorum growth (a closure capturing the slice would escape).
+func (t *Tree) PickInto(dst []int, r *rand.Rand) []int {
+	return t.pickRec(0, r, dst[:0])
+}
+
+func (t *Tree) pickRec(v int, r *rand.Rand, q []int) []int {
+	l, rt := 2*v+1, 2*v+2
+	switch {
+	case l >= t.n: // leaf
+		return append(q, v)
+	case rt >= t.n: // only a left child: must include v (skipping v
+		// would require both children)
+		return t.pickRec(l, r, append(q, v))
+	default:
+		if r.Float64() < t.pBoth {
+			return t.pickRec(rt, r, t.pickRec(l, r, q))
 		}
+		q = append(q, v)
+		if r.IntN(2) == 0 {
+			return t.pickRec(l, r, q)
+		}
+		return t.pickRec(rt, r, q)
 	}
-	rec(0)
-	return q
 }
 
 // AccessProb returns each server's exact probability of being included in

@@ -293,6 +293,13 @@ func (c *Client) pump(o *Operation) error {
 			}
 			continue
 		}
+		if o.Stale(ev.payload) {
+			// A late reply to an abandoned attempt (it raced a timeout).
+			// Dropped by op-id — on a self-delimiting wire this costs
+			// nothing but this counter tick.
+			c.counters.StaleDrops.Inc()
+			continue
+		}
 		sends := o.Deliver(ev.server, ev.payload)
 		if o.Done() {
 			// Any sends are fire-and-forget read repairs; errors are

@@ -354,6 +354,17 @@ func runClusterScenario(t *testing.T, sc confScenario) confResult {
 }
 
 func runTCPScenario(t *testing.T, sc confScenario) confResult {
+	return runTCPScenarioWire(t, sc, tcp.WireBinary)
+}
+
+// runTCPScenarioGob is the same harness over the legacy gob codec — the
+// cross-codec pin that the wire format changed the encoding, not the
+// protocol.
+func runTCPScenarioGob(t *testing.T, sc confScenario) confResult {
+	return runTCPScenarioWire(t, sc, tcp.WireGob)
+}
+
+func runTCPScenarioWire(t *testing.T, sc confScenario, wire tcp.Wire) confResult {
 	t.Helper()
 	initial := confInitial(sc.regs)
 	addrs := make([]string, sc.servers)
@@ -371,7 +382,7 @@ func runTCPScenario(t *testing.T, sc confScenario) confResult {
 	sys := sc.sys(sc.servers)
 	if sc.pipelined {
 		var g metrics.Gauge
-		pc, err := tcp.DialPipelined(addrs, sys, tcp.WithTrace(log), tcp.WithInFlightGauge(&g))
+		pc, err := tcp.DialPipelined(addrs, sys, tcp.WithWire(wire), tcp.WithTrace(log), tcp.WithInFlightGauge(&g))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -383,6 +394,7 @@ func runTCPScenario(t *testing.T, sc confScenario) confResult {
 	engines := make([]*register.Engine, len(sc.scripts))
 	for pi := range sc.scripts {
 		opts := []tcp.ClientOption{
+			tcp.WithWire(wire),
 			tcp.WithTrace(log),
 			tcp.WithWriter(int32(pi + 1)),
 			tcp.WithSeed(uint64(pi + 1)),
@@ -666,6 +678,7 @@ func TestConformance(t *testing.T) {
 	}{
 		{"cluster", runClusterScenario},
 		{"tcp", runTCPScenario},
+		{"tcp-gob", runTCPScenarioGob},
 		{"sim", runSimScenario},
 	}
 	for _, sc := range confScenarios {

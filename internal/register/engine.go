@@ -159,6 +159,22 @@ func (e *Engine) pick(sys quorum.System) []int {
 	return q
 }
 
+// pickInto is pick for the retry path: it refills the abandoned attempt's
+// quorum slice in place instead of allocating a fresh one. Note the
+// probabilistic and majority systems sample through a different (equally
+// uniform) algorithm here than in pick, so seeded runs draw retry quorums
+// from a different stream than first attempts — deterministic either way.
+func (e *Engine) pickInto(sys quorum.System, dst []int) []int {
+	q := quorum.PickInto(sys, dst, e.rnd)
+	if e.tally != nil {
+		e.tally.Touch(q)
+	}
+	if e.messages != nil {
+		e.messages.Add(2 * int64(len(q)))
+	}
+	return q
+}
+
 // BeginRead starts a read of reg: it picks the quorum and returns the
 // session the driver must complete by delivering every member's reply.
 func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
@@ -186,12 +202,17 @@ func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
 	e.guard.enter()
 	defer e.guard.leave()
 	e.nextOp++
+	// The abandoned session's storage is dead the moment its op id is
+	// retired, so the retry recycles its quorum slice and maps — a client
+	// riding out an outage stops allocating per attempt.
+	clear(s.replied)
+	clear(s.tags)
 	return &ReadSession{
 		Reg:     s.Reg,
 		Op:      e.nextOp,
-		Quorum:  e.pick(e.sys),
-		replied: make(map[int]bool),
-		tags:    make(map[int]msg.Tagged),
+		Quorum:  e.pickInto(e.sys, s.Quorum),
+		replied: s.replied,
+		tags:    s.tags,
 	}
 }
 
@@ -205,12 +226,14 @@ func (e *Engine) RetryWrite(s *WriteSession) *WriteSession {
 	e.guard.enter()
 	defer e.guard.leave()
 	e.nextOp++
+	// As in RetryRead, the abandoned session's storage is recycled.
+	clear(s.acked)
 	return &WriteSession{
 		Reg:    s.Reg,
 		Op:     e.nextOp,
 		Tag:    s.Tag,
-		Quorum: e.pick(e.writeSys),
-		acked:  make(map[int]bool),
+		Quorum: e.pickInto(e.writeSys, s.Quorum),
+		acked:  s.acked,
 	}
 }
 

@@ -51,6 +51,11 @@ type Operation struct {
 	attempts int
 	result   msg.Tagged
 	done     bool
+	// scratch backs every fan-out this operation returns: the caller must
+	// consume (or copy) a returned []Send before the next Start/Deliver/Retry
+	// call, which every driver does — they hand the sends to the transport
+	// synchronously. Reusing it makes steady-state attempts allocation-free.
+	scratch []Send
 	// rejected marks a completed read whose vote count failed the b-masking
 	// threshold: the attempt is over but the operation is not done, and the
 	// caller should Retry on a fresh quorum.
@@ -81,19 +86,14 @@ func (e *Engine) NewWriteTagOp(reg msg.RegisterID, tag msg.Tagged, retries int) 
 	return &Operation{e: e, kind: opWrite, reg: reg, tagIn: tag, hasTag: true, retries: retries}
 }
 
-func fanOutRead(s *ReadSession) []Send {
-	req := s.Request()
-	out := make([]Send, len(s.Quorum))
-	for i, srv := range s.Quorum {
-		out[i] = Send{Server: srv, Req: req}
+// fanOut builds the per-member send list in the operation's scratch slice —
+// one request boxing, zero slice allocations once the scratch has grown.
+func (o *Operation) fanOut(quorum []int, req any) []Send {
+	if cap(o.scratch) < len(quorum) {
+		o.scratch = make([]Send, len(quorum))
 	}
-	return out
-}
-
-func fanOutWrite(s *WriteSession) []Send {
-	req := s.Request()
-	out := make([]Send, len(s.Quorum))
-	for i, srv := range s.Quorum {
+	out := o.scratch[:len(quorum)]
+	for i, srv := range quorum {
 		out[i] = Send{Server: srv, Req: req}
 	}
 	return out
@@ -106,7 +106,7 @@ func (o *Operation) Start() []Send {
 	case opRead, opAtomicRead:
 		o.phase = opPhaseRead
 		o.rs = o.e.BeginRead(o.reg)
-		return fanOutRead(o.rs)
+		return o.fanOut(o.rs.Quorum, o.rs.Request())
 	default:
 		o.phase = opPhaseWrite
 		if o.hasTag {
@@ -114,7 +114,7 @@ func (o *Operation) Start() []Send {
 		} else {
 			o.ws = o.e.BeginWrite(o.reg, o.val)
 		}
-		return fanOutWrite(o.ws)
+		return o.fanOut(o.ws.Quorum, o.ws.Request())
 	}
 }
 
@@ -140,7 +140,7 @@ func (o *Operation) Deliver(server int, payload any) []Send {
 			o.result = o.e.FinishRead(o.rs)
 			o.phase = opPhaseWrite
 			o.ws = o.e.BeginWriteWithTS(o.reg, o.result)
-			return fanOutWrite(o.ws)
+			return o.fanOut(o.ws.Quorum, o.ws.Request())
 		}
 		tag, ok := o.e.FinishReadMasked(o.rs)
 		if !ok {
@@ -153,11 +153,7 @@ func (o *Operation) Deliver(server int, payload any) []Send {
 		if len(servers) == 0 {
 			return nil
 		}
-		out := make([]Send, len(servers))
-		for i, srv := range servers {
-			out[i] = Send{Server: srv, Req: req}
-		}
-		return out
+		return o.fanOut(servers, req)
 	case msg.WriteAck:
 		if o.phase != opPhaseWrite || !o.ws.OnAck(server, m) {
 			return nil
@@ -186,10 +182,40 @@ func (o *Operation) Retry() ([]Send, error) {
 	o.rejected = false
 	if o.phase == opPhaseRead {
 		o.rs = o.e.RetryRead(o.rs)
-		return fanOutRead(o.rs), nil
+		return o.fanOut(o.rs.Quorum, o.rs.Request()), nil
 	}
 	o.ws = o.e.RetryWrite(o.ws)
-	return fanOutWrite(o.ws), nil
+	return o.fanOut(o.ws.Quorum, o.ws.Request()), nil
+}
+
+// Stale reports whether payload is a reply addressed to an attempt this
+// operation has already abandoned: the register matches but the operation id
+// is not the current attempt's. Such replies are harmless — the session's
+// duplicate filter would ignore them anyway — but callers that count
+// fault-path events use Stale to record them (metrics.TransportCounters.
+// StaleDrops) before discarding, making "late reply raced a timeout"
+// observable without a reconnect.
+func (o *Operation) Stale(payload any) bool {
+	var op msg.OpID
+	var reg msg.RegisterID
+	switch m := payload.(type) {
+	case msg.ReadReply:
+		op, reg = m.Op, m.Reg
+	case msg.WriteAck:
+		op, reg = m.Op, m.Reg
+	default:
+		return false
+	}
+	if reg != o.reg {
+		return false
+	}
+	if o.phase == opPhaseRead && o.rs != nil {
+		return op != o.rs.Op
+	}
+	if o.ws != nil {
+		return op != o.ws.Op
+	}
+	return false
 }
 
 // Done reports whether the operation has completed successfully.

@@ -57,10 +57,11 @@ type Pipeline struct {
 	engine *Engine
 	send   SendFunc
 
-	clock func() int64
-	log   *trace.Log
-	proc  msg.NodeID
-	gauge *metrics.Gauge
+	clock    func() int64
+	log      *trace.Log
+	proc     msg.NodeID
+	gauge    *metrics.Gauge
+	counters *metrics.TransportCounters
 
 	opTimeout time.Duration
 	retries   int
@@ -103,6 +104,13 @@ func PipeClock(clock func() int64) PipelineOption {
 // overlapped.
 func PipeGauge(g *metrics.Gauge) PipelineOption {
 	return func(p *Pipeline) { p.gauge = g }
+}
+
+// PipeCounters records fault-path events into tc: re-issued operations
+// (Retries) and replies that arrived after their operation was abandoned or
+// completed (StaleDrops).
+func PipeCounters(tc *metrics.TransportCounters) PipelineOption {
+	return func(p *Pipeline) { p.counters = tc }
 }
 
 // PipeTimeout arms a per-operation deadline: an operation not complete
@@ -350,6 +358,9 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 		return
 	}
 	p.retried.Add(1)
+	if p.counters != nil {
+		p.counters.Retries.Inc()
+	}
 	op.attempt++
 	var sends []outMsg
 	switch op.kind {
@@ -387,6 +398,11 @@ func (p *Pipeline) Deliver(server int, payload any) {
 	case msg.ReadReply:
 		op := p.inflight[m.Op]
 		if op == nil || op.rs == nil {
+			// Late reply to an abandoned or completed attempt: dropped by
+			// op-id, observable through StaleDrops.
+			if p.counters != nil {
+				p.counters.StaleDrops.Inc()
+			}
 			break
 		}
 		if op.rs.OnReply(server, m) {
@@ -398,6 +414,9 @@ func (p *Pipeline) Deliver(server int, payload any) {
 	case msg.WriteAck:
 		op := p.inflight[m.Op]
 		if op == nil || op.ws == nil {
+			if p.counters != nil {
+				p.counters.StaleDrops.Inc()
+			}
 			break
 		}
 		if op.ws.OnAck(server, m) {

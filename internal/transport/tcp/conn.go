@@ -14,7 +14,77 @@ import (
 	"probquorum/internal/transport"
 )
 
-// tcpTransport implements transport.Transport over one persistent gob
+// connCodec is one connection's frame encoding. encode is called with the
+// connection mutex held (one writer at a time); next is called only from the
+// connection's reader goroutine.
+type connCodec interface {
+	// encode frames one message and writes it to the connection.
+	encode(m any) error
+	// next blocks for the next inbound message.
+	next() (any, error)
+	// resumable reports whether the inbound stream survives a read-deadline
+	// timeout: self-delimiting frames keep their position and resync on the
+	// next frame; a stateful stream (gob) is ruined and must be re-dialed.
+	resumable() bool
+	// release returns any pooled resources; the codec is dead afterwards.
+	release()
+}
+
+// gobCodec is the legacy encoding/gob stream, kept behind WireGob for one
+// release so conformance tests can pin cross-codec protocol equivalence.
+type gobCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (c *gobCodec) encode(m any) error { return c.enc.Encode(envelope{Payload: m}) }
+
+func (c *gobCodec) next() (any, error) {
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.Payload, nil
+}
+
+func (c *gobCodec) resumable() bool { return false }
+func (c *gobCodec) release()        {}
+
+// binCodec is the length-prefixed binary codec (internal/msg/wire.go):
+// encode appends the frame into a pooled buffer and writes it with one
+// syscall; decode goes through a resumable FrameReader, so a read-deadline
+// timeout costs a resync instead of a reconnect.
+type binCodec struct {
+	w   net.Conn
+	fr  *msg.FrameReader
+	buf *[]byte
+}
+
+func newBinCodec(conn net.Conn) *binCodec {
+	return &binCodec{w: conn, fr: msg.NewFrameReader(conn), buf: msg.GetEncodeBuf()}
+}
+
+func (c *binCodec) encode(m any) error {
+	out, err := msg.AppendMessage((*c.buf)[:0], m)
+	if err != nil {
+		return err
+	}
+	*c.buf = out[:0]
+	_, err = c.w.Write(out)
+	return err
+}
+
+func (c *binCodec) next() (any, error) { return c.fr.Next() }
+func (c *binCodec) resumable() bool    { return true }
+
+func (c *binCodec) release() {
+	if c.buf != nil {
+		msg.PutEncodeBuf(c.buf)
+		c.buf = nil
+	}
+}
+
+// tcpTransport implements transport.Transport over one persistent framed
 // connection per replica server. It carries no protocol logic: the
 // transport-agnostic register client (or pipeline) above it owns quorums,
 // deadlines, and retries; this layer owns dialing, framing, reconnect
@@ -39,7 +109,7 @@ type tcpTransport struct {
 	sink atomic.Pointer[transport.Sink]
 }
 
-func newTCPTransport(addrs []string, timeout time.Duration, counters *metrics.TransportCounters,
+func newTCPTransport(addrs []string, wire Wire, timeout time.Duration, counters *metrics.TransportCounters,
 	async bool, maxBatch int, hist *metrics.IntHistogram) *tcpTransport {
 	t := &tcpTransport{}
 	for srv, addr := range addrs {
@@ -47,6 +117,7 @@ func newTCPTransport(addrs []string, timeout time.Duration, counters *metrics.Tr
 			t:        t,
 			server:   srv,
 			addr:     addr,
+			wire:     wire,
 			timeout:  timeout,
 			counters: counters,
 			async:    async,
@@ -117,6 +188,7 @@ type netConn struct {
 	t        *tcpTransport
 	server   int
 	addr     string
+	wire     Wire
 	timeout  time.Duration
 	counters *metrics.TransportCounters
 
@@ -128,9 +200,9 @@ type netConn struct {
 
 	wg sync.WaitGroup
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	mu    sync.Mutex
+	conn  net.Conn
+	codec connCodec
 	// gen is the connection generation; a reader only kills (and reports)
 	// its own connection, so a re-dialed successor is never collateral
 	// damage of a stale reader's death.
@@ -158,7 +230,7 @@ func (nc *netConn) send(req any) error {
 	if nc.timeout > 0 {
 		_ = nc.conn.SetWriteDeadline(time.Now().Add(nc.timeout))
 	}
-	if err := nc.enc.Encode(envelope{Payload: req}); err != nil {
+	if err := nc.codec.encode(req); err != nil {
 		nc.dropLocked(err)
 		return fmt.Errorf("send: %w", err)
 	}
@@ -215,7 +287,7 @@ func (nc *netConn) flush(batch []any) {
 	if nc.timeout > 0 {
 		_ = nc.conn.SetWriteDeadline(time.Now().Add(nc.timeout))
 	}
-	if err := nc.enc.Encode(envelope{Payload: msg.Batch{Msgs: batch}}); err != nil {
+	if err := nc.codec.encode(msg.Batch{Msgs: batch}); err != nil {
 		nc.dropLocked(err)
 		return
 	}
@@ -225,7 +297,8 @@ func (nc *netConn) flush(batch []any) {
 }
 
 // ensureLocked re-dials a dead connection, honouring the re-dial backoff,
-// and spawns the reader for the new connection. Callers hold mu.
+// announces the wire mode with a one-byte preamble, and spawns the reader
+// for the new connection. Callers hold mu.
 func (nc *netConn) ensureLocked() error {
 	if nc.conn != nil {
 		return nil
@@ -236,6 +309,19 @@ func (nc *netConn) ensureLocked() error {
 	}
 	d := net.Dialer{Timeout: nc.timeout}
 	conn, err := d.Dial("tcp", nc.addr)
+	if err == nil {
+		pre := byte(wirePreambleBin)
+		if nc.wire == WireGob {
+			pre = wirePreambleGob
+		}
+		if nc.timeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(nc.timeout))
+		}
+		if _, werr := conn.Write([]byte{pre}); werr != nil {
+			_ = conn.Close()
+			err = werr
+		}
+	}
 	if err != nil {
 		if nc.redialWait == 0 {
 			nc.redialWait = redialBackoffMin
@@ -249,7 +335,11 @@ func (nc *netConn) ensureLocked() error {
 		return fmt.Errorf("reconnect %s: %w", nc.addr, err)
 	}
 	nc.conn = conn
-	nc.enc = gob.NewEncoder(conn)
+	if nc.wire == WireGob {
+		nc.codec = &gobCodec{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	} else {
+		nc.codec = newBinCodec(conn)
+	}
 	nc.gen++
 	nc.outstanding = 0
 	nc.redialWait = 0
@@ -258,19 +348,21 @@ func (nc *netConn) ensureLocked() error {
 		nc.counters.Reconnects.Inc()
 	}
 	nc.wg.Add(1)
-	go nc.readLoop(conn, gob.NewDecoder(conn), nc.gen)
+	go nc.readLoop(conn, nc.codec, nc.gen)
 	return nil
 }
 
-// dropLocked discards the current connection after an error. Any error on a
-// gob stream — timeout included, since the peer may still emit the
-// abandoned reply later — ruins the framing, so the connection must be
-// re-dialed before reuse. Callers hold mu.
+// dropLocked discards the current connection after an error. Write errors
+// and non-timeout read errors mean the connection is genuinely broken; a
+// gob stream additionally dies on timeouts (a half-finished exchange cannot
+// be resumed), which the reader handles before getting here. Callers hold
+// mu.
 func (nc *netConn) dropLocked(err error) {
 	if nc.conn != nil {
 		_ = nc.conn.Close()
 		nc.conn = nil
-		nc.enc = nil
+		nc.codec.release()
+		nc.codec = nil
 	}
 	nc.outstanding = 0
 	var nerr net.Error
@@ -280,16 +372,41 @@ func (nc *netConn) dropLocked(err error) {
 }
 
 // readLoop delivers every reply arriving on one connection to the bound
-// sink (batch frames unpacked per element). A decode error — connection
-// closed by a crashed server, read deadline hit, corrupt stream — kills
-// only this connection and surfaces as one per-server error delivery, but
-// only while this reader is current: a stale generation's death is not
-// news.
-func (nc *netConn) readLoop(conn net.Conn, dec *gob.Decoder, gen int) {
+// sink (batch frames unpacked per element), but only while this reader is
+// current: a stale generation's death is not news.
+//
+// Error handling is where the two codecs diverge. Under the binary codec a
+// read-deadline timeout is survivable: frames are self-delimiting and the
+// FrameReader holds its stream position across the error, so the reader
+// counts the timeout, clears the deadline, and keeps reading — the late
+// reply, when it arrives, is dropped by op-id upstairs (StaleDrops) and the
+// connection never burns. Everything else — connection closed by a crashed
+// server, corrupt frame, and any gob error including timeouts — kills the
+// connection and surfaces as one per-server error delivery.
+func (nc *netConn) readLoop(conn net.Conn, codec connCodec, gen int) {
 	defer nc.wg.Done()
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		m, err := codec.next()
+		if err != nil {
+			var nerr net.Error
+			if codec.resumable() && errors.As(err, &nerr) && nerr.Timeout() {
+				nc.mu.Lock()
+				if nc.gen == gen && nc.conn == conn && !nc.closed {
+					if nc.counters != nil {
+						nc.counters.Timeouts.Inc()
+					}
+					// The abandoned replies may still arrive later; nothing
+					// is owed on this stream right now, so disarm the
+					// deadline until the next send arms a fresh one.
+					nc.outstanding = 0
+					_ = conn.SetReadDeadline(time.Time{})
+					nc.mu.Unlock()
+					continue
+				}
+				nc.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
 			nc.mu.Lock()
 			stale := nc.gen != gen || nc.closed
 			if !stale && nc.conn == conn {
@@ -316,13 +433,13 @@ func (nc *netConn) readLoop(conn net.Conn, dec *gob.Decoder, gen int) {
 			}
 			nc.mu.Unlock()
 		}
-		if batch, ok := env.Payload.(msg.Batch); ok {
-			for _, m := range batch.Msgs {
-				nc.t.emit(nc.server, m, nil)
+		if batch, ok := m.(msg.Batch); ok {
+			for _, el := range batch.Msgs {
+				nc.t.emit(nc.server, el, nil)
 			}
 			continue
 		}
-		nc.t.emit(nc.server, env.Payload, nil)
+		nc.t.emit(nc.server, m, nil)
 	}
 }
 
@@ -340,7 +457,8 @@ func (nc *netConn) close() {
 	if nc.conn != nil {
 		_ = nc.conn.Close()
 		nc.conn = nil
-		nc.enc = nil
+		nc.codec.release()
+		nc.codec = nil
 	}
 	nc.mu.Unlock()
 	nc.wg.Wait()

@@ -129,6 +129,91 @@ func TestDeadlineOnSilentServer(t *testing.T) {
 	}
 }
 
+// TestTimeoutResyncNoReconnect pins the binary codec's headline fault
+// property: a per-operation timeout on an otherwise healthy connection is a
+// resync, not a reconnect. A hand-rolled server delays its first reply past
+// the operation deadline; the retried operation must complete over the SAME
+// connection, the late replies must be dropped by op-id, and the reconnect
+// counter must stay at zero. (Under gob this exact scenario burned the
+// connection: the half-read stream could not be resumed.)
+func TestTimeoutResyncNoReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var pre [1]byte
+		if _, err := io.ReadFull(conn, pre[:]); err != nil || pre[0] != wirePreambleBin {
+			return
+		}
+		fr := msg.NewFrameReader(conn)
+		buf := make([]byte, 0, 256)
+		slow := true
+		for {
+			m, err := fr.Next()
+			if err != nil {
+				return
+			}
+			var reply any
+			switch req := m.(type) {
+			case msg.ReadReq:
+				reply = msg.ReadReply{Reg: req.Reg, Op: req.Op,
+					Tag: msg.Tagged{TS: msg.Timestamp{Seq: 1, Writer: 1}, Val: "slow"}}
+			case msg.WriteReq:
+				reply = msg.WriteAck{Reg: req.Reg, Op: req.Op}
+			default:
+				continue
+			}
+			if slow {
+				// Only the very first exchange stalls past the client's
+				// deadline; everything after answers promptly.
+				slow = false
+				time.Sleep(200 * time.Millisecond)
+			}
+			out, err := msg.AppendMessage(buf[:0], reply)
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial([]string{ln.Addr().String()}, quorum.NewSingleton(1, 0),
+		WithOpTimeout(60*time.Millisecond)) // unlimited retries
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var tag msg.Tagged
+	if err := watchdog(t, 10*time.Second, "read across a per-op timeout", func() error {
+		var err error
+		tag, err = c.Read(0)
+		return err
+	}); err != nil {
+		t.Fatalf("read across a per-op timeout: %v", err)
+	}
+	if tag.Val != "slow" {
+		t.Fatalf("read %v, want the server's value", tag.Val)
+	}
+	if got := c.Counters().Timeouts.Value(); got == 0 {
+		t.Fatal("the delayed first reply produced no timeout counts")
+	}
+	if got := c.Counters().StaleDrops.Value(); got == 0 {
+		t.Fatal("the late replies were not dropped by op-id (no StaleDrops)")
+	}
+	if got := c.Counters().Reconnects.Value(); got != 0 {
+		t.Fatalf("Reconnects = %d, want 0: a timeout must resync, not redial", got)
+	}
+}
+
 // TestRetryRepicksAroundCrashedMember: with one of five servers crashed,
 // re-picks find live quorums and operations keep succeeding — the paper's
 // Section 4 availability mechanism over real sockets. Majority quorums are

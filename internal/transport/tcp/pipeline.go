@@ -123,12 +123,13 @@ func DialPipelined(addrs []string, sys quorum.System, opts ...ClientOption) (*Pi
 	engine := register.NewEngine(o.writer, sys,
 		rng.Derive(o.seed, fmt.Sprintf("tcp.pipeclient.%d", o.writer)), eopts...)
 
-	tr := newTCPTransport(addrs, o.opTimeout, o.counters, true, o.maxBatch, o.batchHist)
+	tr := newTCPTransport(addrs, o.wire, o.opTimeout, o.counters, true, o.maxBatch, o.batchHist)
 	if err := tr.start(); err != nil {
 		return nil, err
 	}
 	plOpts := []register.PipelineOption{
 		register.PipeTimeout(o.opTimeout, o.retries),
+		register.PipeCounters(o.counters),
 	}
 	if o.gauge != nil {
 		plOpts = append(plOpts, register.PipeGauge(o.gauge))

@@ -162,7 +162,7 @@ func TestPipeConnCoalesces(t *testing.T) {
 		hist:     hist,
 	}
 	pc.conn = client
-	pc.enc = gob.NewEncoder(client)
+	pc.codec = &gobCodec{enc: gob.NewEncoder(client)}
 	pc.gen = 1
 	for i := 0; i < 5; i++ {
 		pc.enqueue(msg.ReadReq{Reg: msg.RegisterID(i), Op: msg.OpID(i + 1)})
@@ -210,6 +210,9 @@ func TestBatchMalformedFrameSurvives(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
+	if _, err := conn.Write([]byte{wirePreambleGob}); err != nil {
+		t.Fatalf("send preamble: %v", err)
+	}
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 

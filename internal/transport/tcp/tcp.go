@@ -1,8 +1,14 @@
 // Package tcp runs the register protocol over real TCP sockets using only
-// the standard library (net + encoding/gob). It exists to demonstrate that
-// the protocol cores are transport-independent: the same replica stores and
-// client sessions that run under the simulator and the goroutine runtime
-// serve here behind network sockets.
+// the standard library. It exists to demonstrate that the protocol cores are
+// transport-independent: the same replica stores and client sessions that
+// run under the simulator and the goroutine runtime serve here behind
+// network sockets.
+//
+// Frames default to the hand-rolled length-prefixed binary codec
+// (internal/msg/wire.go, see the DESIGN.md "Wire format" section); WithWire
+// (WireGob) keeps the previous reflection-driven encoding/gob stream for
+// cross-codec conformance runs. Each connection announces its codec with a
+// one-byte preamble after dialing, so one server handles both.
 //
 // The design is deliberately simple: each client holds one persistent
 // connection per replica server and performs one request/response exchange
@@ -36,6 +42,7 @@ package tcp
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -63,6 +70,34 @@ var ErrQuorumUnavailable = register.ErrQuorumUnavailable
 // around interface-typed payloads.
 type envelope struct {
 	Payload any
+}
+
+// Wire selects a connection's frame encoding.
+type Wire int
+
+const (
+	// WireBinary (the default) frames messages with the length-prefixed
+	// binary codec: ~10× cheaper than gob to encode and self-delimiting, so
+	// a read-deadline timeout resyncs on the next frame instead of forcing a
+	// reconnect.
+	WireBinary Wire = iota
+	// WireGob keeps the stateful encoding/gob stream of earlier releases.
+	// Any error on a gob stream — timeout included — ruins the framing and
+	// costs a reconnect; it remains for one release so the conformance suite
+	// can pin cross-codec equivalence of protocol behavior.
+	WireGob
+)
+
+// Wire-mode preamble: the first byte a client writes after dialing, telling
+// the server which codec the connection speaks.
+const (
+	wirePreambleBin = 'B'
+	wirePreambleGob = 'G'
+)
+
+// WithWire selects the client's frame encoding (default WireBinary).
+func WithWire(w Wire) ClientOption {
+	return func(o *clientOpts) { o.wire = w }
 }
 
 var registerTypesOnce sync.Once
@@ -159,6 +194,82 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	var pre [1]byte
+	if _, err := io.ReadFull(conn, pre[:]); err != nil {
+		return
+	}
+	switch pre[0] {
+	case wirePreambleBin:
+		s.serveBinary(conn)
+	case wirePreambleGob:
+		s.serveGob(conn)
+	default:
+		// Unknown preamble: not a protocol peer; drop the connection.
+	}
+}
+
+// serveBinary serves one binary-codec connection: length-prefixed frames in,
+// one frame out per reply, encoded through a pooled buffer.
+func (s *Server) serveBinary(conn net.Conn) {
+	fr := msg.NewFrameReader(conn)
+	buf := msg.GetEncodeBuf()
+	defer msg.PutEncodeBuf(buf)
+	for {
+		m, err := fr.Next()
+		if err != nil {
+			return // connection closed or corrupt; drop it
+		}
+		if batch, ok := m.(msg.Batch); ok {
+			if !s.serveBatchBinary(conn, buf, batch) {
+				return
+			}
+			continue
+		}
+		reply, ok := s.store.Apply(m)
+		if !ok {
+			// Crashed store: close the connection (see serveGob for why).
+			return
+		}
+		out, err := msg.AppendMessage((*buf)[:0], reply)
+		if err != nil {
+			return
+		}
+		*buf = out[:0]
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+// serveBatchBinary is serveBatch for the binary codec: recognized requests
+// are applied and answered in one reply frame, junk elements are dropped
+// (batch replies match by operation id, not position), and a crashed store
+// closes the connection.
+func (s *Server) serveBatchBinary(conn net.Conn, buf *[]byte, batch msg.Batch) bool {
+	replies := make([]any, 0, len(batch.Msgs))
+	for _, m := range batch.Msgs {
+		switch m.(type) {
+		case msg.ReadReq, msg.WriteReq:
+			reply, ok := s.store.Apply(m)
+			if !ok {
+				return false // crashed
+			}
+			replies = append(replies, reply)
+		default:
+			// Malformed or foreign element: drop it, keep the connection.
+		}
+	}
+	out, err := msg.AppendMessage((*buf)[:0], msg.Batch{Msgs: replies})
+	if err != nil {
+		return false
+	}
+	*buf = out[:0]
+	_, err = conn.Write(out)
+	return err == nil
+}
+
+// serveGob serves one legacy gob-stream connection.
+func (s *Server) serveGob(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
@@ -180,6 +291,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			// request/reply pairing for every operation after Recover; a
 			// closed connection surfaces promptly as an error on the
 			// client's pending call, and the client re-dials on next use.
+			// (The binary path keeps the same behavior: a closed connection
+			// is the client's crash signal under either codec.)
 			return
 		}
 		if err := enc.Encode(envelope{Payload: reply}); err != nil {
@@ -258,6 +371,7 @@ type clientOpts struct {
 	monotone    bool
 	writer      int32
 	seed        uint64
+	wire        Wire
 	opTimeout   time.Duration
 	retries     int
 	backoffBase time.Duration
@@ -342,7 +456,7 @@ func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, err
 	engine := register.NewEngine(o.writer, sys,
 		rng.Derive(o.seed, fmt.Sprintf("tcp.client.%d", o.writer)), eopts...)
 
-	tr := newTCPTransport(addrs, o.opTimeout, o.counters, false, 0, nil)
+	tr := newTCPTransport(addrs, o.wire, o.opTimeout, o.counters, false, 0, nil)
 	if err := tr.start(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Runs the pipelined-client throughput benchmark and writes the results as
-# BENCH_pipeline.json in the repo root. Usage:
+# Runs the pipelined-client throughput benchmark and the wire-codec
+# microbenchmark, writing the results as BENCH_pipeline.json and
+# BENCH_wire.json in the repo root. Usage:
 #
 #   scripts/bench.sh [benchtime]
 #
@@ -44,3 +45,39 @@ END {
 }' "$raw" > "$out"
 
 echo "wrote $out"
+
+# Wire-codec microbenchmark: gob vs binary per message kind, with allocation
+# counts. `BenchmarkWireCodec/<codec>/<kind>-N  iters  ns/op  B/op  allocs/op`
+# becomes a JSON object keyed by "<codec>/<kind>".
+wireout="BENCH_wire.json"
+go test -bench=BenchmarkWireCodec -benchtime="$benchtime" -benchmem -run XXX \
+    ./internal/msg | tee "$raw"
+
+BENCHTIME="$benchtime" awk '
+BEGIN { n = 0 }
+$1 ~ /^BenchmarkWireCodec\// {
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[3])
+    name[n] = parts[2] "/" parts[3]
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     nsop[n] = $(i - 1)
+        if ($(i) == "B/op")      bop[n] = $(i - 1)
+        if ($(i) == "allocs/op") aop[n] = $(i - 1)
+    }
+    n++
+}
+END {
+    if (n == 0) { print "no wire benchmark lines found" > "/dev/stderr"; exit 1 }
+    print "{"
+    printf "  \"benchmark\": \"BenchmarkWireCodec\",\n"
+    printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"]
+    printf "  \"results\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name[i], nsop[i], bop[i], aop[i], (i < n - 1 ? "," : "")
+    }
+    print "  }"
+    print "}"
+}' "$raw" > "$wireout"
+
+echo "wrote $wireout"

@@ -33,4 +33,12 @@ go build ./...
 echo "== go test =="
 go test $race ./...
 
+echo "== allocation gates =="
+# The testing.AllocsPerRun pins run as ordinary tests (and self-skip under
+# -race, where the instrumentation inflates counts); naming them here keeps
+# hot-path allocation regressions loud even if the full suite's output
+# scrolls past.
+go test $race -run 'TestWireAllocGates|TestPickIntoAllocs' \
+    ./internal/msg ./internal/quorum
+
 echo "check.sh: all gates passed"
