@@ -1,0 +1,90 @@
+package probquorum
+
+// Observer overhead on the pipelined socket workload: the same APSP-shaped
+// rounds as BenchmarkPipelineTCP at batch cap 16, with and without
+// observability attached. The acceptance bar is observer-on throughput
+// within 5% of observer-off; scripts/bench.sh records both in
+// BENCH_obs.json.
+//
+// The two configurations are measured PAIRED: one client of each kind
+// against the same server set, alternating round-batches inside a single
+// benchmark loop, with per-kind timers. Loopback socket throughput on a
+// shared machine drifts by far more than 5% between separate benchmark
+// executions; alternating inside one loop subjects both clients to the same
+// drift, so the ratio is meaningful even when the absolute rates wander.
+// The "full" client additionally attaches every other opt-in metric
+// (transport counters, access tally, in-flight gauge, batch histogram) —
+// the cost of everything the -obs endpoint can show, on record next to the
+// observer's own cost.
+
+import (
+	"testing"
+	"time"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/obs"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/transport/tcp"
+)
+
+func BenchmarkObserverTCP(b *testing.B) {
+	const rounds = 5
+	sys := quorum.NewMajority(pipeBenchServers)
+	addrs := startPipeBenchServers(b)
+
+	dial := func(extra ...tcp.ClientOption) *tcp.PipelinedClient {
+		opts := append([]tcp.ClientOption{tcp.WithMonotone(), tcp.WithMaxBatch(16)}, extra...)
+		c, err := tcp.DialPipelined(addrs, sys, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+
+	reg := obs.NewRegistry()
+	observer := new(register.Observer).Register("bench.client", reg)
+	fullCounters := &metrics.TransportCounters{}
+	fullCounters.Register("bench.full", reg)
+	fullObserver := new(register.Observer).Register("bench.full", reg)
+	fullTally := metrics.NewAccessTally(pipeBenchServers).Register("bench.full.access", reg)
+	var fullGauge metrics.Gauge
+	fullGauge.Register("bench.full.inflight", reg)
+	fullBatch := metrics.NewIntHistogram().Register("bench.full.batch_size", reg)
+
+	clients := []struct {
+		name string
+		c    *tcp.PipelinedClient
+		ops  int
+		busy time.Duration
+	}{
+		{name: "off", c: dial()},
+		{name: "on", c: dial(tcp.WithObserver(observer))},
+		{name: "full", c: dial(
+			tcp.WithTransportCounters(fullCounters),
+			tcp.WithObserver(fullObserver),
+			tcp.WithTally(fullTally),
+			tcp.WithInFlightGauge(&fullGauge),
+			tcp.WithBatchHistogram(fullBatch))},
+	}
+	for i := range clients {
+		defer clients[i].c.Close()
+		pipelinedRounds(b, clients[i].c, rounds) // warm the connections
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate which client goes first so no configuration always runs
+		// into a freshly-scheduled (or freshly-preempted) server set.
+		for j := range clients {
+			k := (i + j) % len(clients)
+			start := time.Now()
+			clients[k].ops += pipelinedRounds(b, clients[k].c, rounds)
+			clients[k].busy += time.Since(start)
+		}
+	}
+	for k := range clients {
+		b.ReportMetric(float64(clients[k].ops)/clients[k].busy.Seconds(),
+			clients[k].name+"_ops/s")
+	}
+}

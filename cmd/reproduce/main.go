@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	reproduce [-quick] [-seed 1]
+//	reproduce [-quick] [-seed 1] [-obs :6060]
 //
 // -quick shrinks every configuration for a fast smoke reproduction
-// (seconds instead of a minute).
+// (seconds instead of a minute). -obs serves a live debug endpoint
+// (/metrics, /healthz, /debug/pprof/) for the duration of the run; the
+// socket-backed experiments (E16) report into it, so a long fault run can be
+// watched with `curl localhost:6060/metrics` instead of post-mortem.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"probquorum/internal/experiments"
+	"probquorum/internal/obs"
 )
 
 func main() {
@@ -32,9 +36,10 @@ func main() {
 
 func run() error {
 	var (
-		quick  = flag.Bool("quick", false, "reduced-scale smoke reproduction")
-		seed   = flag.Uint64("seed", 1, "base seed for every experiment")
-		outDir = flag.String("o", "", "also write each experiment's CSV into this directory")
+		quick   = flag.Bool("quick", false, "reduced-scale smoke reproduction")
+		seed    = flag.Uint64("seed", 1, "base seed for every experiment")
+		outDir  = flag.String("o", "", "also write each experiment's CSV into this directory")
+		obsAddr = flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. :6060) for the duration of the run")
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -42,6 +47,16 @@ func run() error {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			return err
 		}
+	}
+	var obsReg *obs.Registry
+	if *obsAddr != "" {
+		obsReg = obs.NewRegistry()
+		srv, err := obs.Serve(*obsAddr, obsReg)
+		if err != nil {
+			return fmt.Errorf("obs endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "obs: live metrics at http://%s/metrics\n", srv.Addr())
 	}
 	csvOut := func(id string, res csvRenderable) error {
 		if *outDir == "" {
@@ -271,7 +286,7 @@ func run() error {
 	}
 
 	section("E16", "TCP fault tolerance: crash, retry with fresh quorums, reconnect")
-	tcpCfg := experiments.TCPFaultConfig{Seed: *seed}
+	tcpCfg := experiments.TCPFaultConfig{Seed: *seed, Obs: obsReg}
 	if *quick {
 		tcpCfg.N = 6
 		tcpCfg.Vertices = 6

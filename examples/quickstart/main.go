@@ -97,7 +97,7 @@ func run() error {
 	}
 	fmt.Println("crashed servers 0..3; writing and reading with retries:")
 	robust, err := c.NewClient(sys, cluster.WithMonotone(),
-		cluster.WithTimeout(5*time.Millisecond, 100))
+		cluster.WithOpTimeout(5*time.Millisecond), cluster.WithRetries(100))
 	if err != nil {
 		return err
 	}

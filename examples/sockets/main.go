@@ -6,18 +6,33 @@
 // Run with:
 //
 //	go run ./examples/sockets
+//
+// Add -obs :6060 to serve live metrics while it runs; the example then keeps
+// a gentle read/write loop going until interrupted so that
+//
+//	curl localhost:6060/metrics
+//	curl localhost:6060/healthz
+//
+// show per-phase latencies, per-server access counts, and replica liveness
+// as they change.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"probquorum/internal/aco"
 	"probquorum/internal/apps/semiring"
 	"probquorum/internal/graph"
+	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
+	"probquorum/internal/obs"
 	"probquorum/internal/quorum"
+	"probquorum/internal/register"
 	"probquorum/internal/replica"
 	"probquorum/internal/transport/tcp"
 )
@@ -29,8 +44,22 @@ func main() {
 }
 
 func run() error {
+	obsAddr := flag.String("obs", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. :6060)")
+	flag.Parse()
+
 	const servers = 7
 	reg := msg.RegisterID(0)
+
+	var registry *obs.Registry
+	if *obsAddr != "" {
+		registry = obs.NewRegistry()
+		osrv, err := obs.Serve(*obsAddr, registry)
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		fmt.Printf("live metrics at http://%s/metrics\n\n", osrv.Addr())
+	}
 
 	// Start seven replica servers on kernel-assigned loopback ports.
 	addrs := make([]string, servers)
@@ -43,18 +72,35 @@ func run() error {
 		}
 		defer srv.Close()
 		addrs[i] = srv.Addr()
+		if registry != nil {
+			srv.RegisterHealth(registry, fmt.Sprintf("sockets.server.%d", i))
+		}
 	}
 	fmt.Printf("started %d replica servers: %v\n\n", servers, addrs)
 
 	// A writer and a monotone reader, each with its own TCP connections
-	// and probabilistic quorums of size 3.
+	// and probabilistic quorums of size 3. With -obs, both report their
+	// fault counters, per-phase latencies, and per-server access tallies
+	// into the registry.
+	var clientObs []tcp.ClientOption
+	if registry != nil {
+		counters := &metrics.TransportCounters{}
+		counters.Register("sockets.client", registry)
+		observer := new(register.Observer).Register("sockets.client", registry)
+		tally := metrics.NewAccessTally(servers).Register("sockets.client.access", registry)
+		clientObs = []tcp.ClientOption{
+			tcp.WithTransportCounters(counters),
+			tcp.WithObserver(observer),
+			tcp.WithTally(tally),
+		}
+	}
 	sys := quorum.NewProbabilistic(servers, 3)
-	writer, err := tcp.Dial(addrs, sys, tcp.WithWriter(1), tcp.WithSeed(1))
+	writer, err := tcp.Dial(addrs, sys, append([]tcp.ClientOption{tcp.WithWriter(1), tcp.WithSeed(1)}, clientObs...)...)
 	if err != nil {
 		return err
 	}
 	defer writer.Close()
-	reader, err := tcp.Dial(addrs, sys, tcp.WithMonotone(), tcp.WithSeed(2))
+	reader, err := tcp.Dial(addrs, sys, append([]tcp.ClientOption{tcp.WithMonotone(), tcp.WithSeed(2)}, clientObs...)...)
 	if err != nil {
 		return err
 	}
@@ -86,6 +132,7 @@ func run() error {
 		System:   quorum.NewProbabilistic(6, 3),
 		Monotone: true,
 		Seed:     7,
+		Obs:      registry,
 	})
 	if err != nil {
 		return err
@@ -93,5 +140,30 @@ func run() error {
 	fmt.Printf("converged=%v in %d iterations (%v); d(5,0) = %.0f\n",
 		res.Converged, res.Iterations, res.Elapsed.Round(time.Millisecond),
 		res.Final[5].([]float64)[0])
+
+	// With -obs, keep a slow read/write loop running so the endpoint stays
+	// interesting: scrape it while this ticks along.
+	if registry != nil {
+		fmt.Printf("\nserving metrics; writing one row per 100ms until Ctrl-C\n")
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for v := 6; ; v++ {
+			select {
+			case <-stop:
+				fmt.Println("interrupted; shutting down")
+				return nil
+			case <-tick.C:
+				row := []float64{float64(v), float64(v * v), float64(v * v * v)}
+				if err := writer.Write(reg, row); err != nil {
+					return err
+				}
+				if _, err := reader.Read(reg); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	return nil
 }

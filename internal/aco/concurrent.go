@@ -213,7 +213,7 @@ func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 			opts = append(opts, cluster.WithTrace(cfg.Trace))
 		}
 		if cfg.OpTimeout > 0 {
-			opts = append(opts, cluster.WithTimeout(cfg.OpTimeout, cfg.Retries))
+			opts = append(opts, cluster.WithOpTimeout(cfg.OpTimeout), cluster.WithRetries(cfg.Retries))
 		}
 		if cfg.RetryBackoff > 0 {
 			max := cfg.RetryBackoffMax

@@ -9,7 +9,7 @@ import (
 	"probquorum/internal/apps/semiring"
 	"probquorum/internal/graph"
 	"probquorum/internal/quorum"
-	"probquorum/internal/transport/tcp"
+	"probquorum/internal/register"
 )
 
 // TestRunTCPConvergesThroughCrashAndRecovery is the end-to-end availability
@@ -112,8 +112,8 @@ func TestRunTCPAllCrashedFailsFast(t *testing.T) {
 	if err == nil {
 		t.Fatal("run with every replica crashed reported no error")
 	}
-	if !errors.Is(err, tcp.ErrQuorumUnavailable) {
-		t.Fatalf("err = %v, want tcp.ErrQuorumUnavailable", err)
+	if !errors.Is(err, register.ErrQuorumUnavailable) {
+		t.Fatalf("err = %v, want register.ErrQuorumUnavailable", err)
 	}
 	// OpTimeout×retries bounds each op; the first worker failure releases
 	// the rest. Far below what 10^6 iterations would cost.

@@ -7,6 +7,7 @@ import (
 
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
+	"probquorum/internal/obs"
 	"probquorum/internal/quorum"
 	"probquorum/internal/register"
 	"probquorum/internal/replica"
@@ -65,6 +66,13 @@ type TCPConfig struct {
 	// BatchHist, if non-nil, records the size of every flushed batch frame
 	// (pipelined mode only).
 	BatchHist *metrics.IntHistogram
+	// Obs, if non-nil, makes the run self-reporting: the fault counters, a
+	// per-phase operation observer, a per-server access tally, per-server
+	// health probes, and (pipelined mode) the in-flight gauge and batch-size
+	// histogram all register into it under "tcp.*" names. Pair with
+	// obs.Serve to watch a long fault run live; the result carries a final
+	// Snapshot.
+	Obs *obs.Registry
 }
 
 // TCPResult reports a TCP execution's outcome.
@@ -84,6 +92,9 @@ type TCPResult struct {
 	Timeouts int64
 	// Reconnects counts dead connections that were re-dialed.
 	Reconnects int64
+	// Snapshot is the final state of Config.Obs at the end of the run; nil
+	// when no registry was attached.
+	Snapshot *obs.Snapshot
 }
 
 // RunTCP executes Alg. 1 with workers talking to replica servers over TCP.
@@ -128,9 +139,29 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		}
 		defer srv.Close()
 		addrs[i] = srv.Addr()
+		if cfg.Obs != nil {
+			srv.RegisterHealth(cfg.Obs, fmt.Sprintf("tcp.server.%d", i))
+		}
 	}
 
 	counters := &metrics.TransportCounters{}
+	var observer *register.Observer
+	var tally *metrics.AccessTally
+	if cfg.Obs != nil {
+		counters.Register("tcp.client", cfg.Obs)
+		observer = new(register.Observer).Register("tcp.client", cfg.Obs)
+		tally = metrics.NewAccessTally(cfg.Servers).Register("tcp.client.access", cfg.Obs)
+		if cfg.Pipelined {
+			if cfg.Gauge == nil {
+				cfg.Gauge = &metrics.Gauge{}
+			}
+			cfg.Gauge.Register("tcp.client.inflight", cfg.Obs)
+			if cfg.BatchHist == nil {
+				cfg.BatchHist = metrics.NewIntHistogram()
+			}
+			cfg.BatchHist.Register("tcp.client.batch_size", cfg.Obs)
+		}
+	}
 	clients := make([]*tcp.Client, procs)
 	pipeClients := make([]*tcp.PipelinedClient, procs)
 	for pi := 0; pi < procs; pi++ {
@@ -157,6 +188,9 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		}
 		if cfg.Trace != nil {
 			opts = append(opts, tcp.WithTrace(cfg.Trace))
+		}
+		if observer != nil {
+			opts = append(opts, tcp.WithObserver(observer), tcp.WithTally(tally))
 		}
 		if cfg.Pipelined {
 			if cfg.MaxBatch > 0 {
@@ -315,7 +349,7 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 			retries += pc.Pipeline().Retries()
 		}
 	}
-	return TCPResult{
+	res := TCPResult{
 		Converged:  tracker.converged(),
 		Iterations: total,
 		Elapsed:    elapsed,
@@ -323,5 +357,10 @@ func RunTCP(cfg TCPConfig) (TCPResult, error) {
 		Retries:    retries,
 		Timeouts:   timeouts,
 		Reconnects: reconnects,
-	}, nil
+	}
+	if cfg.Obs != nil {
+		snap := cfg.Obs.Snapshot()
+		res.Snapshot = &snap
+	}
+	return res, nil
 }

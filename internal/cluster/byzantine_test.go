@@ -42,7 +42,7 @@ func TestMaskedClientSurvivesByzantineServer(t *testing.T) {
 	}
 	c.SetByzantine(4, "EVIL")
 	r, err := c.NewClient(quorum.NewProbabilistic(5, 3),
-		WithMasking(1), WithTimeout(5*time.Millisecond, 200))
+		WithMasking(1), WithOpTimeout(5*time.Millisecond), WithRetries(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestWriterKeepsWorkingDespiteByzantineMinority(t *testing.T) {
 		t.Fatal(err)
 	}
 	r, err := c.NewClient(quorum.NewProbabilistic(7, 3),
-		WithMasking(1), WithMonotone(), WithTimeout(5*time.Millisecond, 500))
+		WithMasking(1), WithMonotone(), WithOpTimeout(5*time.Millisecond), WithRetries(500))
 	if err != nil {
 		t.Fatal(err)
 	}

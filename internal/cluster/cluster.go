@@ -328,20 +328,19 @@ type Client struct {
 // ClientOption configures a client.
 type ClientOption func(*clientConfig)
 
+// clientConfig embeds the shared register.Settings — the transport-
+// independent client configuration — plus the engine variants only this
+// runtime exposes. Every With* option is a thin wrapper writing one field;
+// NewClient and NewPipeline hand the Settings to register.Apply /
+// register.ApplyPipeline.
 type clientConfig struct {
-	monotone    bool
-	readRepair  bool
-	maskB       int
-	masking     bool
-	timeout     time.Duration
-	retries     int
-	backoffBase time.Duration
-	backoffMax  time.Duration
-	log         *trace.Log
-	tally       *metrics.AccessTally
-	latency     *metrics.LatencyHist
-	counters    *metrics.TransportCounters
-	gauge       *metrics.Gauge // pipelined clients only
+	register.Settings
+
+	monotone   bool
+	readRepair bool
+	maskB      int
+	masking    bool
+	tally      *metrics.AccessTally
 }
 
 // WithMonotone enables the monotone register variant for this client.
@@ -362,16 +361,33 @@ func WithMasking(b int) ClientOption {
 	return func(c *clientConfig) { c.masking = true; c.maskB = b }
 }
 
+// WithOpTimeout makes operations retry with a fresh quorum if a quorum
+// member does not answer within d (needed when servers may crash). Combine
+// with WithRetries to bound the attempts; this matches the tcp and register
+// packages' option naming.
+func WithOpTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.OpTimeout = d }
+}
+
+// WithRetries caps the attempts per operation when WithOpTimeout is set
+// (0 = unlimited); exhaustion surfaces register.ErrQuorumUnavailable.
+func WithRetries(n int) ClientOption {
+	return func(c *clientConfig) { c.Retries = n }
+}
+
 // WithTimeout makes operations retry with a fresh quorum if a quorum member
-// does not answer within d (needed when servers may crash), giving up after
-// retries attempts.
+// does not answer within d, giving up after retries attempts.
+//
+// Deprecated: use WithOpTimeout(d) plus WithRetries(retries), which match
+// the option names of the tcp and register packages. This shim remains for
+// one release.
 func WithTimeout(d time.Duration, retries int) ClientOption {
-	return func(c *clientConfig) { c.timeout = d; c.retries = retries }
+	return func(c *clientConfig) { c.OpTimeout = d; c.Retries = retries }
 }
 
 // WithTrace records the client's completed operations into log.
 func WithTrace(log *trace.Log) ClientOption {
-	return func(c *clientConfig) { c.log = log }
+	return func(c *clientConfig) { c.Trace = log }
 }
 
 // WithTally records the client's quorum picks into t.
@@ -382,7 +398,7 @@ func WithTally(t *metrics.AccessTally) ClientOption {
 // WithLatency records every operation's wall-clock duration (including
 // retries) into h.
 func WithLatency(h *metrics.LatencyHist) ClientOption {
-	return func(c *clientConfig) { c.latency = h }
+	return func(c *clientConfig) { c.Latency = h }
 }
 
 // WithTransportCounters shares tc with the client: retries, plus the logical
@@ -390,14 +406,21 @@ func WithLatency(h *metrics.LatencyHist) ClientOption {
 // MsgsRecv per reply delivered back) for cross-transport message-complexity
 // comparisons.
 func WithTransportCounters(tc *metrics.TransportCounters) ClientOption {
-	return func(c *clientConfig) { c.counters = tc }
+	return func(c *clientConfig) { c.Counters = tc }
 }
 
 // WithRetryBackoff sleeps before each retry: base doubled per attempt,
 // capped at max. Zero base (the default) retries immediately, which suits
 // the in-process cluster's microsecond round-trips.
 func WithRetryBackoff(base, max time.Duration) ClientOption {
-	return func(c *clientConfig) { c.backoffBase = base; c.backoffMax = max }
+	return func(c *clientConfig) { c.RetryBackoff = base; c.RetryBackoffMax = max }
+}
+
+// WithObserver records phase-level operation timings (pick, fan-out,
+// quorum-wait, write-back, end-to-end) into obs; register the observer into
+// an obs.Registry to watch the quantiles live.
+func WithObserver(obs *register.Observer) ClientOption {
+	return func(c *clientConfig) { c.Observer = obs }
 }
 
 // NewClient registers a new client process using the given quorum system.
@@ -435,30 +458,17 @@ func (c *Cluster) NewClient(sys quorum.System, opts ...ClientOption) (*Client, e
 	}
 	engine := register.NewEngine(int32(id), sys, rng.Derive(c.seed, fmt.Sprintf("cluster.client.%d", id)), eopts...)
 	tr := &clusterTransport{c: c, id: id, inbox: inbox, done: make(chan struct{})}
-	ropts := []register.ClientOption{
-		register.WithOpTimeout(cc.timeout),
-		register.WithRetries(cc.retries),
-		register.WithClock(c.tick),
-	}
-	if cc.log != nil {
-		ropts = append(ropts, register.WithTrace(cc.log, id))
-	}
-	if cc.latency != nil {
-		ropts = append(ropts, register.WithLatency(cc.latency))
-	}
-	if cc.backoffBase > 0 {
-		ropts = append(ropts, register.WithRetryBackoff(cc.backoffBase, cc.backoffMax))
-	}
+	cc.Proc = id
+	cc.Clock = c.tick
 	var rt transport.Transport = tr
-	if cc.counters != nil {
-		ropts = append(ropts, register.WithTransportCounters(cc.counters))
-		rt = transport.Instrument(tr, cc.counters)
+	if cc.Counters != nil {
+		rt = transport.Instrument(tr, cc.Counters)
 	}
 	return &Client{
 		c:      c,
 		id:     id,
 		engine: engine,
-		rc:     register.NewClient(engine, rt, ropts...),
+		rc:     register.NewClient(engine, rt, register.Apply(cc.Settings)...),
 		tr:     tr,
 	}, nil
 }

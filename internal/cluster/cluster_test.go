@@ -10,6 +10,7 @@ import (
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
+	"probquorum/internal/register"
 	"probquorum/internal/rng"
 	"probquorum/internal/trace"
 )
@@ -147,7 +148,7 @@ func TestCrashedMinorityToleratedWithRetries(t *testing.T) {
 	c.Server(0).Crash()
 	c.Server(1).Crash()
 	cl, err := c.NewClient(quorum.NewProbabilistic(5, 2),
-		WithTimeout(5*time.Millisecond, 200))
+		WithOpTimeout(5*time.Millisecond), WithRetries(200))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,18 +170,18 @@ func TestRetriesExhausted(t *testing.T) {
 		c.Server(i).Crash()
 	}
 	cl, err := c.NewClient(quorum.NewProbabilistic(3, 1),
-		WithTimeout(time.Millisecond, 3))
+		WithOpTimeout(time.Millisecond), WithRetries(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Read(0); !errors.Is(err, ErrTooManyRetries) {
-		t.Fatalf("err = %v, want ErrTooManyRetries", err)
+	if _, err := cl.Read(0); !errors.Is(err, register.ErrQuorumUnavailable) {
+		t.Fatalf("err = %v, want register.ErrQuorumUnavailable", err)
 	}
 }
 
 func TestRecoveryAfterCrash(t *testing.T) {
 	c := newTestCluster(t, 3, nil)
-	cl, _ := c.NewClient(quorum.NewAll(3), WithTimeout(2*time.Millisecond, 50))
+	cl, _ := c.NewClient(quorum.NewAll(3), WithOpTimeout(2*time.Millisecond), WithRetries(50))
 	if err := cl.Write(0, "before"); err != nil {
 		t.Fatal(err)
 	}

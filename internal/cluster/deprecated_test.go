@@ -1,0 +1,47 @@
+package cluster
+
+// Coverage for the deprecated compatibility surface. This file is the one
+// sanctioned user of the old names — scripts/check.sh allowlists it — so the
+// shims stay exercised until they are removed.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+)
+
+// TestDeprecatedWithTimeoutShim pins that the two-argument WithTimeout still
+// behaves exactly like WithOpTimeout + WithRetries: against an all-crashed
+// cluster both forms exhaust the same budget and surface the same error,
+// under both its old and new names.
+func TestDeprecatedWithTimeoutShim(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	for i := 0; i < 3; i++ {
+		c.Server(i).Crash()
+	}
+	old, err := c.NewClient(quorum.NewAll(3), WithTimeout(time.Millisecond, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Read(0); !errors.Is(err, ErrTooManyRetries) {
+		t.Fatalf("old names: err = %v, want ErrTooManyRetries alias", err)
+	}
+	split, err := c.NewClient(quorum.NewAll(3), WithOpTimeout(time.Millisecond), WithRetries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := split.Read(0); !errors.Is(err, register.ErrQuorumUnavailable) {
+		t.Fatalf("split options: err = %v, want register.ErrQuorumUnavailable", err)
+	}
+}
+
+// TestDeprecatedErrAlias pins that the alias and the canonical error are the
+// same value, so errors.Is works across old and new call sites.
+func TestDeprecatedErrAlias(t *testing.T) {
+	if !errors.Is(ErrTooManyRetries, register.ErrQuorumUnavailable) {
+		t.Fatal("ErrTooManyRetries is not register.ErrQuorumUnavailable")
+	}
+}

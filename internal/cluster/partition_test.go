@@ -7,18 +7,19 @@ import (
 
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
+	"probquorum/internal/register"
 )
 
 func TestPartitionedMinoritySideStalls(t *testing.T) {
 	c := newTestCluster(t, 6, nil)
 	cl, err := c.NewClient(quorum.NewProbabilistic(6, 3),
-		WithTimeout(2*time.Millisecond, 3))
+		WithOpTimeout(2*time.Millisecond), WithRetries(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Cut the client off with only servers 0 and 1: no 3-quorum can answer.
 	c.Partition([]msg.NodeID{0, 1, cl.ID()}, []msg.NodeID{2, 3, 4, 5})
-	if _, err := cl.Read(0); !errors.Is(err, ErrTooManyRetries) {
+	if _, err := cl.Read(0); !errors.Is(err, register.ErrQuorumUnavailable) {
 		t.Fatalf("read across the cut: %v, want retry exhaustion", err)
 	}
 }
@@ -26,7 +27,7 @@ func TestPartitionedMinoritySideStalls(t *testing.T) {
 func TestPartitionedMajoritySideOperates(t *testing.T) {
 	c := newTestCluster(t, 6, nil)
 	cl, err := c.NewClient(quorum.NewProbabilistic(6, 3),
-		WithTimeout(2*time.Millisecond, 500))
+		WithOpTimeout(2*time.Millisecond), WithRetries(500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestPartitionedMajoritySideOperates(t *testing.T) {
 
 func TestHealRestoresFullConnectivity(t *testing.T) {
 	c := newTestCluster(t, 4, nil)
-	cl, err := c.NewClient(quorum.NewAll(4), WithTimeout(2*time.Millisecond, 2))
+	cl, err := c.NewClient(quorum.NewAll(4), WithOpTimeout(2*time.Millisecond), WithRetries(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +67,12 @@ func TestPartitionStaleReadsAcrossCut(t *testing.T) {
 	// seeing the old value — the paper's staleness made concrete — until
 	// the partition heals and fresh quorums become reachable.
 	c := newTestCluster(t, 6, nil)
-	w, err := c.NewClient(quorum.NewProbabilistic(6, 2), WithTimeout(2*time.Millisecond, 500))
+	w, err := c.NewClient(quorum.NewProbabilistic(6, 2), WithOpTimeout(2*time.Millisecond), WithRetries(500))
 	if err != nil {
 		t.Fatal(err)
 	}
 	r, err := c.NewClient(quorum.NewProbabilistic(6, 2),
-		WithMonotone(), WithTimeout(2*time.Millisecond, 500))
+		WithMonotone(), WithOpTimeout(2*time.Millisecond), WithRetries(500))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ import (
 // operation count (and its high-watermark) in g. It has no effect on the
 // blocking Client.
 func WithInFlightGauge(g *metrics.Gauge) ClientOption {
-	return func(c *clientConfig) { c.gauge = g }
+	return func(c *clientConfig) { c.Gauge = g }
 }
 
 // PipeClient is a pipelined register client attached to a cluster. All of
@@ -40,8 +40,8 @@ type PipeClient struct {
 // NewPipeline registers a pipelined client process using the given quorum
 // system. The blocking Client's options apply, except WithReadRepair and
 // WithMasking, which require the strict one-op-at-a-time session flow and
-// are rejected. With crashes in play, set WithTimeout so stalled operations
-// re-issue on fresh quorums.
+// are rejected. With crashes in play, set WithOpTimeout so stalled
+// operations re-issue on fresh quorums.
 func (c *Cluster) NewPipeline(sys quorum.System, opts ...ClientOption) (*PipeClient, error) {
 	if sys.N() != len(c.servers) {
 		return nil, fmt.Errorf("cluster: quorum system covers %d servers, cluster has %d",
@@ -78,21 +78,13 @@ func (c *Cluster) NewPipeline(sys quorum.System, opts ...ClientOption) (*PipeCli
 
 	tr := &clusterTransport{c: c, id: id, inbox: inbox, done: make(chan struct{})}
 	pc := &PipeClient{c: c, id: id, engine: engine, tr: tr}
-	plOpts := []register.PipelineOption{
-		register.PipeClock(func() int64 { return c.tick() }),
-		register.PipeTimeout(cc.timeout, cc.retries),
-	}
-	if cc.log != nil {
-		plOpts = append(plOpts, register.PipeTrace(cc.log, id))
-	}
-	if cc.gauge != nil {
-		plOpts = append(plOpts, register.PipeGauge(cc.gauge))
-	}
+	cc.Proc = id
+	cc.Clock = c.tick
 	var rt transport.Transport = tr
-	if cc.counters != nil {
-		rt = transport.Instrument(tr, cc.counters)
+	if cc.Counters != nil {
+		rt = transport.Instrument(tr, cc.Counters)
 	}
-	pc.pl = register.NewPipelineOver(engine, rt, plOpts...)
+	pc.pl = register.NewPipelineOver(engine, rt, register.ApplyPipeline(cc.Settings)...)
 	return pc, nil
 }
 

@@ -122,7 +122,7 @@ func TestPipeClientRidesOutCrash(t *testing.T) {
 	log := &trace.Log{}
 	pc, err := c.NewPipeline(sys,
 		cluster.WithMonotone(), cluster.WithTrace(log),
-		cluster.WithTimeout(20*time.Millisecond, 0))
+		cluster.WithOpTimeout(20*time.Millisecond), cluster.WithRetries(0))
 	if err != nil {
 		t.Fatal(err)
 	}

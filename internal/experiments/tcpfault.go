@@ -8,6 +8,7 @@ import (
 	"probquorum/internal/aco"
 	"probquorum/internal/apps/semiring"
 	"probquorum/internal/graph"
+	"probquorum/internal/obs"
 	"probquorum/internal/quorum"
 )
 
@@ -39,6 +40,11 @@ type TCPFaultConfig struct {
 	Seed uint64
 	// MaxIterations caps each worker's loop (default 50000).
 	MaxIterations int
+	// Obs, if non-nil, attaches a live metrics registry to both scenarios'
+	// runners (see aco.TCPConfig.Obs); pair with obs.Serve to watch the
+	// fault run's retries, reconnects, and per-phase latencies as they
+	// happen. Counters accumulate across the two scenarios.
+	Obs *obs.Registry `json:"-"`
 }
 
 func (c *TCPFaultConfig) applyDefaults() {
@@ -130,6 +136,7 @@ func RunTCPFault(cfg TCPFaultConfig) (TCPFaultResult, error) {
 			MaxIterations: cfg.MaxIterations,
 			DriverConfig:  aco.DriverConfig{OpTimeout: cfg.OpTimeout},
 			Crashes:       sc.crashes,
+			Obs:           cfg.Obs,
 		})
 		if err != nil {
 			return TCPFaultResult{}, fmt.Errorf("tcpfault %s: %w", sc.name, err)

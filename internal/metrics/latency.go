@@ -3,21 +3,22 @@ package metrics
 import (
 	"math"
 	"math/bits"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // LatencyHist is a concurrency-safe log2-bucketed histogram of durations:
-// observation costs one atomic-free mutex-protected increment, memory is
+// observation is lock-free (a handful of atomic adds, so it can sit inside
+// another component's critical section without nesting locks), memory is
 // constant (64 buckets cover nanoseconds to centuries), and quantiles are
 // accurate to within a factor of 2 — plenty for operation-latency
-// reporting.
+// reporting. A snapshot taken during concurrent observation may be mid-update
+// across fields (count ahead of sum by an in-flight observation, say); once
+// writers quiesce it is exact.
 type LatencyHist struct {
-	mu      sync.Mutex
-	buckets [64]int64
-	count   int64
-	sum     time.Duration
-	max     time.Duration
+	buckets [64]atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
 }
 
 // bucketOf returns the bucket index for d: ⌊log2(ns)⌋, clamped.
@@ -34,63 +35,110 @@ func (h *LatencyHist) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.buckets[bucketOf(d)]++
-	h.count++
-	h.sum += d
-	if d > h.max {
-		h.max = d
+	ns := d.Nanoseconds()
+	h.buckets[bucketOf(d)].Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
 	}
 }
 
-// Count returns the number of observations.
+// Count returns the number of observations (the sum of the bucket counts —
+// the histogram keeps no separate counter, so count and buckets can never
+// disagree).
 func (h *LatencyHist) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	var n int64
+	for b := range h.buckets {
+		n += h.buckets[b].Load()
+	}
+	return n
 }
 
 // Mean returns the exact mean of the observations.
 func (h *LatencyHist) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.Count()
+	if count == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.count)
+	return time.Duration(h.sum.Load()) / time.Duration(count)
 }
 
 // Max returns the exact maximum observation.
-func (h *LatencyHist) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
+func (h *LatencyHist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Sum returns the exact sum of the observations.
+func (h *LatencyHist) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
 // Quantile returns an upper bound on the p-quantile (p in (0, 1]): the top
 // of the bucket containing it, so the estimate is within 2x of the true
 // value.
 func (h *LatencyHist) Quantile(p float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	return h.Snapshot().Quantile(p)
+}
+
+// Snapshot returns a point-in-time copy of the histogram; the obs registry
+// exports these so a scrape works off one coherent set of buckets.
+func (h *LatencyHist) Snapshot() LatencySnapshot {
+	s := LatencySnapshot{
+		Sum: time.Duration(h.sum.Load()),
+		Max: time.Duration(h.max.Load()),
+	}
+	for b := range h.buckets {
+		s.Buckets[b] = h.buckets[b].Load()
+		s.Count += s.Buckets[b]
+	}
+	return s
+}
+
+// LatencySnapshot is a copy of a LatencyHist's state. Buckets[b] counts
+// observations d with ⌊log2(d in ns)⌋ == b, i.e. BucketBound(b-1) < d <=
+// roughly BucketBound(b).
+type LatencySnapshot struct {
+	Buckets [64]int64
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+}
+
+// BucketBound returns the exclusive upper bound of bucket b: 2^(b+1) ns.
+func BucketBound(b int) time.Duration {
+	if b >= 62 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(1) << uint(b+1)
+}
+
+// Mean returns the exact mean of the snapshotted observations.
+func (s LatencySnapshot) Mean() time.Duration {
+	if s.Count == 0 {
 		return 0
 	}
-	need := int64(math.Ceil(p * float64(h.count)))
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper bound on the p-quantile (p in (0, 1]), with the
+// same within-2x guarantee as LatencyHist.Quantile.
+func (s LatencySnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(p * float64(s.Count)))
 	if need < 1 {
 		need = 1
 	}
 	var acc int64
-	for b, c := range h.buckets {
+	for b, c := range s.Buckets {
 		acc += c
 		if acc >= need {
-			top := time.Duration(1) << uint(b+1)
-			if top > h.max && h.max > 0 {
-				return h.max
+			top := BucketBound(b)
+			if top > s.Max && s.Max > 0 {
+				return s.Max
 			}
 			return top
 		}
 	}
-	return h.max
+	return s.Max
 }

@@ -230,6 +230,18 @@ func (h *IntHistogram) Outcomes() []int {
 	return out
 }
 
+// Counts returns a copy of the per-outcome counts and the total number of
+// observations, for bulk export.
+func (h *IntHistogram) Counts() (map[int]int64, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int]int64, len(h.counts))
+	for v, c := range h.counts {
+		out[v] = c
+	}
+	return out, h.total
+}
+
 // Quantile returns the smallest outcome q such that at least fraction p of
 // the observations are <= q. p must be in (0, 1].
 func (h *IntHistogram) Quantile(p float64) int {

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a running debug endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP debug server on addr (e.g. ":6060", or ":0" for an
+// ephemeral port) exposing:
+//
+//	/metrics       the registry in Prometheus text exposition format
+//	/healthz       JSON health report; 503 unless every probe is live
+//	/debug/pprof/  the standard net/http/pprof profiles
+//
+// The handlers mount on a private mux, not http.DefaultServeMux, so two
+// registries in one process (tests, mainly) never collide. Serve returns as
+// soon as the listener is bound; requests are handled on a background
+// goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the debug server down and releases its port.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler returns the debug mux for reg, for embedding into an existing
+// HTTP server instead of running a dedicated one via Serve.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		if !snap.Live() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Live    bool              `json:"live"`
+			Servers map[string]Health `json:"servers"`
+		}{Live: snap.Live(), Servers: snap.Health})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -39,6 +39,7 @@ type Client struct {
 	proc     msg.NodeID
 	clock    func() int64
 	latency  *metrics.LatencyHist
+	obsv     *Observer
 
 	mu     sync.Mutex
 	queue  []inEvent
@@ -219,14 +220,19 @@ func (c *Client) run(o *Operation, kind trace.Kind) (msg.Tagged, error) {
 		start := time.Now()
 		defer func() { c.latency.Observe(time.Since(start)) }()
 	}
+	var pt phaseTimer
+	pt.begin(c.obsv)
 	invoke := c.clock()
 	sends := o.Start()
+	pt.lap(phasePick)
 	for {
 		c.drainStale()
 		cause := c.sendAll(sends)
+		pt.lap(phaseFanOut)
 		if cause == nil {
-			cause = c.pump(o)
+			cause = c.pump(o, &pt)
 		}
+		pt.lapWait()
 		if f, ok := cause.(fatalError); ok {
 			return msg.Tagged{}, f.err
 		}
@@ -241,6 +247,7 @@ func (c *Client) run(o *Operation, kind trace.Kind) (msg.Tagged, error) {
 					Tag:     o.Result(),
 				})
 			}
+			pt.finish()
 			return o.Result(), nil
 		}
 		if cause != nil && c.opTimeout <= 0 {
@@ -258,16 +265,19 @@ func (c *Client) run(o *Operation, kind trace.Kind) (msg.Tagged, error) {
 			}
 			return msg.Tagged{}, fmt.Errorf("%s reg %d: %w", o.Desc(), o.Reg(), err)
 		}
+		pt.lap(phasePick)
 		c.counters.Retries.Inc()
 		c.backoff(attempt - 1)
+		pt.skip()
 	}
 }
 
 // pump delivers queued transport events into o until the attempt resolves:
 // nil when the operation completed or was masked-rejected (check o.Done /
 // o.Rejected), errAttemptTimeout on deadline, a member's transport error,
-// or fatalError when the transport died.
-func (c *Client) pump(o *Operation) error {
+// or fatalError when the transport died. It laps pt across an atomic read's
+// phase transition so the write-back round is timed separately.
+func (c *Client) pump(o *Operation, pt *phaseTimer) error {
 	var timer *time.Timer
 	var deadline <-chan time.Time
 	if c.opTimeout > 0 {
@@ -315,9 +325,12 @@ func (c *Client) pump(o *Operation) error {
 		if len(sends) > 0 {
 			// Phase transition (atomic read's write-back): fan out and
 			// restart the attempt deadline for the new phase.
+			pt.lap(phaseQuorumWait)
 			if err := c.sendAll(sends); err != nil {
 				return err
 			}
+			pt.lap(phaseFanOut)
+			pt.writeBack = true
 			if timer != nil {
 				if !timer.Stop() {
 					select {

@@ -12,6 +12,7 @@ package register_test
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"probquorum/internal/cluster"
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
+	"probquorum/internal/obs"
 	"probquorum/internal/quorum"
 	"probquorum/internal/register"
 	"probquorum/internal/replica"
@@ -336,7 +338,7 @@ func runClusterScenario(t *testing.T, sc confScenario) confResult {
 			opts = append(opts, cluster.WithMonotone())
 		}
 		if sc.timeout > 0 {
-			opts = append(opts, cluster.WithTimeout(sc.timeout, sc.retries))
+			opts = append(opts, cluster.WithOpTimeout(sc.timeout), cluster.WithRetries(sc.retries))
 		}
 		cl, err := c.NewClient(sys, opts...)
 		if err != nil {
@@ -748,5 +750,123 @@ func TestTransportMessageCountersAlign(t *testing.T) {
 	if csent != tsent || crecv != trecv {
 		t.Fatalf("message counts diverge: cluster sent=%d recv=%d, tcp sent=%d recv=%d",
 			csent, crecv, tsent, trecv)
+	}
+}
+
+// TestConformanceObservability attaches a full obs.Registry to a pipelined
+// client on each real transport, scrapes it concurrently while the load
+// runs (the race detector checks the snapshot locking), and then pins the
+// pipelined phase accounting: Pick and QuorumWait telescope over exactly the
+// operation's service window, so their sums must equal the Ops sum, and the
+// Prometheus rendering must carry the expected metric families.
+func TestConformanceObservability(t *testing.T) {
+	const servers, regs, rounds = 5, 8, 25
+
+	type pipeHarness struct {
+		name string
+		dial func(t *testing.T, counters *metrics.TransportCounters, observer *register.Observer, g *metrics.Gauge) asyncClient
+	}
+	harnesses := []pipeHarness{
+		{"cluster", func(t *testing.T, counters *metrics.TransportCounters, observer *register.Observer, g *metrics.Gauge) asyncClient {
+			c, err := cluster.New(cluster.Config{Servers: servers, Initial: confInitial(regs), Seed: 29})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(c.Close)
+			pc, err := c.NewPipeline(confMajority(servers),
+				cluster.WithTransportCounters(counters),
+				cluster.WithObserver(observer),
+				cluster.WithInFlightGauge(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(pc.Close)
+			return pc
+		}},
+		{"tcp", func(t *testing.T, counters *metrics.TransportCounters, observer *register.Observer, g *metrics.Gauge) asyncClient {
+			addrs := make([]string, servers)
+			for i := range addrs {
+				srv, err := tcp.Listen(replica.New(msg.NodeID(i), confInitial(regs)), "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(srv.Close)
+				addrs[i] = srv.Addr()
+			}
+			pc, err := tcp.DialPipelined(addrs, confMajority(servers),
+				tcp.WithTransportCounters(counters),
+				tcp.WithObserver(observer),
+				tcp.WithInFlightGauge(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(pc.Close)
+			return pc
+		}},
+	}
+	for _, h := range harnesses {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			t.Parallel()
+			reg := obs.NewRegistry()
+			counters := &metrics.TransportCounters{}
+			counters.Register("client", reg)
+			observer := new(register.Observer).Register("client", reg)
+			var g metrics.Gauge
+			g.Register("client.inflight", reg)
+			pc := h.dial(t, counters, observer, &g)
+
+			done := make(chan struct{})
+			var scrapes int
+			go func() {
+				defer close(done)
+				for i := 0; i < rounds; i++ {
+					if err := runPipelinedFlow(pc, regs); err != nil {
+						t.Errorf("round %d: %v", i, err)
+						return
+					}
+				}
+			}()
+			for {
+				select {
+				case <-done:
+				default:
+					snap := reg.Snapshot()
+					var b strings.Builder
+					snap.WritePrometheus(&b)
+					scrapes++
+					continue
+				}
+				break
+			}
+			if scrapes == 0 {
+				t.Fatal("no concurrent scrapes happened")
+			}
+
+			snap := reg.Snapshot()
+			ops := snap.Latencies["client.ops"]
+			if want := int64(rounds * regs * 2); ops.Count != want {
+				t.Errorf("ops count = %d, want %d", ops.Count, want)
+			}
+			pick, wait := snap.Latencies["client.phase.pick"], snap.Latencies["client.phase.quorum_wait"]
+			if phaseSum := pick.Sum + wait.Sum; phaseSum != ops.Sum {
+				t.Errorf("pipelined Pick (%v) + QuorumWait (%v) = %v, want exactly Ops sum %v",
+					pick.Sum, wait.Sum, phaseSum, ops.Sum)
+			}
+			if snap.Counters["client.msgs_sent"] == 0 || snap.Counters["client.msgs_recv"] == 0 {
+				t.Error("transport counters did not register")
+			}
+			if gv := snap.Gauges["client.inflight"]; gv.Max == 0 {
+				t.Error("in-flight gauge never rose above zero")
+			}
+			var b strings.Builder
+			snap.WritePrometheus(&b)
+			out := b.String()
+			for _, want := range []string{"client_ops_count", "client_phase_pick_count", "client_msgs_sent", "client_inflight_max"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("Prometheus output missing %q", want)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,149 @@
+package register_test
+
+import (
+	"testing"
+	"time"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/rng"
+	"probquorum/internal/transport"
+)
+
+// loopback is a zero-latency in-process transport: Send applies the request
+// to the server's replica store and delivers the reply to the sink before
+// returning. It gives the observer tests (and the alloc gate) a fully
+// deterministic, retry-free operation path.
+type loopback struct {
+	stores []*replica.Store
+	sink   transport.Sink
+}
+
+func newLoopback(n int) *loopback {
+	l := &loopback{stores: make([]*replica.Store, n)}
+	for i := range l.stores {
+		l.stores[i] = replica.New(msg.NodeID(i), nil)
+	}
+	return l
+}
+
+func (l *loopback) N() int                   { return len(l.stores) }
+func (l *loopback) Bind(sink transport.Sink) { l.sink = sink }
+func (l *loopback) Close() error             { return nil }
+
+func (l *loopback) Send(server int, req any) error {
+	if reply, ok := l.stores[server].Apply(req); ok {
+		l.sink(server, reply, nil)
+	}
+	return nil
+}
+
+func loopbackClient(n, k int, opts ...register.ClientOption) *register.Client {
+	tr := newLoopback(n)
+	e := register.NewEngine(1, quorum.NewProbabilistic(n, k), rng.Derive(1, "observer.test"))
+	return register.NewClient(e, tr, opts...)
+}
+
+// TestObserverPhaseAccounting drives writes, reads, and atomic reads through
+// a serial client and checks the phase taxonomy: lap counts per phase match
+// the protocol structure, and the per-phase sums add up to (almost exactly)
+// the end-to-end Ops sum — the laps are contiguous, so the only gap is the
+// bookkeeping between the final wait lap and operation completion.
+func TestObserverPhaseAccounting(t *testing.T) {
+	obs := new(register.Observer)
+	cl := loopbackClient(6, 3, register.WithObserver(obs))
+
+	const writes, reads, atomics = 40, 40, 20
+	for i := 0; i < writes; i++ {
+		if _, err := cl.Write(0, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < reads; i++ {
+		if _, err := cl.Read(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < atomics; i++ {
+		if _, err := cl.ReadAtomic(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const ops = writes + reads + atomics
+	if got := obs.Ops.Count(); got != ops {
+		t.Errorf("Ops count = %d, want %d", got, ops)
+	}
+	// One attempt per op on the loopback transport: one pick lap each.
+	if got := obs.Pick.Count(); got != ops {
+		t.Errorf("Pick count = %d, want %d", got, ops)
+	}
+	// Every attempt fans out once, and each atomic read fans out a second
+	// time for its write-back round.
+	if got := obs.FanOut.Count(); got != ops+atomics {
+		t.Errorf("FanOut count = %d, want %d", got, ops+atomics)
+	}
+	// Plain ops close their wait in QuorumWait; atomic reads lap QuorumWait
+	// at the write-back transition and close in WriteBack.
+	if got := obs.QuorumWait.Count(); got != ops {
+		t.Errorf("QuorumWait count = %d, want %d", got, ops)
+	}
+	if got := obs.WriteBack.Count(); got != atomics {
+		t.Errorf("WriteBack count = %d, want %d", got, atomics)
+	}
+
+	phaseSum := obs.Pick.Sum() + obs.FanOut.Sum() + obs.QuorumWait.Sum() + obs.WriteBack.Sum()
+	opsSum := obs.Ops.Sum()
+	if phaseSum > opsSum {
+		t.Errorf("phase sums %v exceed end-to-end sum %v", phaseSum, opsSum)
+	}
+	if gap := opsSum - phaseSum; gap > 50*time.Millisecond {
+		t.Errorf("phase sums %v fall %v short of end-to-end %v — phases are losing time", phaseSum, gap, opsSum)
+	}
+}
+
+// TestObserverNilIsInert pins that a client without WithObserver records
+// nothing and that a zero Observer is ready to use.
+func TestObserverNilIsInert(t *testing.T) {
+	obs := new(register.Observer)
+	cl := loopbackClient(4, 2) // no observer attached
+	if _, err := cl.Write(0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Ops.Count() != 0 || obs.Pick.Count() != 0 {
+		t.Error("detached observer recorded laps")
+	}
+}
+
+// TestObserverAllocGate pins the observer's allocation cost at zero: an
+// operation with phase timing attached allocates exactly as much as one
+// without. The phaseTimer lives on run's stack and LatencyHist.Observe
+// touches only its fixed bucket array, so attaching an observer must not add
+// a single allocation — and, by the same measurement, the observer-off path
+// cannot have picked up any from the observability plumbing.
+func TestObserverAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	measure := func(opts ...register.ClientOption) float64 {
+		cl := loopbackClient(6, 3, opts...)
+		if _, err := cl.Write(0, 1.0); err != nil { // warm up timestamp path
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(200, func() {
+			if _, err := cl.Write(0, 2.0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.Read(0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	off := measure()
+	on := measure(register.WithObserver(new(register.Observer)))
+	if on != off {
+		t.Errorf("allocs/op with observer = %v, without = %v; want identical", on, off)
+	}
+}

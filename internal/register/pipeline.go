@@ -62,6 +62,8 @@ type Pipeline struct {
 	proc     msg.NodeID
 	gauge    *metrics.Gauge
 	counters *metrics.TransportCounters
+	obsv     *Observer
+	epoch    time.Time // monotonic base for the observer's phase marks
 
 	opTimeout time.Duration
 	retries   int
@@ -72,6 +74,7 @@ type Pipeline struct {
 	closed   bool
 	closeErr error
 	retried  atomic.Int64
+	fanSeq   atomic.Uint32 // dispatch counter for FanOut sampling
 }
 
 // globalClock is the default logical clock for trace records: one atomic
@@ -143,6 +146,13 @@ func NewPipeline(engine *Engine, send SendFunc, opts ...PipelineOption) *Pipelin
 	for _, o := range opts {
 		o(p)
 	}
+	if p.obsv != nil {
+		// Phase marks are monotonic offsets from this epoch rather than
+		// time.Time values: reading the monotonic clock alone
+		// (time.Since) is nearly twice as cheap as time.Now, and the
+		// observer reads the clock three times per operation.
+		p.epoch = time.Now()
+	}
 	return p
 }
 
@@ -208,6 +218,18 @@ type PendingOp struct {
 	attempt  int
 	timer    *time.Timer
 	finished bool
+
+	// started/phaseMark are clock marks for the pipeline's observer,
+	// expressed as monotonic offsets from the pipeline's epoch; both stay
+	// zero (and cost nothing) when no observer is attached. The phase
+	// durations accumulate under the pipeline lock but are observed into
+	// the histograms by signal, outside it — the observer must not
+	// lengthen the pipeline's critical section.
+	started   time.Duration
+	phaseMark time.Duration
+	pickDur   time.Duration
+	waitDur   time.Duration
+	opsDur    time.Duration
 
 	done     chan struct{}
 	callback func(msg.Tagged, error)
@@ -304,6 +326,10 @@ func (p *Pipeline) submit(kind opKind, reg msg.RegisterID, val msg.Value, fn fun
 // same-register timestamps are assigned in client FIFO order), registers the
 // operation in the in-flight map, and captures the quorum fan-out.
 func (p *Pipeline) startLocked(op *PendingOp, sends *[]outMsg) {
+	if p.obsv != nil {
+		op.started = time.Since(p.epoch)
+		op.phaseMark = op.started
+	}
 	op.invoke = p.clock()
 	switch op.kind {
 	case opRead:
@@ -327,7 +353,19 @@ func (p *Pipeline) startLocked(op *PendingOp, sends *[]outMsg) {
 			*sends = append(*sends, outMsg{server: srv, req: req})
 		}
 	}
+	p.lapPickLocked(op)
 	p.armTimerLocked(op)
+}
+
+// lapPickLocked closes op's pick phase (session opened, fan-out captured)
+// and starts its wait phase.
+func (p *Pipeline) lapPickLocked(op *PendingOp) {
+	if p.obsv == nil {
+		return
+	}
+	now := time.Since(p.epoch)
+	op.pickDur += now - op.phaseMark
+	op.phaseMark = now
 }
 
 func (p *Pipeline) armTimerLocked(op *PendingOp) {
@@ -362,6 +400,13 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 		p.counters.Retries.Inc()
 	}
 	op.attempt++
+	if p.obsv != nil {
+		// The abandoned attempt's wait ends here; the re-pick below is a
+		// fresh pick lap.
+		now := time.Since(p.epoch)
+		op.waitDur += now - op.phaseMark
+		op.phaseMark = now
+	}
 	var sends []outMsg
 	switch op.kind {
 	case opRead:
@@ -381,6 +426,7 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 			sends = append(sends, outMsg{server: srv, req: req})
 		}
 	}
+	p.lapPickLocked(op)
 	p.armTimerLocked(op)
 	p.mu.Unlock()
 	p.dispatch(sends)
@@ -437,6 +483,11 @@ func (p *Pipeline) Deliver(server int, payload any) {
 func (p *Pipeline) finishLocked(op *PendingOp, tag msg.Tagged, err error) {
 	op.finished = true
 	op.tag, op.err = tag, err
+	if p.obsv != nil && err == nil && op.started > 0 {
+		now := time.Since(p.epoch)
+		op.waitDur += now - op.phaseMark
+		op.opsDur = now - op.started
+	}
 	switch {
 	case op.rs != nil:
 		delete(p.inflight, op.rs.Op)
@@ -482,6 +533,19 @@ func (p *Pipeline) advanceQueueLocked(reg msg.RegisterID, sends *[]outMsg) {
 }
 
 func (p *Pipeline) dispatch(sends []outMsg) {
+	if p.obsv != nil && len(sends) > 0 && p.fanSeq.Add(1)&7 == 0 {
+		// FanOut times the hand-off to the transport, sampled one dispatch
+		// in eight: the hand-off span's distribution is what matters (a
+		// stalling transport shows up within a few dispatches either way),
+		// and sampling keeps two clock reads off the per-operation path.
+		// It overlaps the operations' QuorumWait rather than preceding it.
+		start := time.Since(p.epoch)
+		for _, s := range sends {
+			p.send(s.server, s.req)
+		}
+		p.obsv.FanOut.Observe(time.Since(p.epoch) - start)
+		return
+	}
 	for _, s := range sends {
 		p.send(s.server, s.req)
 	}
@@ -493,6 +557,16 @@ func (p *Pipeline) dispatch(sends []outMsg) {
 func (p *Pipeline) signal(op *PendingOp) {
 	if op.timer != nil {
 		op.timer.Stop()
+	}
+	if p.obsv != nil && op.err == nil && op.opsDur > 0 {
+		// Observed here, not in finishLocked: the pipeline lock is the
+		// throughput bottleneck under load, so the histogram updates happen
+		// after it is released. Each phase entry is a per-operation total
+		// (retries fold into it), so Pick + QuorumWait telescopes to Ops
+		// exactly.
+		p.obsv.Pick.Observe(op.pickDur)
+		p.obsv.QuorumWait.Observe(op.waitDur)
+		p.obsv.Ops.Observe(op.opsDur)
 	}
 	close(op.done)
 	if op.callback != nil {

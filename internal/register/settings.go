@@ -1,0 +1,99 @@
+package register
+
+import (
+	"time"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/trace"
+)
+
+// Settings is the transport-independent register-client configuration that
+// every adapter shares. The tcp and cluster packages' With* options are thin
+// wrappers that fill one of these in; Apply (serial) and ApplyPipeline
+// (pipelined) translate it into this package's option lists, so the three
+// transports can no longer drift apart on option semantics.
+//
+// The zero value is valid: strict mode (no deadline), unlimited retries, no
+// backoff, and no instrumentation.
+type Settings struct {
+	// OpTimeout bounds one attempt's wait for replies; 0 means strict mode
+	// for the serial client (pipelined adapters substitute their own default
+	// deadline instead).
+	OpTimeout time.Duration
+	// Retries caps attempts per operation (serial: retries+1 attempts;
+	// 0 = unlimited).
+	Retries int
+	// RetryBackoff and RetryBackoffMax pace serial-client retries: backoff
+	// starts at RetryBackoff, doubles per attempt, and is capped at
+	// RetryBackoffMax. Zero RetryBackoff disables backoff.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// Counters receives fault-path events (retries, timeouts, reconnects,
+	// stale drops) and — when the adapter instruments its transport — logical
+	// message counts.
+	Counters *metrics.TransportCounters
+	// Trace records completed operations into a linearizability log under
+	// process identity Proc.
+	Trace *trace.Log
+	Proc  msg.NodeID
+	// Clock overrides the logical clock stamping trace records.
+	Clock func() int64
+	// Latency records end-to-end operation durations (serial client only).
+	Latency *metrics.LatencyHist
+	// Observer records phase-level operation timings (see Observer).
+	Observer *Observer
+	// Gauge tracks in-flight operations (pipelined clients only).
+	Gauge *metrics.Gauge
+}
+
+// Apply translates s into the serial Client's option list. This is the
+// single shared mapping the transport adapters build on.
+func Apply(s Settings) []ClientOption {
+	opts := []ClientOption{
+		WithOpTimeout(s.OpTimeout),
+		WithRetries(s.Retries),
+	}
+	if s.RetryBackoff > 0 {
+		opts = append(opts, WithRetryBackoff(s.RetryBackoff, s.RetryBackoffMax))
+	}
+	if s.Counters != nil {
+		opts = append(opts, WithTransportCounters(s.Counters))
+	}
+	if s.Trace != nil {
+		opts = append(opts, WithTrace(s.Trace, s.Proc))
+	}
+	if s.Clock != nil {
+		opts = append(opts, WithClock(s.Clock))
+	}
+	if s.Latency != nil {
+		opts = append(opts, WithLatency(s.Latency))
+	}
+	if s.Observer != nil {
+		opts = append(opts, WithObserver(s.Observer))
+	}
+	return opts
+}
+
+// ApplyPipeline translates s into the Pipeline's option list. Latency,
+// RetryBackoff and RetryBackoffMax do not apply to pipelined clients and are
+// ignored.
+func ApplyPipeline(s Settings) []PipelineOption {
+	opts := []PipelineOption{PipeTimeout(s.OpTimeout, s.Retries)}
+	if s.Counters != nil {
+		opts = append(opts, PipeCounters(s.Counters))
+	}
+	if s.Trace != nil {
+		opts = append(opts, PipeTrace(s.Trace, s.Proc))
+	}
+	if s.Clock != nil {
+		opts = append(opts, PipeClock(s.Clock))
+	}
+	if s.Gauge != nil {
+		opts = append(opts, PipeGauge(s.Gauge))
+	}
+	if s.Observer != nil {
+		opts = append(opts, PipeObserver(s.Observer))
+	}
+	return opts
+}

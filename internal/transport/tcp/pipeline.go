@@ -49,7 +49,7 @@ func WithBatchHistogram(h *metrics.IntHistogram) ClientOption {
 // WithInFlightGauge tracks the client's submitted-but-incomplete operation
 // count (and its high-watermark) in g.
 func WithInFlightGauge(g *metrics.Gauge) ClientOption {
-	return func(o *clientOpts) { o.gauge = g }
+	return func(o *clientOpts) { o.Gauge = g }
 }
 
 // WithTrace records the client's completed operations into log, under the
@@ -57,12 +57,12 @@ func WithInFlightGauge(g *metrics.Gauge) ClientOption {
 // share a logical clock by default, so one log can absorb several clients'
 // records consistently.
 func WithTrace(log *trace.Log) ClientOption {
-	return func(o *clientOpts) { o.traceLog = log }
+	return func(o *clientOpts) { o.Trace = log }
 }
 
 // WithClock overrides the logical clock used for trace timestamps.
 func WithClock(clock func() int64) ClientOption {
-	return func(o *clientOpts) { o.clock = clock }
+	return func(o *clientOpts) { o.Clock = clock }
 }
 
 // PipelinedClient is a register client that keeps many operations in flight
@@ -105,47 +105,38 @@ func DialPipelined(addrs []string, sys quorum.System, opts ...ClientOption) (*Pi
 		opt(&o)
 	}
 	// As in Dial: per-message counting is opt-in via WithTransportCounters.
-	counted := o.counters != nil
-	if o.counters == nil {
-		o.counters = &metrics.TransportCounters{}
+	counted := o.Counters != nil
+	if o.Counters == nil {
+		o.Counters = &metrics.TransportCounters{}
 	}
-	if o.opTimeout <= 0 {
-		o.opTimeout = defaultPipelineTimeout
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = defaultPipelineTimeout
 	}
 	if o.maxBatch < 1 {
 		o.maxBatch = 1
 	}
+	o.Proc = msg.NodeID(o.writer)
 
 	var eopts []register.Option
 	if o.monotone {
 		eopts = append(eopts, register.Monotone())
 	}
+	if o.tally != nil {
+		eopts = append(eopts, register.WithTally(o.tally))
+	}
 	engine := register.NewEngine(o.writer, sys,
 		rng.Derive(o.seed, fmt.Sprintf("tcp.pipeclient.%d", o.writer)), eopts...)
 
-	tr := newTCPTransport(addrs, o.wire, o.opTimeout, o.counters, true, o.maxBatch, o.batchHist)
+	tr := newTCPTransport(addrs, o.wire, o.OpTimeout, o.Counters, true, o.maxBatch, o.batchHist)
 	if err := tr.start(); err != nil {
 		return nil, err
 	}
-	plOpts := []register.PipelineOption{
-		register.PipeTimeout(o.opTimeout, o.retries),
-		register.PipeCounters(o.counters),
-	}
-	if o.gauge != nil {
-		plOpts = append(plOpts, register.PipeGauge(o.gauge))
-	}
-	if o.traceLog != nil {
-		plOpts = append(plOpts, register.PipeTrace(o.traceLog, msg.NodeID(o.writer)))
-	}
-	if o.clock != nil {
-		plOpts = append(plOpts, register.PipeClock(o.clock))
-	}
 	var rt transport.Transport = tr
 	if counted {
-		rt = transport.Instrument(tr, o.counters)
+		rt = transport.Instrument(tr, o.Counters)
 	}
-	c := &PipelinedClient{engine: engine, tr: tr, counters: o.counters}
-	c.pl = register.NewPipelineOver(engine, rt, plOpts...)
+	c := &PipelinedClient{engine: engine, tr: tr, counters: o.Counters}
+	c.pl = register.NewPipelineOver(engine, rt, register.ApplyPipeline(o.Settings)...)
 	return c, nil
 }
 

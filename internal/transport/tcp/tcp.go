@@ -49,11 +49,11 @@ import (
 
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
+	"probquorum/internal/obs"
 	"probquorum/internal/quorum"
 	"probquorum/internal/register"
 	"probquorum/internal/replica"
 	"probquorum/internal/rng"
-	"probquorum/internal/trace"
 	"probquorum/internal/transport"
 )
 
@@ -165,6 +165,29 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Store returns the served replica store (tests inject crashes through it).
 func (s *Server) Store() *replica.Store { return s.store }
+
+// Health samples the server's current state for an obs registry's /healthz
+// endpoint: live (the store is not crashed), the number of attached client
+// connections, and the store's cumulative request counts.
+func (s *Server) Health() obs.Health {
+	s.mu.Lock()
+	sessions := len(s.conns)
+	s.mu.Unlock()
+	reads, writes := s.store.Stats()
+	return obs.Health{
+		Live:     !s.store.Crashed(),
+		Sessions: sessions,
+		Reads:    reads,
+		Writes:   writes,
+		Addr:     s.Addr(),
+	}
+}
+
+// RegisterHealth attaches the server's health probe to reg under name, so
+// /healthz reports this server's liveness and session count.
+func (s *Server) RegisterHealth(reg *obs.Registry, name string) {
+	reg.RegisterHealth(name, s.Health)
+}
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -367,23 +390,22 @@ type Client struct {
 // ClientOption configures a TCP client.
 type ClientOption func(*clientOpts)
 
+// clientOpts embeds the shared register.Settings — the transport-independent
+// client configuration — plus the knobs only the TCP transport has. Every
+// With* option is a thin wrapper writing one field; Dial and DialPipelined
+// hand the Settings to register.Apply / register.ApplyPipeline.
 type clientOpts struct {
-	monotone    bool
-	writer      int32
-	seed        uint64
-	wire        Wire
-	opTimeout   time.Duration
-	retries     int
-	backoffBase time.Duration
-	backoffMax  time.Duration
-	counters    *metrics.TransportCounters
+	register.Settings
+
+	monotone bool
+	writer   int32
+	seed     uint64
+	wire     Wire
+	tally    *metrics.AccessTally
 
 	// Pipelined-client options (see DialPipelined).
 	maxBatch  int
 	batchHist *metrics.IntHistogram
-	gauge     *metrics.Gauge
-	traceLog  *trace.Log
-	clock     func() int64
 }
 
 // WithMonotone enables the monotone register variant.
@@ -407,28 +429,41 @@ func WithSeed(seed uint64) ClientOption {
 // required to ride out crashed or silent replicas. Zero (the default) keeps
 // the strict one-shot behaviour.
 func WithOpTimeout(d time.Duration) ClientOption {
-	return func(o *clientOpts) { o.opTimeout = d }
+	return func(o *clientOpts) { o.OpTimeout = d }
 }
 
 // WithRetries caps the attempts per operation when WithOpTimeout is set;
 // an operation that exhausts the budget returns ErrQuorumUnavailable.
 // Zero (the default) means unlimited retries.
 func WithRetries(n int) ClientOption {
-	return func(o *clientOpts) { o.retries = n }
+	return func(o *clientOpts) { o.Retries = n }
 }
 
 // WithRetryBackoff sets the pacing between an operation's retry attempts:
 // the first retry waits base, each further retry doubles the wait, capped
 // at max. Defaults are 2ms and 100ms.
 func WithRetryBackoff(base, max time.Duration) ClientOption {
-	return func(o *clientOpts) { o.backoffBase = base; o.backoffMax = max }
+	return func(o *clientOpts) { o.RetryBackoff = base; o.RetryBackoffMax = max }
 }
 
 // WithTransportCounters makes the client record its retries, timeouts, and
 // reconnects into tc, which may be shared across clients to aggregate a
 // deployment's fault activity.
 func WithTransportCounters(tc *metrics.TransportCounters) ClientOption {
-	return func(o *clientOpts) { o.counters = tc }
+	return func(o *clientOpts) { o.Counters = tc }
+}
+
+// WithObserver records phase-level operation timings (pick, fan-out,
+// quorum-wait, write-back, end-to-end) into obs; register the observer into
+// an obs.Registry to watch the quantiles live.
+func WithObserver(obs *register.Observer) ClientOption {
+	return func(o *clientOpts) { o.Observer = obs }
+}
+
+// WithTally counts every quorum access per server into t, the paper's
+// per-server load measurement, live instead of post-mortem.
+func WithTally(t *metrics.AccessTally) ClientOption {
+	return func(o *clientOpts) { o.tally = t }
 }
 
 // Dial connects to every replica server address. The quorum system's N must
@@ -439,45 +474,38 @@ func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, err
 		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
 			sys.N(), len(addrs))
 	}
-	o := clientOpts{seed: 1, backoffBase: 2 * time.Millisecond, backoffMax: 100 * time.Millisecond}
+	o := clientOpts{seed: 1}
+	o.RetryBackoff, o.RetryBackoffMax = 2*time.Millisecond, 100*time.Millisecond
 	for _, opt := range opts {
 		opt(&o)
 	}
 	// Message counting costs two contended atomics per message, so the
 	// transport is only instrumented when the caller asked for counters.
-	counted := o.counters != nil
-	if o.counters == nil {
-		o.counters = &metrics.TransportCounters{}
+	counted := o.Counters != nil
+	if o.Counters == nil {
+		o.Counters = &metrics.TransportCounters{}
 	}
+	o.Proc = msg.NodeID(o.writer)
 	var eopts []register.Option
 	if o.monotone {
 		eopts = append(eopts, register.Monotone())
 	}
+	if o.tally != nil {
+		eopts = append(eopts, register.WithTally(o.tally))
+	}
 	engine := register.NewEngine(o.writer, sys,
 		rng.Derive(o.seed, fmt.Sprintf("tcp.client.%d", o.writer)), eopts...)
 
-	tr := newTCPTransport(addrs, o.wire, o.opTimeout, o.counters, false, 0, nil)
+	tr := newTCPTransport(addrs, o.wire, o.OpTimeout, o.Counters, false, 0, nil)
 	if err := tr.start(); err != nil {
 		return nil, err
 	}
-	ropts := []register.ClientOption{
-		register.WithOpTimeout(o.opTimeout),
-		register.WithRetries(o.retries),
-		register.WithRetryBackoff(o.backoffBase, o.backoffMax),
-		register.WithTransportCounters(o.counters),
-	}
-	if o.traceLog != nil {
-		ropts = append(ropts, register.WithTrace(o.traceLog, msg.NodeID(o.writer)))
-	}
-	if o.clock != nil {
-		ropts = append(ropts, register.WithClock(o.clock))
-	}
 	var rt transport.Transport = tr
 	if counted {
-		rt = transport.Instrument(tr, o.counters)
+		rt = transport.Instrument(tr, o.Counters)
 	}
-	rc := register.NewClient(engine, rt, ropts...)
-	return &Client{rc: rc, engine: engine, tr: tr, counters: o.counters}, nil
+	rc := register.NewClient(engine, rt, register.Apply(o.Settings)...)
+	return &Client{rc: rc, engine: engine, tr: tr, counters: o.Counters}, nil
 }
 
 // Close closes every server connection.

@@ -81,3 +81,50 @@ END {
 }' "$raw" > "$wireout"
 
 echo "wrote $wireout"
+
+# Observer overhead: pipelined-batch16 throughput with phase tracing on
+# versus off, measured PAIRED (both clients alternate inside one benchmark
+# loop, so machine drift cancels out of the ratio; see bench_obs_test.go).
+# The acceptance bar is the "observer-on" rate within 5% of "observer-off";
+# overhead_pct records the measurement. "full-stack" adds every other
+# opt-in metric and is informational.
+obsout="BENCH_obs.json"
+go test -bench=BenchmarkObserverTCP -benchtime="$benchtime" -count=5 -run XXX . | tee "$raw"
+
+# Median of five runs per configuration: individual runs wobble with
+# machine load even with the paired design, the median does not.
+BENCHTIME="$benchtime" awk '
+function median(a, m,  i, j, t) {
+    for (i = 1; i <= m; i++)
+        for (j = i + 1; j <= m; j++)
+            if (a[j] < a[i]) { t = a[i]; a[i] = a[j]; a[j] = t }
+    return a[int((m + 1) / 2)]
+}
+$1 ~ /^BenchmarkObserverTCP/ {
+    n++
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "off_ops/s")  offs[n] = $(i - 1)
+        if ($(i) == "on_ops/s")   ons[n] = $(i - 1)
+        if ($(i) == "full_ops/s") fulls[n] = $(i - 1)
+    }
+}
+END {
+    if (n != 5) {
+        print "expected 5 observer benchmark runs, got " n > "/dev/stderr"; exit 1
+    }
+    off = median(offs, n); on = median(ons, n); full = median(fulls, n)
+    print "{"
+    printf "  \"benchmark\": \"BenchmarkObserverTCP\",\n"
+    printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"]
+    printf "  \"workload\": \"pipelined-batch16 (paired, median of 5)\",\n"
+    printf "  \"results\": {\n"
+    printf "    \"observer-off\": {\"ops_per_sec\": %s},\n", off
+    printf "    \"observer-on\": {\"ops_per_sec\": %s},\n", on
+    printf "    \"full-stack\": {\"ops_per_sec\": %s}\n", full
+    print "  },"
+    printf "  \"observer_overhead_pct\": %.2f,\n", (off - on) / off * 100
+    printf "  \"full_stack_overhead_pct\": %.2f\n", (off - full) / off * 100
+    print "}"
+}' "$raw" > "$obsout"
+
+echo "wrote $obsout"

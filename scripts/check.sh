@@ -38,7 +38,40 @@ echo "== allocation gates =="
 # -race, where the instrumentation inflates counts); naming them here keeps
 # hot-path allocation regressions loud even if the full suite's output
 # scrolls past.
-go test $race -run 'TestWireAllocGates|TestPickIntoAllocs' \
-    ./internal/msg ./internal/quorum
+go test $race -run 'TestWireAllocGates|TestPickIntoAllocs|TestObserverAllocGate' \
+    ./internal/msg ./internal/quorum ./internal/register
+
+echo "== API hygiene =="
+# New code must use the unified option/error surface; the deprecated names
+# survive only at their definitions and in the shim-coverage test.
+hygiene_fail=0
+deprecated_uses="$(grep -rn \
+    -e 'tcp\.ErrQuorumUnavailable' \
+    -e 'ErrTooManyRetries' \
+    -e 'WithTimeout(' \
+    --include='*.go' . \
+    | grep -v '^\./internal/transport/tcp/tcp\.go:' \
+    | grep -v '^\./internal/cluster/cluster\.go:' \
+    | grep -v '^\./internal/cluster/deprecated_test\.go:' \
+    || true)"
+if [ -n "$deprecated_uses" ]; then
+    echo "check.sh: new uses of deprecated identifiers (migrate to register.ErrQuorumUnavailable / WithOpTimeout+WithRetries):" >&2
+    echo "$deprecated_uses" >&2
+    hygiene_fail=1
+fi
+# Every exported With* option must carry a doc comment: the unified options
+# API is the public surface, and an undocumented option is an unreviewed one.
+undocumented="$(find . -name '*.go' ! -name '*_test.go' -not -path './related/*' -exec awk '
+    /^func With[A-Z]/ { if (prev !~ /^\/\//) print FILENAME ":" FNR ": " $0 }
+    { prev = $0 }
+' {} +)"
+if [ -n "$undocumented" ]; then
+    echo "check.sh: exported With* options missing doc comments:" >&2
+    echo "$undocumented" >&2
+    hygiene_fail=1
+fi
+if [ "$hygiene_fail" -ne 0 ]; then
+    exit 1
+fi
 
 echo "check.sh: all gates passed"
