@@ -1,0 +1,252 @@
+package probquorum
+
+// Atomic-read fast path on a read-heavy pipelined workload: rounds of
+// pipeBenchRegs atomic reads, all of a round in flight at once, with the
+// write-back elision on versus off. The acceptance bar is fast-path-on
+// throughput at least 1.5x fast-path-off on each transport; scripts/bench.sh
+// records the paired rates (median of 5) in BENCH_fastread.json.
+//
+// The tcp and cluster legs are measured PAIRED like bench_obs_test.go: one
+// client of each kind against the same server set, alternating round-batches
+// inside a single benchmark loop with per-kind timers, so machine drift
+// cancels out of the ratio. The workload self-stabilizes into the fast
+// path's regime: the warm-up rounds' write-backs spread each register's tag
+// until every replica agrees, after which the on-client's reads are
+// unanimous and one round trip while the off-client keeps paying two.
+//
+// The sim leg runs the whole workload on virtual time, so wall-clock there
+// measures event-processing work, not latency: the fast path halves an
+// atomic read's message count, and the paired runs (alternating which
+// configuration goes first) show that as simulator throughput.
+
+import (
+	"testing"
+	"time"
+
+	"probquorum/internal/cluster"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/rng"
+	"probquorum/internal/sim"
+	"probquorum/internal/transport/tcp"
+)
+
+// atomicAsyncClient is the pipelined surface the fast-read workload needs;
+// cluster.PipeClient and tcp.PipelinedClient both satisfy it.
+type atomicAsyncClient interface {
+	ReadAtomicAsync(msg.RegisterID) *register.PendingOp
+	WriteAsync(msg.RegisterID, msg.Value) *register.PendingOp
+}
+
+// atomicReadRounds runs rounds of pipeBenchRegs atomic reads, all of a round
+// in flight at once, and returns the number of operations completed.
+func atomicReadRounds(tb testing.TB, c atomicAsyncClient, rounds int) int {
+	tb.Helper()
+	ops := 0
+	pend := make([]*register.PendingOp, 0, pipeBenchRegs)
+	for it := 0; it < rounds; it++ {
+		pend = pend[:0]
+		for r := 0; r < pipeBenchRegs; r++ {
+			pend = append(pend, c.ReadAtomicAsync(msg.RegisterID(r)))
+		}
+		for _, op := range pend {
+			if _, err := op.Wait(); err != nil {
+				tb.Fatalf("pipelined atomic read: %v", err)
+			}
+			ops++
+		}
+	}
+	return ops
+}
+
+// seedAtomicBenchRegs writes every register once so the measured reads see
+// written (not initial) tags; with majority write quorums the values start
+// out spread over only part of the replica set.
+func seedAtomicBenchRegs(tb testing.TB, c atomicAsyncClient) {
+	tb.Helper()
+	pend := make([]*register.PendingOp, 0, pipeBenchRegs)
+	for r := 0; r < pipeBenchRegs; r++ {
+		pend = append(pend, c.WriteAsync(msg.RegisterID(r), float64(r+1)))
+	}
+	for _, op := range pend {
+		if _, err := op.Wait(); err != nil {
+			tb.Fatalf("seed write: %v", err)
+		}
+	}
+}
+
+// pairedFastReadClient is one side of a paired measurement.
+type pairedFastReadClient struct {
+	name string
+	c    atomicAsyncClient
+	ops  int
+	busy time.Duration
+}
+
+// measureFastReadPair seeds the registers through the first client, warms
+// both into steady state (the warm-up write-backs spread every tag to every
+// replica), then alternates round-batches between the clients under
+// per-client timers and reports <name>_ops/s for each.
+func measureFastReadPair(b *testing.B, clients []*pairedFastReadClient, rounds int) {
+	seedAtomicBenchRegs(b, clients[0].c)
+	for _, cl := range clients {
+		atomicReadRounds(b, cl.c, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range clients {
+			k := (i + j) % len(clients)
+			start := time.Now()
+			clients[k].ops += atomicReadRounds(b, clients[k].c, rounds)
+			clients[k].busy += time.Since(start)
+		}
+	}
+	for _, cl := range clients {
+		b.ReportMetric(float64(cl.ops)/cl.busy.Seconds(), cl.name+"_ops/s")
+	}
+}
+
+// fastReadSimNode drives the same workload inside the simulator: one write
+// round, then `rounds` all-in-flight atomic-read rounds.
+type fastReadSimNode struct {
+	pl     *register.Pipeline
+	ctx    *sim.Context
+	regs   int
+	rounds int
+
+	round   int // 0 = write phase; then atomic-read rounds 1..rounds
+	pending int
+	done    bool
+	err     error
+}
+
+func (n *fastReadSimNode) Init(ctx *sim.Context) {
+	n.ctx = ctx
+	n.pending = n.regs
+	for r := 0; r < n.regs; r++ {
+		n.pl.WriteAsyncFunc(msg.RegisterID(r), float64(r+1), func(_ msg.Tagged, err error) {
+			n.step(err)
+		})
+	}
+}
+
+func (n *fastReadSimNode) step(err error) {
+	if err != nil && n.err == nil {
+		n.err = err
+	}
+	n.pending--
+	if n.pending > 0 || n.err != nil {
+		return
+	}
+	if n.round == n.rounds {
+		n.done = true
+		return
+	}
+	n.round++
+	n.pending = n.regs
+	for r := 0; r < n.regs; r++ {
+		n.pl.ReadAtomicAsyncFunc(msg.RegisterID(r), func(_ msg.Tagged, err error) {
+			n.step(err)
+		})
+	}
+}
+
+func (n *fastReadSimNode) Recv(ctx *sim.Context, from msg.NodeID, m any) {
+	n.ctx = ctx
+	n.pl.Deliver(int(from), m)
+}
+
+// BenchmarkFastRead measures the fast path paired against its ablation on
+// all three transports; scripts/bench.sh collects the on/off rates into
+// BENCH_fastread.json.
+func BenchmarkFastRead(b *testing.B) {
+	const rounds = 5
+	sys := quorum.NewMajority(pipeBenchServers)
+
+	b.Run("tcp", func(b *testing.B) {
+		addrs := startPipeBenchServers(b)
+		dial := func(extra ...tcp.ClientOption) *tcp.PipelinedClient {
+			opts := append([]tcp.ClientOption{tcp.WithMaxBatch(16)}, extra...)
+			c, err := tcp.DialPipelined(addrs, sys, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			return c
+		}
+		measureFastReadPair(b, []*pairedFastReadClient{
+			{name: "on", c: dial()},
+			{name: "off", c: dial(tcp.WithoutFastRead())},
+		}, rounds)
+	})
+
+	b.Run("cluster", func(b *testing.B) {
+		initial := make(map[msg.RegisterID]msg.Value, pipeBenchRegs)
+		for r := 0; r < pipeBenchRegs; r++ {
+			initial[msg.RegisterID(r)] = 0.0
+		}
+		c, err := cluster.New(cluster.Config{Servers: pipeBenchServers, Initial: initial, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		pipe := func(extra ...cluster.ClientOption) *cluster.PipeClient {
+			pc, err := c.NewPipeline(sys, extra...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(pc.Close)
+			return pc
+		}
+		measureFastReadPair(b, []*pairedFastReadClient{
+			{name: "on", c: pipe()},
+			{name: "off", c: pipe(cluster.WithoutFastRead())},
+		}, rounds)
+	})
+
+	b.Run("sim", func(b *testing.B) {
+		const simRounds = 30
+		initial := make(map[msg.RegisterID]msg.Value, pipeBenchRegs)
+		for r := 0; r < pipeBenchRegs; r++ {
+			initial[msg.RegisterID(r)] = 0.0
+		}
+		runOne := func(off bool, seed uint64) int {
+			s := sim.New(seed, sim.DistDelay{Dist: rng.Constant{D: time.Millisecond}})
+			for srv := 0; srv < pipeBenchServers; srv++ {
+				s.Add(msg.NodeID(srv), &replica.SimNode{Store: replica.New(msg.NodeID(srv), initial)})
+			}
+			var eopts []register.Option
+			if off {
+				eopts = append(eopts, register.WithoutFastRead())
+			}
+			engine := register.NewEngine(1, sys, rng.Derive(seed, "bench.fastread"), eopts...)
+			node := &fastReadSimNode{regs: pipeBenchRegs, rounds: simRounds}
+			send := func(server int, req any) { node.ctx.Send(msg.NodeID(server), req) }
+			node.pl = register.NewPipeline(engine, send)
+			s.Add(msg.NodeID(pipeBenchServers), node)
+			s.Run()
+			if node.err != nil {
+				b.Fatal(node.err)
+			}
+			if !node.done {
+				b.Fatal("sim fast-read flow stalled")
+			}
+			return simRounds * pipeBenchRegs
+		}
+		kinds := []*pairedFastReadClient{{name: "on"}, {name: "off"}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range kinds {
+				k := (i + j) % len(kinds)
+				start := time.Now()
+				kinds[k].ops += runOne(kinds[k].name == "off", uint64(i+1))
+				kinds[k].busy += time.Since(start)
+			}
+		}
+		for _, k := range kinds {
+			b.ReportMetric(float64(k.ops)/k.busy.Seconds(), k.name+"_ops/s")
+		}
+	})
+}

@@ -340,7 +340,15 @@ type clientConfig struct {
 	readRepair bool
 	maskB      int
 	masking    bool
+	noFastRead bool
 	tally      *metrics.AccessTally
+}
+
+// WithoutFastRead disables the atomic read's one-round-trip fast path for
+// this client (see register.WithoutFastRead) — the ablation knob for the
+// paired fast-path benchmark.
+func WithoutFastRead() ClientOption {
+	return func(c *clientConfig) { c.noFastRead = true }
 }
 
 // WithMonotone enables the monotone register variant for this client.
@@ -452,6 +460,9 @@ func (c *Cluster) NewClient(sys quorum.System, opts ...ClientOption) (*Client, e
 	}
 	if cc.masking {
 		eopts = append(eopts, register.WithMasking(cc.maskB))
+	}
+	if cc.noFastRead {
+		eopts = append(eopts, register.WithoutFastRead())
 	}
 	if cc.tally != nil {
 		eopts = append(eopts, register.WithTally(cc.tally))

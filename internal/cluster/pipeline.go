@@ -71,6 +71,9 @@ func (c *Cluster) NewPipeline(sys quorum.System, opts ...ClientOption) (*PipeCli
 	if cc.monotone {
 		eopts = append(eopts, register.Monotone())
 	}
+	if cc.noFastRead {
+		eopts = append(eopts, register.WithoutFastRead())
+	}
 	if cc.tally != nil {
 		eopts = append(eopts, register.WithTally(cc.tally))
 	}
@@ -104,6 +107,13 @@ func (pc *PipeClient) Read(reg msg.RegisterID) (msg.Tagged, error) {
 	return pc.pl.Read(reg)
 }
 
+// ReadAtomic performs one pipelined ABD atomic read, blocking until it
+// completes (including the awaited write-back when the quorum's replies
+// disagreed).
+func (pc *PipeClient) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
+	return pc.pl.ReadAtomic(reg)
+}
+
 // Write performs one pipelined write, blocking until acknowledged.
 func (pc *PipeClient) Write(reg msg.RegisterID, val msg.Value) error {
 	return pc.pl.Write(reg, val)
@@ -112,6 +122,11 @@ func (pc *PipeClient) Write(reg msg.RegisterID, val msg.Value) error {
 // ReadAsync submits a read and returns immediately.
 func (pc *PipeClient) ReadAsync(reg msg.RegisterID) *register.PendingOp {
 	return pc.pl.ReadAsync(reg)
+}
+
+// ReadAtomicAsync submits an ABD atomic read and returns immediately.
+func (pc *PipeClient) ReadAtomicAsync(reg msg.RegisterID) *register.PendingOp {
+	return pc.pl.ReadAtomicAsync(reg)
 }
 
 // WriteAsync submits a write and returns immediately.

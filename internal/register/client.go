@@ -237,6 +237,9 @@ func (c *Client) run(o *Operation, kind trace.Kind) (msg.Tagged, error) {
 			return msg.Tagged{}, f.err
 		}
 		if cause == nil && o.Done() {
+			if c.obsv != nil && o.FastPath() {
+				c.obsv.FastReads.Inc()
+			}
 			if c.log != nil {
 				c.log.Record(trace.Op{
 					Kind:    kind,
@@ -351,11 +354,14 @@ func (c *Client) Read(reg msg.RegisterID) (msg.Tagged, error) {
 	return c.run(c.e.NewReadOp(reg, c.retries), trace.KindRead)
 }
 
-// ReadAtomic performs an ABD-style atomic read: the read's result is
-// written back to a fresh quorum and the acknowledgments awaited before it
-// is returned. Over a strict quorum system this is the classic construction
-// for atomicity; over a probabilistic system the write-back still helps
-// freshness but atomicity only holds with high probability.
+// ReadAtomic performs an ABD-style atomic read. When the quorum's replies
+// disagree, the read's result is written back to a fresh quorum and the
+// acknowledgments awaited before it is returned; when every reply carries
+// the same timestamp the write-back is elided and the read completes in one
+// round trip (counted by Observer.FastReads and Engine.FastReads). Over a
+// strict quorum system this is the classic construction for atomicity; over
+// a probabilistic system the write-back still helps freshness but atomicity
+// only holds with high probability.
 func (c *Client) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
 	return c.run(c.e.NewAtomicReadOp(reg, c.retries), trace.KindRead)
 }

@@ -40,27 +40,30 @@ type confStep struct {
 
 // confResult is what a harness hands back to the scenario's check function.
 type confResult struct {
-	ops       []trace.Op
-	cacheHits int64
-	gaugeMax  int64
-	errs      []error // one slot per script: first operation error, or nil
+	ops        []trace.Op
+	cacheHits  int64
+	fastReads  int64 // atomic reads that elided their write-back (engine count)
+	writeBacks int64 // write-back rounds actually run (observer laps; op count on sim)
+	gaugeMax   int64
+	errs       []error // one slot per script: first operation error, or nil
 }
 
 // confScenario is one row of the conformance table. Serial scenarios carry
 // one script per client process; the pipelined scenario instead runs the
 // fixed async write-then-read flow of runPipelinedFlow.
 type confScenario struct {
-	name      string
-	servers   int
-	regs      int
-	sys       func(n int) quorum.System
-	monotone  bool
-	crashAll  bool          // crash every replica before the scripts run
-	timeout   time.Duration // per-attempt deadline (0 = strict mode)
-	retries   int           // attempt budget passed with the deadline
-	pipelined bool
-	scripts   [][]confStep
-	check     func(t *testing.T, r confResult)
+	name       string
+	servers    int
+	regs       int
+	sys        func(n int) quorum.System
+	monotone   bool
+	crashAll   bool          // crash every replica before the scripts run
+	timeout    time.Duration // per-attempt deadline (0 = strict mode)
+	retries    int           // attempt budget passed with the deadline
+	pipelined  bool
+	atomicFlow bool // pipelined flow appends an all-in-flight atomic-read round
+	scripts    [][]confStep
+	check      func(t *testing.T, r confResult)
 }
 
 func confMajority(n int) quorum.System { return quorum.NewMajority(n) }
@@ -184,6 +187,32 @@ var confScenarios = []confScenario{
 		},
 	},
 	{
+		// Fast path: on a contention-free schedule over all-server quorums,
+		// every atomic read after the first write sees a unanimous quorum, so
+		// each one must complete in a single round trip — FastReads accounts
+		// for every atomic read and not one write-back round runs — while the
+		// trace stays atomic.
+		name:    "atomic-fast-path",
+		servers: 4,
+		regs:    1,
+		sys:     func(n int) quorum.System { return quorum.NewAll(n) },
+		scripts: [][]confStep{
+			append([]confStep{{kind: 'w', reg: 0, val: 3.0}}, repeatSteps('a', 0, 12)...),
+		},
+		check: func(t *testing.T, r confResult) {
+			noErrs(t, r)
+			if err := trace.CheckAtomic(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if r.fastReads != 12 {
+				t.Fatalf("FastReads = %d, want 12: every unanimous atomic read must elide its write-back", r.fastReads)
+			}
+			if r.writeBacks != 0 {
+				t.Fatalf("WriteBack laps = %d, want 0 on a contention-free schedule", r.writeBacks)
+			}
+		},
+	},
+	{
 		// Availability floor: with every replica crashed, a read must burn
 		// its whole attempt budget and surface ErrQuorumUnavailable — the
 		// same typed error on every transport.
@@ -227,6 +256,37 @@ var confScenarios = []confScenario{
 			}
 		},
 	},
+	{
+		// Pipelined atomic reads: the write round over all-server quorums
+		// leaves every replica with the same tag per register, so the round
+		// of six concurrently in-flight atomic reads must ride the fast path
+		// on all of them — no write-back rounds — while the trace stays
+		// pipelined-well-formed.
+		name:       "pipelined-atomic",
+		servers:    4,
+		regs:       6,
+		sys:        func(n int) quorum.System { return quorum.NewAll(n) },
+		pipelined:  true,
+		atomicFlow: true,
+		check: func(t *testing.T, r confResult) {
+			noErrs(t, r)
+			if err := trace.CheckPipelinedWellFormed(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.CheckReadsFrom(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			if r.gaugeMax < 2 {
+				t.Fatalf("in-flight high-watermark = %d, want >= 2 (operations never overlapped)", r.gaugeMax)
+			}
+			if r.fastReads != 6 {
+				t.Fatalf("FastReads = %d, want 6: every pipelined unanimous atomic read must elide its write-back", r.fastReads)
+			}
+			if r.writeBacks != 0 {
+				t.Fatalf("WriteBack laps = %d, want 0 on a contention-free schedule", r.writeBacks)
+			}
+		},
+	},
 }
 
 // confClient is the operation surface the script runner needs; the cluster
@@ -259,6 +319,7 @@ func runConfScript(cl confClient, script []confStep) error {
 // tcp.PipelinedClient.
 type asyncClient interface {
 	ReadAsync(msg.RegisterID) *register.PendingOp
+	ReadAtomicAsync(msg.RegisterID) *register.PendingOp
 	WriteAsync(msg.RegisterID, msg.Value) *register.PendingOp
 }
 
@@ -285,6 +346,29 @@ func runPipelinedFlow(pc asyncClient, regs int) error {
 		}
 		if tag.Val != float64(i+1) {
 			return fmt.Errorf("pipelined read reg %d = %v, want %v", i, tag.Val, float64(i+1))
+		}
+	}
+	return nil
+}
+
+// runPipelinedAtomicFlow extends runPipelinedFlow with a third round: an
+// atomic read of every register, all in flight at once, checking the values
+// the write round installed.
+func runPipelinedAtomicFlow(pc asyncClient, regs int) error {
+	if err := runPipelinedFlow(pc, regs); err != nil {
+		return err
+	}
+	pend := make([]*register.PendingOp, 0, regs)
+	for r := 0; r < regs; r++ {
+		pend = append(pend, pc.ReadAtomicAsync(msg.RegisterID(r)))
+	}
+	for i, op := range pend {
+		tag, err := op.Wait()
+		if err != nil {
+			return err
+		}
+		if tag.Val != float64(i+1) {
+			return fmt.Errorf("pipelined atomic read reg %d = %v, want %v", i, tag.Val, float64(i+1))
 		}
 	}
 	return nil
@@ -320,20 +404,26 @@ func runClusterScenario(t *testing.T, sc confScenario) confResult {
 			c.Server(i).Crash()
 		}
 	}
+	pobs := new(register.Observer) // WriteBack laps pin the fast-path rows
 	if sc.pipelined {
 		var g metrics.Gauge
-		pc, err := c.NewPipeline(sys, cluster.WithTrace(log), cluster.WithInFlightGauge(&g))
+		pc, err := c.NewPipeline(sys, cluster.WithTrace(log), cluster.WithInFlightGauge(&g), cluster.WithObserver(pobs))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer pc.Close()
-		ferr := runPipelinedFlow(pc, sc.regs)
-		return confResult{ops: log.Ops(), gaugeMax: g.Max(), errs: []error{ferr}}
+		flow := runPipelinedFlow
+		if sc.atomicFlow {
+			flow = runPipelinedAtomicFlow
+		}
+		ferr := flow(pc, sc.regs)
+		return confResult{ops: log.Ops(), fastReads: pc.Engine().FastReads(),
+			writeBacks: pobs.WriteBack.Count(), gaugeMax: g.Max(), errs: []error{ferr}}
 	}
 	clients := make([]confClient, len(sc.scripts))
 	engines := make([]*register.Engine, len(sc.scripts))
 	for pi := range sc.scripts {
-		opts := []cluster.ClientOption{cluster.WithTrace(log)}
+		opts := []cluster.ClientOption{cluster.WithTrace(log), cluster.WithObserver(pobs)}
 		if sc.monotone {
 			opts = append(opts, cluster.WithMonotone())
 		}
@@ -348,11 +438,13 @@ func runClusterScenario(t *testing.T, sc confScenario) confResult {
 		engines[pi] = cl.Engine()
 	}
 	errs := runConfScripts(clients, sc.scripts)
-	var hits int64
+	var hits, fast int64
 	for _, e := range engines {
 		hits += e.CacheHits()
+		fast += e.FastReads()
 	}
-	return confResult{ops: log.Ops(), cacheHits: hits, errs: errs}
+	return confResult{ops: log.Ops(), cacheHits: hits, fastReads: fast,
+		writeBacks: pobs.WriteBack.Count(), errs: errs}
 }
 
 func runTCPScenario(t *testing.T, sc confScenario) confResult {
@@ -382,15 +474,22 @@ func runTCPScenarioWire(t *testing.T, sc confScenario, wire tcp.Wire) confResult
 	}
 	log := &trace.Log{}
 	sys := sc.sys(sc.servers)
+	pobs := new(register.Observer) // WriteBack laps pin the fast-path rows
 	if sc.pipelined {
 		var g metrics.Gauge
-		pc, err := tcp.DialPipelined(addrs, sys, tcp.WithWire(wire), tcp.WithTrace(log), tcp.WithInFlightGauge(&g))
+		pc, err := tcp.DialPipelined(addrs, sys, tcp.WithWire(wire), tcp.WithTrace(log),
+			tcp.WithInFlightGauge(&g), tcp.WithObserver(pobs))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer pc.Close()
-		ferr := runPipelinedFlow(pc, sc.regs)
-		return confResult{ops: log.Ops(), gaugeMax: g.Max(), errs: []error{ferr}}
+		flow := runPipelinedFlow
+		if sc.atomicFlow {
+			flow = runPipelinedAtomicFlow
+		}
+		ferr := flow(pc, sc.regs)
+		return confResult{ops: log.Ops(), fastReads: pc.Engine().FastReads(),
+			writeBacks: pobs.WriteBack.Count(), gaugeMax: g.Max(), errs: []error{ferr}}
 	}
 	clients := make([]confClient, len(sc.scripts))
 	engines := make([]*register.Engine, len(sc.scripts))
@@ -400,6 +499,7 @@ func runTCPScenarioWire(t *testing.T, sc confScenario, wire tcp.Wire) confResult
 			tcp.WithTrace(log),
 			tcp.WithWriter(int32(pi + 1)),
 			tcp.WithSeed(uint64(pi + 1)),
+			tcp.WithObserver(pobs),
 		}
 		if sc.monotone {
 			opts = append(opts, tcp.WithMonotone())
@@ -424,11 +524,13 @@ func runTCPScenarioWire(t *testing.T, sc confScenario, wire tcp.Wire) confResult
 		}
 	}
 	errs := runConfScripts(clients, sc.scripts)
-	var hits int64
+	var hits, fast int64
 	for _, e := range engines {
 		hits += e.CacheHits()
+		fast += e.FastReads()
 	}
-	return confResult{ops: log.Ops(), cacheHits: hits, errs: errs}
+	return confResult{ops: log.Ops(), cacheHits: hits, fastReads: fast,
+		writeBacks: pobs.WriteBack.Count(), errs: errs}
 }
 
 // confSimNode drives one script's register.Operations inside the simulator —
@@ -448,6 +550,7 @@ type confSimNode struct {
 	invoke   sim.Time
 	wsHandle int
 	attempt  uint64
+	wbacks   int64 // atomic reads that ran the write-back round
 	finished bool
 	err      error
 }
@@ -531,15 +634,21 @@ func (n *confSimNode) Recv(ctx *sim.Context, from msg.NodeID, m any) {
 	if !n.cur.Done() {
 		return
 	}
-	if st := n.script[n.idx]; st.kind == 'w' {
+	switch st := n.script[n.idx]; {
+	case st.kind == 'w':
 		if n.tr != nil {
 			n.tr.Complete(n.wsHandle, int64(ctx.Now()))
 		}
-	} else if n.tr != nil {
-		n.tr.Record(trace.Op{
-			Kind: trace.KindRead, Proc: n.self, Reg: n.cur.Reg(),
-			Invoke: int64(n.invoke), Respond: int64(ctx.Now()), Tag: n.cur.Result(),
-		})
+	default:
+		if st.kind == 'a' && !n.cur.FastPath() {
+			n.wbacks++
+		}
+		if n.tr != nil {
+			n.tr.Record(trace.Op{
+				Kind: trace.KindRead, Proc: n.self, Reg: n.cur.Reg(),
+				Invoke: int64(n.invoke), Respond: int64(ctx.Now()), Tag: n.cur.Result(),
+			})
+		}
 	}
 	n.idx++
 	n.next(ctx)
@@ -552,7 +661,8 @@ type confPipeNode struct {
 	pl      *register.Pipeline
 	ctx     *sim.Context
 	regs    int
-	phase   int // 0: writes in flight; 1: reads in flight
+	atomic  bool // append the all-in-flight atomic-read round
+	phase   int  // 0: writes in flight; 1: reads in flight; 2: atomic reads
 	pending int
 	done    bool
 	err     error
@@ -595,7 +705,33 @@ func (n *confPipeNode) read(r int, tag msg.Tagged, err error) {
 		n.err = fmt.Errorf("pipelined read reg %d = %v, want %v", r, tag.Val, float64(r+1))
 	}
 	n.pending--
-	if n.pending == 0 && n.phase == 1 {
+	if n.pending > 0 || n.phase != 1 {
+		return
+	}
+	if !n.atomic || n.err != nil {
+		n.done = true
+		return
+	}
+	n.phase = 2
+	n.pending = n.regs
+	for r := 0; r < n.regs; r++ {
+		r := r
+		n.pl.ReadAtomicAsyncFunc(msg.RegisterID(r), func(tag msg.Tagged, err error) {
+			n.readAtomic(r, tag, err)
+		})
+	}
+}
+
+func (n *confPipeNode) readAtomic(r int, tag msg.Tagged, err error) {
+	if err != nil {
+		if n.err == nil {
+			n.err = err
+		}
+	} else if tag.Val != float64(r+1) && n.err == nil {
+		n.err = fmt.Errorf("pipelined atomic read reg %d = %v, want %v", r, tag.Val, float64(r+1))
+	}
+	n.pending--
+	if n.pending == 0 && n.phase == 2 {
 		n.done = true
 	}
 }
@@ -630,20 +766,23 @@ func runSimScenario(t *testing.T, sc confScenario) confResult {
 	}
 	if sc.pipelined {
 		var g metrics.Gauge
+		pobs := new(register.Observer)
 		engine := newEngine(0)
 		self := msg.NodeID(sc.servers)
-		node := &confPipeNode{regs: sc.regs}
+		node := &confPipeNode{regs: sc.regs, atomic: sc.atomicFlow}
 		send := func(server int, req any) { node.ctx.Send(msg.NodeID(server), req) }
 		node.pl = register.NewPipeline(engine, send,
 			register.PipeClock(func() int64 { return int64(node.ctx.Now()) }),
 			register.PipeTrace(log, self),
-			register.PipeGauge(&g))
+			register.PipeGauge(&g),
+			register.PipeObserver(pobs))
 		s.Add(self, node)
 		s.Run()
 		if node.err == nil && !node.done {
 			t.Fatal("pipelined sim flow stalled before completing")
 		}
-		return confResult{ops: log.Ops(), gaugeMax: g.Max(), errs: []error{node.err}}
+		return confResult{ops: log.Ops(), fastReads: engine.FastReads(),
+			writeBacks: pobs.WriteBack.Count(), gaugeMax: g.Max(), errs: []error{node.err}}
 	}
 	engines := make([]*register.Engine, len(sc.scripts))
 	nodes := make([]*confSimNode, len(sc.scripts))
@@ -661,15 +800,18 @@ func runSimScenario(t *testing.T, sc confScenario) confResult {
 	}
 	s.Run()
 	errs := make([]error, len(nodes))
-	var hits int64
+	var hits, fast, wbacks int64
 	for pi, node := range nodes {
 		if node.err == nil && !node.finished {
 			t.Fatalf("sim script %d stalled at step %d", pi, node.idx)
 		}
 		errs[pi] = node.err
 		hits += engines[pi].CacheHits()
+		fast += engines[pi].FastReads()
+		wbacks += node.wbacks
 	}
-	return confResult{ops: log.Ops(), cacheHits: hits, errs: errs}
+	return confResult{ops: log.Ops(), cacheHits: hits, fastReads: fast,
+		writeBacks: wbacks, errs: errs}
 }
 
 // TestConformance runs every scenario against every transport.

@@ -37,6 +37,11 @@ type Engine struct {
 	repairs    int64
 	maskB      int // b-masking parameter; -1 disables
 
+	// fastRead enables the atomic read's one-round-trip path (on by
+	// default); fastReads counts how often it fired.
+	fastRead  bool
+	fastReads int64
+
 	tally    *metrics.AccessTally
 	messages *metrics.Counter
 
@@ -78,6 +83,15 @@ func WithReadRepair() Option {
 	return func(e *Engine) { e.readRepair = true }
 }
 
+// WithoutFastRead disables the atomic read's one-round-trip fast path, so
+// every atomic read pays the full read + awaited write-back even when the
+// quorum replied unanimously. This is the ablation knob behind the paired
+// fast-path benchmark (scripts/bench.sh → BENCH_fastread.json); production
+// configurations have no reason to set it.
+func WithoutFastRead() Option {
+	return func(e *Engine) { e.fastRead = false }
+}
+
 // WithWriteSystem makes writes pick quorums from a different system than
 // reads — the asymmetric configuration of Malkhi–Reiter–Wright, where the
 // intersection probability depends on both sizes: reads in an iterative
@@ -93,12 +107,13 @@ func WithWriteSystem(sys quorum.System) Option {
 // system, and randomness stream.
 func NewEngine(writer int32, sys quorum.System, rnd *rand.Rand, opts ...Option) *Engine {
 	e := &Engine{
-		writer: writer,
-		sys:    sys,
-		rnd:    rnd,
-		wts:    make(map[msg.RegisterID]uint64),
-		cache:  make(map[msg.RegisterID]msg.Tagged),
-		maskB:  -1,
+		writer:   writer,
+		sys:      sys,
+		rnd:      rnd,
+		wts:      make(map[msg.RegisterID]uint64),
+		cache:    make(map[msg.RegisterID]msg.Tagged),
+		maskB:    -1,
+		fastRead: true,
 	}
 	for _, o := range opts {
 		o(e)
@@ -124,6 +139,10 @@ func (e *Engine) CacheHits() int64 { return e.cacheHits }
 
 // Repairs returns how many repair messages RepairTargets has issued.
 func (e *Engine) Repairs() int64 { return e.repairs }
+
+// FastReads returns how many atomic reads completed on the one-round-trip
+// fast path, i.e. without a write-back phase.
+func (e *Engine) FastReads() int64 { return e.fastReads }
 
 // RepairTargets returns the write-back requests a completed read should
 // fan out (empty unless WithReadRepair is set): one WriteReq carrying the
@@ -182,11 +201,12 @@ func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
 	defer e.guard.leave()
 	e.nextOp++
 	return &ReadSession{
-		Reg:     reg,
-		Op:      e.nextOp,
-		Quorum:  e.pick(e.sys),
-		replied: make(map[int]bool),
-		tags:    make(map[int]msg.Tagged),
+		Reg:       reg,
+		Op:        e.nextOp,
+		Quorum:    e.pick(e.sys),
+		replied:   make(map[int]bool),
+		tags:      make(map[int]msg.Tagged),
+		unanimous: true,
 	}
 }
 
@@ -208,11 +228,12 @@ func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
 	clear(s.replied)
 	clear(s.tags)
 	return &ReadSession{
-		Reg:     s.Reg,
-		Op:      e.nextOp,
-		Quorum:  e.pickInto(e.sys, s.Quorum),
-		replied: s.replied,
-		tags:    s.tags,
+		Reg:       s.Reg,
+		Op:        e.nextOp,
+		Quorum:    e.pickInto(e.sys, s.Quorum),
+		replied:   s.replied,
+		tags:      s.tags,
+		unanimous: true,
 	}
 }
 
@@ -244,6 +265,41 @@ func (e *Engine) FinishRead(s *ReadSession) msg.Tagged {
 	e.guard.enter()
 	defer e.guard.leave()
 	return e.finishRead(s)
+}
+
+// TryFinishReadFast decides whether a completed atomic-read read phase may
+// skip its write-back (Mostéfaoui–Raynal): if every quorum reply carried the
+// same timestamp, each member of the quorum already holds the result, and —
+// replicas only ever advancing their timestamps — so does one member of any
+// quorum a later operation intersects it in. The write-back would install
+// nothing anywhere, so the read is already atomic after one round trip.
+//
+// For a monotone engine there is one more gate: when the cache holds a
+// fresher value than the unanimous quorum, the read returns the cached value
+// — a value this quorum does NOT hold — so the spreading write-back must
+// still run. A b-masking engine never takes the fast path at all: a masked
+// read accepts a tag only with b+1 supporting replies, so it needs the
+// write-back's propagation (tag support on enough correct replicas), not
+// merely quorum intersection — and a faulty replica matching the unanimous
+// tag it does not actually store would count toward unanimity here.
+//
+// On success it returns the read's result (through the same monotone filter
+// as FinishRead) and true; on any disagreement, cache override, masking, or
+// with the fast path disabled, it returns false and the caller proceeds
+// with the ordinary two-phase transition.
+func (e *Engine) TryFinishReadFast(s *ReadSession) (msg.Tagged, bool) {
+	e.guard.enter()
+	defer e.guard.leave()
+	if !e.fastRead || e.maskB >= 0 || !s.Unanimous() {
+		return msg.Tagged{}, false
+	}
+	if e.monotone {
+		if cached, ok := e.cache[s.Reg]; ok && s.Best().TS.Less(cached.TS) {
+			return msg.Tagged{}, false
+		}
+	}
+	e.fastReads++
+	return e.finishRead(s), true
 }
 
 func (e *Engine) finishRead(s *ReadSession) msg.Tagged {

@@ -13,7 +13,7 @@ import (
 //	Pick        selecting a quorum and opening the engine session
 //	FanOut      handing the attempt's requests to the transport
 //	QuorumWait  waiting for enough replies to resolve the attempt
-//	WriteBack   an atomic read's second round (serial client only)
+//	WriteBack   an atomic read's second round (when the quorum disagreed)
 //	Ops         end-to-end operation latency
 //
 // For the serial Client, retries add extra laps to each phase and Ops spans
@@ -35,17 +35,24 @@ type Observer struct {
 	QuorumWait metrics.LatencyHist
 	WriteBack  metrics.LatencyHist
 	Ops        metrics.LatencyHist
+	// FastReads counts atomic reads that completed on the one-round-trip
+	// fast path — the unanimous quorum let them skip the write-back, so
+	// nothing landed in the WriteBack histogram. WriteBack.Count() plus
+	// FastReads.Value() accounts for every atomic read.
+	FastReads metrics.Counter
 }
 
 // Register adds the observer's histograms to r as "<prefix>.phase.pick",
 // "<prefix>.phase.fanout", "<prefix>.phase.quorum_wait",
-// "<prefix>.phase.write_back" and "<prefix>.ops", returning the observer.
+// "<prefix>.phase.write_back", "<prefix>.ops" and "<prefix>.fast_reads",
+// returning the observer.
 func (o *Observer) Register(prefix string, r metrics.Registrar) *Observer {
 	o.Pick.Register(prefix+".phase.pick", r)
 	o.FanOut.Register(prefix+".phase.fanout", r)
 	o.QuorumWait.Register(prefix+".phase.quorum_wait", r)
 	o.WriteBack.Register(prefix+".phase.write_back", r)
 	o.Ops.Register(prefix+".ops", r)
+	o.FastReads.Register(prefix+".fast_reads", r)
 	return o
 }
 

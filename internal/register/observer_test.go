@@ -80,18 +80,29 @@ func TestObserverPhaseAccounting(t *testing.T) {
 	if got := obs.Pick.Count(); got != ops {
 		t.Errorf("Pick count = %d, want %d", got, ops)
 	}
-	// Every attempt fans out once, and each atomic read fans out a second
-	// time for its write-back round.
-	if got := obs.FanOut.Count(); got != ops+atomics {
-		t.Errorf("FanOut count = %d, want %d", got, ops+atomics)
+	// Atomic reads split between the one-round-trip fast path (unanimous
+	// quorum, no write-back) and the full two-phase path; FastReads plus
+	// WriteBack laps must account for every atomic read. The repeated
+	// write-backs spread the value until quorums agree, so on this schedule
+	// both paths fire.
+	fast := obs.FastReads.Value()
+	if fast == 0 || fast == atomics {
+		t.Errorf("FastReads = %d of %d atomic reads; schedule should exercise both paths", fast, atomics)
 	}
-	// Plain ops close their wait in QuorumWait; atomic reads lap QuorumWait
-	// at the write-back transition and close in WriteBack.
+	slow := int64(atomics) - fast
+	// Every attempt fans out once, and each slow-path atomic read fans out a
+	// second time for its write-back round.
+	if got := obs.FanOut.Count(); got != ops+slow {
+		t.Errorf("FanOut count = %d, want %d", got, ops+slow)
+	}
+	// Every op closes a wait in QuorumWait (fast-path atomic reads included);
+	// slow-path atomic reads lap QuorumWait at the write-back transition and
+	// close in WriteBack.
 	if got := obs.QuorumWait.Count(); got != ops {
 		t.Errorf("QuorumWait count = %d, want %d", got, ops)
 	}
-	if got := obs.WriteBack.Count(); got != atomics {
-		t.Errorf("WriteBack count = %d, want %d", got, atomics)
+	if got := obs.WriteBack.Count(); got != slow {
+		t.Errorf("WriteBack count = %d, want %d", got, slow)
 	}
 
 	phaseSum := obs.Pick.Sum() + obs.FanOut.Sum() + obs.QuorumWait.Sum() + obs.WriteBack.Sum()

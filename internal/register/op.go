@@ -13,8 +13,10 @@ type Send struct {
 	Req    any
 }
 
-// opAtomicRead extends the pipeline's opKind enumeration for the serial
-// client's ABD read: a read phase followed by an awaited write-back phase.
+// opAtomicRead extends the pipeline's opKind enumeration for the ABD read:
+// a read phase followed by an awaited write-back phase — unless the quorum
+// replied unanimously, in which case the write-back is elided and the read
+// completes in one round trip (see Engine.TryFinishReadFast).
 const opAtomicRead opKind = opWrite + 1
 
 // opPhase distinguishes the two halves of an atomic read (and trivially
@@ -60,6 +62,8 @@ type Operation struct {
 	// threshold: the attempt is over but the operation is not done, and the
 	// caller should Retry on a fresh quorum.
 	rejected bool
+	// fast marks an atomic read that completed without a write-back phase.
+	fast bool
 }
 
 // NewReadOp prepares a read of reg with the given retry budget.
@@ -67,9 +71,11 @@ func (e *Engine) NewReadOp(reg msg.RegisterID, retries int) *Operation {
 	return &Operation{e: e, kind: opRead, reg: reg, retries: retries}
 }
 
-// NewAtomicReadOp prepares an ABD atomic read of reg: a read phase followed
-// by an awaited write-back of the result (Attiya–Bar-Noy–Dolev), giving
-// atomicity on top of strict quorums.
+// NewAtomicReadOp prepares an ABD atomic read of reg: a read phase followed,
+// when the quorum's replies disagree, by an awaited write-back of the result
+// (Attiya–Bar-Noy–Dolev), giving atomicity on top of strict quorums. When
+// every reply carries the same timestamp the write-back is elided and the
+// read completes in a single round trip (FastPath reports which happened).
 func (e *Engine) NewAtomicReadOp(reg msg.RegisterID, retries int) *Operation {
 	return &Operation{e: e, kind: opAtomicRead, reg: reg, retries: retries}
 }
@@ -120,7 +126,9 @@ func (o *Operation) Start() []Send {
 
 // Deliver feeds one server's payload into the current attempt. It returns a
 // non-empty fan-out when the delivery triggered a new send phase: the
-// write-back of an atomic read (awaited — keep pumping), or the
+// write-back of an atomic read whose quorum replies disagreed (awaited —
+// keep pumping; a unanimous quorum skips this phase and completes the
+// operation outright), or the
 // fire-and-forget repair messages of a completed repaired read (Done is
 // already true; send them without awaiting anything). Irrelevant payloads —
 // stale sessions, non-members, duplicate replies, foreign types — are
@@ -135,6 +143,15 @@ func (o *Operation) Deliver(server int, payload any) []Send {
 			return nil
 		}
 		if o.kind == opAtomicRead {
+			if tag, ok := o.e.TryFinishReadFast(o.rs); ok {
+				// Unanimous quorum: every member already holds the result,
+				// so the write-back would install nothing — complete in one
+				// round trip.
+				o.result = tag
+				o.fast = true
+				o.done = true
+				return nil
+			}
 			// Phase transition: write the read's result back and await the
 			// acknowledgments before returning it (ABD).
 			o.result = o.e.FinishRead(o.rs)
@@ -198,9 +215,10 @@ func (o *Operation) Retry() ([]Send, error) {
 func (o *Operation) Stale(payload any) bool {
 	var op msg.OpID
 	var reg msg.RegisterID
+	var isRead bool
 	switch m := payload.(type) {
 	case msg.ReadReply:
-		op, reg = m.Op, m.Reg
+		op, reg, isRead = m.Op, m.Reg, true
 	case msg.WriteAck:
 		op, reg = m.Op, m.Reg
 	default:
@@ -213,6 +231,13 @@ func (o *Operation) Stale(payload any) bool {
 		return op != o.rs.Op
 	}
 	if o.ws != nil {
+		// An atomic read in its write-back phase still owns its read
+		// phase's op id: a slow-but-healthy replica's read reply arriving
+		// after the quorum completed is a harmless duplicate of the current
+		// attempt, not a stale drop.
+		if isRead && o.rs != nil {
+			return op != o.rs.Op
+		}
 		return op != o.ws.Op
 	}
 	return false
@@ -220,6 +245,11 @@ func (o *Operation) Stale(payload any) bool {
 
 // Done reports whether the operation has completed successfully.
 func (o *Operation) Done() bool { return o.done }
+
+// FastPath reports whether the operation was an atomic read that completed
+// in one round trip — a unanimous quorum let it skip the write-back phase.
+// Only meaningful once Done reports true.
+func (o *Operation) FastPath() bool { return o.fast }
 
 // Rejected reports whether the current attempt completed but was rejected by
 // the b-masking vote count; the caller should Retry.
@@ -237,8 +267,15 @@ func (o *Operation) Attempts() int { return o.attempts }
 
 // PendingTag returns the tag of the in-flight write phase — what a trace
 // records at invocation time, before any acknowledgment arrives. Only
-// meaningful while a write phase is active.
-func (o *Operation) PendingTag() msg.Tagged { return o.ws.Tag }
+// meaningful while a write phase is active: before one exists (a plain read,
+// or an atomic read still in its read phase) it returns the zero Tagged
+// instead of panicking, so tracers may call it unconditionally.
+func (o *Operation) PendingTag() msg.Tagged {
+	if o.ws == nil {
+		return msg.Tagged{}
+	}
+	return o.ws.Tag
+}
 
 // Member reports whether server belongs to the current attempt's quorum —
 // the filter deciding whether a per-server transport failure dooms this

@@ -119,7 +119,8 @@ func PipeCounters(tc *metrics.TransportCounters) PipelineOption {
 // PipeTimeout arms a per-operation deadline: an operation not complete
 // within d is abandoned and re-issued on a freshly picked quorum (writes
 // keep their timestamp, so duplicate installations converge). retries caps
-// the total attempts per operation (0 = unlimited); exhaustion surfaces
+// the total attempts per operation at retries+1 (0 = unlimited), the same
+// budget arithmetic as the serial client's WithRetries; exhaustion surfaces
 // ErrRetriesExhausted. Without PipeTimeout operations wait forever, which is
 // only safe on transports that cannot silently lose messages.
 //
@@ -218,6 +219,11 @@ type PendingOp struct {
 	attempt  int
 	timer    *time.Timer
 	finished bool
+	// wback marks an atomic read that has transitioned into its write-back
+	// phase; fast marks one that completed without needing it (unanimous
+	// quorum — see Engine.TryFinishReadFast).
+	wback bool
+	fast  bool
 
 	// started/phaseMark are clock marks for the pipeline's observer,
 	// expressed as monotonic offsets from the pipeline's epoch; both stay
@@ -229,6 +235,7 @@ type PendingOp struct {
 	phaseMark time.Duration
 	pickDur   time.Duration
 	waitDur   time.Duration
+	wbDur     time.Duration
 	opsDur    time.Duration
 
 	done     chan struct{}
@@ -271,10 +278,23 @@ func (p *Pipeline) Write(reg msg.RegisterID, val msg.Value) error {
 	return err
 }
 
+// ReadAtomic performs one pipelined ABD atomic read, blocking until it
+// completes: a read phase followed, when the quorum's replies disagree, by
+// an awaited write-back of the result. A unanimous quorum elides the
+// write-back and the read completes in one round trip.
+func (p *Pipeline) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
+	return p.ReadAtomicAsync(reg).Wait()
+}
+
 // ReadAsync submits a read and returns immediately; Wait on the returned
 // operation for the result.
 func (p *Pipeline) ReadAsync(reg msg.RegisterID) *PendingOp {
 	return p.submit(opRead, reg, nil, nil)
+}
+
+// ReadAtomicAsync submits an ABD atomic read and returns immediately.
+func (p *Pipeline) ReadAtomicAsync(reg msg.RegisterID) *PendingOp {
+	return p.submit(opAtomicRead, reg, nil, nil)
 }
 
 // WriteAsync submits a write and returns immediately.
@@ -293,6 +313,11 @@ func (p *Pipeline) ReadAsyncFunc(reg msg.RegisterID, fn func(msg.Tagged, error))
 // WriteAsyncFunc submits a write whose completion invokes fn.
 func (p *Pipeline) WriteAsyncFunc(reg msg.RegisterID, val msg.Value, fn func(msg.Tagged, error)) *PendingOp {
 	return p.submit(opWrite, reg, val, fn)
+}
+
+// ReadAtomicAsyncFunc submits an ABD atomic read whose completion invokes fn.
+func (p *Pipeline) ReadAtomicAsyncFunc(reg msg.RegisterID, fn func(msg.Tagged, error)) *PendingOp {
+	return p.submit(opAtomicRead, reg, nil, fn)
 }
 
 func (p *Pipeline) submit(kind opKind, reg msg.RegisterID, val msg.Value, fn func(msg.Tagged, error)) *PendingOp {
@@ -332,7 +357,7 @@ func (p *Pipeline) startLocked(op *PendingOp, sends *[]outMsg) {
 	}
 	op.invoke = p.clock()
 	switch op.kind {
-	case opRead:
+	case opRead, opAtomicRead:
 		op.rs = p.engine.BeginRead(op.reg)
 		p.inflight[op.rs.Op] = op
 		req := op.rs.Request()
@@ -386,7 +411,10 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 		p.mu.Unlock()
 		return
 	}
-	if p.retries > 0 && op.attempt+1 >= p.retries {
+	// op.attempt counts re-issues, so attempt == retries means the budget of
+	// retries+1 total attempts is spent — the same arithmetic as the serial
+	// Operation.Retry (pinned by TestRetryBudgetArithmetic).
+	if p.retries > 0 && op.attempt >= p.retries {
 		p.finishLocked(op, msg.Tagged{}, ErrRetriesExhausted)
 		var sends []outMsg
 		p.advanceQueueLocked(op.reg, &sends)
@@ -404,25 +432,33 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 		// The abandoned attempt's wait ends here; the re-pick below is a
 		// fresh pick lap.
 		now := time.Since(p.epoch)
-		op.waitDur += now - op.phaseMark
+		if op.wback {
+			op.wbDur += now - op.phaseMark
+		} else {
+			op.waitDur += now - op.phaseMark
+		}
 		op.phaseMark = now
 	}
 	var sends []outMsg
-	switch op.kind {
-	case opRead:
-		delete(p.inflight, op.rs.Op)
-		op.rs = p.engine.RetryRead(op.rs)
-		p.inflight[op.rs.Op] = op
-		req := op.rs.Request()
-		for _, srv := range op.rs.Quorum {
-			sends = append(sends, outMsg{server: srv, req: req})
-		}
-	case opWrite:
+	switch {
+	case op.kind == opWrite || op.wback:
+		// A write, or an atomic read stuck in its write-back: re-issue the
+		// same tag on a fresh quorum (replicas deduplicate by timestamp).
+		// The atomic read's read-phase op id stays in the in-flight map so
+		// its late replies keep draining as duplicates, not stale drops.
 		delete(p.inflight, op.ws.Op)
 		op.ws = p.engine.RetryWrite(op.ws)
 		p.inflight[op.ws.Op] = op
 		req := op.ws.Request()
 		for _, srv := range op.ws.Quorum {
+			sends = append(sends, outMsg{server: srv, req: req})
+		}
+	default:
+		delete(p.inflight, op.rs.Op)
+		op.rs = p.engine.RetryRead(op.rs)
+		p.inflight[op.rs.Op] = op
+		req := op.rs.Request()
+		for _, srv := range op.rs.Quorum {
 			sends = append(sends, outMsg{server: srv, req: req})
 		}
 	}
@@ -451,7 +487,24 @@ func (p *Pipeline) Deliver(server int, payload any) {
 			}
 			break
 		}
+		if op.wback {
+			// A slow-but-healthy replica answering the atomic read's own
+			// already-completed read phase: a harmless duplicate of the
+			// current attempt, not a stale drop.
+			break
+		}
 		if op.rs.OnReply(server, m) {
+			if op.kind == opAtomicRead {
+				if tag, ok := p.engine.TryFinishReadFast(op.rs); ok {
+					op.fast = true
+					p.finishLocked(op, tag, nil)
+					p.advanceQueueLocked(op.reg, &sends)
+					completed = op
+					break
+				}
+				p.beginWriteBackLocked(op, p.engine.FinishRead(op.rs), &sends)
+				break
+			}
 			tag := p.engine.FinishRead(op.rs)
 			p.finishLocked(op, tag, nil)
 			p.advanceQueueLocked(op.reg, &sends)
@@ -478,6 +531,35 @@ func (p *Pipeline) Deliver(server int, payload any) {
 	}
 }
 
+// beginWriteBackLocked transitions an atomic read whose quorum disagreed
+// into its awaited write-back phase: the result is installed on a freshly
+// picked quorum before the operation completes (ABD). The read phase's op id
+// stays in the in-flight map so a slow replica's late read reply drains as a
+// duplicate instead of a stale drop.
+func (p *Pipeline) beginWriteBackLocked(op *PendingOp, tag msg.Tagged, sends *[]outMsg) {
+	op.wback = true
+	if p.obsv != nil {
+		// The read phase's wait ends at the transition; from here on the
+		// clock accumulates into the WriteBack lap.
+		now := time.Since(p.epoch)
+		op.waitDur += now - op.phaseMark
+		op.phaseMark = now
+	}
+	op.ws = p.engine.BeginWriteWithTS(op.reg, tag)
+	p.inflight[op.ws.Op] = op
+	req := op.ws.Request()
+	for _, srv := range op.ws.Quorum {
+		*sends = append(*sends, outMsg{server: srv, req: req})
+	}
+	// Restart the attempt deadline for the new phase; a read-phase timer
+	// already past Stop and blocked on the lock retries the write-back on a
+	// fresh quorum, which is benign.
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	p.armTimerLocked(op)
+}
+
 // finishLocked records the operation's terminal state and removes it from
 // the in-flight map. The caller signals the operation after unlocking.
 func (p *Pipeline) finishLocked(op *PendingOp, tag msg.Tagged, err error) {
@@ -485,19 +567,23 @@ func (p *Pipeline) finishLocked(op *PendingOp, tag msg.Tagged, err error) {
 	op.tag, op.err = tag, err
 	if p.obsv != nil && err == nil && op.started > 0 {
 		now := time.Since(p.epoch)
-		op.waitDur += now - op.phaseMark
+		if op.wback {
+			op.wbDur += now - op.phaseMark
+		} else {
+			op.waitDur += now - op.phaseMark
+		}
 		op.opsDur = now - op.started
 	}
-	switch {
-	case op.rs != nil:
+	if op.rs != nil {
 		delete(p.inflight, op.rs.Op)
-	case op.ws != nil:
+	}
+	if op.ws != nil {
 		delete(p.inflight, op.ws.Op)
 	}
 	if p.log != nil {
 		respond := p.clock()
 		switch op.kind {
-		case opRead:
+		case opRead, opAtomicRead:
 			if err == nil {
 				p.log.Record(trace.Op{
 					Kind: trace.KindRead, Proc: p.proc, Reg: op.reg,
@@ -558,15 +644,25 @@ func (p *Pipeline) signal(op *PendingOp) {
 	if op.timer != nil {
 		op.timer.Stop()
 	}
-	if p.obsv != nil && op.err == nil && op.opsDur > 0 {
-		// Observed here, not in finishLocked: the pipeline lock is the
-		// throughput bottleneck under load, so the histogram updates happen
-		// after it is released. Each phase entry is a per-operation total
-		// (retries fold into it), so Pick + QuorumWait telescopes to Ops
-		// exactly.
-		p.obsv.Pick.Observe(op.pickDur)
-		p.obsv.QuorumWait.Observe(op.waitDur)
-		p.obsv.Ops.Observe(op.opsDur)
+	if p.obsv != nil && op.err == nil {
+		if op.fast {
+			p.obsv.FastReads.Inc()
+		}
+		if op.opsDur > 0 {
+			// Observed here, not in finishLocked: the pipeline lock is the
+			// throughput bottleneck under load, so the histogram updates
+			// happen after it is released. Each phase entry is a
+			// per-operation total (retries fold into it), so Pick +
+			// QuorumWait telescopes to Ops exactly for single-phase
+			// operations; an atomic read's write-back round lands in its own
+			// WriteBack entry on top.
+			p.obsv.Pick.Observe(op.pickDur)
+			p.obsv.QuorumWait.Observe(op.waitDur)
+			if op.wbDur > 0 {
+				p.obsv.WriteBack.Observe(op.wbDur)
+			}
+			p.obsv.Ops.Observe(op.opsDur)
+		}
 	}
 	close(op.done)
 	if op.callback != nil {

@@ -33,6 +33,10 @@ type ReadSession struct {
 	tags    map[int]msg.Tagged
 	best    msg.Tagged
 	gotAny  bool
+	// unanimous stays true while every accepted reply has carried the same
+	// timestamp — the condition under which an atomic read may skip its
+	// write-back phase (see Engine.TryFinishReadFast).
+	unanimous bool
 }
 
 // Request returns the message to send to each quorum member.
@@ -61,12 +65,23 @@ func (s *ReadSession) OnReply(server int, rep msg.ReadReply) (done bool) {
 	}
 	s.replied[server] = true
 	s.tags[server] = rep.Tag
+	if s.gotAny && rep.Tag.TS != s.best.TS {
+		// While unanimous holds, best equals every tag seen so far, so one
+		// comparison against it decides agreement with all of them.
+		s.unanimous = false
+	}
 	if !s.gotAny || s.best.TS.Less(rep.Tag.TS) {
 		s.best = rep.Tag
 		s.gotAny = true
 	}
 	return s.Done()
 }
+
+// Unanimous reports whether every reply accepted so far carried the same
+// timestamp. Like Best, it is only meaningful once Done reports true: a
+// completed unanimous quorum is the precondition for the atomic read's
+// one-round-trip fast path.
+func (s *ReadSession) Unanimous() bool { return s.gotAny && s.unanimous }
 
 // StaleMembers returns the quorum members whose reply carried a timestamp
 // older than tag's. The read-repair extension pushes tag back to exactly

@@ -121,6 +121,9 @@ func DialPipelined(addrs []string, sys quorum.System, opts ...ClientOption) (*Pi
 	if o.monotone {
 		eopts = append(eopts, register.Monotone())
 	}
+	if o.noFastRead {
+		eopts = append(eopts, register.WithoutFastRead())
+	}
 	if o.tally != nil {
 		eopts = append(eopts, register.WithTally(o.tally))
 	}
@@ -145,6 +148,13 @@ func (c *PipelinedClient) Read(reg msg.RegisterID) (msg.Tagged, error) {
 	return c.pl.Read(reg)
 }
 
+// ReadAtomic performs one pipelined ABD atomic read, blocking until it
+// completes (including the awaited write-back when the quorum's replies
+// disagreed).
+func (c *PipelinedClient) ReadAtomic(reg msg.RegisterID) (msg.Tagged, error) {
+	return c.pl.ReadAtomic(reg)
+}
+
 // Write performs one pipelined quorum write, blocking until acknowledged.
 func (c *PipelinedClient) Write(reg msg.RegisterID, val msg.Value) error {
 	return c.pl.Write(reg, val)
@@ -153,6 +163,11 @@ func (c *PipelinedClient) Write(reg msg.RegisterID, val msg.Value) error {
 // ReadAsync submits a read and returns immediately.
 func (c *PipelinedClient) ReadAsync(reg msg.RegisterID) *register.PendingOp {
 	return c.pl.ReadAsync(reg)
+}
+
+// ReadAtomicAsync submits an ABD atomic read and returns immediately.
+func (c *PipelinedClient) ReadAtomicAsync(reg msg.RegisterID) *register.PendingOp {
+	return c.pl.ReadAtomicAsync(reg)
 }
 
 // WriteAsync submits a write and returns immediately.

@@ -397,11 +397,12 @@ type ClientOption func(*clientOpts)
 type clientOpts struct {
 	register.Settings
 
-	monotone bool
-	writer   int32
-	seed     uint64
-	wire     Wire
-	tally    *metrics.AccessTally
+	monotone   bool
+	noFastRead bool
+	writer     int32
+	seed       uint64
+	wire       Wire
+	tally      *metrics.AccessTally
 
 	// Pipelined-client options (see DialPipelined).
 	maxBatch  int
@@ -411,6 +412,13 @@ type clientOpts struct {
 // WithMonotone enables the monotone register variant.
 func WithMonotone() ClientOption {
 	return func(o *clientOpts) { o.monotone = true }
+}
+
+// WithoutFastRead disables the atomic read's one-round-trip fast path for
+// this client (see register.WithoutFastRead) — the ablation knob for the
+// paired fast-path benchmark.
+func WithoutFastRead() ClientOption {
+	return func(o *clientOpts) { o.noFastRead = true }
 }
 
 // WithWriter sets the client's writer identity (default 0); distinct
@@ -489,6 +497,9 @@ func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, err
 	var eopts []register.Option
 	if o.monotone {
 		eopts = append(eopts, register.Monotone())
+	}
+	if o.noFastRead {
+		eopts = append(eopts, register.WithoutFastRead())
 	}
 	if o.tally != nil {
 		eopts = append(eopts, register.WithTally(o.tally))

@@ -128,3 +128,48 @@ END {
 }' "$raw" > "$obsout"
 
 echo "wrote $obsout"
+
+# Atomic-read fast path: pipelined atomic-read throughput with write-back
+# elision on versus off, paired per transport (see bench_fastread_test.go).
+# The acceptance bar is fast-on at least 1.5x fast-off on every transport;
+# speedup records the measurement, median of five runs.
+fastout="BENCH_fastread.json"
+go test -bench=BenchmarkFastRead -benchtime="$benchtime" -count=5 -run XXX . | tee "$raw"
+
+BENCHTIME="$benchtime" awk '
+function median(a, m,  i, j, t) {
+    for (i = 1; i <= m; i++)
+        for (j = i + 1; j <= m; j++)
+            if (a[j] + 0 < a[i] + 0) { t = a[i]; a[i] = a[j]; a[j] = t }
+    return a[int((m + 1) / 2)]
+}
+$1 ~ /^BenchmarkFastRead\// {
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    tr = parts[2]
+    if (!(tr in cnt)) order[++m] = tr
+    cnt[tr]++
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "on_ops/s")  ons[tr, cnt[tr]] = $(i - 1)
+        if ($(i) == "off_ops/s") offs[tr, cnt[tr]] = $(i - 1)
+    }
+}
+END {
+    if (m == 0) { print "no fast-read benchmark lines found" > "/dev/stderr"; exit 1 }
+    print "{"
+    printf "  \"benchmark\": \"BenchmarkFastRead\",\n"
+    printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"]
+    printf "  \"workload\": \"pipelined atomic-read rounds (paired fast-path on/off, median of 5)\",\n"
+    printf "  \"results\": {\n"
+    for (t = 1; t <= m; t++) {
+        tr = order[t]
+        for (i = 1; i <= cnt[tr]; i++) { a[i] = ons[tr, i]; b[i] = offs[tr, i] }
+        on = median(a, cnt[tr]); off = median(b, cnt[tr])
+        printf "    \"%s\": {\"fast_on_ops_per_sec\": %s, \"fast_off_ops_per_sec\": %s, \"speedup\": %.2f}%s\n", \
+            tr, on, off, on / off, (t < m ? "," : "")
+    }
+    print "  }"
+    print "}"
+}' "$raw" > "$fastout"
+
+echo "wrote $fastout"

@@ -38,7 +38,7 @@ echo "== allocation gates =="
 # -race, where the instrumentation inflates counts); naming them here keeps
 # hot-path allocation regressions loud even if the full suite's output
 # scrolls past.
-go test $race -run 'TestWireAllocGates|TestPickIntoAllocs|TestObserverAllocGate' \
+go test $race -run 'TestWireAllocGates|TestPickIntoAllocs|TestObserverAllocGate|TestFastReadAllocGate' \
     ./internal/msg ./internal/quorum ./internal/register
 
 echo "== API hygiene =="
