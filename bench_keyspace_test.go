@@ -1,0 +1,328 @@
+package probquorum
+
+// Keyspace throughput across working-set sizes. The sharded keyspace's
+// promise is that multiplexing many registers over one client costs nothing
+// when the working set is small and keeps scaling when it is huge: ops/s at
+// one key must match the single-register pipeline, ops/s at 10k keys must
+// stay within a few percent of that, and a 1M-key zipf-skewed sweep must
+// not collapse. With 8 goroutines on distinct keys, shard-parallel engines
+// plus cross-key frame coalescing must beat one goroutine by at least 2x.
+// scripts/bench.sh collects the ops/s metrics into BENCH_keyspace.json.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/transport/tcp"
+)
+
+const (
+	ksBenchServers = 5
+	ksBenchWidth   = 12 // ops in flight per phase, the APSP round shape
+)
+
+func startKsBenchServers(tb testing.TB) []string {
+	tb.Helper()
+	addrs := make([]string, ksBenchServers)
+	for i := range addrs {
+		// No initial contents: keys materialize lazily as they are written,
+		// which is the point of the sweep.
+		srv, err := tcp.Listen(replica.New(msg.NodeID(i), nil), "127.0.0.1:0")
+		if err != nil {
+			tb.Fatalf("listen server %d: %v", i, err)
+		}
+		tb.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+// ksKeyPicker yields the round's key set from a working set of the given
+// size: sequential cycling for small sets, zipf-skewed for the 1M sweep
+// (hot keys dominate, as any real keyspace's do, while the tail still
+// forces constant shard churn).
+func ksKeyPicker(keys int, zipfSkew bool) func(buf []msg.RegisterID) {
+	if !zipfSkew {
+		next := 0
+		return func(buf []msg.RegisterID) {
+			for i := range buf {
+				buf[i] = msg.RegisterID(next % keys)
+				next++
+			}
+		}
+	}
+	z := rand.NewZipf(rand.New(rand.NewSource(42)), 1.2, 1, uint64(keys-1))
+	return func(buf []msg.RegisterID) {
+		for i := range buf {
+			buf[i] = msg.RegisterID(z.Uint64())
+		}
+	}
+}
+
+// ksRounds drives the iteration shape through a keyspace client: a phase of
+// ksBenchWidth writes in flight at once, then the matching reads. Returns
+// operations completed.
+func ksRounds(tb testing.TB, kc *tcp.KeyspaceClient, pick func([]msg.RegisterID), rounds int) int {
+	tb.Helper()
+	ops := 0
+	keys := make([]msg.RegisterID, ksBenchWidth)
+	pend := make([]*register.PendingOp, 0, ksBenchWidth)
+	for it := 0; it < rounds; it++ {
+		pick(keys)
+		pend = pend[:0]
+		for _, k := range keys {
+			pend = append(pend, kc.WriteAsync(k, float64(it)))
+		}
+		for _, op := range pend {
+			if _, err := op.Wait(); err != nil {
+				tb.Fatalf("keyspace write: %v", err)
+			}
+			ops++
+		}
+		pend = pend[:0]
+		for _, k := range keys {
+			pend = append(pend, kc.ReadAsync(k))
+		}
+		for _, op := range pend {
+			if _, err := op.Wait(); err != nil {
+				tb.Fatalf("keyspace read: %v", err)
+			}
+			ops++
+		}
+	}
+	return ops
+}
+
+// ksConcurrentRounds runs the same shape from n goroutines over one shared
+// client, each goroutine confined to its own disjoint key range.
+func ksConcurrentRounds(tb testing.TB, kc *tcp.KeyspaceClient, n, keysEach, rounds int) int {
+	tb.Helper()
+	var wg sync.WaitGroup
+	ops := make([]int, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * keysEach
+			next := 0
+			pick := func(buf []msg.RegisterID) {
+				for i := range buf {
+					buf[i] = msg.RegisterID(base + next%keysEach)
+					next++
+				}
+			}
+			ops[g] = ksRounds(tb, kc, pick, rounds)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, o := range ops {
+		total += o
+	}
+	return total
+}
+
+// BenchmarkKeyspaceTCP sweeps the working-set size on identical loopback
+// clusters: one key (the pipeline-parity point), 10k keys (the mixed
+// figure the acceptance gate compares against BENCH_pipeline.json), a
+// zipf-skewed 1M-key sweep, and 8 goroutines on distinct keys.
+func BenchmarkKeyspaceTCP(b *testing.B) {
+	const rounds = 5
+	sys := quorum.NewMajority(ksBenchServers)
+
+	sweeps := []struct {
+		name string
+		keys int
+		zipf bool
+	}{
+		{"keys1", 1, false},
+		{"keys10k", 10_000, false},
+		{"keys1M", 1_000_000, true},
+	}
+	for _, sw := range sweeps {
+		sw := sw
+		b.Run(sw.name, func(b *testing.B) {
+			addrs := startKsBenchServers(b)
+			kc, err := tcp.DialKeyspace(addrs, sys, tcp.DefaultKeyspaceShards, tcp.WithMonotone())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer kc.Close()
+			pick := ksKeyPicker(sw.keys, sw.zipf)
+			ops := 0
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				ops += ksRounds(b, kc, pick, rounds)
+			}
+			b.ReportMetric(float64(ops)/time.Since(start).Seconds(), "ops/s")
+		})
+	}
+
+	b.Run("conc8", func(b *testing.B) {
+		addrs := startKsBenchServers(b)
+		kc, err := tcp.DialKeyspace(addrs, sys, tcp.DefaultKeyspaceShards, tcp.WithMonotone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer kc.Close()
+		ops := 0
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			ops += ksConcurrentRounds(b, kc, 8, 64, rounds)
+		}
+		b.ReportMetric(float64(ops)/time.Since(start).Seconds(), "ops/s")
+	})
+}
+
+// BenchmarkKeyspaceVsPipelineTCP measures the headline parity claim —
+// 10k-key mixed keyspace throughput within 10% of the single-register
+// pipelined client — as a PAIRED ratio: both clients run against the same
+// server set, alternating inside one benchmark loop with separate busy
+// timers, so machine-level drift (this is a shared box; loopback throughput
+// wanders by more than the margin under test between separate executions)
+// cancels out of the ratio. The keyspace works keys offset far above the
+// pipeline's registers, so the two workloads never share state. One round
+// (~24 ops, a couple hundred microseconds) per side per iteration keeps the
+// interleave finer than the noise being cancelled — at coarser alternation
+// (5 rounds a side) VM steal bursts land asymmetrically and the ratio
+// wobbles by several points between runs.
+func BenchmarkKeyspaceVsPipelineTCP(b *testing.B) {
+	const (
+		rounds   = 1
+		pairKeys = 10_000
+		ksBase   = 1 << 20 // keyspace key offset; disjoint from regs 0..11
+	)
+	sys := quorum.NewMajority(pipeBenchServers)
+	addrs := startPipeBenchServers(b)
+
+	pc, err := tcp.DialPipelined(addrs, sys, tcp.WithMonotone(), tcp.WithMaxBatch(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pc.Close()
+	kc, err := tcp.DialKeyspace(addrs, sys, tcp.DefaultKeyspaceShards, tcp.WithMonotone())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kc.Close()
+
+	next := 0
+	pick := func(buf []msg.RegisterID) {
+		for i := range buf {
+			buf[i] = msg.RegisterID(ksBase + next%pairKeys)
+			next++
+		}
+	}
+	pipelinedRounds(b, pc, 5) // warm connections and caches on both clients
+	ksRounds(b, kc, pick, 5)
+
+	var pipeOps, ksOps int
+	var pipeBusy, ksBusy time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		pipeOps += pipelinedRounds(b, pc, rounds)
+		pipeBusy += time.Since(t0)
+		t0 = time.Now()
+		ksOps += ksRounds(b, kc, pick, rounds)
+		ksBusy += time.Since(t0)
+	}
+	pipeRate := float64(pipeOps) / pipeBusy.Seconds()
+	ksRate := float64(ksOps) / ksBusy.Seconds()
+	b.ReportMetric(pipeRate, "pipe_ops/s")
+	b.ReportMetric(ksRate, "ks10k_ops/s")
+	b.ReportMetric(ksRate/pipeRate, "ratio")
+}
+
+// TestKeyspaceSpeedupTCP is the concurrency acceptance gate: 8 goroutines
+// issuing on distinct keys through one keyspace client must sustain at
+// least twice the single-key throughput. A single key can never overlap its
+// own operations — the per-register queue admits one at a time, so the
+// single-key figure is round-trip bound. Distinct keys route to independent
+// queues and shard engines, and the shared per-server send queues coalesce
+// all eight goroutines' traffic into common batch frames; that overlap is
+// what the 2x measures. Monotone caching is off on both sides so every
+// read really crosses the wire.
+func TestKeyspaceSpeedupTCP(t *testing.T) {
+	const rounds = 40
+	sys := quorum.NewMajority(ksBenchServers)
+
+	soloAddrs := startKsBenchServers(t)
+	solo, err := tcp.DialKeyspace(soloAddrs, sys, tcp.DefaultKeyspaceShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	pick := ksKeyPicker(1, false)
+	ksRounds(t, solo, pick, 5) // warm the connections
+	start := time.Now()
+	soloOps := ksRounds(t, solo, pick, rounds)
+	soloRate := float64(soloOps) / time.Since(start).Seconds()
+
+	concAddrs := startKsBenchServers(t)
+	conc, err := tcp.DialKeyspace(concAddrs, sys, tcp.DefaultKeyspaceShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conc.Close()
+	ksConcurrentRounds(t, conc, 8, 64, 5)
+	start = time.Now()
+	concOps := ksConcurrentRounds(t, conc, 8, 64, rounds)
+	concRate := float64(concOps) / time.Since(start).Seconds()
+
+	speedup := concRate / soloRate
+	t.Logf("single-key %.0f ops/s, 8 goroutines on distinct keys %.0f ops/s, speedup %.2fx",
+		soloRate, concRate, speedup)
+	if raceEnabled {
+		// The detector serializes the instrumented goroutines, flattening
+		// exactly the overlap under test; running the workload is all -race
+		// is for here.
+		t.Skipf("skipping the 2x threshold under the race detector (measured %.2fx)", speedup)
+	}
+	if speedup < 2.0 {
+		t.Fatalf("8-goroutine/solo speedup = %.2fx, want >= 2x", speedup)
+	}
+}
+
+// TestKeyspaceBatchCoalescing pins the wire-side tentpole claim: operations
+// on different keys — different engines, different shards — still coalesce
+// into shared multi-element batch frames, because all shards feed the same
+// per-server send queues. A round of writes across many keys must produce
+// at least one flushed frame carrying more than one element.
+func TestKeyspaceBatchCoalescing(t *testing.T) {
+	sys := quorum.NewMajority(ksBenchServers)
+	addrs := startKsBenchServers(t)
+	hist := metrics.NewIntHistogram()
+	kc, err := tcp.DialKeyspace(addrs, sys, tcp.DefaultKeyspaceShards,
+		tcp.WithMaxBatch(16), tcp.WithBatchHistogram(hist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kc.Close()
+
+	const keys = 64
+	for round := 0; round < 3; round++ {
+		pend := make([]*register.PendingOp, 0, keys)
+		for k := 0; k < keys; k++ {
+			pend = append(pend, kc.WriteAsync(msg.RegisterID(k), round))
+		}
+		for _, op := range pend {
+			if _, err := op.Wait(); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+		}
+	}
+	if max := hist.Max(); max < 2 {
+		t.Fatalf("largest flushed batch carried %d element(s); cross-key coalescing never happened", max)
+	}
+	t.Logf("largest cross-key batch frame: %d elements (mean %.1f)", hist.Max(), hist.Mean())
+}

@@ -88,6 +88,21 @@ func MaxTagged(a, b Tagged) Tagged {
 // (engine, OpID) pair is unique within an execution.
 type OpID uint64
 
+// Mix32 is the 32-bit murmur3 finalizer, the shared key-striping hash: the
+// replica store stripes its lock partitions with it and the client keyspace
+// stripes its pipelines with it. Register ids are often small and sequential
+// (vector components 0..m-1), so masking the raw id would pile every key
+// into the first few shards; the finalizer spreads any id pattern uniformly
+// across a power-of-two shard count.
+func Mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
 // ReadReq asks a replica for its current tagged value of register Reg.
 type ReadReq struct {
 	Reg RegisterID

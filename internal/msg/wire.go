@@ -101,6 +101,26 @@ func AppendMessage(dst []byte, m any) ([]byte, error) {
 	return dst, nil
 }
 
+// AppendRawBatchFrame appends one complete batch frame (length prefix +
+// batch payload) assembled from pre-encoded element payloads — each element
+// is one frame payload as produced by AppendMessage, without its 4-byte
+// frame prefix. Elements are copied verbatim, including ones that are not
+// valid message payloads: the decoder's contract is to drop malformed
+// elements and deliver the rest, and tests and fuzzers use this helper to
+// splice junk between real elements and pin exactly that.
+func AppendRawBatchFrame(dst []byte, elems [][]byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, wireBatch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(elems)))
+	for _, el := range elems {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(el)))
+		dst = append(dst, el...)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
 func appendPayload(dst []byte, m any, allowBatch bool) ([]byte, error) {
 	switch t := m.(type) {
 	case ReadReq:
@@ -287,6 +307,162 @@ func decodeBatch(p []byte) (Batch, error) {
 	return Batch{Msgs: msgs}, nil
 }
 
+// IsBatchPayload reports whether a raw frame payload (as returned by
+// FrameReader.NextRaw) is a batch frame. Servers use it to route a frame to
+// the allocation-free batch walk without decoding it first.
+func IsBatchPayload(p []byte) bool {
+	return len(p) > 0 && p[0] == wireBatch
+}
+
+// BatchVisitor receives the elements of a batch payload as concrete message
+// values — no interface boxing per element. A nil callback drops that kind,
+// matching the decoder's junk-tolerance contract. A callback returning false
+// stops the walk.
+type BatchVisitor struct {
+	ReadReq   func(ReadReq) bool
+	WriteReq  func(WriteReq) bool
+	ReadReply func(ReadReply) bool
+	WriteAck  func(WriteAck) bool
+}
+
+// VisitBatchPayload walks a raw batch payload (kind byte included), invoking
+// the matching visitor callback for each well-formed element and silently
+// dropping malformed or unrecognized ones — the same element contract as
+// decodeBatch, without materializing a Batch or boxing elements. It returns
+// false if a callback stopped the walk early. The error is non-nil only for
+// a malformed batch envelope (bad kind byte, truncated count, or a count
+// that cannot fit in the payload), mirroring when decodeBatch fails.
+func VisitBatchPayload(p []byte, v BatchVisitor) (bool, error) {
+	if !IsBatchPayload(p) {
+		return false, errors.New("msg: not a batch payload")
+	}
+	p = p[1:]
+	if len(p) < 4 {
+		return false, errShortPayload
+	}
+	count := int64(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	if count > int64(len(p)/4) {
+		return false, fmt.Errorf("msg: batch claims %d elements in %d bytes", count, len(p))
+	}
+	for i := int64(0); i < count; i++ {
+		if len(p) < 4 {
+			return false, errShortPayload
+		}
+		elen := int64(binary.BigEndian.Uint32(p))
+		p = p[4:]
+		if elen > int64(len(p)) {
+			return false, errShortPayload
+		}
+		el := p[:elen]
+		p = p[elen:]
+		if !visitElement(el, v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// visitElement decodes one batch element straight into the visitor. Any
+// malformed element is dropped (returns true so the walk continues); only a
+// callback's own false stops the walk.
+func visitElement(el []byte, v BatchVisitor) bool {
+	if len(el) == 0 {
+		return true
+	}
+	kind, el := el[0], el[1:]
+	switch kind {
+	case wireReadReq, wireWriteAck:
+		reg, op, _, err := decodeRegOp(el)
+		if err != nil {
+			return true
+		}
+		if kind == wireReadReq {
+			if v.ReadReq != nil {
+				return v.ReadReq(ReadReq{Reg: reg, Op: op})
+			}
+		} else if v.WriteAck != nil {
+			return v.WriteAck(WriteAck{Reg: reg, Op: op})
+		}
+	case wireReadReply, wireWriteReq:
+		reg, op, rest, err := decodeRegOp(el)
+		if err != nil {
+			return true
+		}
+		tag, _, err := decodeTagged(rest)
+		if err != nil {
+			return true
+		}
+		if kind == wireWriteReq {
+			if v.WriteReq != nil {
+				return v.WriteReq(WriteReq{Reg: reg, Op: op, Tag: tag})
+			}
+		} else if v.ReadReply != nil {
+			return v.ReadReply(ReadReply{Reg: reg, Op: op, Tag: tag})
+		}
+	}
+	// Unknown kinds (including nested batches) are junk: dropped, not fatal.
+	return true
+}
+
+// BatchWriter assembles one batch reply frame element by element, patching
+// the frame-length and element-count prefixes on Finish — the streaming
+// counterpart of AppendMessage(Batch{...}) for a server that produces
+// replies while walking a request batch, with no []any or per-reply boxing.
+type BatchWriter struct {
+	buf   []byte
+	start int // offset of the frame's 4-byte length prefix in buf
+	count uint32
+}
+
+// Reset starts a new batch frame appended to dst (typically a pooled buffer
+// truncated to zero length).
+func (w *BatchWriter) Reset(dst []byte) {
+	w.start = len(dst)
+	// frame length placeholder · kind · element count placeholder
+	w.buf = append(dst, 0, 0, 0, 0, wireBatch, 0, 0, 0, 0)
+	w.count = 0
+}
+
+// AddReadReply appends one ReadReply element. On an encode error (possible
+// only through the gob fallback for exotic value types) the element is
+// rolled back and the frame remains valid.
+func (w *BatchWriter) AddReadReply(m ReadReply) error {
+	lenAt := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	w.buf = append(w.buf, wireReadReply)
+	var err error
+	w.buf, err = appendTagged(appendRegOp(w.buf, m.Reg, m.Op), m.Tag)
+	if err != nil {
+		w.buf = w.buf[:lenAt]
+		return err
+	}
+	binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
+	w.count++
+	return nil
+}
+
+// AddWriteAck appends one WriteAck element.
+func (w *BatchWriter) AddWriteAck(m WriteAck) {
+	lenAt := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	w.buf = append(w.buf, wireWriteAck)
+	w.buf = appendRegOp(w.buf, m.Reg, m.Op)
+	binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
+	w.count++
+}
+
+// Count reports how many elements have been added since Reset.
+func (w *BatchWriter) Count() int { return int(w.count) }
+
+// Finish patches the prefixes and returns the completed frame (everything
+// appended since Reset, starting at the frame-length prefix).
+func (w *BatchWriter) Finish() []byte {
+	binary.BigEndian.PutUint32(w.buf[w.start:], uint32(len(w.buf)-w.start-4))
+	binary.BigEndian.PutUint32(w.buf[w.start+5:], w.count)
+	return w.buf
+}
+
 func decodeRegOp(p []byte) (RegisterID, OpID, []byte, error) {
 	if len(p) < 12 {
 		return 0, 0, nil, errShortPayload
@@ -441,6 +617,27 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // again to resume. Any decode error leaves the stream aligned on the next
 // frame boundary.
 func (fr *FrameReader) Next() (any, error) {
+	p, err := fr.payload()
+	if err != nil {
+		return nil, err
+	}
+	return DecodePayload(p)
+}
+
+// NextRaw reads the next frame and returns its raw payload bytes without
+// decoding them — the server's batch fast path inspects the kind byte and
+// walks batch elements straight out of this window (IsBatchPayload,
+// VisitBatchPayload). The slice aliases the reader's internal buffer and is
+// valid only until the next call on the reader: decode or copy out of it
+// first. Resumability matches Next.
+func (fr *FrameReader) NextRaw() ([]byte, error) {
+	return fr.payload()
+}
+
+// payload reads the next frame's payload, leaving the stream aligned on the
+// following frame boundary. The returned window is valid until the next
+// read on fr.
+func (fr *FrameReader) payload() ([]byte, error) {
 	if fr.pending < 0 {
 		hdr, err := fr.br.Peek(4)
 		if len(hdr) < 4 {
@@ -467,10 +664,12 @@ func (fr *FrameReader) Next() (any, error) {
 			}
 			return nil, err
 		}
-		m, derr := DecodePayload(p)
+		// Discard only moves the buffered-read cursor; the peeked window
+		// stays intact until the next fill, which cannot happen before the
+		// next call on fr.
 		_, _ = fr.br.Discard(fr.pending)
 		fr.pending = -1
-		return m, derr
+		return p, nil
 	}
 	// Oversized frame: accumulate into an owned buffer across calls, so a
 	// timeout mid-accumulation resumes instead of losing the prefix.
@@ -491,7 +690,7 @@ func (fr *FrameReader) Next() (any, error) {
 		}
 	}
 	fr.pending = -1
-	return DecodePayload(buf)
+	return buf, nil
 }
 
 // encodeBufs recycles AppendMessage scratch buffers across frames; one

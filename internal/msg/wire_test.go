@@ -301,6 +301,12 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(uint8(4), int32(1), uint64(7), uint64(9), int32(2), 3.5, "s", []byte{1})
 	f.Add(uint8(0), int32(0), uint64(0), uint64(0), int32(0), 0.0, "", []byte{})
 	f.Add(uint8(255), int32(-5), uint64(1<<63), uint64(1), int32(-1), -12.75, "xyz", []byte{0xff, 0})
+	// Multi-register batches: ten mixed-kind elements spanning ten distinct
+	// keys (the keyspace's cross-key frames), with register ids far from the
+	// small sequential range the other seeds cover, op ids in a high strided
+	// residue class, and negative / extreme identifiers.
+	f.Add(uint8(10), int32(1_000_000_000), uint64(1<<40|5), uint64(3), int32(9), 1e18, "multi-key", []byte{7, 7, 7})
+	f.Add(uint8(8), int32(-2_000_000_000), uint64(12345), uint64(1<<50), int32(-7), -1.5, "k", []byte{0})
 	f.Fuzz(func(t *testing.T, n uint8, reg int32, op, seq uint64, writer int32, fval float64, sval string, bval []byte) {
 		count := int(n % 11)
 		var in Batch
@@ -372,6 +378,19 @@ func FuzzWireMalformed(f *testing.F) {
 		flipped[len(flipped)/2] ^= 0x5a
 		f.Add(flipped)
 	}
+	// Mixed-key batch frames with junk spliced between valid elements for
+	// distinct registers — the keyspace's cross-key frames as a hostile
+	// server would mangle them. One intact, one truncated mid-element, one
+	// with a corrupted element length.
+	w1, _ := AppendMessage(nil, WriteReq{Reg: 1, Op: 8, Tag: Tagged{TS: Timestamp{Seq: 1, Writer: 1}, Val: int64(10)}})
+	r2, _ := AppendMessage(nil, ReadReq{Reg: 1 << 20, Op: 17})
+	w3, _ := AppendMessage(nil, WriteReq{Reg: -9, Op: 26, Tag: Tagged{TS: Timestamp{Seq: 2, Writer: 2}, Val: "x"}})
+	mixed := AppendRawBatchFrame(nil, [][]byte{w1[4:], {0xEE, 1, 2, 3}, r2[4:], {}, w3[4:]})
+	f.Add(append([]byte(nil), mixed...))
+	f.Add(append([]byte(nil), mixed[:len(mixed)-5]...))
+	corrupt := append([]byte(nil), mixed...)
+	corrupt[9] ^= 0xff // first element's length prefix
+	f.Add(corrupt)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodePayload(data)
 		fr := NewFrameReader(bytes.NewReader(data))

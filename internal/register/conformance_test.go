@@ -1012,3 +1012,419 @@ func TestConformanceObservability(t *testing.T) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Keyspace conformance: the per-key register-semantics rows. A sharded
+// keyspace promises that composing thousands of registers over shared
+// machinery changes nothing about any single register's semantics — per-key
+// linearizability must be checked, not assumed (Hadzilacos–Hu–Toueg). The
+// rows below drive mixed-key pipelined load (16 keys, two clients, with
+// concurrent writers on an 8-key subset) through a Keyspace on all four
+// harnesses and then run the single-register checkers key by key, plus a
+// cross-key isolation check: a value written to key A must never surface in
+// key B's trace.
+
+const (
+	ksConfKeys   = 16 // working set per scenario
+	ksConfSubset = 8  // keys written by BOTH clients concurrently
+	ksConfRounds = 3
+	ksConfShards = 8
+)
+
+// ksVal encodes the owning key into every written value, which is what
+// makes cross-key isolation checkable from the trace alone.
+func ksVal(key msg.RegisterID, writer, round int) string {
+	return fmt.Sprintf("k%d|w%d|r%d", key, writer, round)
+}
+
+// ksValKeyOK reports whether a traced value may legally appear under key:
+// nil / the 0.0 initial value, or a ksVal carrying this key's prefix.
+func ksValKeyOK(key msg.RegisterID, val msg.Value) bool {
+	if val == nil {
+		return true
+	}
+	if f, ok := val.(float64); ok && f == 0.0 {
+		return true
+	}
+	s, ok := val.(string)
+	return ok && strings.HasPrefix(s, fmt.Sprintf("k%d|", key))
+}
+
+// ksConfRow is one keyspace conformance scenario.
+type ksConfRow struct {
+	name     string
+	monotone bool
+	atomic   bool // read phases use atomic reads; writer count drops to one
+	check    func(t *testing.T, r ksConfResult)
+}
+
+type ksConfResult struct {
+	ops      []trace.Op
+	errs     []error
+	gaugeMax int64
+}
+
+// ksFlow drives one client's rounds of mixed-key pipelined load, callback-
+// chained so the same flow runs on blocking transports and inside the
+// simulator's event loop. Each round fans one operation per key into
+// flight at once — writes (when this flow writes), then reads.
+type ksFlow struct {
+	ks     *register.Keyspace
+	writer int
+	keys   []msg.RegisterID
+	writes bool
+	atomic bool
+
+	mu       sync.Mutex
+	round    int
+	phase    int // 0 writes (skipped for read-only flows), 1 reads
+	pending  int
+	err      error
+	finished bool
+	done     chan struct{}
+}
+
+func newKsFlow(ks *register.Keyspace, writer, keys int, writes, atomic bool) *ksFlow {
+	f := &ksFlow{ks: ks, writer: writer, writes: writes, atomic: atomic, done: make(chan struct{})}
+	for k := 0; k < keys; k++ {
+		f.keys = append(f.keys, msg.RegisterID(k))
+	}
+	return f
+}
+
+func (f *ksFlow) start() { f.launch() }
+
+// launch fans out the current phase's operation per key. The pending count
+// is set before the first submission: completions arrive concurrently on
+// real transports.
+func (f *ksFlow) launch() {
+	f.mu.Lock()
+	if !f.writes {
+		f.phase = 1
+	}
+	phase, round := f.phase, f.round
+	f.pending = len(f.keys)
+	f.mu.Unlock()
+	for _, key := range f.keys {
+		key := key
+		switch {
+		case phase == 0:
+			f.ks.WriteAsyncFunc(key, ksVal(key, f.writer, round), func(_ msg.Tagged, err error) {
+				f.complete(key, msg.Tagged{}, err, false)
+			})
+		case f.atomic:
+			f.ks.ReadAtomicAsyncFunc(key, func(tag msg.Tagged, err error) {
+				f.complete(key, tag, err, true)
+			})
+		default:
+			f.ks.ReadAsyncFunc(key, func(tag msg.Tagged, err error) {
+				f.complete(key, tag, err, true)
+			})
+		}
+	}
+}
+
+func (f *ksFlow) complete(key msg.RegisterID, tag msg.Tagged, err error, isRead bool) {
+	f.mu.Lock()
+	if err != nil && f.err == nil {
+		f.err = err
+	}
+	if isRead && err == nil && !ksValKeyOK(key, tag.Val) && f.err == nil {
+		f.err = fmt.Errorf("writer %d: key %d returned foreign value %v", f.writer, key, tag.Val)
+	}
+	f.pending--
+	if f.pending > 0 || f.finished {
+		f.mu.Unlock()
+		return
+	}
+	if f.err == nil {
+		if f.phase == 0 {
+			f.phase = 1
+			f.mu.Unlock()
+			f.launch()
+			return
+		}
+		if f.round++; f.round < ksConfRounds {
+			f.phase = 0
+			f.mu.Unlock()
+			f.launch()
+			return
+		}
+	}
+	f.finished = true
+	f.mu.Unlock()
+	close(f.done)
+}
+
+// ksFlows builds the scenario's two client flows over their keyspaces:
+// client 0 writes and reads the full working set; client 1 writes the
+// shared subset concurrently (regular rows) or only reads (atomic rows,
+// where per-key writes must stay single-writer for CheckAtomic to apply).
+func ksFlows(row ksConfRow, ksA, ksB *register.Keyspace) []*ksFlow {
+	a := newKsFlow(ksA, 1, ksConfKeys, true, row.atomic)
+	var b *ksFlow
+	if row.atomic {
+		b = newKsFlow(ksB, 2, ksConfKeys, false, true)
+	} else {
+		b = newKsFlow(ksB, 2, ksConfSubset, true, false)
+	}
+	return []*ksFlow{a, b}
+}
+
+func ksResult(flows []*ksFlow, log *trace.Log, g *metrics.Gauge) ksConfResult {
+	errs := make([]error, len(flows))
+	for i, f := range flows {
+		errs[i] = f.err
+	}
+	return ksConfResult{ops: log.Ops(), errs: errs, gaugeMax: g.Max()}
+}
+
+// perKeyOps splits a combined trace by key.
+func perKeyOps(ops []trace.Op) map[msg.RegisterID][]trace.Op {
+	m := make(map[msg.RegisterID][]trace.Op)
+	for _, op := range ops {
+		m[op.Reg] = append(m[op.Reg], op)
+	}
+	return m
+}
+
+// checkKeyIsolation asserts no key's trace carries a value written to
+// another key — the cross-key isolation row.
+func checkKeyIsolation(t *testing.T, ops []trace.Op) {
+	t.Helper()
+	for _, op := range ops {
+		if op.Pending {
+			continue
+		}
+		if !ksValKeyOK(op.Reg, op.Tag.Val) {
+			t.Errorf("cross-key leak: key %d trace holds %v", op.Reg, op.Tag.Val)
+		}
+	}
+}
+
+var ksConfRows = []ksConfRow{
+	{
+		// Mixed-key regular/monotone load with concurrent writers on the
+		// subset: the combined trace must be pipelined-well-formed, and per
+		// key the [R2] reads-from and [R4] monotonicity checks must hold,
+		// with no cross-key leakage.
+		name:     "keyspace-mixed",
+		monotone: true,
+		check: func(t *testing.T, r ksConfResult) {
+			noErrs(t, r2conf(r))
+			if err := trace.CheckPipelinedWellFormed(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			byKey := perKeyOps(r.ops)
+			if len(byKey) != ksConfKeys {
+				t.Fatalf("trace covers %d keys, want %d", len(byKey), ksConfKeys)
+			}
+			for key, sub := range byKey {
+				if err := trace.CheckReadsFrom(sub); err != nil {
+					t.Errorf("key %d [R2]: %v", key, err)
+				}
+				if err := trace.CheckMonotone(sub); err != nil {
+					t.Errorf("key %d [R4]: %v", key, err)
+				}
+			}
+			checkKeyIsolation(t, r.ops)
+			if r.gaugeMax < 2 {
+				t.Fatalf("in-flight high-watermark = %d, want >= 2 (keys never overlapped)", r.gaugeMax)
+			}
+		},
+	},
+	{
+		// Mixed-key atomic reads: one writer per key, a second client
+		// racing ABD atomic reads across every key; each key's trace must
+		// independently be atomic (no new-old inversions), with no
+		// cross-key leakage.
+		name:   "keyspace-atomic",
+		atomic: true,
+		check: func(t *testing.T, r ksConfResult) {
+			noErrs(t, r2conf(r))
+			if err := trace.CheckPipelinedWellFormed(r.ops); err != nil {
+				t.Fatal(err)
+			}
+			byKey := perKeyOps(r.ops)
+			if len(byKey) != ksConfKeys {
+				t.Fatalf("trace covers %d keys, want %d", len(byKey), ksConfKeys)
+			}
+			for key, sub := range byKey {
+				if err := trace.CheckReadsFrom(sub); err != nil {
+					t.Errorf("key %d [R2]: %v", key, err)
+				}
+				if err := trace.CheckAtomic(sub); err != nil {
+					t.Errorf("key %d atomicity: %v", key, err)
+				}
+			}
+			checkKeyIsolation(t, r.ops)
+			if r.gaugeMax < 2 {
+				t.Fatalf("in-flight high-watermark = %d, want >= 2 (keys never overlapped)", r.gaugeMax)
+			}
+		},
+	},
+}
+
+// r2conf adapts a keyspace result to noErrs.
+func r2conf(r ksConfResult) confResult { return confResult{errs: r.errs} }
+
+const ksConfServers = 5
+
+func runKsClusterScenario(t *testing.T, row ksConfRow) ksConfResult {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Servers: ksConfServers, Initial: confInitial(ksConfKeys), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	log := &trace.Log{}
+	var g metrics.Gauge
+	sys := confMajority(ksConfServers)
+	clients := make([]*cluster.KeyspaceClient, 2)
+	for i := range clients {
+		opts := []cluster.ClientOption{cluster.WithTrace(log), cluster.WithInFlightGauge(&g)}
+		if row.monotone {
+			opts = append(opts, cluster.WithMonotone())
+		}
+		kc, err := c.NewKeyspace(sys, ksConfShards, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kc.Close()
+		clients[i] = kc
+	}
+	flows := ksFlows(row, clients[0].Keyspace(), clients[1].Keyspace())
+	for _, f := range flows {
+		f.start()
+	}
+	for _, f := range flows {
+		<-f.done
+	}
+	return ksResult(flows, log, &g)
+}
+
+func runKsTCPScenario(t *testing.T, row ksConfRow, wire tcp.Wire) ksConfResult {
+	t.Helper()
+	initial := confInitial(ksConfKeys)
+	addrs := make([]string, ksConfServers)
+	for i := range addrs {
+		srv, err := tcp.Listen(replica.New(msg.NodeID(i), initial), "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen server %d: %v", i, err)
+		}
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+	}
+	log := &trace.Log{}
+	var g metrics.Gauge
+	sys := confMajority(ksConfServers)
+	clients := make([]*tcp.KeyspaceClient, 2)
+	for i := range clients {
+		opts := []tcp.ClientOption{
+			tcp.WithWire(wire), tcp.WithTrace(log), tcp.WithInFlightGauge(&g),
+			tcp.WithWriter(int32(i + 1)), tcp.WithSeed(uint64(i + 1)),
+		}
+		if row.monotone {
+			opts = append(opts, tcp.WithMonotone())
+		}
+		kc, err := tcp.DialKeyspace(addrs, sys, ksConfShards, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kc.Close()
+		clients[i] = kc
+	}
+	flows := ksFlows(row, clients[0].Keyspace(), clients[1].Keyspace())
+	for _, f := range flows {
+		f.start()
+	}
+	for _, f := range flows {
+		<-f.done
+	}
+	return ksResult(flows, log, &g)
+}
+
+// ksSimNode hosts one keyspace client flow inside the simulator, refreshing
+// the context on every entry point before the keyspace can emit sends.
+type ksSimNode struct {
+	flow *ksFlow
+	ctx  *sim.Context
+}
+
+func (n *ksSimNode) Init(ctx *sim.Context) {
+	n.ctx = ctx
+	n.flow.start()
+}
+
+func (n *ksSimNode) Recv(ctx *sim.Context, from msg.NodeID, m any) {
+	n.ctx = ctx
+	n.flow.ks.Deliver(int(from), m)
+}
+
+func runKsSimScenario(t *testing.T, row ksConfRow) ksConfResult {
+	t.Helper()
+	s := sim.New(13, sim.DistDelay{Dist: rng.Exponential{MeanD: time.Millisecond}})
+	for srv := 0; srv < ksConfServers; srv++ {
+		s.Add(msg.NodeID(srv), &replica.SimNode{Store: replica.New(msg.NodeID(srv), confInitial(ksConfKeys))})
+	}
+	log := &trace.Log{}
+	var g metrics.Gauge
+	sys := confMajority(ksConfServers)
+	nodes := make([]*ksSimNode, 2)
+	keyspaces := make([]*register.Keyspace, 2)
+	for pi := range nodes {
+		node := &ksSimNode{}
+		nodes[pi] = node
+		engines := make([]*register.Engine, ksConfShards)
+		for i := range engines {
+			eopts := []register.Option{register.WithOpStride(uint64(i), ksConfShards)}
+			if row.monotone {
+				eopts = append(eopts, register.Monotone())
+			}
+			engines[i] = register.NewEngine(int32(pi+1), sys,
+				rng.Derive(17, fmt.Sprintf("conf.ks.sim.%d.%d", pi, i)), eopts...)
+		}
+		self := msg.NodeID(ksConfServers + pi)
+		keyspaces[pi] = register.NewKeyspace(engines,
+			func(server int, req any) { node.ctx.Send(msg.NodeID(server), req) },
+			register.PipeClock(func() int64 { return int64(node.ctx.Now()) }),
+			register.PipeTrace(log, self),
+			register.PipeGauge(&g))
+		s.Add(self, node)
+	}
+	flows := ksFlows(row, keyspaces[0], keyspaces[1])
+	for pi, node := range nodes {
+		node.flow = flows[pi]
+	}
+	s.Run()
+	for pi, f := range flows {
+		if f.err == nil && !f.finished {
+			t.Fatalf("keyspace sim flow %d stalled (round %d, phase %d, pending %d)",
+				pi, f.round, f.phase, f.pending)
+		}
+	}
+	return ksResult(flows, log, &g)
+}
+
+// TestKeyspaceConformance runs the per-key rows against every transport.
+func TestKeyspaceConformance(t *testing.T) {
+	harnesses := []struct {
+		name string
+		run  func(t *testing.T, row ksConfRow) ksConfResult
+	}{
+		{"cluster", runKsClusterScenario},
+		{"tcp", func(t *testing.T, row ksConfRow) ksConfResult { return runKsTCPScenario(t, row, tcp.WireBinary) }},
+		{"tcp-gob", func(t *testing.T, row ksConfRow) ksConfResult { return runKsTCPScenario(t, row, tcp.WireGob) }},
+		{"sim", runKsSimScenario},
+	}
+	for _, row := range ksConfRows {
+		row := row
+		for _, h := range harnesses {
+			h := h
+			t.Run(row.name+"/"+h.name, func(t *testing.T) {
+				t.Parallel()
+				row.check(t, h.run(t, row))
+			})
+		}
+	}
+}

@@ -31,6 +31,7 @@ type Engine struct {
 	monotone bool
 
 	nextOp     msg.OpID
+	opStride   msg.OpID
 	wts        map[msg.RegisterID]uint64
 	cache      map[msg.RegisterID]msg.Tagged
 	readRepair bool
@@ -92,6 +93,26 @@ func WithoutFastRead() Option {
 	return func(e *Engine) { e.fastRead = false }
 }
 
+// WithOpStride confines every operation id this engine issues to the residue
+// class offset (mod stride): ids start at offset and advance by stride. A
+// Keyspace runs one engine per client-side shard over one shared transport,
+// and with shard i's engine on WithOpStride(i, shards) an incoming reply can
+// be routed back to its shard from the op id's low bits alone — no shared
+// routing table, no cross-shard lock. stride must be a power of two and
+// offset < stride; the default is the full id space (offset 0, stride 1).
+func WithOpStride(offset, stride uint64) Option {
+	if stride == 0 || stride&(stride-1) != 0 {
+		panic(fmt.Sprintf("register: op stride %d is not a power of two", stride))
+	}
+	if offset >= stride {
+		panic(fmt.Sprintf("register: op offset %d not below stride %d", offset, stride))
+	}
+	return func(e *Engine) {
+		e.nextOp = msg.OpID(offset)
+		e.opStride = msg.OpID(stride)
+	}
+}
+
 // WithWriteSystem makes writes pick quorums from a different system than
 // reads — the asymmetric configuration of Malkhi–Reiter–Wright, where the
 // intersection probability depends on both sizes: reads in an iterative
@@ -114,6 +135,7 @@ func NewEngine(writer int32, sys quorum.System, rnd *rand.Rand, opts ...Option) 
 		cache:    make(map[msg.RegisterID]msg.Tagged),
 		maskB:    -1,
 		fastRead: true,
+		opStride: 1,
 	}
 	for _, o := range opts {
 		o(e)
@@ -159,7 +181,7 @@ func (e *Engine) RepairTargets(s *ReadSession, result msg.Tagged) (servers []int
 	if len(servers) == 0 {
 		return nil, msg.WriteReq{}
 	}
-	e.nextOp++
+	e.nextOp += e.opStride
 	e.repairs += int64(len(servers))
 	if e.messages != nil {
 		e.messages.Add(int64(len(servers)))
@@ -199,7 +221,7 @@ func (e *Engine) pickInto(sys quorum.System, dst []int) []int {
 func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
 	e.guard.enter()
 	defer e.guard.leave()
-	e.nextOp++
+	e.nextOp += e.opStride
 	return &ReadSession{
 		Reg:       reg,
 		Op:        e.nextOp,
@@ -221,7 +243,7 @@ func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
 func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
 	e.guard.enter()
 	defer e.guard.leave()
-	e.nextOp++
+	e.nextOp += e.opStride
 	// The abandoned session's storage is dead the moment its op id is
 	// retired, so the retry recycles its quorum slice and maps — a client
 	// riding out an outage stops allocating per attempt.
@@ -246,7 +268,7 @@ func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
 func (e *Engine) RetryWrite(s *WriteSession) *WriteSession {
 	e.guard.enter()
 	defer e.guard.leave()
-	e.nextOp++
+	e.nextOp += e.opStride
 	// As in RetryRead, the abandoned session's storage is recycled.
 	clear(s.acked)
 	return &WriteSession{
@@ -340,7 +362,7 @@ func (e *Engine) observeOwnWrite(reg msg.RegisterID, tag msg.Tagged) {
 func (e *Engine) BeginWrite(reg msg.RegisterID, val msg.Value) *WriteSession {
 	e.guard.enter()
 	defer e.guard.leave()
-	e.nextOp++
+	e.nextOp += e.opStride
 	e.wts[reg]++
 	tag := msg.Tagged{TS: msg.Timestamp{Seq: e.wts[reg], Writer: e.writer}, Val: val}
 	e.observeOwnWrite(reg, tag)
@@ -359,7 +381,7 @@ func (e *Engine) BeginWrite(reg msg.RegisterID, val msg.Value) *WriteSession {
 func (e *Engine) BeginWriteWithTS(reg msg.RegisterID, tag msg.Tagged) *WriteSession {
 	e.guard.enter()
 	defer e.guard.leave()
-	e.nextOp++
+	e.nextOp += e.opStride
 	e.observeOwnWrite(reg, tag)
 	return &WriteSession{
 		Reg:    reg,

@@ -1,0 +1,204 @@
+package register
+
+import (
+	"fmt"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/transport"
+)
+
+// Keyspace is a sharded multi-register client: one client process
+// multiplexing operations on thousands of independent keys over a single
+// transport. A lone Pipeline already overlaps round-trips across registers,
+// but every submission, reply, and completion serializes on its one mutex
+// (and its one Engine) — with many cores driving many hot keys, that lock is
+// the ceiling. A Keyspace stripes the key space across a power-of-two number
+// of Pipelines, each wrapping its own Engine, so clients on different shards
+// never share a lock, a session map, or a monotone cache.
+//
+// The shards share the transport, and the transport carries op-id-matched
+// replies with no notion of shards — so every shard's engine is confined to
+// its own op-id residue class (WithOpStride): shard i only ever issues ids
+// ≡ i (mod shards), and Deliver routes a reply to its shard from the id's
+// low bits alone, no shared routing table. Requests from all shards funnel
+// into the same per-server transport queues, so frame coalescing happens
+// across keys and shards, not per key.
+//
+// Per-key guarantees are the Pipeline's, unchanged: operations on one key
+// are FIFO per client ([R4]-preserving), operations on different keys
+// proceed fully concurrently. Keys never written read as the zero
+// msg.Tagged. Idle keys cost nothing in the pipelines (queue entries are
+// recycled, session maps are per-operation); only state the algorithm
+// actually needs survives per touched key — the writer's timestamp counter,
+// and the monotone cache where enabled.
+type Keyspace struct {
+	shards []*Pipeline
+	mask   msg.OpID
+}
+
+// NewKeyspace builds a keyspace over per-shard engines; engines[i] must
+// have been constructed with WithOpStride(i, len(engines)) so reply routing
+// by op-id residue works, and len(engines) must be a power of two. All
+// engines should share the writer identity and quorum system but must not
+// share rand streams or any other state. The pipeline options are applied
+// to every shard; pointer-valued options (trace log, gauge, counters,
+// observer) aggregate naturally across shards because the shards share the
+// target. Prefer the transport adapters (tcp.DialKeyspace,
+// cluster.NewKeyspace) unless you are wiring a custom runtime.
+func NewKeyspace(engines []*Engine, send SendFunc, opts ...PipelineOption) *Keyspace {
+	n := len(engines)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("register: keyspace shard count %d is not a power of two", n))
+	}
+	k := &Keyspace{shards: make([]*Pipeline, n), mask: msg.OpID(n - 1)}
+	for i, e := range engines {
+		if e.opStride != msg.OpID(n) || e.nextOp&k.mask != msg.OpID(i) {
+			panic(fmt.Sprintf(
+				"register: keyspace shard %d engine not built with WithOpStride(%d, %d)", i, i, n))
+		}
+		k.shards[i] = NewPipeline(e, send, opts...)
+	}
+	return k
+}
+
+// NewKeyspaceOver builds a Keyspace running over a Transport, binding its
+// sink to Deliver once for all shards. As with NewPipelineOver, a
+// transport-wide fatal error closes the keyspace; per-server errors are left
+// to the per-operation deadline.
+func NewKeyspaceOver(engines []*Engine, tr transport.Transport, opts ...PipelineOption) *Keyspace {
+	k := NewKeyspace(engines, func(server int, req any) {
+		_ = tr.Send(server, req)
+	}, opts...)
+	tr.Bind(func(server int, payload any, err error) {
+		if err != nil {
+			if server == transport.Broadcast {
+				k.Close(err)
+			}
+			return
+		}
+		k.Deliver(server, payload)
+	})
+	return k
+}
+
+// ShardFor returns the shard index serving key, by the same mixed hash the
+// replica store stripes with (msg.Mix32 masked to the shard count).
+func (k *Keyspace) ShardFor(key msg.RegisterID) int {
+	return int(msg.Mix32(uint32(key))) & int(k.mask)
+}
+
+// Shards returns the number of client-side shards.
+func (k *Keyspace) Shards() int { return len(k.shards) }
+
+// Shard exposes shard i's pipeline (tests inspect per-shard retries and
+// in-flight counts). Routing operations around ShardFor breaks the op-id
+// residue discipline; use the keyspace methods.
+func (k *Keyspace) Shard(i int) *Pipeline { return k.shards[i] }
+
+// Read performs one pipelined read of key, blocking until it completes.
+func (k *Keyspace) Read(key msg.RegisterID) (msg.Tagged, error) {
+	return k.shards[k.ShardFor(key)].Read(key)
+}
+
+// Write performs one pipelined write of key, blocking until acknowledged.
+func (k *Keyspace) Write(key msg.RegisterID, val msg.Value) error {
+	return k.shards[k.ShardFor(key)].Write(key, val)
+}
+
+// ReadAtomic performs one pipelined ABD atomic read of key, blocking until
+// it completes (one round trip when the quorum is unanimous).
+func (k *Keyspace) ReadAtomic(key msg.RegisterID) (msg.Tagged, error) {
+	return k.shards[k.ShardFor(key)].ReadAtomic(key)
+}
+
+// ReadAsync submits a read of key and returns immediately.
+func (k *Keyspace) ReadAsync(key msg.RegisterID) *PendingOp {
+	return k.shards[k.ShardFor(key)].ReadAsync(key)
+}
+
+// WriteAsync submits a write of key and returns immediately.
+func (k *Keyspace) WriteAsync(key msg.RegisterID, val msg.Value) *PendingOp {
+	return k.shards[k.ShardFor(key)].WriteAsync(key, val)
+}
+
+// ReadAtomicAsync submits an ABD atomic read of key and returns immediately.
+func (k *Keyspace) ReadAtomicAsync(key msg.RegisterID) *PendingOp {
+	return k.shards[k.ShardFor(key)].ReadAtomicAsync(key)
+}
+
+// ReadAsyncFunc submits a read of key whose completion invokes fn.
+func (k *Keyspace) ReadAsyncFunc(key msg.RegisterID, fn func(msg.Tagged, error)) *PendingOp {
+	return k.shards[k.ShardFor(key)].ReadAsyncFunc(key, fn)
+}
+
+// WriteAsyncFunc submits a write of key whose completion invokes fn.
+func (k *Keyspace) WriteAsyncFunc(key msg.RegisterID, val msg.Value, fn func(msg.Tagged, error)) *PendingOp {
+	return k.shards[k.ShardFor(key)].WriteAsyncFunc(key, val, fn)
+}
+
+// ReadAtomicAsyncFunc submits an ABD atomic read of key whose completion
+// invokes fn.
+func (k *Keyspace) ReadAtomicAsyncFunc(key msg.RegisterID, fn func(msg.Tagged, error)) *PendingOp {
+	return k.shards[k.ShardFor(key)].ReadAtomicAsyncFunc(key, fn)
+}
+
+// Deliver feeds one server's message into the keyspace, routing it to the
+// issuing shard by the op id's residue class. Non-protocol payloads land on
+// shard 0, which ignores them like any pipeline does. Safe for concurrent
+// use; replies for different shards don't contend.
+func (k *Keyspace) Deliver(server int, payload any) {
+	switch m := payload.(type) {
+	case msg.ReadReply:
+		k.shards[m.Op&k.mask].Deliver(server, payload)
+	case msg.WriteAck:
+		k.shards[m.Op&k.mask].Deliver(server, payload)
+	default:
+		k.shards[0].Deliver(server, payload)
+	}
+}
+
+// Retries returns the total number of re-issued operations across shards.
+func (k *Keyspace) Retries() int64 {
+	var n int64
+	for _, s := range k.shards {
+		n += s.Retries()
+	}
+	return n
+}
+
+// InFlight returns the total number of submitted-but-incomplete operations
+// across shards.
+func (k *Keyspace) InFlight() int {
+	n := 0
+	for _, s := range k.shards {
+		n += s.InFlight()
+	}
+	return n
+}
+
+// CacheHits returns the total monotone-cache hits across shard engines.
+func (k *Keyspace) CacheHits() int64 {
+	var n int64
+	for _, s := range k.shards {
+		n += s.Engine().CacheHits()
+	}
+	return n
+}
+
+// FastReads returns the total one-round-trip atomic reads across shard
+// engines.
+func (k *Keyspace) FastReads() int64 {
+	var n int64
+	for _, s := range k.shards {
+		n += s.Engine().FastReads()
+	}
+	return n
+}
+
+// Close fails every pending operation on every shard with err (defaulting
+// to ErrPipelineClosed) and makes further submissions fail immediately.
+func (k *Keyspace) Close(err error) {
+	for _, s := range k.shards {
+		s.Close(err)
+	}
+}

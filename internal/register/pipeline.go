@@ -69,7 +69,9 @@ type Pipeline struct {
 	retries   int
 
 	inflight map[msg.OpID]*PendingOp
-	queues   map[msg.RegisterID][]*PendingOp
+	queues   map[msg.RegisterID]*regQueue
+	qfree    []*regQueue  // recycled empty queue entries, capped at qfreeMax
+	tfree    []*pipeTimer // recycled retry timers, capped at tfreeMax
 
 	closed   bool
 	closeErr error
@@ -142,7 +144,7 @@ func NewPipeline(engine *Engine, send SendFunc, opts ...PipelineOption) *Pipelin
 		send:     send,
 		clock:    nextGlobalTick,
 		inflight: make(map[msg.OpID]*PendingOp),
-		queues:   make(map[msg.RegisterID][]*PendingOp),
+		queues:   make(map[msg.RegisterID]*regQueue),
 	}
 	for _, o := range opts {
 		o(p)
@@ -193,10 +195,75 @@ func (p *Pipeline) InFlight() int {
 	defer p.mu.Unlock()
 	n := 0
 	for _, q := range p.queues {
-		n += len(q)
+		n += len(q.ops) - q.head
 	}
 	return n
 }
+
+// regQueue is one register's FIFO of submitted operations: ops[head] is in
+// flight, the rest are waiting their turn. The head index advances instead
+// of re-slicing so the entry keeps its backing array across a burst, and an
+// emptied entry goes back on the pipeline's free list — a keyspace client
+// touching thousands of keys reaches steady state without a queue
+// allocation per newly-hot key, and a key gone idle costs no memory beyond
+// its (deleted) map slot.
+type regQueue struct {
+	ops  []*PendingOp
+	head int
+}
+
+// qfreeMax bounds the recycled-queue free list; beyond it (and for entries
+// whose backing array grew past qfreeMax slots) emptied queues are released
+// to the collector rather than pinned forever.
+const qfreeMax = 64
+
+func (p *Pipeline) getQueueLocked() *regQueue {
+	if n := len(p.qfree); n > 0 {
+		q := p.qfree[n-1]
+		p.qfree[n-1] = nil
+		p.qfree = p.qfree[:n-1]
+		return q
+	}
+	return &regQueue{}
+}
+
+func (p *Pipeline) putQueueLocked(q *regQueue) {
+	if len(p.qfree) >= qfreeMax || cap(q.ops) > qfreeMax {
+		return
+	}
+	q.ops = q.ops[:0]
+	q.head = 0
+	p.qfree = append(p.qfree, q)
+}
+
+// pipeTimer is a pooled per-operation retry timer. time.AfterFunc costs a
+// runtime timer plus a capturing closure on every arm, and at pipeline
+// throughput the timer almost never fires (operations complete in
+// microseconds against a multi-second deadline) — so the pipeline reuses a
+// small free list of timers, re-arming with Reset instead of allocating.
+// fire snapshots the armed (op, attempt) pair under the pipeline lock, so a
+// stale expiry racing a release/re-arm degrades to at worst one spurious
+// early retry on a fresh quorum — which the protocol already treats as
+// benign (re-issues are idempotent, and onTimeout re-validates attempt).
+type pipeTimer struct {
+	p       *Pipeline
+	t       *time.Timer
+	op      *PendingOp
+	attempt int
+}
+
+func (pt *pipeTimer) fire() {
+	pt.p.mu.Lock()
+	op, attempt := pt.op, pt.attempt
+	pt.p.mu.Unlock()
+	if op == nil {
+		return // released before the expiry won the lock
+	}
+	pt.p.onTimeout(op, attempt)
+}
+
+// tfreeMax bounds the recycled-timer free list, like qfreeMax for queues.
+const tfreeMax = 64
 
 type opKind int
 
@@ -217,7 +284,7 @@ type PendingOp struct {
 	invoke   int64
 	wsHandle int
 	attempt  int
-	timer    *time.Timer
+	timer    *pipeTimer
 	finished bool
 	// wback marks an atomic read that has transitioned into its write-back
 	// phase; fast marks one that completed without needing it (unanimous
@@ -336,9 +403,14 @@ func (p *Pipeline) submit(kind opKind, reg msg.RegisterID, val msg.Value, fn fun
 	if p.gauge != nil {
 		p.gauge.Inc()
 	}
-	p.queues[reg] = append(p.queues[reg], op)
+	q := p.queues[reg]
+	if q == nil {
+		q = p.getQueueLocked()
+		p.queues[reg] = q
+	}
+	q.ops = append(q.ops, op)
 	var sends []outMsg
-	if len(p.queues[reg]) == 1 {
+	if len(q.ops)-q.head == 1 {
 		p.startLocked(op, &sends)
 	}
 	p.mu.Unlock()
@@ -397,8 +469,41 @@ func (p *Pipeline) armTimerLocked(op *PendingOp) {
 	if p.opTimeout <= 0 {
 		return
 	}
-	attempt := op.attempt
-	op.timer = time.AfterFunc(p.opTimeout, func() { p.onTimeout(op, attempt) })
+	pt := op.timer
+	if pt == nil {
+		if n := len(p.tfree); n > 0 {
+			pt = p.tfree[n-1]
+			p.tfree[n-1] = nil
+			p.tfree = p.tfree[:n-1]
+		} else {
+			pt = &pipeTimer{p: p}
+		}
+		op.timer = pt
+	}
+	pt.op = op
+	pt.attempt = op.attempt
+	if pt.t == nil {
+		pt.t = time.AfterFunc(p.opTimeout, pt.fire)
+	} else {
+		pt.t.Reset(p.opTimeout)
+	}
+}
+
+// releaseTimerLocked disarms a finished operation's timer and returns it to
+// the free list. Stop can lose the race with an expiry already dispatched;
+// clearing pt.op under the lock turns that firing into a no-op (or, if the
+// timer was re-armed for another operation first, a benign early retry).
+func (p *Pipeline) releaseTimerLocked(op *PendingOp) {
+	pt := op.timer
+	if pt == nil {
+		return
+	}
+	op.timer = nil
+	pt.t.Stop()
+	pt.op = nil
+	if len(p.tfree) < tfreeMax {
+		p.tfree = append(p.tfree, pt)
+	}
 }
 
 // onTimeout re-issues a still-incomplete operation on a freshly picked
@@ -551,12 +656,9 @@ func (p *Pipeline) beginWriteBackLocked(op *PendingOp, tag msg.Tagged, sends *[]
 	for _, srv := range op.ws.Quorum {
 		*sends = append(*sends, outMsg{server: srv, req: req})
 	}
-	// Restart the attempt deadline for the new phase; a read-phase timer
-	// already past Stop and blocked on the lock retries the write-back on a
-	// fresh quorum, which is benign.
-	if op.timer != nil {
-		op.timer.Stop()
-	}
+	// Restart the attempt deadline for the new phase (Reset reschedules the
+	// pooled timer); a read-phase expiry already dispatched and blocked on
+	// the lock retries the write-back on a fresh quorum, which is benign.
 	p.armTimerLocked(op)
 }
 
@@ -565,6 +667,7 @@ func (p *Pipeline) beginWriteBackLocked(op *PendingOp, tag msg.Tagged, sends *[]
 func (p *Pipeline) finishLocked(op *PendingOp, tag msg.Tagged, err error) {
 	op.finished = true
 	op.tag, op.err = tag, err
+	p.releaseTimerLocked(op)
 	if p.obsv != nil && err == nil && op.started > 0 {
 		now := time.Since(p.epoch)
 		if op.wback {
@@ -606,16 +709,17 @@ func (p *Pipeline) finishLocked(op *PendingOp, tag msg.Tagged, err error) {
 // order.
 func (p *Pipeline) advanceQueueLocked(reg msg.RegisterID, sends *[]outMsg) {
 	q := p.queues[reg]
-	if len(q) == 0 {
+	if q == nil || q.head >= len(q.ops) {
 		return
 	}
-	q = q[1:]
-	if len(q) == 0 {
+	q.ops[q.head] = nil
+	q.head++
+	if q.head == len(q.ops) {
 		delete(p.queues, reg)
+		p.putQueueLocked(q)
 		return
 	}
-	p.queues[reg] = q
-	p.startLocked(q[0], sends)
+	p.startLocked(q.ops[q.head], sends)
 }
 
 func (p *Pipeline) dispatch(sends []outMsg) {
@@ -637,13 +741,11 @@ func (p *Pipeline) dispatch(sends []outMsg) {
 	}
 }
 
-// signal completes an operation towards its waiters: stops its retry timer,
-// closes its done channel, and invokes its callback — all outside the
-// pipeline lock, so callbacks may submit follow-up operations.
+// signal completes an operation towards its waiters: closes its done channel
+// and invokes its callback — all outside the pipeline lock, so callbacks may
+// submit follow-up operations. The retry timer was already released (under
+// the lock) by finishLocked.
 func (p *Pipeline) signal(op *PendingOp) {
-	if op.timer != nil {
-		op.timer.Stop()
-	}
 	if p.obsv != nil && op.err == nil {
 		if op.fast {
 			p.obsv.FastReads.Inc()
@@ -686,10 +788,11 @@ func (p *Pipeline) Close(err error) {
 	p.closeErr = err
 	var victims []*PendingOp
 	for _, q := range p.queues {
-		for _, op := range q {
+		for _, op := range q.ops[q.head:] {
 			if !op.finished {
 				op.finished = true
 				op.tag, op.err = msg.Tagged{}, err
+				p.releaseTimerLocked(op)
 				if p.gauge != nil {
 					p.gauge.Dec()
 				}
@@ -698,7 +801,7 @@ func (p *Pipeline) Close(err error) {
 		}
 	}
 	p.inflight = make(map[msg.OpID]*PendingOp)
-	p.queues = make(map[msg.RegisterID][]*PendingOp)
+	p.queues = make(map[msg.RegisterID]*regQueue)
 	p.mu.Unlock()
 	for _, op := range victims {
 		p.signal(op)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package replica
+
+// raceEnabled reports whether the race detector is compiled in; the striped
+// hammer test scales its iteration count down under it, and memory-sensitive
+// assertions skip.
+const raceEnabled = false

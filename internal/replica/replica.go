@@ -7,39 +7,80 @@
 // The server is a pure state machine (Apply maps a request to a reply), so
 // the discrete-event simulator, the goroutine runtime, and the TCP transport
 // all drive the same code.
+//
+// The register state is striped: keys are partitioned across storeShards
+// lock-protected shards by a mixed hash of the register id, so concurrent
+// requests for different keys proceed in parallel instead of serializing on
+// one store-wide mutex. Requests for the same key still serialize on that
+// key's shard, which is all the install-if-newer rule needs.
 package replica
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"probquorum/internal/msg"
 )
 
-// Store is one replica server's state: a timestamped value per register.
-// The zero timestamp tags each register's initial value, modeling the
+// storeShards is the number of lock stripes per store. Power of two so the
+// shard index is a mask of the mixed hash; 64 stripes keep the collision
+// probability low even with every connection of a busy server hammering
+// distinct keys, while costing only a few KiB per replica.
+const storeShards = 64
+
+// shardFor maps a register id to its shard index via the shared striping
+// hash (msg.Mix32): register ids are often small and sequential (vector
+// components 0..m-1), and without mixing they would all land in the first
+// few shards.
+func shardFor(reg msg.RegisterID) uint32 {
+	return msg.Mix32(uint32(reg)) & (storeShards - 1)
+}
+
+// storeShard is one lock stripe: a mutex and the register entries whose keys
+// hash into it. Entries are created lazily on first write (or copied from the
+// initial contents); a key with no entry reads as the zero Tagged value, the
 // notional initializing write.
+type storeShard struct {
+	mu   sync.Mutex
+	regs map[msg.RegisterID]msg.Tagged
+	// Pad each stripe to its own cache line so neighbouring shards' mutexes
+	// do not false-share under cross-core contention.
+	_ [40]byte
+}
+
+// Store is one replica server's state: a timestamped value per register,
+// striped across storeShards lock partitions.
 //
-// Store is safe for concurrent use; the goroutine runtime may deliver
-// requests from several clients at once.
+// Store is safe for concurrent use; the goroutine runtime and the TCP server
+// deliver requests from many clients at once, and requests touching
+// different keys proceed concurrently.
 type Store struct {
 	id msg.NodeID
 
-	mu      sync.Mutex
-	regs    map[msg.RegisterID]msg.Tagged
-	crashed bool
+	// crashed and the request counters are atomics, not shard state: Crash
+	// must silence every shard at once, and the counters are incremented on
+	// every request regardless of which shard it lands in — under the old
+	// single mutex they rode along for free, under striping they must not
+	// race between shards.
+	crashed atomic.Bool
+	reads   atomic.Int64
+	writes  atomic.Int64
 
-	reads  int64
-	writes int64
+	shards [storeShards]storeShard
 }
 
 // New returns a replica server with the given identity and initial register
-// contents. The initial map is copied.
+// contents. The initial map is copied, each key into its shard.
 func New(id msg.NodeID, initial map[msg.RegisterID]msg.Value) *Store {
-	regs := make(map[msg.RegisterID]msg.Tagged, len(initial))
+	s := &Store{id: id}
 	for r, v := range initial {
-		regs[r] = msg.Tagged{Val: v} // zero timestamp
+		sh := &s.shards[shardFor(r)]
+		if sh.regs == nil {
+			sh.regs = make(map[msg.RegisterID]msg.Tagged)
+		}
+		sh.regs[r] = msg.Tagged{Val: v} // zero timestamp
 	}
-	return &Store{id: id, regs: regs}
+	return s
 }
 
 // ID returns the server's node identifier.
@@ -48,62 +89,95 @@ func (s *Store) ID() msg.NodeID { return s.id }
 // Apply processes one protocol request and returns the reply to send back,
 // or ok=false when the request is not a replica request or the server is
 // crashed (a crashed server is silent, modeling a crash failure rather than
-// an explicit error).
+// an explicit error). Only the addressed key's shard is locked, so requests
+// for different keys run in parallel.
 func (s *Store) Apply(req any) (reply any, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.crashed {
-		return nil, false
-	}
 	switch m := req.(type) {
 	case msg.ReadReq:
-		s.reads++
-		return msg.ReadReply{Reg: m.Reg, Op: m.Op, Tag: s.regs[m.Reg]}, true
-	case msg.WriteReq:
-		s.writes++
-		if cur, exists := s.regs[m.Reg]; !exists || cur.TS.Less(m.Tag.TS) {
-			s.regs[m.Reg] = m.Tag
+		r, ok := s.ApplyRead(m)
+		if !ok {
+			return nil, false
 		}
-		return msg.WriteAck{Reg: m.Reg, Op: m.Op}, true
+		return r, true
+	case msg.WriteReq:
+		a, ok := s.ApplyWrite(m)
+		if !ok {
+			return nil, false
+		}
+		return a, true
 	default:
 		return nil, false
 	}
 }
 
+// ApplyRead is the concrete-typed read path: the TCP server's batch loop
+// calls it directly so replies never pass through an interface box. ok=false
+// means the server is crashed (silent).
+func (s *Store) ApplyRead(m msg.ReadReq) (msg.ReadReply, bool) {
+	if s.crashed.Load() {
+		return msg.ReadReply{}, false
+	}
+	s.reads.Add(1)
+	sh := &s.shards[shardFor(m.Reg)]
+	sh.mu.Lock()
+	tag := sh.regs[m.Reg]
+	sh.mu.Unlock()
+	return msg.ReadReply{Reg: m.Reg, Op: m.Op, Tag: tag}, true
+}
+
+// ApplyWrite is the concrete-typed write path; see ApplyRead.
+func (s *Store) ApplyWrite(m msg.WriteReq) (msg.WriteAck, bool) {
+	if s.crashed.Load() {
+		return msg.WriteAck{}, false
+	}
+	s.writes.Add(1)
+	sh := &s.shards[shardFor(m.Reg)]
+	sh.mu.Lock()
+	if cur, exists := sh.regs[m.Reg]; !exists || cur.TS.Less(m.Tag.TS) {
+		if sh.regs == nil {
+			sh.regs = make(map[msg.RegisterID]msg.Tagged)
+		}
+		sh.regs[m.Reg] = m.Tag
+	}
+	sh.mu.Unlock()
+	return msg.WriteAck{Reg: m.Reg, Op: m.Op}, true
+}
+
 // Crash silences the server: subsequent requests get no reply until Recover
 // is called. State is retained (crash-recovery with stable storage).
-func (s *Store) Crash() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.crashed = true
-}
+func (s *Store) Crash() { s.crashed.Store(true) }
 
 // Recover brings a crashed server back with its retained state.
-func (s *Store) Recover() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.crashed = false
-}
+func (s *Store) Recover() { s.crashed.Store(false) }
 
 // Crashed reports whether the server is currently crashed.
-func (s *Store) Crashed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.crashed
-}
+func (s *Store) Crashed() bool { return s.crashed.Load() }
 
 // Get returns the server's current tagged value for reg; tests and the
-// Monte-Carlo experiments inspect replica state directly with it.
+// Monte-Carlo experiments inspect replica state directly with it. A key
+// never written reads as the zero Tagged value.
 func (s *Store) Get(reg msg.RegisterID) msg.Tagged {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.regs[reg]
+	sh := &s.shards[shardFor(reg)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.regs[reg]
+}
+
+// Keys returns the number of register entries currently materialized across
+// all shards (initial contents plus every key written so far).
+func (s *Store) Keys() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.regs)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns the number of read and write requests the server has
 // processed (excluding those dropped while crashed).
 func (s *Store) Stats() (reads, writes int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reads, s.writes
+	return s.reads.Load(), s.writes.Load()
 }

@@ -1,0 +1,142 @@
+package tcp
+
+import (
+	"fmt"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/rng"
+	"probquorum/internal/transport"
+)
+
+// DefaultKeyspaceShards is the client-side shard count DialKeyspace uses
+// when the caller passes shards <= 0: enough stripes that eight client
+// goroutines on distinct keys rarely collide, cheap enough to be the
+// unconditional default.
+const DefaultKeyspaceShards = 16
+
+// KeyspaceClient is a sharded multi-register client over TCP: a
+// register.Keyspace (one pipeline per client-side shard, reply routing by
+// op-id residue) bound to a single batching tcpTransport, so requests from
+// every shard coalesce into the same per-server frames — multi-key batching
+// falls out of the shared send queues. See register.Keyspace for the
+// sharding and ordering contract.
+//
+// KeyspaceClient is safe for concurrent use by any number of goroutines;
+// goroutines working distinct keys on distinct shards contend on no client
+// lock at all.
+type KeyspaceClient struct {
+	ks       *register.Keyspace
+	tr       *tcpTransport
+	counters *metrics.TransportCounters
+}
+
+// DialKeyspace connects to every replica server address and returns a
+// sharded keyspace client with the given client-side shard count (rounded
+// up to a power of two; <= 0 selects DefaultKeyspaceShards). The pipelined
+// client's options apply; the per-operation deadline defaults to 2s.
+func DialKeyspace(addrs []string, sys quorum.System, shards int, opts ...ClientOption) (*KeyspaceClient, error) {
+	registerWireTypes()
+	if sys.N() != len(addrs) {
+		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
+			sys.N(), len(addrs))
+	}
+	if shards <= 0 {
+		shards = DefaultKeyspaceShards
+	}
+	for shards&(shards-1) != 0 {
+		shards++
+	}
+	o := clientOpts{seed: 1, maxBatch: defaultMaxBatch}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	counted := o.Counters != nil
+	if o.Counters == nil {
+		o.Counters = &metrics.TransportCounters{}
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = defaultPipelineTimeout
+	}
+	if o.maxBatch < 1 {
+		o.maxBatch = 1
+	}
+	o.Proc = msg.NodeID(o.writer)
+
+	var eopts []register.Option
+	if o.monotone {
+		eopts = append(eopts, register.Monotone())
+	}
+	if o.noFastRead {
+		eopts = append(eopts, register.WithoutFastRead())
+	}
+	if o.tally != nil {
+		eopts = append(eopts, register.WithTally(o.tally))
+	}
+	engines := make([]*register.Engine, shards)
+	for i := range engines {
+		sopts := append([]register.Option{
+			register.WithOpStride(uint64(i), uint64(shards)),
+		}, eopts...)
+		engines[i] = register.NewEngine(o.writer, sys,
+			rng.Derive(o.seed, fmt.Sprintf("tcp.keyspace.%d.%d", o.writer, i)), sopts...)
+	}
+
+	tr := newTCPTransport(addrs, o.wire, o.OpTimeout, o.Counters, true, o.maxBatch, o.batchHist)
+	if err := tr.start(); err != nil {
+		return nil, err
+	}
+	var rt transport.Transport = tr
+	if counted {
+		rt = transport.Instrument(tr, o.Counters)
+	}
+	c := &KeyspaceClient{tr: tr, counters: o.Counters}
+	c.ks = register.NewKeyspaceOver(engines, rt, register.ApplyPipeline(o.Settings)...)
+	return c, nil
+}
+
+// Read performs one pipelined read of key, blocking until it completes.
+func (c *KeyspaceClient) Read(key msg.RegisterID) (msg.Tagged, error) {
+	return c.ks.Read(key)
+}
+
+// ReadAtomic performs one pipelined ABD atomic read of key.
+func (c *KeyspaceClient) ReadAtomic(key msg.RegisterID) (msg.Tagged, error) {
+	return c.ks.ReadAtomic(key)
+}
+
+// Write performs one pipelined write of key, blocking until acknowledged.
+func (c *KeyspaceClient) Write(key msg.RegisterID, val msg.Value) error {
+	return c.ks.Write(key, val)
+}
+
+// ReadAsync submits a read of key and returns immediately.
+func (c *KeyspaceClient) ReadAsync(key msg.RegisterID) *register.PendingOp {
+	return c.ks.ReadAsync(key)
+}
+
+// ReadAtomicAsync submits an ABD atomic read of key and returns immediately.
+func (c *KeyspaceClient) ReadAtomicAsync(key msg.RegisterID) *register.PendingOp {
+	return c.ks.ReadAtomicAsync(key)
+}
+
+// WriteAsync submits a write of key and returns immediately.
+func (c *KeyspaceClient) WriteAsync(key msg.RegisterID, val msg.Value) *register.PendingOp {
+	return c.ks.WriteAsync(key, val)
+}
+
+// Keyspace exposes the underlying sharded keyspace (per-shard pipelines,
+// aggregate retries, cache-hit and fast-read counters).
+func (c *KeyspaceClient) Keyspace() *register.Keyspace { return c.ks }
+
+// Counters exposes the client's transport fault counters.
+func (c *KeyspaceClient) Counters() *metrics.TransportCounters { return c.counters }
+
+// Close tears down every connection and fails all pending operations with
+// ErrClientClosed.
+func (c *KeyspaceClient) Close() {
+	_ = c.tr.Close()
+	c.ks.Close(ErrClientClosed)
+}

@@ -232,21 +232,29 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // serveBinary serves one binary-codec connection: length-prefixed frames in,
-// one frame out per reply, encoded through a pooled buffer.
+// one frame out per reply, encoded through a pooled buffer. Batch frames —
+// the steady state under pipelined and keyspace clients — never pass through
+// the boxed decode: the raw payload is walked element by element with
+// concrete types and the reply frame is built incrementally, so a batch of k
+// requests costs zero per-element allocations on the server.
 func (s *Server) serveBinary(conn net.Conn) {
 	fr := msg.NewFrameReader(conn)
 	buf := msg.GetEncodeBuf()
 	defer msg.PutEncodeBuf(buf)
 	for {
-		m, err := fr.Next()
+		payload, err := fr.NextRaw()
 		if err != nil {
 			return // connection closed or corrupt; drop it
 		}
-		if batch, ok := m.(msg.Batch); ok {
-			if !s.serveBatchBinary(conn, buf, batch) {
+		if msg.IsBatchPayload(payload) {
+			if !s.serveBatchBinary(conn, buf, payload) {
 				return
 			}
 			continue
+		}
+		m, err := msg.DecodePayload(payload)
+		if err != nil {
+			return
 		}
 		reply, ok := s.store.Apply(m)
 		if !ok {
@@ -264,31 +272,45 @@ func (s *Server) serveBinary(conn net.Conn) {
 	}
 }
 
-// serveBatchBinary is serveBatch for the binary codec: recognized requests
-// are applied and answered in one reply frame, junk elements are dropped
-// (batch replies match by operation id, not position), and a crashed store
-// closes the connection.
-func (s *Server) serveBatchBinary(conn net.Conn, buf *[]byte, batch msg.Batch) bool {
-	replies := make([]any, 0, len(batch.Msgs))
-	for _, m := range batch.Msgs {
-		switch m.(type) {
-		case msg.ReadReq, msg.WriteReq:
-			reply, ok := s.store.Apply(m)
+// serveBatchBinary is serveBatch for the binary codec, on the allocation-free
+// walk: recognized requests are applied through the store's concrete-typed
+// paths and answered in one incrementally built reply frame, junk elements
+// are dropped (batch replies match by operation id, not position), and a
+// crashed store or malformed batch envelope closes the connection.
+func (s *Server) serveBatchBinary(conn net.Conn, buf *[]byte, payload []byte) bool {
+	var w msg.BatchWriter
+	w.Reset((*buf)[:0])
+	encodeFailed := false
+	completed, err := msg.VisitBatchPayload(payload, msg.BatchVisitor{
+		ReadReq: func(m msg.ReadReq) bool {
+			reply, ok := s.store.ApplyRead(m)
 			if !ok {
 				return false // crashed
 			}
-			replies = append(replies, reply)
-		default:
-			// Malformed or foreign element: drop it, keep the connection.
-		}
-	}
-	out, err := msg.AppendMessage((*buf)[:0], msg.Batch{Msgs: replies})
-	if err != nil {
+			if err := w.AddReadReply(reply); err != nil {
+				encodeFailed = true
+				return false
+			}
+			return true
+		},
+		WriteReq: func(m msg.WriteReq) bool {
+			ack, ok := s.store.ApplyWrite(m)
+			if !ok {
+				return false // crashed
+			}
+			w.AddWriteAck(ack)
+			return true
+		},
+		// Reply-kind elements are foreign on a server-bound stream; leaving
+		// their callbacks nil drops them, like any other junk.
+	})
+	if err != nil || !completed || encodeFailed {
 		return false
 	}
+	out := w.Finish()
 	*buf = out[:0]
-	_, err = conn.Write(out)
-	return err == nil
+	_, werr := conn.Write(out)
+	return werr == nil
 }
 
 // serveGob serves one legacy gob-stream connection.

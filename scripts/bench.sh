@@ -173,3 +173,69 @@ END {
 }' "$raw" > "$fastout"
 
 echo "wrote $fastout"
+
+# Sharded keyspace throughput: the working-set sweep (1 key, 10k keys, a
+# zipf-skewed 1M keys) plus 8 goroutines on distinct keys, median of five
+# runs (see bench_keyspace_test.go). The acceptance bars are keys10k within
+# 10% of the single-register pipelined client and conc8 at least 2x keys1.
+# The keys10k ratio comes from BenchmarkKeyspaceVsPipelineTCP, which runs
+# both clients interleaved against one server set with separate busy timers
+# — a paired measurement, because on a shared machine loopback throughput
+# drifts between separate benchmark executions by more than the 10% margin
+# under test. idle_bytes_per_key comes from TestKeyspaceIdleKeyBytes's
+# 1M-key measurement.
+ksout="BENCH_keyspace.json"
+go test -bench='BenchmarkKeyspace(TCP|VsPipelineTCP)' -benchtime="$benchtime" -count=5 -run XXX . | tee "$raw"
+
+idle="$(go test -run TestKeyspaceIdleKeyBytes -v ./internal/register \
+    | awk '/idle-key cost:/ { for (i = 1; i <= NF; i++) if ($(i) == "B/key") print $(i - 1) }')"
+[ -n "$idle" ] || { echo "no idle-key measurement (did TestKeyspaceIdleKeyBytes skip?)" >&2; exit 1; }
+
+BENCHTIME="$benchtime" IDLE="$idle" awk '
+function median(a, m,  i, j, t) {
+    for (i = 1; i <= m; i++)
+        for (j = i + 1; j <= m; j++)
+            if (a[j] + 0 < a[i] + 0) { t = a[i]; a[i] = a[j]; a[j] = t }
+    return a[int((m + 1) / 2)]
+}
+$1 ~ /^BenchmarkKeyspaceTCP\// {
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    v = parts[2]
+    if (!(v in cnt)) order[++m] = v
+    cnt[v]++
+    for (i = 2; i <= NF; i++)
+        if ($(i) == "ops/s") rate[v, cnt[v]] = $(i - 1)
+}
+$1 ~ /^BenchmarkKeyspaceVsPipelineTCP/ {
+    np++
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ratio")        ratios[np] = $(i - 1)
+        if ($(i) == "pipe_ops/s")   prate[np] = $(i - 1)
+        if ($(i) == "ks10k_ops/s")  krate[np] = $(i - 1)
+    }
+}
+END {
+    if (m == 0) { print "no keyspace benchmark lines found" > "/dev/stderr"; exit 1 }
+    if (np == 0) { print "no paired keyspace-vs-pipeline lines found" > "/dev/stderr"; exit 1 }
+    print "{"
+    printf "  \"benchmark\": \"BenchmarkKeyspaceTCP + BenchmarkKeyspaceVsPipelineTCP\",\n"
+    printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"]
+    printf "  \"workload\": \"pipelined write+read rounds over the keyspace (median of 5)\",\n"
+    printf "  \"results\": {\n"
+    for (t = 1; t <= m; t++) {
+        v = order[t]
+        for (i = 1; i <= cnt[v]; i++) a[i] = rate[v, i]
+        med[v] = median(a, cnt[v])
+        printf "    \"%s\": {\"ops_per_sec\": %s}%s\n", v, med[v], (t < m ? "," : "")
+    }
+    print "  },"
+    printf "  \"paired\": {\"pipeline_batch16_ops_per_sec\": %s, \"keyspace_10k_ops_per_sec\": %s},\n", \
+        median(prate, np), median(krate, np)
+    printf "  \"idle_bytes_per_key\": %s,\n", ENVIRON["IDLE"]
+    printf "  \"keys10k_vs_pipeline_batch16\": %.3f,\n", median(ratios, np)
+    printf "  \"conc8_vs_keys1\": %.2f\n", med["conc8"] / med["keys1"]
+    print "}"
+}' "$raw" > "$ksout"
+
+echo "wrote $ksout"

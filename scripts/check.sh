@@ -38,8 +38,15 @@ echo "== allocation gates =="
 # -race, where the instrumentation inflates counts); naming them here keeps
 # hot-path allocation regressions loud even if the full suite's output
 # scrolls past.
-go test $race -run 'TestWireAllocGates|TestPickIntoAllocs|TestObserverAllocGate|TestFastReadAllocGate' \
+go test $race -run 'TestWireAllocGates|TestPickIntoAllocs|TestObserverAllocGate|TestFastReadAllocGate|TestKeyspaceAllocGate|TestKeyspaceIdleKeyBytes' \
     ./internal/msg ./internal/quorum ./internal/register
+
+echo "== fuzz corpora =="
+# Replay every checked-in fuzz corpus entry (plus the f.Add seeds) as
+# ordinary tests: the wire codec's round-trip and malformed-input fuzzers
+# and the striped store's mixed-key batch fuzzer must stay green on the
+# regression inputs without needing -fuzz time.
+go test $race -run 'Fuzz' ./internal/msg ./internal/replica
 
 echo "== API hygiene =="
 # New code must use the unified option/error surface; the deprecated names
