@@ -1,0 +1,141 @@
+package probquorum
+
+// Membership overhead. Epoch-based dynamic membership adds work to the
+// steady-state request path — an epoch stamp on every request, one view check
+// per request on the server — and its whole design brief is that this costs
+// nothing measurable when the view is not changing. The benchmark measures
+// that claim PAIRED, like the keyspace parity run: a static-mode client
+// (epoch 0, the pre-membership wire behaviour) and a view-stamped client
+// (epoch 1 on every request) alternate inside one benchmark loop against
+// separate but identical loopback clusters, each with its own busy timer, so
+// machine drift cancels out of the ratio. A third client runs the same
+// workload against a cluster under continuous rolling crash/recover churn —
+// the availability story under membership, reported for the record (its rate
+// is timeout-bound, not throughput-bound). scripts/bench.sh collects the
+// medians into BENCH_membership.json; the acceptance bar is the view-stamped
+// rate within 5% of static.
+
+import (
+	"testing"
+	"time"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/replica"
+	"probquorum/internal/transport/tcp"
+)
+
+// startMemBenchServers is startPipeBenchServers plus access to the stores,
+// so the caller can install views and drive crash/recover churn.
+func startMemBenchServers(tb testing.TB) ([]string, []*replica.Store) {
+	tb.Helper()
+	initial := make(map[msg.RegisterID]msg.Value, pipeBenchRegs)
+	for r := 0; r < pipeBenchRegs; r++ {
+		initial[msg.RegisterID(r)] = 0.0
+	}
+	addrs := make([]string, pipeBenchServers)
+	stores := make([]*replica.Store, pipeBenchServers)
+	for i := range addrs {
+		stores[i] = replica.New(msg.NodeID(i), initial)
+		srv, err := tcp.Listen(stores[i], "127.0.0.1:0")
+		if err != nil {
+			tb.Fatalf("listen server %d: %v", i, err)
+		}
+		tb.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+	}
+	return addrs, stores
+}
+
+func memBenchView(addrs []string) quorum.View {
+	members := make([]int32, len(addrs))
+	for i := range members {
+		members[i] = int32(i)
+	}
+	return quorum.View{Epoch: 1, Members: members, Addrs: addrs}
+}
+
+func BenchmarkMembershipTCP(b *testing.B) {
+	const rounds = 5
+	sys := quorum.NewMajority(pipeBenchServers)
+
+	staticAddrs := startPipeBenchServers(b)
+	static, err := tcp.DialPipelined(staticAddrs, sys, tcp.WithMonotone(), tcp.WithMaxBatch(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer static.Close()
+
+	viewAddrs, viewStores := startMemBenchServers(b)
+	vv := memBenchView(viewAddrs)
+	for _, st := range viewStores {
+		st.SetView(vv)
+	}
+	viewed, err := tcp.DialPipelined(nil, sys, tcp.WithView(vv), tcp.WithMonotone(), tcp.WithMaxBatch(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer viewed.Close()
+
+	churnAddrs, churnStores := startMemBenchServers(b)
+	cv := memBenchView(churnAddrs)
+	for _, st := range churnStores {
+		st.SetView(cv)
+	}
+	// A short op timeout keeps the churn leg re-picking instead of waiting
+	// out the default deadline every time a quorum lands on the down server.
+	churned, err := tcp.DialPipelined(nil, sys, tcp.WithView(cv), tcp.WithMonotone(),
+		tcp.WithMaxBatch(16), tcp.WithOpTimeout(20*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer churned.Close()
+
+	pipelinedRounds(b, static, 5)
+	pipelinedRounds(b, viewed, 5)
+	pipelinedRounds(b, churned, 5)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := churnStores[i%len(churnStores)]
+			st.Crash()
+			time.Sleep(10 * time.Millisecond)
+			st.Recover()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var staticOps, viewOps, churnOps int
+	var staticBusy, viewBusy, churnBusy time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		staticOps += pipelinedRounds(b, static, rounds)
+		staticBusy += time.Since(t0)
+		t0 = time.Now()
+		viewOps += pipelinedRounds(b, viewed, rounds)
+		viewBusy += time.Since(t0)
+		t0 = time.Now()
+		churnOps += pipelinedRounds(b, churned, rounds)
+		churnBusy += time.Since(t0)
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+
+	staticRate := float64(staticOps) / staticBusy.Seconds()
+	viewRate := float64(viewOps) / viewBusy.Seconds()
+	churnRate := float64(churnOps) / churnBusy.Seconds()
+	b.ReportMetric(staticRate, "static_ops/s")
+	b.ReportMetric(viewRate, "view_ops/s")
+	b.ReportMetric(churnRate, "churn_ops/s")
+	b.ReportMetric(viewRate/staticRate, "view_ratio")
+}

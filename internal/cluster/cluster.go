@@ -61,10 +61,16 @@ type Config struct {
 
 // Cluster is a running set of replica servers plus client bookkeeping.
 type Cluster struct {
-	servers  []*replica.Store
-	appliers []replica.Applier // same index as servers; swapped for fault injection
-	serverCh []chan envelope
-	delay    rng.Dist
+	// servers/appliers/serverCh/serverIDs are parallel slices indexed by
+	// global server index; they only ever grow (AddServer), and are guarded
+	// by mu because growth races with delivery. serverIDs carries each
+	// server's node identity — equal to its index for the initial servers,
+	// allocated from the shared client id space for servers added later.
+	servers   []*replica.Store
+	appliers  []replica.Applier // swapped for fault injection
+	serverCh  []chan envelope
+	serverIDs []msg.NodeID
+	delay     rng.Dist
 
 	mu      sync.Mutex
 	delayR  func() time.Duration
@@ -112,6 +118,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.servers = append(c.servers, store)
 		c.appliers = append(c.appliers, store)
 		c.serverCh = append(c.serverCh, ch)
+		c.serverIDs = append(c.serverIDs, msg.NodeID(i))
 		c.wg.Add(1)
 		go c.serve(i, msg.NodeID(i), ch)
 	}
@@ -159,10 +166,19 @@ func (c *Cluster) tick() int64 { return c.clock.Add(1) }
 func (c *Cluster) Messages() int64 { return c.msgSent.Value() }
 
 // Server returns replica server i for inspection or fault injection.
-func (c *Cluster) Server(i int) *replica.Store { return c.servers[i] }
+func (c *Cluster) Server(i int) *replica.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[i]
+}
 
-// NumServers returns the number of replica servers.
-func (c *Cluster) NumServers() int { return len(c.servers) }
+// NumServers returns the number of replica servers (including any added at
+// runtime).
+func (c *Cluster) NumServers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.servers)
+}
 
 // Partition splits the network: groups[i] lists the node ids (servers and
 // clients) in group i; messages crossing group boundaries are dropped until
@@ -246,11 +262,23 @@ func (c *Cluster) deliver(ch chan envelope, env envelope) {
 }
 
 func (c *Cluster) deliverToServer(from msg.NodeID, server int, payload any) {
-	if !c.connected(from, msg.NodeID(server)) {
+	c.mu.Lock()
+	var ch chan envelope
+	var to msg.NodeID
+	if server >= 0 && server < len(c.serverCh) {
+		ch = c.serverCh[server]
+		to = c.serverIDs[server]
+	}
+	c.mu.Unlock()
+	if ch == nil {
+		c.msgSent.Inc() // no such server (a view raced its join); the send is spent
+		return
+	}
+	if !c.connected(from, to) {
 		c.msgSent.Inc() // the send happened; the network ate it
 		return
 	}
-	c.deliver(c.serverCh[server], envelope{from: from, payload: payload})
+	c.deliver(ch, envelope{from: from, payload: payload})
 }
 
 func (c *Cluster) deliverToClient(client, from msg.NodeID, payload any) {
@@ -278,16 +306,51 @@ type clusterTransport struct {
 	inbox chan envelope
 	done  chan struct{}
 	once  sync.Once
+
+	// view, when set, remaps transport server indices (positions in the
+	// current membership view) onto the cluster's global server indices; nil
+	// means the identity mapping of the static world. vmu orders Update
+	// installs; Send and the pump read the pointer lock-free.
+	vmu  sync.Mutex
+	view atomic.Pointer[clusterViewMap]
 }
 
-func (t *clusterTransport) N() int { return len(t.c.servers) }
+// clusterViewMap is one adopted view resolved against the cluster: members
+// maps view position -> global server index, rev maps a replying server's
+// node id back to its view position.
+type clusterViewMap struct {
+	epoch   quorum.Epoch
+	members []int32
+	rev     map[msg.NodeID]int
+}
+
+func (t *clusterTransport) N() int {
+	if vm := t.view.Load(); vm != nil {
+		return len(vm.members)
+	}
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	return len(t.c.servers)
+}
 
 func (t *clusterTransport) Bind(sink transport.Sink) {
 	go func() {
 		for {
 			select {
 			case env := <-t.inbox:
-				sink(int(env.from), env.payload, nil)
+				from := int(env.from)
+				if vm := t.view.Load(); vm != nil {
+					pos, ok := vm.rev[env.from]
+					if !ok {
+						// A reply from a server outside the adopted view: a
+						// leaver answering an old attempt. Its op id no longer
+						// matches anything; drop it here rather than hand the
+						// client a server index it cannot place.
+						continue
+					}
+					from = pos
+				}
+				sink(from, env.payload, nil)
 			case <-t.c.stop:
 				sink(transport.Broadcast, nil, ErrClosed)
 				return
@@ -299,9 +362,45 @@ func (t *clusterTransport) Bind(sink transport.Sink) {
 }
 
 // Send never fails: partition drops and crashed servers surface as missing
-// replies, which the client's deadline machinery handles.
+// replies, which the client's deadline machinery handles. Under a view, the
+// server index is the view position; sends outside the view land nowhere.
 func (t *clusterTransport) Send(server int, req any) error {
+	if vm := t.view.Load(); vm != nil {
+		if server < 0 || server >= len(vm.members) {
+			return nil
+		}
+		server = int(vm.members[server])
+	}
 	t.c.deliverToServer(t.id, server, req)
+	return nil
+}
+
+// Update re-targets the transport at the view's members: subsequent sends to
+// position i reach the view's i-th server, and replies are translated back.
+// Idempotent and ordered by epoch (transport.Updater).
+func (t *clusterTransport) Update(v quorum.View) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	t.vmu.Lock()
+	defer t.vmu.Unlock()
+	if cur := t.view.Load(); cur != nil && v.Epoch <= cur.epoch {
+		return nil
+	}
+	c := t.c
+	c.mu.Lock()
+	members := make([]int32, len(v.Members))
+	rev := make(map[msg.NodeID]int, len(v.Members))
+	for pos, m := range v.Members {
+		if int(m) < 0 || int(m) >= len(c.servers) {
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: view member %d outside cluster of %d servers", m, len(c.servers))
+		}
+		members[pos] = m
+		rev[c.serverIDs[m]] = pos
+	}
+	c.mu.Unlock()
+	t.view.Store(&clusterViewMap{epoch: v.Epoch, members: members, rev: rev})
 	return nil
 }
 
@@ -342,6 +441,31 @@ type clientConfig struct {
 	masking    bool
 	noFastRead bool
 	tally      *metrics.AccessTally
+	view       quorum.View
+	hasView    bool
+}
+
+// checkSys validates the constructor's quorum system against the cluster (or
+// the client's view, which supersedes the cluster's static extent).
+func (c *Cluster) checkSys(sys quorum.System, cc *clientConfig) error {
+	if cc.hasView {
+		if err := cc.view.Validate(); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		if sys.N() != cc.view.N() {
+			return fmt.Errorf("cluster: quorum system covers %d servers, view has %d",
+				sys.N(), cc.view.N())
+		}
+		return nil
+	}
+	c.mu.Lock()
+	n := len(c.servers)
+	c.mu.Unlock()
+	if sys.N() != n {
+		return fmt.Errorf("cluster: quorum system covers %d servers, cluster has %d",
+			sys.N(), n)
+	}
+	return nil
 }
 
 // WithoutFastRead disables the atomic read's one-round-trip fast path for
@@ -433,16 +557,15 @@ func WithObserver(obs *register.Observer) ClientOption {
 
 // NewClient registers a new client process using the given quorum system.
 func (c *Cluster) NewClient(sys quorum.System, opts ...ClientOption) (*Client, error) {
-	if sys.N() != len(c.servers) {
-		return nil, fmt.Errorf("cluster: quorum system covers %d servers, cluster has %d",
-			sys.N(), len(c.servers))
-	}
-	if c.closed.Load() {
-		return nil, ErrClosed
-	}
 	var cc clientConfig
 	for _, o := range opts {
 		o(&cc)
+	}
+	if err := c.checkSys(sys, &cc); err != nil {
+		return nil, err
+	}
+	if c.closed.Load() {
+		return nil, ErrClosed
 	}
 	c.mu.Lock()
 	id := c.nextID
@@ -467,8 +590,17 @@ func (c *Cluster) NewClient(sys quorum.System, opts ...ClientOption) (*Client, e
 	if cc.tally != nil {
 		eopts = append(eopts, register.WithTally(cc.tally))
 	}
+	if cc.hasView {
+		eopts = append(eopts, register.WithView(cc.view))
+	}
 	engine := register.NewEngine(int32(id), sys, rng.Derive(c.seed, fmt.Sprintf("cluster.client.%d", id)), eopts...)
 	tr := &clusterTransport{c: c, id: id, inbox: inbox, done: make(chan struct{})}
+	if cc.hasView {
+		if err := tr.Update(cc.view); err != nil {
+			tr.Close()
+			return nil, err
+		}
+	}
 	cc.Proc = id
 	cc.Clock = c.tick
 	var rt transport.Transport = tr

@@ -33,9 +33,12 @@ type KeyspaceClient struct {
 // apply: read repair and masking are rejected, and with crashes in play set
 // WithOpTimeout so stalled operations re-issue on fresh quorums.
 func (c *Cluster) NewKeyspace(sys quorum.System, shards int, opts ...ClientOption) (*KeyspaceClient, error) {
-	if sys.N() != len(c.servers) {
-		return nil, fmt.Errorf("cluster: quorum system covers %d servers, cluster has %d",
-			sys.N(), len(c.servers))
+	var cc clientConfig
+	for _, o := range opts {
+		o(&cc)
+	}
+	if err := c.checkSys(sys, &cc); err != nil {
+		return nil, err
 	}
 	if c.closed.Load() {
 		return nil, ErrClosed
@@ -45,10 +48,6 @@ func (c *Cluster) NewKeyspace(sys quorum.System, shards int, opts ...ClientOptio
 	}
 	for shards&(shards-1) != 0 {
 		shards++
-	}
-	var cc clientConfig
-	for _, o := range opts {
-		o(&cc)
 	}
 	if cc.readRepair {
 		return nil, fmt.Errorf("cluster: keyspace clients do not support read repair")
@@ -73,6 +72,9 @@ func (c *Cluster) NewKeyspace(sys quorum.System, shards int, opts ...ClientOptio
 	if cc.tally != nil {
 		eopts = append(eopts, register.WithTally(cc.tally))
 	}
+	if cc.hasView {
+		eopts = append(eopts, register.WithView(cc.view))
+	}
 	engines := make([]*register.Engine, shards)
 	for i := range engines {
 		sopts := append([]register.Option{
@@ -83,6 +85,12 @@ func (c *Cluster) NewKeyspace(sys quorum.System, shards int, opts ...ClientOptio
 	}
 
 	tr := &clusterTransport{c: c, id: id, inbox: inbox, done: make(chan struct{})}
+	if cc.hasView {
+		if err := tr.Update(cc.view); err != nil {
+			tr.Close()
+			return nil, err
+		}
+	}
 	kc := &KeyspaceClient{c: c, id: id, tr: tr}
 	cc.Proc = id
 	cc.Clock = c.tick

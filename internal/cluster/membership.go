@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/replica"
+)
+
+// This file is the cluster runtime's membership seam. Servers join in three
+// steps — AddServer (spawn the store and its goroutine), state transfer
+// (Snapshot/Install from a current member, carrying the view register along
+// with the data), and a view write that makes the joiner addressable — and
+// leave by simply falling out of the next view: clients stop sending to a
+// leaver the moment they adopt the view that excludes it, so its queue drains
+// naturally and the goroutine idles. Clients migrate lazily, via the
+// stale-epoch rejects replicas return once they hold a newer view.
+
+// AddServer spawns one additional replica server with the given initial
+// register contents (usually nil: joiners take their state by transfer, not
+// by fiat) and returns its global server index. The new server is invisible
+// to clients until a view that includes it is adopted. Its node id comes from
+// the shared id space, so it never collides with a client's.
+func (c *Cluster) AddServer(initial map[msg.RegisterID]msg.Value) (int, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	c.mu.Lock()
+	idx := len(c.servers)
+	id := c.nextID
+	c.nextID++
+	store := replica.New(id, initial)
+	ch := make(chan envelope, 64)
+	c.servers = append(c.servers, store)
+	c.appliers = append(c.appliers, store)
+	c.serverCh = append(c.serverCh, ch)
+	c.serverIDs = append(c.serverIDs, id)
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.serve(idx, id, ch)
+	return idx, nil
+}
+
+// InstallView installs v on every current server's store (install-if-newer,
+// so it is idempotent and safe to race with the self-hosted spread through
+// the view register). It is the admin-side completion of what the ordinary
+// write-back path achieves probabilistically: after it returns, every live
+// server rejects ops stamped with older epochs, which is what drives
+// connected clients to adopt v. Clients attached with views of their own
+// still migrate lazily — InstallView touches only servers.
+func (c *Cluster) InstallView(v quorum.View) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	servers := append([]*replica.Store(nil), c.servers...)
+	c.mu.Unlock()
+	for _, s := range servers {
+		s.SetView(v)
+	}
+	return nil
+}
+
+// Transfer copies server from's full register state (including the view
+// register, when set) onto server to, install-if-newer per register — the
+// in-process form of the state transfer a TCP joiner performs over SnapReq.
+func (c *Cluster) Transfer(from, to int) error {
+	c.mu.Lock()
+	if from < 0 || from >= len(c.servers) || to < 0 || to >= len(c.servers) {
+		n := len(c.servers)
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: transfer %d -> %d outside cluster of %d servers", from, to, n)
+	}
+	src, dst := c.servers[from], c.servers[to]
+	c.mu.Unlock()
+	dst.Install(src.Snapshot())
+	return nil
+}
+
+// WithView attaches the client to a membership view: its engine picks
+// quorums against the view's parameters and stamps operations with its
+// epoch, and its transport maps server indices through the view's members.
+// The quorum system passed to the constructor is superseded by the view's
+// (it must still cover the same n; pass v.System()). The client adopts newer
+// views automatically when a replica rejects one of its operations.
+func WithView(v quorum.View) ClientOption {
+	return func(c *clientConfig) { c.view = v; c.hasView = true }
+}

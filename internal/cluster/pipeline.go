@@ -43,16 +43,15 @@ type PipeClient struct {
 // are rejected. With crashes in play, set WithOpTimeout so stalled
 // operations re-issue on fresh quorums.
 func (c *Cluster) NewPipeline(sys quorum.System, opts ...ClientOption) (*PipeClient, error) {
-	if sys.N() != len(c.servers) {
-		return nil, fmt.Errorf("cluster: quorum system covers %d servers, cluster has %d",
-			sys.N(), len(c.servers))
-	}
-	if c.closed.Load() {
-		return nil, ErrClosed
-	}
 	var cc clientConfig
 	for _, o := range opts {
 		o(&cc)
+	}
+	if err := c.checkSys(sys, &cc); err != nil {
+		return nil, err
+	}
+	if c.closed.Load() {
+		return nil, ErrClosed
 	}
 	if cc.readRepair {
 		return nil, fmt.Errorf("cluster: pipelined clients do not support read repair")
@@ -77,9 +76,18 @@ func (c *Cluster) NewPipeline(sys quorum.System, opts ...ClientOption) (*PipeCli
 	if cc.tally != nil {
 		eopts = append(eopts, register.WithTally(cc.tally))
 	}
+	if cc.hasView {
+		eopts = append(eopts, register.WithView(cc.view))
+	}
 	engine := register.NewEngine(int32(id), sys, rng.Derive(c.seed, fmt.Sprintf("cluster.pipeclient.%d", id)), eopts...)
 
 	tr := &clusterTransport{c: c, id: id, inbox: inbox, done: make(chan struct{})}
+	if cc.hasView {
+		if err := tr.Update(cc.view); err != nil {
+			tr.Close()
+			return nil, err
+		}
+	}
 	pc := &PipeClient{c: c, id: id, engine: engine, tr: tr}
 	cc.Proc = id
 	cc.Clock = c.tick

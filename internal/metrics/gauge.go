@@ -29,6 +29,19 @@ func (g *Gauge) Add(delta int64) {
 	}
 }
 
+// Set moves the gauge to an absolute value and updates the high-watermark —
+// for level-style readings (an installed epoch, a view size) rather than
+// up/down counting.
+func (g *Gauge) Set(v int64) {
+	g.cur.Store(v)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current gauge reading.
 func (g *Gauge) Value() int64 { return g.cur.Load() }
 

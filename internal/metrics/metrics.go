@@ -58,6 +58,9 @@ type TransportCounters struct {
 	MsgsSent Counter
 	// MsgsRecv counts logical register replies delivered to the client.
 	MsgsRecv Counter
+	// ViewAdopts counts membership views adopted mid-stream after a
+	// stale-epoch reject — the client-side pulse of a reconfiguration.
+	ViewAdopts Counter
 }
 
 // Snapshot returns the three fault-path counts at once.

@@ -53,5 +53,6 @@ func (t *TransportCounters) Register(prefix string, r Registrar) *TransportCount
 	t.StaleDrops.Register(prefix+".stale_drops", r)
 	t.MsgsSent.Register(prefix+".msgs_sent", r)
 	t.MsgsRecv.Register(prefix+".msgs_recv", r)
+	t.ViewAdopts.Register(prefix+".view_adopts", r)
 	return t
 }

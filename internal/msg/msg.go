@@ -12,6 +12,8 @@ package msg
 
 import (
 	"fmt"
+
+	"probquorum/internal/quorum"
 )
 
 // NodeID identifies a node (replica server or client process) in a system.
@@ -103,10 +105,24 @@ func Mix32(x uint32) uint32 {
 	return x
 }
 
+// Epoch is the membership epoch a request was issued under; see quorum.View.
+// Epoch 0 is the static (pre-membership) mode and is never rejected.
+type Epoch = quorum.Epoch
+
+// ViewKey is the reserved register that stores the current membership view,
+// encoded with EncodeView. It lives outside the application keyspace
+// (register ids from applications are non-negative) and is spread by the
+// ordinary quorum write/write-back path, which is what makes reconfiguration
+// self-hosting: the view travels through the same machinery it reconfigures.
+const ViewKey RegisterID = -1
+
 // ReadReq asks a replica for its current tagged value of register Reg.
+// Epoch stamps the membership view the client picked its quorum against;
+// a replica on a newer view answers with StaleEpoch instead.
 type ReadReq struct {
-	Reg RegisterID
-	Op  OpID
+	Reg   RegisterID
+	Op    OpID
+	Epoch Epoch
 }
 
 // ReadReply carries a replica's current tagged value of register Reg back to
@@ -118,11 +134,12 @@ type ReadReply struct {
 }
 
 // WriteReq asks a replica to update register Reg with Tag if Tag's timestamp
-// exceeds the replica's current timestamp for Reg.
+// exceeds the replica's current timestamp for Reg. Epoch is as in ReadReq.
 type WriteReq struct {
-	Reg RegisterID
-	Op  OpID
-	Tag Tagged
+	Reg   RegisterID
+	Op    OpID
+	Tag   Tagged
+	Epoch Epoch
 }
 
 // WriteAck acknowledges that a replica applied (or deliberately ignored, if
@@ -130,4 +147,35 @@ type WriteReq struct {
 type WriteAck struct {
 	Reg RegisterID
 	Op  OpID
+}
+
+// StaleEpoch rejects operation Op on register Reg: the request was stamped
+// with an epoch older than the replica's current view, carried here so the
+// client can adopt it and re-pick its quorum mid-stream without a separate
+// fetch round.
+type StaleEpoch struct {
+	Reg  RegisterID
+	Op   OpID
+	View quorum.View
+}
+
+// SnapEntry is one register's tagged value inside a state-transfer snapshot.
+type SnapEntry struct {
+	Reg RegisterID
+	Tag Tagged
+}
+
+// SnapReq asks a replica for a snapshot of its store — the state-transfer
+// round a joining server runs before it starts serving reads.
+type SnapReq struct {
+	Op OpID
+}
+
+// SnapReply carries a store snapshot back to a joining server: every
+// register's tagged value plus the replica's current view (zero epoch when
+// the replica is still in static mode).
+type SnapReply struct {
+	Op      OpID
+	View    quorum.View
+	Entries []SnapEntry
 }

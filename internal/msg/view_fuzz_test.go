@@ -1,0 +1,54 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+
+	"probquorum/internal/quorum"
+)
+
+// FuzzViewWire fuzzes the view codec from both sides. The view format rides
+// in three places — the reserved ViewKey register value, StaleEpoch rejects,
+// and SnapReply state transfers — so a decoder wobble would let one hostile
+// or corrupted byte string wedge reconfiguration everywhere at once. The
+// constructed leg checks exact round trips; the raw leg feeds the same input
+// bytes straight to DecodeView, which must return an error or a view, never
+// panic or over-allocate, and anything it accepts must re-encode to the
+// identical bytes (the codec is canonical: one view, one byte string).
+func FuzzViewWire(f *testing.F) {
+	f.Add(uint64(0), uint16(0), int32(0), int32(0), "", []byte{})
+	f.Add(uint64(1), uint16(3), int32(0), int32(2), "127.0.0.1:9000", []byte{1, 2, 3})
+	f.Add(uint64(1<<40), uint16(34), int32(-7), int32(-1), "host", []byte{0xff})
+	f.Add(uint64(7), uint16(5), int32(1_000_000), int32(3),
+		"a-very-long-hostname.example.com:65535", []byte("not a view"))
+	f.Fuzz(func(t *testing.T, epoch uint64, nm uint16, base, k int32, addr string, raw []byte) {
+		in := quorum.View{Epoch: quorum.Epoch(epoch), K: int(k)}
+		for i := 0; i < int(nm%64); i++ {
+			in.Members = append(in.Members, base+int32(i))
+			if addr != "" {
+				in.Addrs = append(in.Addrs, addr)
+			}
+		}
+		b := EncodeView(in)
+		out, err := DecodeView(b)
+		if err != nil {
+			t.Fatalf("decode of encoded view failed: %v", err)
+		}
+		// Canonicalize: the codec decodes empty slices as nil.
+		if len(in.Members) == 0 {
+			in.Members = nil
+		}
+		if len(in.Addrs) == 0 {
+			in.Addrs = nil
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", in, out)
+		}
+
+		if v, err := DecodeView(raw); err == nil {
+			if again := EncodeView(v); string(again) != string(raw) {
+				t.Fatalf("accepted non-canonical bytes:\n raw=%x\n re-encoded=%x", raw, again)
+			}
+		}
+	})
+}

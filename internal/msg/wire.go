@@ -15,15 +15,26 @@ package msg
 //
 // payload = 1 kind byte + kind-specific fields:
 //
-//	ReadReq   (kind 1): reg int32 · op uint64
-//	ReadReply (kind 2): reg int32 · op uint64 · tagged
-//	WriteReq  (kind 3): reg int32 · op uint64 · tagged
-//	WriteAck  (kind 4): reg int32 · op uint64
-//	Batch     (kind 5): count uint32, then per element
-//	                    uint32 element length | element payload
+//	ReadReq    (kind 1): reg int32 · op uint64 [· epoch uint64]
+//	ReadReply  (kind 2): reg int32 · op uint64 · tagged
+//	WriteReq   (kind 3): reg int32 · op uint64 · tagged [· epoch uint64]
+//	WriteAck   (kind 4): reg int32 · op uint64
+//	Batch      (kind 5): count uint32, then per element
+//	                     uint32 element length | element payload
+//	StaleEpoch (kind 6): reg int32 · op uint64 · view
+//	SnapReq    (kind 7): op uint64
+//	SnapReply  (kind 8): op uint64 · view · count uint32 · entries
+//	                     (entry = reg int32 · tagged)
 //
 //	tagged = seq uint64 · writer int32 · value
 //	value  = 1 tag byte + tag-specific bytes (val* constants below)
+//	view   = epoch uint64 · k uint32 · nmembers uint32 · members int32 each ·
+//	         naddrs uint32 · addrs (uint32 length + bytes each)
+//
+// The epoch stamp on requests is a trailing optional field, present only
+// when nonzero: decoders written before membership ignored trailing bytes
+// after the fixed fields, so epoch-0 frames are byte-identical to the
+// pre-membership encoding and the old fuzz corpus stays valid.
 //
 // Batch elements carry their own length prefixes so a receiver can skip a
 // malformed or unrecognized element without losing the rest of the frame —
@@ -40,15 +51,20 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"probquorum/internal/quorum"
 )
 
 // Wire kind bytes, one per frame-level message.
 const (
-	wireReadReq   byte = 1
-	wireReadReply byte = 2
-	wireWriteReq  byte = 3
-	wireWriteAck  byte = 4
-	wireBatch     byte = 5
+	wireReadReq    byte = 1
+	wireReadReply  byte = 2
+	wireWriteReq   byte = 3
+	wireWriteAck   byte = 4
+	wireBatch      byte = 5
+	wireStaleEpoch byte = 6
+	wireSnapReq    byte = 7
+	wireSnapReply  byte = 8
 )
 
 // Value-union tag bytes. The codec preserves the Go type of a register value
@@ -125,7 +141,8 @@ func appendPayload(dst []byte, m any, allowBatch bool) ([]byte, error) {
 	switch t := m.(type) {
 	case ReadReq:
 		dst = append(dst, wireReadReq)
-		return appendRegOp(dst, t.Reg, t.Op), nil
+		dst = appendRegOp(dst, t.Reg, t.Op)
+		return appendEpoch(dst, t.Epoch), nil
 	case WriteAck:
 		dst = append(dst, wireWriteAck)
 		return appendRegOp(dst, t.Reg, t.Op), nil
@@ -134,7 +151,32 @@ func appendPayload(dst []byte, m any, allowBatch bool) ([]byte, error) {
 		return appendTagged(appendRegOp(dst, t.Reg, t.Op), t.Tag)
 	case WriteReq:
 		dst = append(dst, wireWriteReq)
-		return appendTagged(appendRegOp(dst, t.Reg, t.Op), t.Tag)
+		dst, err := appendTagged(appendRegOp(dst, t.Reg, t.Op), t.Tag)
+		if err != nil {
+			return dst, err
+		}
+		return appendEpoch(dst, t.Epoch), nil
+	case StaleEpoch:
+		dst = append(dst, wireStaleEpoch)
+		dst = appendRegOp(dst, t.Reg, t.Op)
+		return appendView(dst, t.View), nil
+	case SnapReq:
+		dst = append(dst, wireSnapReq)
+		return binary.BigEndian.AppendUint64(dst, uint64(t.Op)), nil
+	case SnapReply:
+		dst = append(dst, wireSnapReply)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(t.Op))
+		dst = appendView(dst, t.View)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(t.Entries)))
+		for _, e := range t.Entries {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(e.Reg))
+			var err error
+			dst, err = appendTagged(dst, e.Tag)
+			if err != nil {
+				return dst, err
+			}
+		}
+		return dst, nil
 	case Batch:
 		if !allowBatch {
 			return dst, errors.New("msg: nested Batch cannot be encoded")
@@ -160,6 +202,105 @@ func appendPayload(dst []byte, m any, allowBatch bool) ([]byte, error) {
 func appendRegOp(dst []byte, reg RegisterID, op OpID) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(reg))
 	return binary.BigEndian.AppendUint64(dst, uint64(op))
+}
+
+// appendEpoch appends the optional trailing epoch stamp: nothing for epoch 0,
+// so static-mode frames are byte-identical to the pre-membership encoding.
+func appendEpoch(dst []byte, e Epoch) []byte {
+	if e == 0 {
+		return dst
+	}
+	return binary.BigEndian.AppendUint64(dst, uint64(e))
+}
+
+// trailingEpoch reads the optional epoch stamp from the bytes after a
+// request's fixed fields. Fewer than 8 trailing bytes is the pre-membership
+// encoding: epoch 0.
+func trailingEpoch(rest []byte) Epoch {
+	if len(rest) < 8 {
+		return 0
+	}
+	return Epoch(binary.BigEndian.Uint64(rest))
+}
+
+// appendView appends the wire form of a membership view.
+func appendView(dst []byte, v quorum.View) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(v.Epoch))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(v.K))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.Members)))
+	for _, m := range v.Members {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(m))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.Addrs)))
+	for _, a := range v.Addrs {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(a)))
+		dst = append(dst, a...)
+	}
+	return dst
+}
+
+// decodeView decodes a wire-form view, returning the remaining bytes. All
+// counts are validated against the bytes actually present before allocating.
+func decodeView(p []byte) (quorum.View, []byte, error) {
+	if len(p) < 16 {
+		return quorum.View{}, nil, errShortPayload
+	}
+	var v quorum.View
+	v.Epoch = Epoch(binary.BigEndian.Uint64(p))
+	v.K = int(int32(binary.BigEndian.Uint32(p[8:])))
+	nm := int64(binary.BigEndian.Uint32(p[12:]))
+	p = p[16:]
+	if nm*4 > int64(len(p)) {
+		return quorum.View{}, nil, errShortPayload
+	}
+	if nm > 0 {
+		v.Members = make([]int32, nm)
+		for i := range v.Members {
+			v.Members[i] = int32(binary.BigEndian.Uint32(p[i*4:]))
+		}
+	}
+	p = p[nm*4:]
+	if len(p) < 4 {
+		return quorum.View{}, nil, errShortPayload
+	}
+	na := int64(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	// Every address costs at least its 4-byte length prefix.
+	if na > int64(len(p)/4) {
+		return quorum.View{}, nil, errShortPayload
+	}
+	if na > 0 {
+		v.Addrs = make([]string, na)
+		for i := range v.Addrs {
+			b, rest, err := decodeLenBytes(p)
+			if err != nil {
+				return quorum.View{}, nil, err
+			}
+			v.Addrs[i] = string(b)
+			p = rest
+		}
+	}
+	return v, p, nil
+}
+
+// EncodeView encodes a view as a standalone byte string — the value written
+// to the reserved ViewKey register, and the format nested inside StaleEpoch
+// and SnapReply frames.
+func EncodeView(v quorum.View) []byte {
+	return appendView(make([]byte, 0, 16+4*len(v.Members)+4+24*len(v.Addrs)), v)
+}
+
+// DecodeView decodes a standalone view produced by EncodeView. Trailing
+// bytes are rejected: a register value is exactly one view.
+func DecodeView(b []byte) (quorum.View, error) {
+	v, rest, err := decodeView(b)
+	if err != nil {
+		return quorum.View{}, err
+	}
+	if len(rest) != 0 {
+		return quorum.View{}, fmt.Errorf("msg: %d trailing bytes after view", len(rest))
+	}
+	return v, nil
 }
 
 func appendTagged(dst []byte, tag Tagged) ([]byte, error) {
@@ -241,12 +382,12 @@ func decodePayload(p []byte, allowBatch bool) (any, error) {
 	kind, p := p[0], p[1:]
 	switch kind {
 	case wireReadReq, wireWriteAck:
-		reg, op, _, err := decodeRegOp(p)
+		reg, op, rest, err := decodeRegOp(p)
 		if err != nil {
 			return nil, err
 		}
 		if kind == wireReadReq {
-			return ReadReq{Reg: reg, Op: op}, nil
+			return ReadReq{Reg: reg, Op: op, Epoch: trailingEpoch(rest)}, nil
 		}
 		return WriteAck{Reg: reg, Op: op}, nil
 	case wireReadReply, wireWriteReq:
@@ -254,14 +395,64 @@ func decodePayload(p []byte, allowBatch bool) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		tag, _, err := decodeTagged(rest)
+		tag, rest, err := decodeTagged(rest)
 		if err != nil {
 			return nil, err
 		}
 		if kind == wireReadReply {
 			return ReadReply{Reg: reg, Op: op, Tag: tag}, nil
 		}
-		return WriteReq{Reg: reg, Op: op, Tag: tag}, nil
+		return WriteReq{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)}, nil
+	case wireStaleEpoch:
+		reg, op, rest, err := decodeRegOp(p)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := decodeView(rest)
+		if err != nil {
+			return nil, err
+		}
+		return StaleEpoch{Reg: reg, Op: op, View: v}, nil
+	case wireSnapReq:
+		if len(p) < 8 {
+			return nil, errShortPayload
+		}
+		return SnapReq{Op: OpID(binary.BigEndian.Uint64(p))}, nil
+	case wireSnapReply:
+		if len(p) < 8 {
+			return nil, errShortPayload
+		}
+		op := OpID(binary.BigEndian.Uint64(p))
+		v, rest, err := decodeView(p[8:])
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 4 {
+			return nil, errShortPayload
+		}
+		count := int64(binary.BigEndian.Uint32(rest))
+		rest = rest[4:]
+		// Every entry costs at least reg (4) + timestamp (12) + value tag (1).
+		if count > int64(len(rest)/17) {
+			return nil, fmt.Errorf("msg: snapshot claims %d entries in %d bytes", count, len(rest))
+		}
+		r := SnapReply{Op: op, View: v}
+		if count > 0 {
+			r.Entries = make([]SnapEntry, 0, count)
+		}
+		for i := int64(0); i < count; i++ {
+			if len(rest) < 4 {
+				return nil, errShortPayload
+			}
+			reg := RegisterID(int32(binary.BigEndian.Uint32(rest)))
+			tag, after, err := decodeTagged(rest[4:])
+			if err != nil {
+				return nil, err
+			}
+			r.Entries = append(r.Entries, SnapEntry{Reg: reg, Tag: tag})
+			rest = after
+		}
+		return r, nil
 	case wireBatch:
 		if !allowBatch {
 			return nil, errors.New("msg: nested Batch")
@@ -319,10 +510,11 @@ func IsBatchPayload(p []byte) bool {
 // matching the decoder's junk-tolerance contract. A callback returning false
 // stops the walk.
 type BatchVisitor struct {
-	ReadReq   func(ReadReq) bool
-	WriteReq  func(WriteReq) bool
-	ReadReply func(ReadReply) bool
-	WriteAck  func(WriteAck) bool
+	ReadReq    func(ReadReq) bool
+	WriteReq   func(WriteReq) bool
+	ReadReply  func(ReadReply) bool
+	WriteAck   func(WriteAck) bool
+	StaleEpoch func(StaleEpoch) bool
 }
 
 // VisitBatchPayload walks a raw batch payload (kind byte included), invoking
@@ -373,13 +565,13 @@ func visitElement(el []byte, v BatchVisitor) bool {
 	kind, el := el[0], el[1:]
 	switch kind {
 	case wireReadReq, wireWriteAck:
-		reg, op, _, err := decodeRegOp(el)
+		reg, op, rest, err := decodeRegOp(el)
 		if err != nil {
 			return true
 		}
 		if kind == wireReadReq {
 			if v.ReadReq != nil {
-				return v.ReadReq(ReadReq{Reg: reg, Op: op})
+				return v.ReadReq(ReadReq{Reg: reg, Op: op, Epoch: trailingEpoch(rest)})
 			}
 		} else if v.WriteAck != nil {
 			return v.WriteAck(WriteAck{Reg: reg, Op: op})
@@ -389,16 +581,28 @@ func visitElement(el []byte, v BatchVisitor) bool {
 		if err != nil {
 			return true
 		}
-		tag, _, err := decodeTagged(rest)
+		tag, rest, err := decodeTagged(rest)
 		if err != nil {
 			return true
 		}
 		if kind == wireWriteReq {
 			if v.WriteReq != nil {
-				return v.WriteReq(WriteReq{Reg: reg, Op: op, Tag: tag})
+				return v.WriteReq(WriteReq{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)})
 			}
 		} else if v.ReadReply != nil {
 			return v.ReadReply(ReadReply{Reg: reg, Op: op, Tag: tag})
+		}
+	case wireStaleEpoch:
+		reg, op, rest, err := decodeRegOp(el)
+		if err != nil {
+			return true
+		}
+		vw, _, err := decodeView(rest)
+		if err != nil {
+			return true
+		}
+		if v.StaleEpoch != nil {
+			return v.StaleEpoch(StaleEpoch{Reg: reg, Op: op, View: vw})
 		}
 	}
 	// Unknown kinds (including nested batches) are junk: dropped, not fatal.
@@ -448,6 +652,21 @@ func (w *BatchWriter) AddWriteAck(m WriteAck) {
 	w.buf = append(w.buf, 0, 0, 0, 0)
 	w.buf = append(w.buf, wireWriteAck)
 	w.buf = appendRegOp(w.buf, m.Reg, m.Op)
+	binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
+	w.count++
+}
+
+// AddStaleEpoch appends one StaleEpoch element — the reject a server emits
+// inside a batch reply when a batched request carries an outdated epoch.
+// Unlike AddReadReply this allocates (the view's member and address slices
+// are appended field by field), which is fine: rejects happen only during a
+// reconfiguration window, never on the steady-state path.
+func (w *BatchWriter) AddStaleEpoch(m StaleEpoch) {
+	lenAt := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	w.buf = append(w.buf, wireStaleEpoch)
+	w.buf = appendRegOp(w.buf, m.Reg, m.Op)
+	w.buf = appendView(w.buf, m.View)
 	binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
 	w.count++
 }

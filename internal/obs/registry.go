@@ -142,6 +142,11 @@ type Health struct {
 	Reads    int64  `json:"reads"`
 	Writes   int64  `json:"writes"`
 	Addr     string `json:"addr,omitempty"`
+	// Epoch and View report the server's active membership view: the epoch
+	// it rejects older operations against and the number of members in it.
+	// Both stay zero for servers running in static (pre-membership) mode.
+	Epoch uint64 `json:"epoch,omitempty"`
+	View  int    `json:"view,omitempty"`
 }
 
 // HealthFunc samples one server's current health. It must be safe to call

@@ -1,0 +1,102 @@
+package quorum
+
+import "fmt"
+
+// Epoch numbers a membership view. Epochs are totally ordered and increase
+// monotonically with every reconfiguration; epoch 0 is reserved for the
+// static (pre-membership) mode in which clients stamp no epoch and servers
+// accept every operation.
+type Epoch uint64
+
+// View is one membership configuration: the replica set together with the
+// quorum-system parameters, stamped with the epoch that orders it against
+// every other configuration the execution has seen.
+//
+// Position in Members is the server index used by quorum picks and by
+// transport sends — a System built from a view with n members picks indices
+// in [0, n), and the transport's Update seam rebinds those indices to the
+// view's endpoints. Members carries stable node identities across views so
+// adapters can tell a reindexed survivor from a joiner; Addrs (optional,
+// parallel to Members) carries the TCP endpoints for dialing transports.
+type View struct {
+	Epoch   Epoch
+	Members []int32
+	Addrs   []string
+	// K is the quorum size for the probabilistic access strategy; 0 selects
+	// the majority system (the conservative default for small views).
+	K int
+}
+
+// N returns the number of replicas in the view.
+func (v View) N() int { return len(v.Members) }
+
+// System constructs the quorum system the view prescribes: majority when
+// K == 0, otherwise the probabilistic system with quorum size K.
+func (v View) System() System {
+	if v.K == 0 {
+		return NewMajority(len(v.Members))
+	}
+	return NewProbabilistic(len(v.Members), v.K)
+}
+
+// Validate reports why the view is malformed, or nil. A valid view has a
+// nonzero epoch, at least one member, no duplicate members, K within range,
+// and Addrs either empty or parallel to Members.
+func (v View) Validate() error {
+	if v.Epoch == 0 {
+		return fmt.Errorf("quorum: view has zero epoch")
+	}
+	if len(v.Members) == 0 {
+		return fmt.Errorf("quorum: view %d has no members", v.Epoch)
+	}
+	if v.K < 0 || v.K > len(v.Members) {
+		return fmt.Errorf("quorum: view %d quorum size %d out of range for %d members",
+			v.Epoch, v.K, len(v.Members))
+	}
+	if len(v.Addrs) != 0 && len(v.Addrs) != len(v.Members) {
+		return fmt.Errorf("quorum: view %d has %d addrs for %d members",
+			v.Epoch, len(v.Addrs), len(v.Members))
+	}
+	seen := make(map[int32]struct{}, len(v.Members))
+	for _, m := range v.Members {
+		if _, dup := seen[m]; dup {
+			return fmt.Errorf("quorum: view %d repeats member %d", v.Epoch, m)
+		}
+		seen[m] = struct{}{}
+	}
+	return nil
+}
+
+// Clone returns a deep copy: views flow between goroutines (client adoption,
+// transport updates, server installs) and must never share slices.
+func (v View) Clone() View {
+	c := v
+	if v.Members != nil {
+		c.Members = append([]int32(nil), v.Members...)
+	}
+	if v.Addrs != nil {
+		c.Addrs = append([]string(nil), v.Addrs...)
+	}
+	return c
+}
+
+// IndexOf returns the position of member id in the view, or -1.
+func (v View) IndexOf(id int32) int {
+	for i, m := range v.Members {
+		if m == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether member id is part of the view.
+func (v View) Contains(id int32) bool { return v.IndexOf(id) >= 0 }
+
+// Newer reports whether v supersedes the epoch e.
+func (v View) Newer(e Epoch) bool { return v.Epoch > e }
+
+// String renders the view compactly for logs and test failures.
+func (v View) String() string {
+	return fmt.Sprintf("view(epoch=%d,n=%d,k=%d)", v.Epoch, len(v.Members), v.K)
+}

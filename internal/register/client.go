@@ -7,6 +7,7 @@ import (
 
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
 	"probquorum/internal/trace"
 	"probquorum/internal/transport"
 )
@@ -132,6 +133,21 @@ func NewClient(e *Engine, tr transport.Transport, opts ...ClientOption) *Client 
 
 // Engine returns the client's register engine.
 func (c *Client) Engine() *Engine { return c.e }
+
+// AdoptView switches the client to a newer membership view: the engine's
+// quorum systems and epoch stamp move to it, and the transport is re-targeted
+// when it supports runtime updates. Reconfigurations normally reach a client
+// through StaleEpoch rejects mid-operation (handled inside the operation
+// loop); this method is for the client that initiated the reconfiguration —
+// it already holds the new view and should not wait to be rejected.
+// It reports whether the view was adopted (false when not newer).
+func (c *Client) AdoptView(v quorum.View) bool {
+	if !c.e.AdoptView(v) {
+		return false
+	}
+	_, _ = transport.Update(c.tr, v)
+	return true
+}
 
 // sink is the transport's delivery callback. It never blocks: events go
 // into an unbounded queue guarded by a mutex, with a buffered notify channel
@@ -314,6 +330,30 @@ func (c *Client) pump(o *Operation, pt *phaseTimer) error {
 			continue
 		}
 		sends := o.Deliver(ev.server, ev.payload)
+		if v, ok := o.NewerView(); ok {
+			// A replica rejected this attempt from a newer view: adopt it,
+			// re-target the transport, and re-fan against the new quorum
+			// system. This consumes no retry budget — reconfiguration is not
+			// a fault — but does restart the attempt deadline.
+			c.AdoptView(v)
+			pt.lap(phaseQuorumWait)
+			sends = o.RetryView()
+			c.counters.ViewAdopts.Inc()
+			if err := c.sendAll(sends); err != nil {
+				return err
+			}
+			pt.lap(phaseFanOut)
+			if timer != nil {
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(c.opTimeout)
+			}
+			continue
+		}
 		if o.Done() {
 			// Any sends are fire-and-forget read repairs; errors are
 			// irrelevant to the completed operation.

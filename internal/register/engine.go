@@ -30,6 +30,12 @@ type Engine struct {
 	rnd      *rand.Rand
 	monotone bool
 
+	// epoch stamps every request this engine issues; 0 is static mode.
+	// view is the adopted membership view (zero value in static mode);
+	// AdoptView advances both and swaps the quorum systems in one step.
+	epoch quorum.Epoch
+	view  quorum.View
+
 	nextOp     msg.OpID
 	opStride   msg.OpID
 	wts        map[msg.RegisterID]uint64
@@ -124,6 +130,23 @@ func WithWriteSystem(sys quorum.System) Option {
 	return func(e *Engine) { e.writeSys = sys }
 }
 
+// WithView starts the engine on an epoch-stamped membership view instead of
+// a bare quorum system: the read and write systems are both constructed from
+// the view, and every request the engine issues is stamped with the view's
+// epoch so replicas on a newer view can reject it with the replacement. The
+// sys argument of NewEngine is ignored when this option is present.
+func WithView(v quorum.View) Option {
+	if err := v.Validate(); err != nil {
+		panic("register: " + err.Error())
+	}
+	return func(e *Engine) {
+		e.view = v.Clone()
+		e.epoch = v.Epoch
+		e.sys = e.view.System()
+		e.writeSys = nil // recomputed from the view after options run
+	}
+}
+
 // NewEngine returns a register engine for the given writer identity, quorum
 // system, and randomness stream.
 func NewEngine(writer int32, sys quorum.System, rnd *rand.Rand, opts ...Option) *Engine {
@@ -141,17 +164,46 @@ func NewEngine(writer int32, sys quorum.System, rnd *rand.Rand, opts ...Option) 
 		o(e)
 	}
 	if e.writeSys == nil {
-		e.writeSys = sys
+		e.writeSys = e.sys
 	}
-	if e.writeSys.N() != sys.N() {
+	if e.writeSys.N() != e.sys.N() {
 		panic(fmt.Sprintf("register: write system covers %d servers, read system %d",
-			e.writeSys.N(), sys.N()))
+			e.writeSys.N(), e.sys.N()))
 	}
 	return e
 }
 
 // System returns the engine's quorum system.
 func (e *Engine) System() quorum.System { return e.sys }
+
+// Epoch returns the membership epoch the engine stamps requests with
+// (0 in static mode).
+func (e *Engine) Epoch() quorum.Epoch { return e.epoch }
+
+// View returns the adopted membership view; ok=false in static mode.
+func (e *Engine) View() (quorum.View, bool) {
+	return e.view, e.epoch != 0
+}
+
+// AdoptView switches the engine to a newer membership view: the quorum
+// systems are rebuilt from it and every subsequent request (including
+// re-picked retries of in-flight operations) is stamped with its epoch.
+// Views no newer than the current epoch are ignored (idempotent under the
+// duplicate StaleEpoch replies a fan-out can collect). The caller is
+// responsible for re-targeting the transport (transport.Update) before the
+// next fan-out when endpoints moved.
+func (e *Engine) AdoptView(v quorum.View) bool {
+	e.guard.enter()
+	defer e.guard.leave()
+	if v.Epoch <= e.epoch || v.Validate() != nil {
+		return false
+	}
+	e.view = v.Clone()
+	e.epoch = v.Epoch
+	e.sys = e.view.System()
+	e.writeSys = e.sys
+	return true
+}
 
 // IsMonotone reports whether the monotone cache is enabled.
 func (e *Engine) IsMonotone() bool { return e.monotone }
@@ -226,6 +278,7 @@ func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
 		Reg:       reg,
 		Op:        e.nextOp,
 		Quorum:    e.pick(e.sys),
+		Epoch:     e.epoch,
 		replied:   make(map[int]bool),
 		tags:      make(map[int]msg.Tagged),
 		unanimous: true,
@@ -253,6 +306,7 @@ func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
 		Reg:       s.Reg,
 		Op:        e.nextOp,
 		Quorum:    e.pickInto(e.sys, s.Quorum),
+		Epoch:     e.epoch,
 		replied:   s.replied,
 		tags:      s.tags,
 		unanimous: true,
@@ -276,6 +330,7 @@ func (e *Engine) RetryWrite(s *WriteSession) *WriteSession {
 		Op:     e.nextOp,
 		Tag:    s.Tag,
 		Quorum: e.pickInto(e.writeSys, s.Quorum),
+		Epoch:  e.epoch,
 		acked:  s.acked,
 	}
 }
@@ -371,6 +426,7 @@ func (e *Engine) BeginWrite(reg msg.RegisterID, val msg.Value) *WriteSession {
 		Op:     e.nextOp,
 		Tag:    tag,
 		Quorum: e.pick(e.writeSys),
+		Epoch:  e.epoch,
 		acked:  make(map[int]bool),
 	}
 }
@@ -388,6 +444,7 @@ func (e *Engine) BeginWriteWithTS(reg msg.RegisterID, tag msg.Tagged) *WriteSess
 		Op:     e.nextOp,
 		Tag:    tag,
 		Quorum: e.pick(e.writeSys),
+		Epoch:  e.epoch,
 		acked:  make(map[int]bool),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
 	"probquorum/internal/transport"
 )
 
@@ -69,6 +70,12 @@ func NewKeyspaceOver(engines []*Engine, tr transport.Transport, opts ...Pipeline
 	k := NewKeyspace(engines, func(server int, req any) {
 		_ = tr.Send(server, req)
 	}, opts...)
+	for _, s := range k.shards {
+		// Each shard adopts views independently (whichever shard is rejected
+		// first re-targets the shared transport; Update is idempotent by
+		// epoch, so the rest are no-ops).
+		s.tr = tr
+	}
 	tr.Bind(func(server int, payload any, err error) {
 		if err != nil {
 			if server == transport.Broadcast {
@@ -78,6 +85,9 @@ func NewKeyspaceOver(engines []*Engine, tr transport.Transport, opts ...Pipeline
 		}
 		k.Deliver(server, payload)
 	})
+	// Concrete-typed delivery: batch replies walk straight into the issuing
+	// shard without boxing (the Sink above keeps carrying errors).
+	transport.BindReplies(tr, k)
 	return k
 }
 
@@ -149,12 +159,56 @@ func (k *Keyspace) ReadAtomicAsyncFunc(key msg.RegisterID, fn func(msg.Tagged, e
 func (k *Keyspace) Deliver(server int, payload any) {
 	switch m := payload.(type) {
 	case msg.ReadReply:
-		k.shards[m.Op&k.mask].Deliver(server, payload)
+		k.shards[m.Op&k.mask].ReadReply(server, m)
 	case msg.WriteAck:
-		k.shards[m.Op&k.mask].Deliver(server, payload)
+		k.shards[m.Op&k.mask].WriteAck(server, m)
+	case msg.StaleEpoch:
+		k.shards[m.Op&k.mask].StaleEpoch(server, m)
 	default:
 		k.shards[0].Deliver(server, payload)
 	}
+}
+
+// ReadReply routes one concrete read reply to its issuing shard — the
+// unboxed leg of Deliver (transport.ReplySink).
+func (k *Keyspace) ReadReply(server int, m msg.ReadReply) {
+	k.shards[m.Op&k.mask].ReadReply(server, m)
+}
+
+// WriteAck routes one concrete write acknowledgement to its issuing shard.
+func (k *Keyspace) WriteAck(server int, m msg.WriteAck) {
+	k.shards[m.Op&k.mask].WriteAck(server, m)
+}
+
+// StaleEpoch routes one concrete stale-epoch reject to its issuing shard;
+// the shard adopts the carried view and re-targets the shared transport.
+func (k *Keyspace) StaleEpoch(server int, m msg.StaleEpoch) {
+	k.shards[m.Op&k.mask].StaleEpoch(server, m)
+}
+
+// AdoptView installs a newer membership view on every shard (and re-targets
+// the shared transport once, through the first shard that adopts it),
+// reporting whether any shard adopted it.
+func (k *Keyspace) AdoptView(v quorum.View) bool {
+	any := false
+	for _, s := range k.shards {
+		if s.AdoptView(v) {
+			any = true
+		}
+	}
+	return any
+}
+
+// Epoch returns the highest epoch adopted by any shard (0 in static mode).
+// Safe to call while operations are in flight.
+func (k *Keyspace) Epoch() quorum.Epoch {
+	var e quorum.Epoch
+	for _, s := range k.shards {
+		if se := s.Epoch(); se > e {
+			e = se
+		}
+	}
+	return e
 }
 
 // Retries returns the total number of re-issued operations across shards.

@@ -253,7 +253,61 @@ func TestKeyspaceAllocGate(t *testing.T) {
 		t.Errorf("keyspace path allocates %.1f/op-pair, direct pipeline %.1f — sharding added allocations",
 			ksAllocs, plAllocs)
 	}
-	t.Logf("allocs per write+read pair: pipeline %.1f, keyspace %.1f", plAllocs, ksAllocs)
+
+	// Unboxed delivery: replies arrive through the concrete ReplySink methods
+	// (the transport.BindReplies path the TCP binary read loop uses) instead
+	// of being boxed into Deliver's any. De-boxing must not cost allocations
+	// over the boxed path — that is its whole point.
+	cstores := make([]*replica.Store, 5)
+	for i := range cstores {
+		cstores[i] = replica.New(msg.NodeID(i), nil)
+	}
+	var ksc *register.Keyspace
+	cSend := func(server int, req any) {
+		reply, ok := cstores[server].Apply(req)
+		if !ok {
+			return
+		}
+		switch m := reply.(type) {
+		case msg.ReadReply:
+			ksc.ReadReply(server, m)
+		case msg.WriteAck:
+			ksc.WriteAck(server, m)
+		case msg.StaleEpoch:
+			ksc.StaleEpoch(server, m)
+		default:
+			ksc.Deliver(server, reply)
+		}
+	}
+	cEngines := make([]*register.Engine, 8)
+	for i := range cEngines {
+		cEngines[i] = register.NewEngine(1, sys,
+			rng.Derive(7, fmt.Sprintf("allocgate.unboxed.%d", i)),
+			register.WithOpStride(uint64(i), 8))
+	}
+	ksc = register.NewKeyspace(cEngines, cSend)
+	for i := 0; i < 64; i++ {
+		if err := ksc.Write(key, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ksc.Read(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unboxedAllocs := testing.AllocsPerRun(200, func() {
+		if err := ksc.Write(key, 7); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ksc.Read(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if unboxedAllocs > ksAllocs {
+		t.Errorf("unboxed reply path allocates %.1f/op-pair, boxed Deliver %.1f — de-boxing added allocations",
+			unboxedAllocs, ksAllocs)
+	}
+	t.Logf("allocs per write+read pair: pipeline %.1f, keyspace %.1f, keyspace-unboxed %.1f",
+		plAllocs, ksAllocs, unboxedAllocs)
 }
 
 // TestKeyspaceIdleKeyBytes bounds the memory a key costs after it has gone

@@ -2,6 +2,7 @@ package register
 
 import (
 	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
 )
 
 // Send is one outbound fan-out request: hand Req to server Server. The
@@ -64,6 +65,11 @@ type Operation struct {
 	rejected bool
 	// fast marks an atomic read that completed without a write-back phase.
 	fast bool
+	// newView holds a replacement membership view delivered by a StaleEpoch
+	// reject of the current attempt. The driver consumes it via NewerView,
+	// adopts it (engine + transport), and re-fans with RetryView.
+	newView    quorum.View
+	hasNewView bool
 }
 
 // NewReadOp prepares a read of reg with the given retry budget.
@@ -180,9 +186,71 @@ func (o *Operation) Deliver(server int, payload any) []Send {
 		}
 		o.done = true
 		return nil
+	case msg.StaleEpoch:
+		// A replica on a newer view refused this attempt. Record the view if
+		// it actually advances us; the driver adopts it and calls RetryView.
+		// Rejects addressed to abandoned attempts, or carrying a view we have
+		// already adopted, are ignored — the quorum members still on our
+		// epoch may yet complete the attempt.
+		if !o.currentOp(m.Reg, m.Op) {
+			return nil
+		}
+		if m.View.Newer(o.e.Epoch()) && (!o.hasNewView || m.View.Newer(o.newView.Epoch)) {
+			o.newView = m.View
+			o.hasNewView = true
+		}
+		return nil
 	default:
 		return nil
 	}
+}
+
+// currentOp reports whether (reg, op) addresses the current attempt of
+// either phase — the filter deciding whether a StaleEpoch reject concerns
+// this operation as it stands now.
+func (o *Operation) currentOp(reg msg.RegisterID, op msg.OpID) bool {
+	if reg != o.reg {
+		return false
+	}
+	if o.phase == opPhaseRead && o.rs != nil {
+		return op == o.rs.Op
+	}
+	if o.ws != nil {
+		if o.rs != nil && op == o.rs.Op {
+			return true
+		}
+		return op == o.ws.Op
+	}
+	return false
+}
+
+// NewerView returns (and clears) the replacement membership view a
+// StaleEpoch reject delivered for the current attempt. The driver should
+// adopt it — Engine.AdoptView plus transport.Update — and then re-fan the
+// operation with RetryView.
+func (o *Operation) NewerView() (quorum.View, bool) {
+	if !o.hasNewView {
+		return quorum.View{}, false
+	}
+	v := o.newView
+	o.newView = quorum.View{}
+	o.hasNewView = false
+	return v, true
+}
+
+// RetryView abandons the current attempt and re-fans it against the
+// engine's (freshly adopted) view. Unlike Retry it does not consume the
+// retry budget: a reconfiguration is not a fault, and a client riding
+// through a long rolling restart must not run out of attempts because of
+// it. The phase is preserved, as in Retry.
+func (o *Operation) RetryView() []Send {
+	o.rejected = false
+	if o.phase == opPhaseRead {
+		o.rs = o.e.RetryRead(o.rs)
+		return o.fanOut(o.rs.Quorum, o.rs.Request())
+	}
+	o.ws = o.e.RetryWrite(o.ws)
+	return o.fanOut(o.ws.Quorum, o.ws.Request())
 }
 
 // Retry abandons the current attempt — quorum members crashed, timed out, or
@@ -221,6 +289,10 @@ func (o *Operation) Stale(payload any) bool {
 		op, reg, isRead = m.Op, m.Reg, true
 	case msg.WriteAck:
 		op, reg = m.Op, m.Reg
+	case msg.StaleEpoch:
+		// A reject is stale exactly when it no longer addresses the current
+		// attempt of either phase.
+		return !o.currentOp(m.Reg, m.Op)
 	default:
 		return false
 	}

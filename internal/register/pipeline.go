@@ -8,6 +8,7 @@ import (
 
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
 	"probquorum/internal/trace"
 	"probquorum/internal/transport"
 )
@@ -56,6 +57,10 @@ type Pipeline struct {
 	mu     sync.Mutex
 	engine *Engine
 	send   SendFunc
+	// tr is the transport underneath send when the pipeline was built by
+	// NewPipelineOver (nil otherwise): view adoptions triggered by stale-epoch
+	// rejects re-target it before the rejected operation re-fans out.
+	tr transport.Transport
 
 	clock    func() int64
 	log      *trace.Log
@@ -170,6 +175,7 @@ func NewPipelineOver(engine *Engine, tr transport.Transport, opts ...PipelineOpt
 	p := NewPipeline(engine, func(server int, req any) {
 		_ = tr.Send(server, req)
 	}, opts...)
+	p.tr = tr
 	tr.Bind(func(server int, payload any, err error) {
 		if err != nil {
 			if server == transport.Broadcast {
@@ -179,12 +185,47 @@ func NewPipelineOver(engine *Engine, tr transport.Transport, opts ...PipelineOpt
 		}
 		p.Deliver(server, payload)
 	})
+	// Transports with a concrete-typed reply path deliver straight into the
+	// pipeline's ReplySink methods, skipping the interface boxing of the Sink
+	// closure above (which remains bound for errors and oddball payloads).
+	transport.BindReplies(tr, p)
 	return p
 }
 
 // Engine returns the wrapped engine. Callers must not invoke its methods
 // while operations are in flight.
 func (p *Pipeline) Engine() *Engine { return p.engine }
+
+// AdoptView installs a newer membership view on the pipeline's engine (and
+// re-targets its transport, when it has one), reporting whether the view was
+// adopted. In-flight operations keep waiting on their already-picked quorums;
+// they migrate lazily — via a stale-epoch reject or their own retry deadline —
+// which is safe because a transition-window replica accepts ops stamped with
+// epochs at or above its own.
+func (p *Pipeline) AdoptView(v quorum.View) bool {
+	p.mu.Lock()
+	ok := p.engine.AdoptView(v)
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if p.counters != nil {
+		p.counters.ViewAdopts.Inc()
+	}
+	if p.tr != nil {
+		_, _ = transport.Update(p.tr, v)
+	}
+	return true
+}
+
+// Epoch returns the membership epoch the pipeline currently operates under
+// (0 in static mode). Unlike Engine().Epoch(), it is safe to call while
+// operations are in flight: adoption happens under the pipeline lock.
+func (p *Pipeline) Epoch() quorum.Epoch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.engine.Epoch()
+}
 
 // Retries returns how many times operations were re-issued on fresh quorums.
 func (p *Pipeline) Retries() int64 { return p.retried.Load() }
@@ -533,6 +574,18 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 		p.counters.Retries.Inc()
 	}
 	op.attempt++
+	var sends []outMsg
+	p.reissueLocked(op, &sends)
+	p.mu.Unlock()
+	p.dispatch(sends)
+}
+
+// reissueLocked re-fans an in-flight operation's current phase on a freshly
+// picked quorum (stamped with the engine's current epoch). It does not touch
+// the attempt counter — the caller decides whether the re-issue spends retry
+// budget (a timeout does; a stale-epoch reject does not, because
+// reconfiguration is not a fault).
+func (p *Pipeline) reissueLocked(op *PendingOp, sends *[]outMsg) {
 	if p.obsv != nil {
 		// The abandoned attempt's wait ends here; the re-pick below is a
 		// fresh pick lap.
@@ -544,7 +597,6 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 		}
 		op.phaseMark = now
 	}
-	var sends []outMsg
 	switch {
 	case op.kind == opWrite || op.wback:
 		// A write, or an atomic read stuck in its write-back: re-issue the
@@ -556,7 +608,7 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 		p.inflight[op.ws.Op] = op
 		req := op.ws.Request()
 		for _, srv := range op.ws.Quorum {
-			sends = append(sends, outMsg{server: srv, req: req})
+			*sends = append(*sends, outMsg{server: srv, req: req})
 		}
 	default:
 		delete(p.inflight, op.rs.Op)
@@ -564,13 +616,11 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 		p.inflight[op.rs.Op] = op
 		req := op.rs.Request()
 		for _, srv := range op.rs.Quorum {
-			sends = append(sends, outMsg{server: srv, req: req})
+			*sends = append(*sends, outMsg{server: srv, req: req})
 		}
 	}
 	p.lapPickLocked(op)
 	p.armTimerLocked(op)
-	p.mu.Unlock()
-	p.dispatch(sends)
 }
 
 // Deliver feeds one server's message into the pipeline. Replies are matched
@@ -578,55 +628,55 @@ func (p *Pipeline) onTimeout(op *PendingOp, attempt int) {
 // non-protocol payloads are ignored, so transports may deliver anything they
 // receive. It is safe for concurrent use.
 func (p *Pipeline) Deliver(server int, payload any) {
+	switch m := payload.(type) {
+	case msg.ReadReply:
+		p.ReadReply(server, m)
+	case msg.WriteAck:
+		p.WriteAck(server, m)
+	case msg.StaleEpoch:
+		p.StaleEpoch(server, m)
+	}
+}
+
+// ReadReply feeds one concrete read reply into the pipeline — the unboxed
+// leg of Deliver (transport.ReplySink).
+func (p *Pipeline) ReadReply(server int, m msg.ReadReply) {
 	var sends []outMsg
 	var completed *PendingOp
 	p.mu.Lock()
-	switch m := payload.(type) {
-	case msg.ReadReply:
-		op := p.inflight[m.Op]
-		if op == nil || op.rs == nil {
-			// Late reply to an abandoned or completed attempt: dropped by
-			// op-id, observable through StaleDrops.
-			if p.counters != nil {
-				p.counters.StaleDrops.Inc()
-			}
-			break
+	op := p.inflight[m.Op]
+	if op == nil || op.rs == nil {
+		// Late reply to an abandoned or completed attempt: dropped by
+		// op-id, observable through StaleDrops.
+		if p.counters != nil {
+			p.counters.StaleDrops.Inc()
 		}
-		if op.wback {
-			// A slow-but-healthy replica answering the atomic read's own
-			// already-completed read phase: a harmless duplicate of the
-			// current attempt, not a stale drop.
-			break
-		}
-		if op.rs.OnReply(server, m) {
-			if op.kind == opAtomicRead {
-				if tag, ok := p.engine.TryFinishReadFast(op.rs); ok {
-					op.fast = true
-					p.finishLocked(op, tag, nil)
-					p.advanceQueueLocked(op.reg, &sends)
-					completed = op
-					break
-				}
-				p.beginWriteBackLocked(op, p.engine.FinishRead(op.rs), &sends)
-				break
-			}
+		p.mu.Unlock()
+		return
+	}
+	if op.wback {
+		// A slow-but-healthy replica answering the atomic read's own
+		// already-completed read phase: a harmless duplicate of the
+		// current attempt, not a stale drop.
+		p.mu.Unlock()
+		return
+	}
+	if op.rs.OnReply(server, m) {
+		switch {
+		case op.kind != opAtomicRead:
 			tag := p.engine.FinishRead(op.rs)
 			p.finishLocked(op, tag, nil)
 			p.advanceQueueLocked(op.reg, &sends)
 			completed = op
-		}
-	case msg.WriteAck:
-		op := p.inflight[m.Op]
-		if op == nil || op.ws == nil {
-			if p.counters != nil {
-				p.counters.StaleDrops.Inc()
+		default:
+			if tag, ok := p.engine.TryFinishReadFast(op.rs); ok {
+				op.fast = true
+				p.finishLocked(op, tag, nil)
+				p.advanceQueueLocked(op.reg, &sends)
+				completed = op
+			} else {
+				p.beginWriteBackLocked(op, p.engine.FinishRead(op.rs), &sends)
 			}
-			break
-		}
-		if op.ws.OnAck(server, m) {
-			p.finishLocked(op, op.ws.Tag, nil)
-			p.advanceQueueLocked(op.reg, &sends)
-			completed = op
 		}
 	}
 	p.mu.Unlock()
@@ -634,6 +684,65 @@ func (p *Pipeline) Deliver(server int, payload any) {
 	if completed != nil {
 		p.signal(completed)
 	}
+}
+
+// WriteAck feeds one concrete write acknowledgement into the pipeline — the
+// unboxed leg of Deliver (transport.ReplySink).
+func (p *Pipeline) WriteAck(server int, m msg.WriteAck) {
+	var sends []outMsg
+	var completed *PendingOp
+	p.mu.Lock()
+	op := p.inflight[m.Op]
+	if op == nil || op.ws == nil {
+		if p.counters != nil {
+			p.counters.StaleDrops.Inc()
+		}
+		p.mu.Unlock()
+		return
+	}
+	if op.ws.OnAck(server, m) {
+		p.finishLocked(op, op.ws.Tag, nil)
+		p.advanceQueueLocked(op.reg, &sends)
+		completed = op
+	}
+	p.mu.Unlock()
+	p.dispatch(sends)
+	if completed != nil {
+		p.signal(completed)
+	}
+}
+
+// StaleEpoch handles a replica's stale-epoch reject: adopt the newer view it
+// carries, then re-fan the rejected operation's current phase against a
+// quorum of the new view — without spending retry budget, so an arbitrarily
+// long reconfiguration cannot exhaust an operation. Rejects for attempts the
+// pipeline already abandoned drain as stale drops like any late reply.
+func (p *Pipeline) StaleEpoch(server int, m msg.StaleEpoch) {
+	_ = server
+	var sends []outMsg
+	p.mu.Lock()
+	op := p.inflight[m.Op]
+	if op == nil || op.finished {
+		if p.counters != nil {
+			p.counters.StaleDrops.Inc()
+		}
+		p.mu.Unlock()
+		return
+	}
+	adopted := p.engine.AdoptView(m.View)
+	if adopted && p.counters != nil {
+		p.counters.ViewAdopts.Inc()
+	}
+	p.reissueLocked(op, &sends)
+	p.mu.Unlock()
+	if adopted && p.tr != nil {
+		// Re-target the transport before the re-fanned requests go out: a
+		// grown view's new server indices must be dialable by the time the
+		// re-pick can select them. Update is idempotent by epoch, so shards
+		// sharing one transport race benignly.
+		_, _ = transport.Update(p.tr, m.View)
+	}
+	p.dispatch(sends)
 }
 
 // beginWriteBackLocked transitions an atomic read whose quorum disagreed

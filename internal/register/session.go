@@ -28,6 +28,9 @@ type ReadSession struct {
 	Reg    msg.RegisterID
 	Op     msg.OpID
 	Quorum []int
+	// Epoch is the membership epoch the quorum was picked against; requests
+	// carry it so replicas on a newer view reject with the replacement.
+	Epoch msg.Epoch
 
 	replied map[int]bool
 	tags    map[int]msg.Tagged
@@ -41,7 +44,7 @@ type ReadSession struct {
 
 // Request returns the message to send to each quorum member.
 func (s *ReadSession) Request() msg.ReadReq {
-	return msg.ReadReq{Reg: s.Reg, Op: s.Op}
+	return msg.ReadReq{Reg: s.Reg, Op: s.Op, Epoch: s.Epoch}
 }
 
 // member reports whether server belongs to the session's quorum; replies
@@ -112,13 +115,15 @@ type WriteSession struct {
 	Op     msg.OpID
 	Tag    msg.Tagged
 	Quorum []int
+	// Epoch is as in ReadSession.
+	Epoch msg.Epoch
 
 	acked map[int]bool
 }
 
 // Request returns the message to send to each quorum member.
 func (s *WriteSession) Request() msg.WriteReq {
-	return msg.WriteReq{Reg: s.Reg, Op: s.Op, Tag: s.Tag}
+	return msg.WriteReq{Reg: s.Reg, Op: s.Op, Tag: s.Tag, Epoch: s.Epoch}
 }
 
 // OnAck feeds one server's acknowledgment into the session and reports

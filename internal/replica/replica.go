@@ -66,6 +66,11 @@ type Store struct {
 	reads   atomic.Int64
 	writes  atomic.Int64
 
+	// vs is the membership state (installed view, join/drain/stale
+	// counters); see view.go. Static-mode servers never touch it beyond
+	// one atomic load per epoch-stamped request.
+	vs viewState
+
 	shards [storeShards]storeShard
 }
 
@@ -94,17 +99,35 @@ func (s *Store) ID() msg.NodeID { return s.id }
 func (s *Store) Apply(req any) (reply any, ok bool) {
 	switch m := req.(type) {
 	case msg.ReadReq:
+		if s.crashed.Load() {
+			return nil, false
+		}
+		if rej, stale := s.StaleFor(m.Reg, m.Op, m.Epoch); stale {
+			return rej, true
+		}
 		r, ok := s.ApplyRead(m)
 		if !ok {
 			return nil, false
 		}
 		return r, true
 	case msg.WriteReq:
+		if s.crashed.Load() {
+			return nil, false
+		}
+		if rej, stale := s.StaleFor(m.Reg, m.Op, m.Epoch); stale {
+			return rej, true
+		}
 		a, ok := s.ApplyWrite(m)
 		if !ok {
 			return nil, false
 		}
 		return a, true
+	case msg.SnapReq:
+		r, ok := s.ApplySnap(m)
+		if !ok {
+			return nil, false
+		}
+		return r, true
 	default:
 		return nil, false
 	}
@@ -140,6 +163,11 @@ func (s *Store) ApplyWrite(m msg.WriteReq) (msg.WriteAck, bool) {
 		sh.regs[m.Reg] = m.Tag
 	}
 	sh.mu.Unlock()
+	// A write that lands on the reserved view register moves membership as a
+	// side effect — this is the self-hosting reconfiguration path (view.go).
+	if m.Reg == msg.ViewKey {
+		s.maybeInstallView(m.Tag)
+	}
 	return msg.WriteAck{Reg: m.Reg, Op: m.Op}, true
 }
 

@@ -1,0 +1,165 @@
+package replica
+
+import (
+	"errors"
+	"testing"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/obs"
+	"probquorum/internal/quorum"
+)
+
+func testView(epoch quorum.Epoch, members ...int32) quorum.View {
+	return quorum.View{Epoch: epoch, Members: members}
+}
+
+// TestSetViewInstallIfNewer pins the install ordering: views install only
+// when their epoch advances, regardless of arrival order, and malformed
+// views never install at all.
+func TestSetViewInstallIfNewer(t *testing.T) {
+	s := New(0, nil)
+	if _, ok := s.View(); ok {
+		t.Fatal("fresh store reports an installed view")
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("fresh store epoch = %d, want 0", s.Epoch())
+	}
+	if !s.SetView(testView(2, 0, 1, 2)) {
+		t.Fatal("first install rejected")
+	}
+	if s.SetView(testView(2, 0, 1, 2)) {
+		t.Fatal("same-epoch reinstall accepted")
+	}
+	if s.SetView(testView(1, 0, 1)) {
+		t.Fatal("older view accepted")
+	}
+	if !s.SetView(testView(3, 0, 1, 2, 3)) {
+		t.Fatal("newer view rejected")
+	}
+	if s.SetView(quorum.View{Epoch: 4}) {
+		t.Fatal("memberless view accepted")
+	}
+	v, ok := s.View()
+	if !ok || v.Epoch != 3 || v.N() != 4 {
+		t.Fatalf("installed view = %v ok=%v, want epoch 3 n=4", v, ok)
+	}
+}
+
+// TestStaleForBoundaries pins exactly which operations a view-holding
+// replica refuses: only nonzero epochs strictly older than its own, and
+// never operations on the reserved view register (a behind client must be
+// able to read the view register, or it could never catch up).
+func TestStaleForBoundaries(t *testing.T) {
+	s := New(0, nil)
+	if _, stale := s.StaleFor(0, 1, 5); stale {
+		t.Fatal("static-mode store rejected an epoch-stamped op")
+	}
+	s.SetView(testView(3, 0, 1, 2))
+	cases := []struct {
+		e     quorum.Epoch
+		reg   msg.RegisterID
+		stale bool
+	}{
+		{0, 0, false},           // static client, never rejected
+		{2, 0, true},            // older epoch
+		{3, 0, false},           // current epoch
+		{4, 0, false},           // newer epoch: transition window
+		{2, msg.ViewKey, false}, // view register is always served
+	}
+	for _, c := range cases {
+		rej, stale := s.StaleFor(c.reg, 9, c.e)
+		if stale != c.stale {
+			t.Errorf("StaleFor(reg=%d, epoch=%d) stale=%v, want %v", c.reg, c.e, stale, c.stale)
+		}
+		if stale && (rej.View.Epoch != 3 || rej.Op != 9) {
+			t.Errorf("reject carries %v op %d, want view epoch 3 op 9", rej.View, rej.Op)
+		}
+	}
+	if err := s.CheckEpoch(2); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("CheckEpoch(2) = %v, want ErrStaleEpoch", err)
+	}
+	var se *StaleEpochError
+	if err := s.CheckEpoch(1); !errors.As(err, &se) || se.View.Epoch != 3 {
+		t.Fatalf("CheckEpoch(1) does not carry the current view: %v", err)
+	}
+	if err := s.CheckEpoch(3); err != nil {
+		t.Fatalf("CheckEpoch(3) = %v, want nil", err)
+	}
+}
+
+// TestSnapshotInstallTransfersView drives the state-transfer pair: a
+// snapshot of a store that holds data and a view, installed into a fresh
+// store, must reproduce both — and a second, stale install must regress
+// neither.
+func TestSnapshotInstallTransfersView(t *testing.T) {
+	src := New(0, map[msg.RegisterID]msg.Value{1: 1.0, 2: 2.0})
+	v := testView(7, 0, 1, 2)
+	src.ApplyWrite(msg.WriteReq{Reg: msg.ViewKey, Op: 1,
+		Tag: msg.Tagged{TS: msg.Timestamp{Seq: 1, Writer: 1}, Val: msg.EncodeView(v)}})
+	if src.Epoch() != 7 {
+		t.Fatalf("view write did not install: epoch = %d", src.Epoch())
+	}
+
+	dst := New(9, nil)
+	dst.Install(src.Snapshot())
+	if got := dst.Get(2); got.Val != 2.0 {
+		t.Fatalf("transferred register 2 = %v, want 2.0", got.Val)
+	}
+	if dst.Epoch() != 7 {
+		t.Fatalf("transferred epoch = %d, want 7", dst.Epoch())
+	}
+
+	// Overwrite on dst, then re-install the stale snapshot: nothing regresses.
+	dst.ApplyWrite(msg.WriteReq{Reg: 2,
+		Tag: msg.Tagged{TS: msg.Timestamp{Seq: 9, Writer: 1}, Val: 9.0}})
+	dst.Install(src.Snapshot())
+	if got := dst.Get(2); got.Val != 9.0 {
+		t.Fatalf("stale install regressed register 2 to %v", got.Val)
+	}
+
+	// ApplySnap is the wire form of the same exchange.
+	rep, ok := src.ApplySnap(msg.SnapReq{Op: 42})
+	if !ok || rep.Op != 42 || rep.View.Epoch != 7 || len(rep.Entries) == 0 {
+		t.Fatalf("ApplySnap = %+v ok=%v", rep, ok)
+	}
+	src.Crash()
+	if _, ok := src.ApplySnap(msg.SnapReq{Op: 43}); ok {
+		t.Fatal("crashed store answered a snapshot request")
+	}
+}
+
+// TestViewStatsAndMetrics pins the membership observability: join/drain
+// deltas across installs, stale-reject counting, and the live gauges and
+// counters RegisterViewMetrics exposes on an obs registry.
+func TestViewStatsAndMetrics(t *testing.T) {
+	s := New(0, nil)
+	reg := obs.NewRegistry()
+	s.RegisterViewMetrics("server0", reg)
+
+	s.SetView(testView(1, 0, 1, 2))       // 3 join
+	s.SetView(testView(2, 0, 1, 2, 3, 4)) // 2 join
+	s.SetView(testView(3, 0, 1))          // 3 drain
+	s.StaleFor(0, 1, 2)                   // stale reject
+	s.StaleFor(0, 2, 1)                   // stale reject
+	joins, drains, stale := s.ViewStats()
+	if joins != 5 || drains != 3 || stale != 2 {
+		t.Fatalf("ViewStats = %d/%d/%d, want 5/3/2", joins, drains, stale)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Gauges["server0.epoch"].Value; got != 3 {
+		t.Errorf("epoch gauge = %d, want 3", got)
+	}
+	if got := snap.Gauges["server0.view_size"]; got.Value != 2 || got.Max != 5 {
+		t.Errorf("view_size gauge = %+v, want value 2 max 5", got)
+	}
+	if got := snap.Counters["server0.view_joins"]; got != 5 {
+		t.Errorf("view_joins = %d, want 5", got)
+	}
+	if got := snap.Counters["server0.view_drains"]; got != 3 {
+		t.Errorf("view_drains = %d, want 3", got)
+	}
+	if got := snap.Counters["server0.stale_rejects"]; got != 2 {
+		t.Errorf("stale_rejects = %d, want 2", got)
+	}
+}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+)
+
+// Updater is implemented by transports that can re-target their endpoints at
+// runtime when the membership view changes. Update rebinds server index i to
+// the view's i-th member: the TCP adapter re-dials joiners and drains leavers
+// on the live writer path, the cluster adapter swaps its sink slices under
+// the generation lock, and the simulator reschedules nodes on virtual time.
+// Updates are idempotent and ordered by epoch — an Update carrying an epoch
+// the transport has already adopted (or an older one) is a no-op.
+type Updater interface {
+	Update(v quorum.View) error
+}
+
+// Update re-targets t to the view if it (or the transport it wraps) supports
+// runtime membership, and reports whether it did. Transports without an
+// Update seam keep their dial-time endpoints; the register layer still
+// re-picks quorums against the new view's parameters, which is exactly right
+// for in-process adapters whose endpoints never move.
+func Update(t Transport, v quorum.View) (bool, error) {
+	if u, ok := t.(Updater); ok {
+		return true, u.Update(v)
+	}
+	return false, nil
+}
+
+// ReplySink receives server replies as concrete message values — the unboxed
+// mirror of Sink for the three reply kinds. The TCP transport's binary read
+// path walks batch frames straight into one of these (msg.VisitBatchPayload),
+// so a pipelined client decodes a full batch of replies without boxing each
+// element into an interface. Like Sink, methods may be invoked from internal
+// goroutines and must not block.
+type ReplySink interface {
+	ReadReply(server int, m msg.ReadReply)
+	WriteAck(server int, m msg.WriteAck)
+	StaleEpoch(server int, m msg.StaleEpoch)
+}
+
+// ReplyBinder is implemented by transports that can deliver replies through
+// a ReplySink. BindReplies must be called before the first Send, after Bind
+// (the Sink remains the path for errors, Broadcast notifications, and any
+// payload outside the three reply kinds).
+type ReplyBinder interface {
+	BindReplies(rs ReplySink)
+}
+
+// BindReplies installs rs on t if t (or the transport it wraps) supports
+// concrete-typed delivery, reporting whether it did. Callers fall back to
+// the boxed Sink path when it reports false.
+func BindReplies(t Transport, rs ReplySink) bool {
+	if rb, ok := t.(ReplyBinder); ok {
+		rb.BindReplies(rs)
+		return true
+	}
+	return false
+}
+
+// MultiError aggregates per-server failures from SendAll. Errs is indexed by
+// server; a nil entry is a successful hand-off. Keeping the full vector —
+// rather than the first failure — is what lets a membership drain tell "this
+// server already left the view" (its connection is gone on purpose) from
+// "this server crashed" (it should have been reachable).
+type MultiError struct {
+	Errs []error
+}
+
+// Error summarizes the failed sends, one clause per failing server.
+func (e *MultiError) Error() string {
+	var b strings.Builder
+	failed := e.Failed()
+	fmt.Fprintf(&b, "transport: %d/%d sends failed", len(failed), len(e.Errs))
+	for i, s := range failed {
+		if i == 0 {
+			b.WriteString(": ")
+		} else {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "server %d: %v", s, e.Errs[s])
+	}
+	return b.String()
+}
+
+// Unwrap exposes the non-nil per-server errors to errors.Is and errors.As.
+func (e *MultiError) Unwrap() []error {
+	out := make([]error, 0, len(e.Errs))
+	for _, err := range e.Errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
+// Failed returns the indices of the servers whose send failed, ascending.
+func (e *MultiError) Failed() []int {
+	var out []int
+	for s, err := range e.Errs {
+		if err != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SendAll hands req to every server of t, collecting per-server failures
+// into a *MultiError (nil when every hand-off succeeded). It never stops
+// early: a failure on server i still attempts i+1..n-1, because the caller
+// needs the complete failure vector to reason about the view.
+func SendAll(t Transport, req any) error {
+	n := t.N()
+	var me *MultiError
+	for s := 0; s < n; s++ {
+		if err := t.Send(s, req); err != nil {
+			if me == nil {
+				me = &MultiError{Errs: make([]error, n)}
+			}
+			me.Errs[s] = err
+		}
+	}
+	if me == nil {
+		return nil
+	}
+	return me
+}

@@ -1,0 +1,171 @@
+package transport_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/transport"
+)
+
+// stubTransport scripts per-server Send outcomes and records what was sent,
+// optionally implementing the membership seams.
+type stubTransport struct {
+	n        int
+	sendErrs map[int]error
+	sent     []int
+	sink     transport.Sink
+	rs       transport.ReplySink
+	updated  []quorum.View
+	updErr   error
+}
+
+func (s *stubTransport) N() int                { return s.n }
+func (s *stubTransport) Bind(f transport.Sink) { s.sink = f }
+func (s *stubTransport) Close() error          { return nil }
+
+func (s *stubTransport) Send(server int, req any) error {
+	if err := s.sendErrs[server]; err != nil {
+		return err
+	}
+	s.sent = append(s.sent, server)
+	return nil
+}
+
+func (s *stubTransport) Update(v quorum.View) error {
+	s.updated = append(s.updated, v)
+	return s.updErr
+}
+
+func (s *stubTransport) BindReplies(rs transport.ReplySink) { s.rs = rs }
+
+// TestSendAllCollectsPerServerErrors pins the SendAll contract: it never
+// stops early, the error vector is indexed by server, and the aggregate
+// matches each underlying error through errors.Is/As.
+func TestSendAllCollectsPerServerErrors(t *testing.T) {
+	errDown := errors.New("server down")
+	errGone := fmt.Errorf("drained: %w", errors.New("left the view"))
+	st := &stubTransport{n: 5, sendErrs: map[int]error{1: errDown, 3: errGone}}
+
+	err := transport.SendAll(st, "req")
+	if err == nil {
+		t.Fatal("SendAll returned nil despite two failures")
+	}
+	var me *transport.MultiError
+	if !errors.As(err, &me) {
+		t.Fatalf("SendAll error is %T, want *MultiError", err)
+	}
+	if len(me.Errs) != 5 {
+		t.Fatalf("Errs has %d entries, want 5 (indexed by server)", len(me.Errs))
+	}
+	if me.Errs[1] != errDown || me.Errs[3] != errGone {
+		t.Errorf("Errs = %v, want errDown at 1 and errGone at 3", me.Errs)
+	}
+	if me.Errs[0] != nil || me.Errs[2] != nil || me.Errs[4] != nil {
+		t.Errorf("successful servers carry non-nil entries: %v", me.Errs)
+	}
+	if got := me.Failed(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Failed() = %v, want [1 3]", got)
+	}
+	// No early stop: servers after the first failure were still attempted.
+	if len(st.sent) != 3 || st.sent[0] != 0 || st.sent[1] != 2 || st.sent[2] != 4 {
+		t.Errorf("sent to %v, want [0 2 4]", st.sent)
+	}
+	if !errors.Is(err, errDown) {
+		t.Error("errors.Is does not see through MultiError to a member error")
+	}
+	for _, want := range []string{"2/5 sends failed", "server 1", "server 3"} {
+		if s := err.Error(); !containsStr(s, want) {
+			t.Errorf("Error() = %q, missing %q", s, want)
+		}
+	}
+
+	st.sendErrs = nil
+	st.sent = nil
+	if err := transport.SendAll(st, "req"); err != nil {
+		t.Fatalf("all-success SendAll = %v, want nil", err)
+	}
+	if len(st.sent) != 5 {
+		t.Fatalf("all-success SendAll reached %d servers, want 5", len(st.sent))
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestUpdateAndBindRepliesSeams pins the optional-seam helpers: they engage
+// when the transport implements the seam, report false when it does not,
+// and see through the Instrument wrapper.
+func TestUpdateAndBindRepliesSeams(t *testing.T) {
+	v := quorum.View{Epoch: 2, Members: []int32{0, 1, 2}}
+
+	st := &stubTransport{n: 3}
+	if ok, err := transport.Update(st, v); !ok || err != nil {
+		t.Fatalf("Update(stub) = %v, %v, want true, nil", ok, err)
+	}
+	if len(st.updated) != 1 || st.updated[0].Epoch != 2 {
+		t.Fatalf("stub saw updates %v, want one epoch-2 view", st.updated)
+	}
+	st.updErr = errors.New("re-dial failed")
+	if ok, err := transport.Update(st, v); !ok || err != st.updErr {
+		t.Fatalf("Update error not propagated: %v, %v", ok, err)
+	}
+
+	sink := &recordingSink{}
+	if !transport.BindReplies(st, sink) {
+		t.Fatal("BindReplies(stub) = false, want true")
+	}
+	if st.rs == nil {
+		t.Fatal("BindReplies did not reach the transport")
+	}
+
+	// Through Instrument: both seams forward, and the unboxed reply path
+	// counts MsgsRecv like the boxed one.
+	var tc metrics.TransportCounters
+	st2 := &stubTransport{n: 3}
+	wrapped := transport.Instrument(st2, &tc)
+	if ok, err := transport.Update(wrapped, v); !ok || err != nil {
+		t.Fatalf("Update(instrumented) = %v, %v", ok, err)
+	}
+	if len(st2.updated) != 1 {
+		t.Fatal("instrumented Update did not forward")
+	}
+	if !transport.BindReplies(wrapped, sink) {
+		t.Fatal("BindReplies(instrumented) = false")
+	}
+	st2.rs.ReadReply(0, msg.ReadReply{Op: 7})
+	st2.rs.WriteAck(1, msg.WriteAck{Op: 8})
+	st2.rs.StaleEpoch(2, msg.StaleEpoch{Op: 9, View: v})
+	if got := tc.MsgsRecv.Value(); got != 3 {
+		t.Errorf("unboxed replies counted %d MsgsRecv, want 3", got)
+	}
+	if sink.reads != 1 || sink.acks != 1 || sink.stales != 1 {
+		t.Errorf("sink saw %d/%d/%d, want 1/1/1", sink.reads, sink.acks, sink.stales)
+	}
+
+	// A transport without the seams: helpers report false / not-updated and
+	// never touch the transport.
+	type sealed struct{ transport.Transport }
+	plain := sealed{&stubTransport{n: 2}}
+	if ok, err := transport.Update(plain, v); ok || err != nil {
+		t.Errorf("Update(sealed) = %v, %v, want false, nil", ok, err)
+	}
+	if transport.BindReplies(plain, sink) {
+		t.Error("BindReplies(sealed) = true, want false")
+	}
+}
+
+type recordingSink struct{ reads, acks, stales int }
+
+func (r *recordingSink) ReadReply(int, msg.ReadReply)   { r.reads++ }
+func (r *recordingSink) WriteAck(int, msg.WriteAck)     { r.acks++ }
+func (r *recordingSink) StaleEpoch(int, msg.StaleEpoch) { r.stales++ }

@@ -11,6 +11,7 @@ import (
 
 	"probquorum/internal/metrics"
 	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
 	"probquorum/internal/transport"
 )
 
@@ -101,42 +102,79 @@ func (c *binCodec) release() {
 //     goroutine coalesces the queue into batch frames of up to maxBatch
 //     requests, amortizing encode and syscall cost.
 type tcpTransport struct {
-	conns []*netConn
+	// Per-connection configuration, fixed at construction and shared by
+	// connections dialed later by Update.
+	wire     Wire
+	timeout  time.Duration
+	counters *metrics.TransportCounters
+	async    bool
+	maxBatch int
+	hist     *metrics.IntHistogram
+
+	// conns is the current server-index -> connection mapping. It is an
+	// atomic pointer because membership updates replace it while Send and the
+	// reader goroutines keep running; each stored slice is immutable.
+	conns atomic.Pointer[[]*netConn]
+
+	// umu orders membership updates (and Close) against each other; epoch is
+	// the view epoch the current conns slice reflects (0 = static dial-time
+	// endpoints). Guarded by umu.
+	umu    sync.Mutex
+	epoch  quorum.Epoch
+	closed bool
 
 	// sink is atomic, not mutex-guarded: every reply from every reader
 	// goroutine passes through emit, and a shared lock there serializes the
-	// reply fan-in the pipelined client exists to parallelize.
-	sink atomic.Pointer[transport.Sink]
+	// reply fan-in the pipelined client exists to parallelize. rsink is the
+	// optional concrete-typed fast path (transport.ReplyBinder): when bound,
+	// binary batch frames are walked element by element straight into it.
+	sink  atomic.Pointer[transport.Sink]
+	rsink atomic.Pointer[transport.ReplySink]
 }
 
 func newTCPTransport(addrs []string, wire Wire, timeout time.Duration, counters *metrics.TransportCounters,
 	async bool, maxBatch int, hist *metrics.IntHistogram) *tcpTransport {
-	t := &tcpTransport{}
-	for srv, addr := range addrs {
-		nc := &netConn{
-			t:        t,
-			server:   srv,
-			addr:     addr,
-			wire:     wire,
-			timeout:  timeout,
-			counters: counters,
-			async:    async,
-			maxBatch: maxBatch,
-			hist:     hist,
-		}
-		if async {
-			nc.out = make(chan any, pipeOutBuffer)
-			nc.stop = make(chan struct{})
-		}
-		t.conns = append(t.conns, nc)
+	t := &tcpTransport{
+		wire:     wire,
+		timeout:  timeout,
+		counters: counters,
+		async:    async,
+		maxBatch: maxBatch,
+		hist:     hist,
 	}
+	conns := make([]*netConn, len(addrs))
+	for srv, addr := range addrs {
+		conns[srv] = t.newConn(srv, addr)
+	}
+	t.conns.Store(&conns)
 	return t
+}
+
+// newConn builds (but does not dial) one connection slot for server index
+// srv at addr, carrying the transport's fixed per-connection configuration.
+func (t *tcpTransport) newConn(srv int, addr string) *netConn {
+	nc := &netConn{
+		t:        t,
+		addr:     addr,
+		wire:     t.wire,
+		timeout:  t.timeout,
+		counters: t.counters,
+		async:    t.async,
+		maxBatch: t.maxBatch,
+		hist:     t.hist,
+	}
+	nc.server.Store(int32(srv))
+	if t.async {
+		nc.out = make(chan any, pipeOutBuffer)
+		nc.stop = make(chan struct{})
+	}
+	return nc
 }
 
 // start dials every server eagerly so an unreachable address fails
 // construction; later failures re-dial lazily with backoff.
 func (t *tcpTransport) start() error {
-	for _, nc := range t.conns {
+	for _, nc := range *t.conns.Load() {
 		nc.mu.Lock()
 		err := nc.ensureLocked()
 		nc.mu.Unlock()
@@ -152,10 +190,18 @@ func (t *tcpTransport) start() error {
 	return nil
 }
 
-func (t *tcpTransport) N() int { return len(t.conns) }
+func (t *tcpTransport) N() int { return len(*t.conns.Load()) }
 
 func (t *tcpTransport) Bind(sink transport.Sink) {
 	t.sink.Store(&sink)
+}
+
+// BindReplies installs the concrete-typed reply path (transport.ReplyBinder):
+// binary batch frames are then walked element by element into rs with zero
+// per-element boxing; errors and non-reply payloads keep flowing through the
+// boxed Sink.
+func (t *tcpTransport) BindReplies(rs transport.ReplySink) {
+	t.rsink.Store(&rs)
 }
 
 func (t *tcpTransport) emit(server int, payload any, err error) {
@@ -165,7 +211,14 @@ func (t *tcpTransport) emit(server int, payload any, err error) {
 }
 
 func (t *tcpTransport) Send(server int, req any) error {
-	nc := t.conns[server]
+	conns := *t.conns.Load()
+	if server < 0 || server >= len(conns) {
+		// A send into a view transition (the quorum was picked against a
+		// larger view than the one just adopted): drop it, the operation's
+		// deadline re-issues against the current view.
+		return nil
+	}
+	nc := conns[server]
 	if nc.async {
 		nc.enqueue(req)
 		return nil
@@ -173,8 +226,65 @@ func (t *tcpTransport) Send(server int, req any) error {
 	return nc.send(req)
 }
 
+// Update re-targets the transport at the view's members (transport.Updater):
+// connections to addresses still in the view are kept (their server index
+// adjusted), joiners get fresh connection slots dialed lazily on first use,
+// and leavers are detached — their in-flight replies stop being delivered
+// under a stale index — and closed off the caller's path. Idempotent and
+// ordered by epoch. The view must carry addresses.
+func (t *tcpTransport) Update(v quorum.View) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if len(v.Addrs) != len(v.Members) {
+		return fmt.Errorf("tcp: view epoch %d carries no addresses", v.Epoch)
+	}
+	t.umu.Lock()
+	defer t.umu.Unlock()
+	if t.closed {
+		return ErrClientClosed
+	}
+	if v.Epoch <= t.epoch {
+		return nil
+	}
+	old := *t.conns.Load()
+	reuse := make(map[string]*netConn, len(old))
+	for _, nc := range old {
+		reuse[nc.addr] = nc
+	}
+	next := make([]*netConn, len(v.Addrs))
+	var fresh []*netConn
+	for i, addr := range v.Addrs {
+		if nc, ok := reuse[addr]; ok {
+			delete(reuse, addr)
+			nc.server.Store(int32(i))
+			next[i] = nc
+			continue
+		}
+		nc := t.newConn(i, addr)
+		next[i] = nc
+		fresh = append(fresh, nc)
+	}
+	t.conns.Store(&next)
+	t.epoch = v.Epoch
+	for _, nc := range fresh {
+		if nc.async {
+			nc.wg.Add(1)
+			go nc.writeLoop()
+		}
+	}
+	for _, nc := range reuse {
+		nc.detached.Store(true)
+		go nc.close()
+	}
+	return nil
+}
+
 func (t *tcpTransport) Close() error {
-	for _, nc := range t.conns {
+	t.umu.Lock()
+	t.closed = true
+	t.umu.Unlock()
+	for _, nc := range *t.conns.Load() {
 		nc.close()
 	}
 	t.emit(transport.Broadcast, nil, ErrClientClosed)
@@ -185,8 +295,13 @@ func (t *tcpTransport) Close() error {
 // dropped and transparently re-dialed on next use, with capped backoff
 // between failed dial attempts so a long-gone server is not hammered.
 type netConn struct {
-	t        *tcpTransport
-	server   int
+	t *tcpTransport
+	// server is this connection's current transport index — atomic because a
+	// membership update may renumber a kept connection while its reader is
+	// delivering. detached marks a connection dropped from the view: its
+	// stale index must not label any further deliveries.
+	server   atomic.Int32
+	detached atomic.Bool
 	addr     string
 	wire     Wire
 	timeout  time.Duration
@@ -214,6 +329,16 @@ type netConn struct {
 	redialWait  time.Duration
 	nextDial    time.Time
 	closed      bool
+}
+
+// emit labels a delivery with the connection's current server index, unless
+// the connection has been detached from the view (a leaver's late replies
+// and death throes are not news).
+func (nc *netConn) emit(payload any, err error) {
+	if nc.detached.Load() {
+		return
+	}
+	nc.t.emit(int(nc.server.Load()), payload, err)
 }
 
 // send encodes one request inline (serial mode) and arms the read deadline
@@ -385,8 +510,26 @@ func (nc *netConn) dropLocked(err error) {
 // connection and surfaces as one per-server error delivery.
 func (nc *netConn) readLoop(conn net.Conn, codec connCodec, gen int) {
 	defer nc.wg.Done()
+	// The binary codec is read raw: each frame's payload is inspected in
+	// place, and batch frames walk straight into the bound ReplySink with
+	// concrete types — the client-side mirror of the server's batch walk —
+	// instead of boxing every element through the Sink.
+	bc, raw := codec.(*binCodec)
 	for {
-		m, err := codec.next()
+		var m any
+		var payload []byte
+		var err error
+		if raw {
+			payload, err = bc.fr.NextRaw()
+		} else {
+			m, err = codec.next()
+		}
+		if err == nil && raw {
+			m, err = nc.decodeRaw(payload)
+			if err == nil && m == nil {
+				continue // delivered concretely (or dropped as junk)
+			}
+		}
 		if err != nil {
 			var nerr net.Error
 			if codec.resumable() && errors.As(err, &nerr) && nerr.Timeout() {
@@ -415,7 +558,7 @@ func (nc *netConn) readLoop(conn net.Conn, codec connCodec, gen int) {
 			nc.mu.Unlock()
 			_ = conn.Close()
 			if !stale {
-				nc.t.emit(nc.server, nil, fmt.Errorf("recv: %w", err))
+				nc.emit(nil, fmt.Errorf("recv: %w", err))
 			}
 			return
 		}
@@ -435,12 +578,49 @@ func (nc *netConn) readLoop(conn net.Conn, codec connCodec, gen int) {
 		}
 		if batch, ok := m.(msg.Batch); ok {
 			for _, el := range batch.Msgs {
-				nc.t.emit(nc.server, el, nil)
+				nc.emit(el, nil)
 			}
 			continue
 		}
-		nc.t.emit(nc.server, m, nil)
+		nc.emit(m, nil)
 	}
+}
+
+// decodeRaw handles one raw binary frame. Batch frames with a bound
+// ReplySink are walked element by element into it with zero boxing and
+// return (nil, nil); everything else decodes through the boxed path and is
+// returned for the generic delivery below. A decode error is fatal to the
+// connection, exactly as it was when decoding happened inside the codec.
+func (nc *netConn) decodeRaw(payload []byte) (any, error) {
+	if msg.IsBatchPayload(payload) {
+		rsp := nc.t.rsink.Load()
+		if rsp == nil {
+			return msg.DecodePayload(payload)
+		}
+		rs := *rsp
+		server := int(nc.server.Load())
+		if nc.detached.Load() {
+			return nil, nil
+		}
+		_, err := msg.VisitBatchPayload(payload, msg.BatchVisitor{
+			ReadReply: func(m msg.ReadReply) bool {
+				rs.ReadReply(server, m)
+				return true
+			},
+			WriteAck: func(m msg.WriteAck) bool {
+				rs.WriteAck(server, m)
+				return true
+			},
+			StaleEpoch: func(m msg.StaleEpoch) bool {
+				rs.StaleEpoch(server, m)
+				return true
+			},
+			// Request-kind elements are foreign on a client-bound stream;
+			// nil callbacks drop them like any junk element.
+		})
+		return nil, err
+	}
+	return msg.DecodePayload(payload)
 }
 
 func (nc *netConn) close() {

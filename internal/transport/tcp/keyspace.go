@@ -39,6 +39,14 @@ type KeyspaceClient struct {
 // client's options apply; the per-operation deadline defaults to 2s.
 func DialKeyspace(addrs []string, sys quorum.System, shards int, opts ...ClientOption) (*KeyspaceClient, error) {
 	registerWireTypes()
+	o := clientOpts{seed: 1, maxBatch: defaultMaxBatch}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	addrs, err := applyView(&o, addrs)
+	if err != nil {
+		return nil, err
+	}
 	if sys.N() != len(addrs) {
 		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
 			sys.N(), len(addrs))
@@ -48,10 +56,6 @@ func DialKeyspace(addrs []string, sys quorum.System, shards int, opts ...ClientO
 	}
 	for shards&(shards-1) != 0 {
 		shards++
-	}
-	o := clientOpts{seed: 1, maxBatch: defaultMaxBatch}
-	for _, opt := range opts {
-		opt(&o)
 	}
 	counted := o.Counters != nil
 	if o.Counters == nil {
@@ -75,6 +79,9 @@ func DialKeyspace(addrs []string, sys quorum.System, shards int, opts ...ClientO
 	if o.tally != nil {
 		eopts = append(eopts, register.WithTally(o.tally))
 	}
+	if o.hasView {
+		eopts = append(eopts, register.WithView(o.view))
+	}
 	engines := make([]*register.Engine, shards)
 	for i := range engines {
 		sopts := append([]register.Option{
@@ -85,6 +92,9 @@ func DialKeyspace(addrs []string, sys quorum.System, shards int, opts ...ClientO
 	}
 
 	tr := newTCPTransport(addrs, o.wire, o.OpTimeout, o.Counters, true, o.maxBatch, o.batchHist)
+	if o.hasView {
+		tr.epoch = o.view.Epoch
+	}
 	if err := tr.start(); err != nil {
 		return nil, err
 	}

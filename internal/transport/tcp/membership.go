@@ -1,0 +1,95 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/replica"
+)
+
+// This file is the TCP runtime's membership seam. A server joins in three
+// steps: start its listener, pull a snapshot from an existing member (Join —
+// one SnapReq/SnapReply exchange, carrying every register plus the current
+// view), and become addressable through a new view written to the view
+// register. It leaves by falling out of the next view: clients stop dialing
+// it as soon as they adopt that view, its connections drain, and it can shut
+// down. Clients attach to a view with WithView and migrate to newer views
+// automatically, via the stale-epoch rejects replicas return.
+
+// WithView attaches the client to a membership view: its engine picks
+// quorums against the view's parameters and stamps operations with its
+// epoch, and newer views adopted mid-stream re-target the connections at the
+// new members' addresses. The view must carry one address per member, and
+// the dial addresses must be the view's (pass v.Addrs, or nil to use them
+// implicitly). The quorum system passed to the dial call is superseded by
+// the view's; pass v.System().
+func WithView(v quorum.View) ClientOption {
+	return func(o *clientOpts) { o.view = v; o.hasView = true }
+}
+
+// applyView validates the view-mode dial arguments and returns the address
+// list to dial (the view's own, when the caller passed nil).
+func applyView(o *clientOpts, addrs []string) ([]string, error) {
+	if !o.hasView {
+		return addrs, nil
+	}
+	if err := o.view.Validate(); err != nil {
+		return nil, fmt.Errorf("tcp: %w", err)
+	}
+	if len(o.view.Addrs) != len(o.view.Members) {
+		return nil, fmt.Errorf("tcp: view epoch %d carries no addresses", o.view.Epoch)
+	}
+	if addrs == nil {
+		return o.view.Addrs, nil
+	}
+	if len(addrs) != len(o.view.Addrs) {
+		return nil, fmt.Errorf("tcp: %d dial addresses for a view of %d members",
+			len(addrs), len(o.view.Addrs))
+	}
+	return addrs, nil
+}
+
+// Join pulls a full snapshot — every register entry plus the source's
+// current membership view — from an existing member at addr into store: the
+// joining server's state transfer, performed before the view that makes it
+// addressable is written. Install-if-newer semantics make Join idempotent
+// and safe to run while the source keeps serving writes; entries the joiner
+// receives afterwards through ordinary quorum writes can only be newer.
+func Join(store *replica.Store, addr string, timeout time.Duration) error {
+	registerWireTypes()
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("tcp join %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	buf := msg.GetEncodeBuf()
+	defer msg.PutEncodeBuf(buf)
+	out, err := msg.AppendMessage(append((*buf)[:0], wirePreambleBin), msg.SnapReq{Op: 1})
+	if err != nil {
+		return fmt.Errorf("tcp join %s: encode: %w", addr, err)
+	}
+	*buf = out[:0]
+	if _, err := conn.Write(out); err != nil {
+		return fmt.Errorf("tcp join %s: send: %w", addr, err)
+	}
+	m, err := msg.NewFrameReader(conn).Next()
+	if err != nil {
+		return fmt.Errorf("tcp join %s: recv: %w", addr, err)
+	}
+	reply, ok := m.(msg.SnapReply)
+	if !ok {
+		return fmt.Errorf("tcp join %s: unexpected reply %T", addr, m)
+	}
+	store.Install(reply.Entries)
+	if reply.View.Epoch != 0 {
+		store.SetView(reply.View)
+	}
+	return nil
+}

@@ -96,13 +96,17 @@ type PipelinedClient struct {
 // to 2s (a pipelined client never runs without a deadline, see above).
 func DialPipelined(addrs []string, sys quorum.System, opts ...ClientOption) (*PipelinedClient, error) {
 	registerWireTypes()
-	if sys.N() != len(addrs) {
-		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
-			sys.N(), len(addrs))
-	}
 	o := clientOpts{seed: 1, maxBatch: defaultMaxBatch}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	addrs, err := applyView(&o, addrs)
+	if err != nil {
+		return nil, err
+	}
+	if sys.N() != len(addrs) {
+		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
+			sys.N(), len(addrs))
 	}
 	// As in Dial: per-message counting is opt-in via WithTransportCounters.
 	counted := o.Counters != nil
@@ -127,10 +131,16 @@ func DialPipelined(addrs []string, sys quorum.System, opts ...ClientOption) (*Pi
 	if o.tally != nil {
 		eopts = append(eopts, register.WithTally(o.tally))
 	}
+	if o.hasView {
+		eopts = append(eopts, register.WithView(o.view))
+	}
 	engine := register.NewEngine(o.writer, sys,
 		rng.Derive(o.seed, fmt.Sprintf("tcp.pipeclient.%d", o.writer)), eopts...)
 
 	tr := newTCPTransport(addrs, o.wire, o.OpTimeout, o.Counters, true, o.maxBatch, o.batchHist)
+	if o.hasView {
+		tr.epoch = o.view.Epoch
+	}
 	if err := tr.start(); err != nil {
 		return nil, err
 	}

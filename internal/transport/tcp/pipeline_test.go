@@ -154,7 +154,6 @@ func TestPipeConnCoalesces(t *testing.T) {
 	hist := metrics.NewIntHistogram()
 	pc := &netConn{
 		t:        &tcpTransport{},
-		server:   0,
 		async:    true,
 		out:      make(chan any, 64),
 		stop:     make(chan struct{}),

@@ -109,6 +109,9 @@ func registerWireTypes() {
 		gob.Register(msg.WriteReq{})
 		gob.Register(msg.WriteAck{})
 		gob.Register(msg.Batch{})
+		gob.Register(msg.StaleEpoch{})
+		gob.Register(msg.SnapReq{})
+		gob.Register(msg.SnapReply{})
 		// Common register value types; applications with custom value
 		// types add theirs via RegisterValueType.
 		gob.Register([]float64(nil))
@@ -174,13 +177,18 @@ func (s *Server) Health() obs.Health {
 	sessions := len(s.conns)
 	s.mu.Unlock()
 	reads, writes := s.store.Stats()
-	return obs.Health{
+	h := obs.Health{
 		Live:     !s.store.Crashed(),
 		Sessions: sessions,
 		Reads:    reads,
 		Writes:   writes,
 		Addr:     s.Addr(),
 	}
+	if v, ok := s.store.View(); ok {
+		h.Epoch = uint64(v.Epoch)
+		h.View = v.N()
+	}
+	return h
 }
 
 // RegisterHealth attaches the server's health probe to reg under name, so
@@ -283,6 +291,10 @@ func (s *Server) serveBatchBinary(conn net.Conn, buf *[]byte, payload []byte) bo
 	encodeFailed := false
 	completed, err := msg.VisitBatchPayload(payload, msg.BatchVisitor{
 		ReadReq: func(m msg.ReadReq) bool {
+			if rej, stale := s.store.StaleFor(m.Reg, m.Op, m.Epoch); stale {
+				w.AddStaleEpoch(rej)
+				return true
+			}
 			reply, ok := s.store.ApplyRead(m)
 			if !ok {
 				return false // crashed
@@ -294,6 +306,10 @@ func (s *Server) serveBatchBinary(conn net.Conn, buf *[]byte, payload []byte) bo
 			return true
 		},
 		WriteReq: func(m msg.WriteReq) bool {
+			if rej, stale := s.store.StaleFor(m.Reg, m.Op, m.Epoch); stale {
+				w.AddStaleEpoch(rej)
+				return true
+			}
 			ack, ok := s.store.ApplyWrite(m)
 			if !ok {
 				return false // crashed
@@ -425,6 +441,8 @@ type clientOpts struct {
 	seed       uint64
 	wire       Wire
 	tally      *metrics.AccessTally
+	view       quorum.View
+	hasView    bool
 
 	// Pipelined-client options (see DialPipelined).
 	maxBatch  int
@@ -500,14 +518,18 @@ func WithTally(t *metrics.AccessTally) ClientOption {
 // match the address count.
 func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, error) {
 	registerWireTypes()
-	if sys.N() != len(addrs) {
-		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
-			sys.N(), len(addrs))
-	}
 	o := clientOpts{seed: 1}
 	o.RetryBackoff, o.RetryBackoffMax = 2*time.Millisecond, 100*time.Millisecond
 	for _, opt := range opts {
 		opt(&o)
+	}
+	addrs, err := applyView(&o, addrs)
+	if err != nil {
+		return nil, err
+	}
+	if sys.N() != len(addrs) {
+		return nil, fmt.Errorf("tcp: quorum system covers %d servers, got %d addresses",
+			sys.N(), len(addrs))
 	}
 	// Message counting costs two contended atomics per message, so the
 	// transport is only instrumented when the caller asked for counters.
@@ -526,10 +548,16 @@ func Dial(addrs []string, sys quorum.System, opts ...ClientOption) (*Client, err
 	if o.tally != nil {
 		eopts = append(eopts, register.WithTally(o.tally))
 	}
+	if o.hasView {
+		eopts = append(eopts, register.WithView(o.view))
+	}
 	engine := register.NewEngine(o.writer, sys,
 		rng.Derive(o.seed, fmt.Sprintf("tcp.client.%d", o.writer)), eopts...)
 
 	tr := newTCPTransport(addrs, o.wire, o.OpTimeout, o.Counters, false, 0, nil)
+	if o.hasView {
+		tr.epoch = o.view.Epoch
+	}
 	if err := tr.start(); err != nil {
 		return nil, err
 	}

@@ -11,7 +11,11 @@
 // for free.
 package transport
 
-import "probquorum/internal/metrics"
+import (
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+)
 
 // Broadcast is the pseudo-server index used by Sink deliveries that concern
 // the whole transport rather than one server — most importantly the fatal
@@ -78,4 +82,42 @@ func (i *instrumented) Send(server int, req any) error {
 		i.tc.MsgsSent.Inc()
 	}
 	return err
+}
+
+// Update forwards to the wrapped transport's Updater, so instrumentation is
+// transparent to membership changes. Wrapping a non-updatable transport, it
+// is a no-op (the same contract as the package-level Update helper).
+func (i *instrumented) Update(v quorum.View) error {
+	if u, ok := i.Transport.(Updater); ok {
+		return u.Update(v)
+	}
+	return nil
+}
+
+// BindReplies forwards concrete-typed delivery through a counting shim, so
+// replies arriving on the unboxed path hit MsgsRecv exactly like boxed ones.
+func (i *instrumented) BindReplies(rs ReplySink) {
+	if rb, ok := i.Transport.(ReplyBinder); ok {
+		rb.BindReplies(&countedReplies{rs: rs, tc: i.tc})
+	}
+}
+
+type countedReplies struct {
+	rs ReplySink
+	tc *metrics.TransportCounters
+}
+
+func (c *countedReplies) ReadReply(server int, m msg.ReadReply) {
+	c.tc.MsgsRecv.Inc()
+	c.rs.ReadReply(server, m)
+}
+
+func (c *countedReplies) WriteAck(server int, m msg.WriteAck) {
+	c.tc.MsgsRecv.Inc()
+	c.rs.WriteAck(server, m)
+}
+
+func (c *countedReplies) StaleEpoch(server int, m msg.StaleEpoch) {
+	c.tc.MsgsRecv.Inc()
+	c.rs.StaleEpoch(server, m)
 }

@@ -239,3 +239,47 @@ END {
 }' "$raw" > "$ksout"
 
 echo "wrote $ksout"
+
+# Membership overhead: static-mode vs view-stamped steady state, paired
+# inside one benchmark loop (see bench_membership_test.go), plus the same
+# workload under continuous crash/recover churn (informational — that rate
+# is timeout-bound). The acceptance bar is the view-stamped rate within 5%
+# of static, median of five runs.
+memout="BENCH_membership.json"
+go test -bench=BenchmarkMembershipTCP -benchtime="$benchtime" -count=5 -run XXX . | tee "$raw"
+
+BENCHTIME="$benchtime" awk '
+function median(a, m,  i, j, t) {
+    for (i = 1; i <= m; i++)
+        for (j = i + 1; j <= m; j++)
+            if (a[j] + 0 < a[i] + 0) { t = a[i]; a[i] = a[j]; a[j] = t }
+    return a[int((m + 1) / 2)]
+}
+$1 ~ /^BenchmarkMembershipTCP/ {
+    n++
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "static_ops/s") statics[n] = $(i - 1)
+        if ($(i) == "view_ops/s")   views[n] = $(i - 1)
+        if ($(i) == "churn_ops/s")  churns[n] = $(i - 1)
+    }
+}
+END {
+    if (n != 5) {
+        print "expected 5 membership benchmark runs, got " n > "/dev/stderr"; exit 1
+    }
+    st = median(statics, n); vw = median(views, n); ch = median(churns, n)
+    print "{"
+    printf "  \"benchmark\": \"BenchmarkMembershipTCP\",\n"
+    printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"]
+    printf "  \"workload\": \"pipelined-batch16 rounds (paired static/view-stamped, median of 5)\",\n"
+    printf "  \"results\": {\n"
+    printf "    \"static\": {\"ops_per_sec\": %s},\n", st
+    printf "    \"view-stamped\": {\"ops_per_sec\": %s},\n", vw
+    printf "    \"rolling-churn\": {\"ops_per_sec\": %s}\n", ch
+    print "  },"
+    printf "  \"view_vs_static\": %.3f,\n", vw / st
+    printf "  \"epoch_overhead_pct\": %.2f\n", (st - vw) / st * 100
+    print "}"
+}' "$raw" > "$memout"
+
+echo "wrote $memout"

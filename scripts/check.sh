@@ -41,6 +41,15 @@ echo "== allocation gates =="
 go test $race -run 'TestWireAllocGates|TestPickIntoAllocs|TestObserverAllocGate|TestFastReadAllocGate|TestKeyspaceAllocGate|TestKeyspaceIdleKeyBytes' \
     ./internal/msg ./internal/quorum ./internal/register
 
+echo "== membership churn smoke =="
+# The membership conformance suite (rolling restarts, grow/shrink across
+# epochs, crash-join) always runs under the race detector here, whatever the
+# flag: reconfiguration is where client goroutines, the transport's conn
+# swaps, and the replica's view installs all meet, and a data race in that
+# seam would otherwise only surface under churn in production.
+go test -race -run 'TestMembership|TestSetView|TestStaleFor|TestSnapshotInstall|TestViewStats' \
+    ./internal/register ./internal/replica
+
 echo "== fuzz corpora =="
 # Replay every checked-in fuzz corpus entry (plus the f.Add seeds) as
 # ordinary tests: the wire codec's round-trip and malformed-input fuzzers
