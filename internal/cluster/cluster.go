@@ -312,7 +312,7 @@ type clusterTransport struct {
 	// means the identity mapping of the static world. vmu orders Update
 	// installs; Send and the pump read the pointer lock-free.
 	vmu  sync.Mutex
-	view atomic.Pointer[clusterViewMap]
+	view atomic.Pointer[clusterViews]
 }
 
 // clusterViewMap is one adopted view resolved against the cluster: members
@@ -324,9 +324,23 @@ type clusterViewMap struct {
 	rev     map[msg.NodeID]int
 }
 
+// clusterViews is the transport's adopted-view state: cur resolves sends and
+// epoch-less deliveries; hist (which includes cur's own epoch) resolves
+// replies by the epoch their request was issued under, so an in-flight reply
+// racing a view adoption is attributed to the replier's position in the
+// issuing view rather than remapped — wrongly — through the new one.
+type clusterViews struct {
+	cur  *clusterViewMap
+	hist map[quorum.Epoch]*clusterViewMap
+}
+
+// clusterEpochHistory bounds how many past epochs reply translation retains;
+// see the matching constant in the TCP transport.
+const clusterEpochHistory = 4
+
 func (t *clusterTransport) N() int {
-	if vm := t.view.Load(); vm != nil {
-		return len(vm.members)
+	if vs := t.view.Load(); vs != nil {
+		return len(vs.cur.members)
 	}
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
@@ -339,10 +353,22 @@ func (t *clusterTransport) Bind(sink transport.Sink) {
 			select {
 			case env := <-t.inbox:
 				from := int(env.from)
-				if vm := t.view.Load(); vm != nil {
+				if vs := t.view.Load(); vs != nil {
+					vm := vs.cur
+					if e, isReply := transport.ReplyEpoch(env.payload); isReply && e != 0 {
+						m, ok := vs.hist[e]
+						if !ok {
+							// A reply issued under an epoch outside the
+							// retained window: its position label would be a
+							// guess. Drop it; the operation's deadline
+							// machinery re-issues.
+							continue
+						}
+						vm = m
+					}
 					pos, ok := vm.rev[env.from]
 					if !ok {
-						// A reply from a server outside the adopted view: a
+						// A reply from a server outside the issuing view: a
 						// leaver answering an old attempt. Its op id no longer
 						// matches anything; drop it here rather than hand the
 						// client a server index it cannot place.
@@ -361,30 +387,34 @@ func (t *clusterTransport) Bind(sink transport.Sink) {
 	}()
 }
 
-// Send never fails: partition drops and crashed servers surface as missing
-// replies, which the client's deadline machinery handles. Under a view, the
-// server index is the view position; sends outside the view land nowhere.
+// Send never fails for reachable members: partition drops and crashed
+// servers surface as missing replies, which the client's deadline machinery
+// handles. Under a view, the server index is the view position; an index
+// outside the view (a send racing a shrink) returns transport.ErrNotInView
+// so SendAll can record the drop — callers treat it like a missing reply.
 func (t *clusterTransport) Send(server int, req any) error {
-	if vm := t.view.Load(); vm != nil {
-		if server < 0 || server >= len(vm.members) {
-			return nil
+	if vs := t.view.Load(); vs != nil {
+		if server < 0 || server >= len(vs.cur.members) {
+			return transport.ErrNotInView
 		}
-		server = int(vm.members[server])
+		server = int(vs.cur.members[server])
 	}
 	t.c.deliverToServer(t.id, server, req)
 	return nil
 }
 
 // Update re-targets the transport at the view's members: subsequent sends to
-// position i reach the view's i-th server, and replies are translated back.
-// Idempotent and ordered by epoch (transport.Updater).
+// position i reach the view's i-th server, and replies are translated back
+// through the view their request was issued under (a bounded history of
+// recent epochs). Idempotent and ordered by epoch (transport.Updater).
 func (t *clusterTransport) Update(v quorum.View) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
 	t.vmu.Lock()
 	defer t.vmu.Unlock()
-	if cur := t.view.Load(); cur != nil && v.Epoch <= cur.epoch {
+	prev := t.view.Load()
+	if prev != nil && v.Epoch <= prev.cur.epoch {
 		return nil
 	}
 	c := t.c
@@ -400,7 +430,17 @@ func (t *clusterTransport) Update(v quorum.View) error {
 		rev[c.serverIDs[m]] = pos
 	}
 	c.mu.Unlock()
-	t.view.Store(&clusterViewMap{epoch: v.Epoch, members: members, rev: rev})
+	vm := &clusterViewMap{epoch: v.Epoch, members: members, rev: rev}
+	hist := make(map[quorum.Epoch]*clusterViewMap, clusterEpochHistory+1)
+	if prev != nil {
+		for e, m := range prev.hist {
+			if e+clusterEpochHistory > v.Epoch {
+				hist[e] = m
+			}
+		}
+	}
+	hist[v.Epoch] = vm
+	t.view.Store(&clusterViews{cur: vm, hist: hist})
 	return nil
 }
 

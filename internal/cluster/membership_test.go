@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+)
+
+// TestSyncFromQuorumCoversCommittedWrites is the regression test for the
+// reconfiguration safety bug: a committed write is only guaranteed to sit on
+// a write quorum of the old view, so seeding a joiner from a single member
+// (Transfer) can miss it, and a new-view quorum made of such joiners would
+// read stale data. SyncFromQuorum merges a majority, which must intersect
+// the write quorum.
+func TestSyncFromQuorumCoversCommittedWrites(t *testing.T) {
+	c, err := New(Config{Servers: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v1 := quorum.View{Epoch: 1, Members: []int32{0, 1, 2, 3, 4}}
+	if err := c.InstallView(v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A write "committed" on the quorum {2,3,4}: acked by a 3-of-5 majority,
+	// but absent from servers 0 and 1 (a crashed message, a slow link — the
+	// protocol does not care why).
+	committed := msg.Tagged{TS: msg.Timestamp{Seq: 7, Writer: 0}, Val: "survives"}
+	for _, s := range []int{2, 3, 4} {
+		c.Server(s).Install([]msg.SnapEntry{{Reg: 9, Tag: committed}})
+	}
+
+	// Two joiners seeded the unsafe way (single-member transfer from server
+	// 0) miss the write entirely — this is the failure mode, kept pinned so
+	// the distinction stays visible.
+	j1, err := c.AddServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.AddServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Transfer(0, j1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Server(j1).Get(9); got.Val != nil {
+		t.Fatalf("single-member transfer from server 0 unexpectedly carried the write: %#v", got)
+	}
+
+	// The quorum sync cannot miss it: any majority of {0..4} intersects
+	// {2,3,4}.
+	if err := c.SyncFromQuorum(v1, []int{j1, j2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{j1, j2} {
+		if got := c.Server(j).Get(9); got != committed {
+			t.Errorf("joiner %d after SyncFromQuorum holds %#v, want the committed write", j, got)
+		}
+		if e := c.Server(j).Epoch(); e != 1 {
+			t.Errorf("joiner %d synced epoch %d, want 1 (view register rides along)", j, e)
+		}
+	}
+}
+
+// TestSyncFromQuorumShrink pins the shrink-side discipline: a write
+// committed on a quorum of the large view that happens to avoid every
+// survivor must reach the survivors through the sync before the small view
+// activates.
+func TestSyncFromQuorumShrink(t *testing.T) {
+	c, err := New(Config{Servers: 7, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v2 := quorum.View{Epoch: 2, Members: []int32{0, 1, 2, 3, 4, 5, 6}}
+	if err := c.InstallView(v2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed on the 4-of-7 write quorum {3,4,5,6} — disjoint from the
+	// surviving trio {0,1,2} the next view keeps.
+	committed := msg.Tagged{TS: msg.Timestamp{Seq: 3, Writer: 1}, Val: int64(42)}
+	for _, s := range []int{3, 4, 5, 6} {
+		c.Server(s).Install([]msg.SnapEntry{{Reg: 4, Tag: committed}})
+	}
+
+	survivors := []int{0, 1, 2}
+	if err := c.SyncFromQuorum(v2, survivors); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range survivors {
+		if got := c.Server(s).Get(4); got != committed {
+			t.Errorf("survivor %d holds %#v after sync, want the committed write", s, got)
+		}
+	}
+}
+
+// TestSyncFromQuorumNeedsMajority pins the failure contract: with only a
+// minority of the old view alive, the sync refuses — activating the next
+// view on a partial transfer would be exactly the unsafe reconfiguration
+// the primitive exists to prevent.
+func TestSyncFromQuorumNeedsMajority(t *testing.T) {
+	c, err := New(Config{Servers: 5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v1 := quorum.View{Epoch: 1, Members: []int32{0, 1, 2, 3, 4}}
+	if err := c.InstallView(v1); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{0, 1, 4} {
+		c.Server(s).Crash()
+	}
+	j, err := c.AddServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.SyncFromQuorum(v1, []int{j})
+	if err == nil {
+		t.Fatal("SyncFromQuorum succeeded with 2 of 5 members alive")
+	}
+	if !strings.Contains(err.Error(), "majority") {
+		t.Errorf("error does not name the missing majority: %v", err)
+	}
+	// Out-of-range arguments are rejected, not sliced around.
+	if err := c.SyncFromQuorum(quorum.View{Epoch: 9, Members: []int32{0, 99}}, nil); err == nil {
+		t.Error("view member outside the cluster accepted")
+	}
+	if err := c.SyncFromQuorum(v1, []int{1000}); err == nil {
+		t.Error("target outside the cluster accepted")
+	}
+	var verr error
+	if verr = c.SyncFromQuorum(quorum.View{}, nil); verr == nil {
+		t.Error("invalid view accepted")
+	}
+	_ = errors.Unwrap(verr) // the validation error surfaces as-is
+}

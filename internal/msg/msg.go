@@ -126,11 +126,15 @@ type ReadReq struct {
 }
 
 // ReadReply carries a replica's current tagged value of register Reg back to
-// the client that issued read operation Op.
+// the client that issued read operation Op. Epoch echoes the request's epoch
+// stamp, so a transport that renumbered its members across a view change can
+// label the reply with the replier's position in the view the request was
+// issued under, not the current one.
 type ReadReply struct {
-	Reg RegisterID
-	Op  OpID
-	Tag Tagged
+	Reg   RegisterID
+	Op    OpID
+	Tag   Tagged
+	Epoch Epoch
 }
 
 // WriteReq asks a replica to update register Reg with Tag if Tag's timestamp
@@ -143,20 +147,24 @@ type WriteReq struct {
 }
 
 // WriteAck acknowledges that a replica applied (or deliberately ignored, if
-// stale) write operation Op on register Reg.
+// stale) write operation Op on register Reg. Epoch echoes the request's
+// stamp, as in ReadReply.
 type WriteAck struct {
-	Reg RegisterID
-	Op  OpID
+	Reg   RegisterID
+	Op    OpID
+	Epoch Epoch
 }
 
 // StaleEpoch rejects operation Op on register Reg: the request was stamped
 // with an epoch older than the replica's current view, carried here so the
 // client can adopt it and re-pick its quorum mid-stream without a separate
-// fetch round.
+// fetch round. Epoch echoes the rejected request's stamp (not the carried
+// view's epoch), as in ReadReply.
 type StaleEpoch struct {
-	Reg  RegisterID
-	Op   OpID
-	View quorum.View
+	Reg   RegisterID
+	Op    OpID
+	View  quorum.View
+	Epoch Epoch
 }
 
 // SnapEntry is one register's tagged value inside a state-transfer snapshot.

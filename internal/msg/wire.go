@@ -16,12 +16,12 @@ package msg
 // payload = 1 kind byte + kind-specific fields:
 //
 //	ReadReq    (kind 1): reg int32 · op uint64 [· epoch uint64]
-//	ReadReply  (kind 2): reg int32 · op uint64 · tagged
+//	ReadReply  (kind 2): reg int32 · op uint64 · tagged [· epoch uint64]
 //	WriteReq   (kind 3): reg int32 · op uint64 · tagged [· epoch uint64]
-//	WriteAck   (kind 4): reg int32 · op uint64
+//	WriteAck   (kind 4): reg int32 · op uint64 [· epoch uint64]
 //	Batch      (kind 5): count uint32, then per element
 //	                     uint32 element length | element payload
-//	StaleEpoch (kind 6): reg int32 · op uint64 · view
+//	StaleEpoch (kind 6): reg int32 · op uint64 · view [· epoch uint64]
 //	SnapReq    (kind 7): op uint64
 //	SnapReply  (kind 8): op uint64 · view · count uint32 · entries
 //	                     (entry = reg int32 · tagged)
@@ -31,10 +31,11 @@ package msg
 //	view   = epoch uint64 · k uint32 · nmembers uint32 · members int32 each ·
 //	         naddrs uint32 · addrs (uint32 length + bytes each)
 //
-// The epoch stamp on requests is a trailing optional field, present only
-// when nonzero: decoders written before membership ignored trailing bytes
-// after the fixed fields, so epoch-0 frames are byte-identical to the
-// pre-membership encoding and the old fuzz corpus stays valid.
+// The epoch stamp on requests — and its echo on replies — is a trailing
+// optional field, present only when nonzero: decoders written before
+// membership ignored trailing bytes after the fixed fields, so epoch-0
+// frames are byte-identical to the pre-membership encoding and the old fuzz
+// corpus stays valid.
 //
 // Batch elements carry their own length prefixes so a receiver can skip a
 // malformed or unrecognized element without losing the rest of the frame —
@@ -145,10 +146,15 @@ func appendPayload(dst []byte, m any, allowBatch bool) ([]byte, error) {
 		return appendEpoch(dst, t.Epoch), nil
 	case WriteAck:
 		dst = append(dst, wireWriteAck)
-		return appendRegOp(dst, t.Reg, t.Op), nil
+		dst = appendRegOp(dst, t.Reg, t.Op)
+		return appendEpoch(dst, t.Epoch), nil
 	case ReadReply:
 		dst = append(dst, wireReadReply)
-		return appendTagged(appendRegOp(dst, t.Reg, t.Op), t.Tag)
+		dst, err := appendTagged(appendRegOp(dst, t.Reg, t.Op), t.Tag)
+		if err != nil {
+			return dst, err
+		}
+		return appendEpoch(dst, t.Epoch), nil
 	case WriteReq:
 		dst = append(dst, wireWriteReq)
 		dst, err := appendTagged(appendRegOp(dst, t.Reg, t.Op), t.Tag)
@@ -159,7 +165,8 @@ func appendPayload(dst []byte, m any, allowBatch bool) ([]byte, error) {
 	case StaleEpoch:
 		dst = append(dst, wireStaleEpoch)
 		dst = appendRegOp(dst, t.Reg, t.Op)
-		return appendView(dst, t.View), nil
+		dst = appendView(dst, t.View)
+		return appendEpoch(dst, t.Epoch), nil
 	case SnapReq:
 		dst = append(dst, wireSnapReq)
 		return binary.BigEndian.AppendUint64(dst, uint64(t.Op)), nil
@@ -389,7 +396,7 @@ func decodePayload(p []byte, allowBatch bool) (any, error) {
 		if kind == wireReadReq {
 			return ReadReq{Reg: reg, Op: op, Epoch: trailingEpoch(rest)}, nil
 		}
-		return WriteAck{Reg: reg, Op: op}, nil
+		return WriteAck{Reg: reg, Op: op, Epoch: trailingEpoch(rest)}, nil
 	case wireReadReply, wireWriteReq:
 		reg, op, rest, err := decodeRegOp(p)
 		if err != nil {
@@ -400,7 +407,7 @@ func decodePayload(p []byte, allowBatch bool) (any, error) {
 			return nil, err
 		}
 		if kind == wireReadReply {
-			return ReadReply{Reg: reg, Op: op, Tag: tag}, nil
+			return ReadReply{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)}, nil
 		}
 		return WriteReq{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)}, nil
 	case wireStaleEpoch:
@@ -408,11 +415,11 @@ func decodePayload(p []byte, allowBatch bool) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, _, err := decodeView(rest)
+		v, rest, err := decodeView(rest)
 		if err != nil {
 			return nil, err
 		}
-		return StaleEpoch{Reg: reg, Op: op, View: v}, nil
+		return StaleEpoch{Reg: reg, Op: op, View: v, Epoch: trailingEpoch(rest)}, nil
 	case wireSnapReq:
 		if len(p) < 8 {
 			return nil, errShortPayload
@@ -574,7 +581,7 @@ func visitElement(el []byte, v BatchVisitor) bool {
 				return v.ReadReq(ReadReq{Reg: reg, Op: op, Epoch: trailingEpoch(rest)})
 			}
 		} else if v.WriteAck != nil {
-			return v.WriteAck(WriteAck{Reg: reg, Op: op})
+			return v.WriteAck(WriteAck{Reg: reg, Op: op, Epoch: trailingEpoch(rest)})
 		}
 	case wireReadReply, wireWriteReq:
 		reg, op, rest, err := decodeRegOp(el)
@@ -590,19 +597,19 @@ func visitElement(el []byte, v BatchVisitor) bool {
 				return v.WriteReq(WriteReq{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)})
 			}
 		} else if v.ReadReply != nil {
-			return v.ReadReply(ReadReply{Reg: reg, Op: op, Tag: tag})
+			return v.ReadReply(ReadReply{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)})
 		}
 	case wireStaleEpoch:
 		reg, op, rest, err := decodeRegOp(el)
 		if err != nil {
 			return true
 		}
-		vw, _, err := decodeView(rest)
+		vw, rest, err := decodeView(rest)
 		if err != nil {
 			return true
 		}
 		if v.StaleEpoch != nil {
-			return v.StaleEpoch(StaleEpoch{Reg: reg, Op: op, View: vw})
+			return v.StaleEpoch(StaleEpoch{Reg: reg, Op: op, View: vw, Epoch: trailingEpoch(rest)})
 		}
 	}
 	// Unknown kinds (including nested batches) are junk: dropped, not fatal.
@@ -641,6 +648,7 @@ func (w *BatchWriter) AddReadReply(m ReadReply) error {
 		w.buf = w.buf[:lenAt]
 		return err
 	}
+	w.buf = appendEpoch(w.buf, m.Epoch)
 	binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
 	w.count++
 	return nil
@@ -652,6 +660,7 @@ func (w *BatchWriter) AddWriteAck(m WriteAck) {
 	w.buf = append(w.buf, 0, 0, 0, 0)
 	w.buf = append(w.buf, wireWriteAck)
 	w.buf = appendRegOp(w.buf, m.Reg, m.Op)
+	w.buf = appendEpoch(w.buf, m.Epoch)
 	binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
 	w.count++
 }
@@ -667,6 +676,7 @@ func (w *BatchWriter) AddStaleEpoch(m StaleEpoch) {
 	w.buf = append(w.buf, wireStaleEpoch)
 	w.buf = appendRegOp(w.buf, m.Reg, m.Op)
 	w.buf = appendView(w.buf, m.View)
+	w.buf = appendEpoch(w.buf, m.Epoch)
 	binary.BigEndian.PutUint32(w.buf[lenAt:], uint32(len(w.buf)-lenAt-4))
 	w.count++
 }

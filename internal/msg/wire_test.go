@@ -8,6 +8,8 @@ import (
 	"io"
 	"reflect"
 	"testing"
+
+	"probquorum/internal/quorum"
 )
 
 // exoticValue is a value type the binary codec has no tag for, exercising
@@ -75,6 +77,66 @@ func TestWireRoundTripKinds(t *testing.T) {
 		if !reflect.DeepEqual(in, out) {
 			t.Errorf("round trip mismatch:\n in=%#v\nout=%#v", in, out)
 		}
+	}
+}
+
+// TestWireReplyEpochEcho pins the trailing epoch echo on the three reply
+// kinds: nonzero epochs round-trip through the boxed decoder, the batch
+// visitor, and the BatchWriter, while epoch-0 frames remain byte-identical
+// to the pre-membership encoding (the trailing field is simply absent).
+func TestWireReplyEpochEcho(t *testing.T) {
+	tag := Tagged{TS: Timestamp{Seq: 5, Writer: 1}, Val: 2.5}
+	view := quorum.View{Epoch: 9, Members: []int32{0, 1, 2}}
+	replies := []any{
+		ReadReply{Reg: 3, Op: 17, Tag: tag, Epoch: 4},
+		WriteAck{Reg: 1, Op: 18, Epoch: 4},
+		StaleEpoch{Reg: 2, Op: 19, View: view, Epoch: 4},
+	}
+	for _, in := range replies {
+		out := decodeFrame(t, encodeFrame(t, in))
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("epoch echo round trip mismatch:\n in=%#v\nout=%#v", in, out)
+		}
+	}
+
+	// Epoch 0 omits the trailing field entirely: the frame is exactly 8
+	// bytes shorter and still decodes (to epoch 0), so peers speaking the
+	// pre-membership encoding interoperate unchanged.
+	withEpoch := encodeFrame(t, ReadReply{Reg: 3, Op: 17, Tag: tag, Epoch: 4})
+	without := encodeFrame(t, ReadReply{Reg: 3, Op: 17, Tag: tag})
+	if len(withEpoch) != len(without)+8 {
+		t.Errorf("epoch stamp costs %d bytes, want 8", len(withEpoch)-len(without))
+	}
+	if out := decodeFrame(t, without); out.(ReadReply).Epoch != 0 {
+		t.Errorf("epoch-less frame decoded to epoch %d", out.(ReadReply).Epoch)
+	}
+
+	// The server's streaming batch path (BatchWriter) and the client's
+	// unboxed walk (VisitBatchPayload) carry the echo end to end.
+	var w BatchWriter
+	w.Reset(nil)
+	if err := w.AddReadReply(ReadReply{Reg: 3, Op: 17, Tag: tag, Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	w.AddWriteAck(WriteAck{Reg: 1, Op: 18, Epoch: 5})
+	w.AddStaleEpoch(StaleEpoch{Reg: 2, Op: 19, View: view, Epoch: 6})
+	frame := w.Finish()
+	var got []any
+	ok, err := VisitBatchPayload(frame[4:], BatchVisitor{
+		ReadReply:  func(m ReadReply) bool { got = append(got, m); return true },
+		WriteAck:   func(m WriteAck) bool { got = append(got, m); return true },
+		StaleEpoch: func(m StaleEpoch) bool { got = append(got, m); return true },
+	})
+	if err != nil || !ok {
+		t.Fatalf("VisitBatchPayload: ok=%v err=%v", ok, err)
+	}
+	want := []any{
+		ReadReply{Reg: 3, Op: 17, Tag: tag, Epoch: 4},
+		WriteAck{Reg: 1, Op: 18, Epoch: 5},
+		StaleEpoch{Reg: 2, Op: 19, View: view, Epoch: 6},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batch epoch echo mismatch:\n got=%#v\nwant=%#v", got, want)
 	}
 }
 

@@ -1,6 +1,7 @@
 package register
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -207,6 +208,12 @@ func (f fatalError) Error() string { return f.err.Error() }
 func (c *Client) sendAll(sends []Send) error {
 	for _, s := range sends {
 		if err := c.tr.Send(s.Server, s.Req); err != nil {
+			// A send racing a view shrink is not a failure of the operation:
+			// the server left on purpose, the quorum re-pick against the
+			// adopted view covers it — exactly like a missing reply.
+			if errors.Is(err, transport.ErrNotInView) {
+				continue
+			}
 			return fmt.Errorf("server %d: %w", s.Server, err)
 		}
 	}

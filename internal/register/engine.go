@@ -180,9 +180,11 @@ func (e *Engine) System() quorum.System { return e.sys }
 // (0 in static mode).
 func (e *Engine) Epoch() quorum.Epoch { return e.epoch }
 
-// View returns the adopted membership view; ok=false in static mode.
+// View returns the adopted membership view; ok=false in static mode. The
+// result is a clone (quorum.View.Clone's boundary contract): a caller
+// mutating it cannot corrupt the engine's adopted view.
 func (e *Engine) View() (quorum.View, bool) {
-	return e.view, e.epoch != 0
+	return e.view.Clone(), e.epoch != 0
 }
 
 // AdoptView switches the engine to a newer membership view: the quorum

@@ -300,8 +300,10 @@ func memRollSim(t *testing.T) {
 // Grow/shrink: three epochs mid-stream, with the trace checked across all of
 // them. The cluster leg runs the full 5 -> 34 -> 5 of the roadmap claim; the
 // TCP leg keeps the socket count civil (5 -> 7 -> 5) and adds the real state
-// transfer (tcp.Join); the sim leg replays the same choreography on virtual
-// time.
+// transfer (tcp.JoinQuorum); the sim leg replays the same choreography on
+// virtual time. Both legs follow the reconfiguration discipline: joiners —
+// and, when shrinking, the survivors — merge a read quorum of the outgoing
+// view before the next view activates.
 
 func TestMembershipGrowShrinkCluster(t *testing.T) {
 	const base, grown, regs = 5, 34, 3
@@ -335,11 +337,14 @@ func TestMembershipGrowShrinkCluster(t *testing.T) {
 	go func() { errs <- memWriterLoad(writer, regs, stop) }()
 	go func() { errs <- memReaderLoad(reader, regs, stop) }()
 
-	// Grow: spawn the joiners, state-transfer each from server 0, then make
+	// Grow: spawn the joiners, state-transfer them from a read quorum of the
+	// old view (a single member would not do: a committed write only promises
+	// to sit on a write quorum, so joiners must merge a majority), then make
 	// the new view current — first through the reserved view register (the
 	// self-hosting path: an ordinary quorum write under the OLD view), then
 	// InstallView as the deterministic admin-side completion.
 	v2 := memView(2, grown, nil)
+	joiners := make([]int, 0, grown-base)
 	for i := base; i < grown; i++ {
 		idx, err := c.AddServer(nil)
 		if err != nil {
@@ -348,9 +353,10 @@ func TestMembershipGrowShrinkCluster(t *testing.T) {
 		if idx != i {
 			t.Fatalf("AddServer returned index %d, want %d", idx, i)
 		}
-		if err := c.Transfer(0, idx); err != nil {
-			t.Fatal(err)
-		}
+		joiners = append(joiners, idx)
+	}
+	if err := c.SyncFromQuorum(v1, joiners); err != nil {
+		t.Fatal(err)
 	}
 	admin, err := c.NewClient(v1.System(), cluster.WithView(v1))
 	if err != nil {
@@ -366,8 +372,18 @@ func TestMembershipGrowShrinkCluster(t *testing.T) {
 	waitEpoch(t, "reader grow", 2, reader.Pipeline().Epoch)
 	time.Sleep(150 * time.Millisecond) // load genuinely spans the 34-server view
 
-	// Shrink back to the original five.
+	// Shrink back to the original five. The survivors must merge a read
+	// quorum of the 34-server view before it is retired: a majority of the
+	// five can be disjoint from a 34-view write quorum, so without the sync a
+	// write committed on the big view could vanish from every new quorum.
 	v3 := memView(3, base, nil)
+	survivors := make([]int, base)
+	for i := range survivors {
+		survivors[i] = i
+	}
+	if err := c.SyncFromQuorum(v2, survivors); err != nil {
+		t.Fatal(err)
+	}
 	if err := c.InstallView(v3); err != nil {
 		t.Fatal(err)
 	}
@@ -460,11 +476,13 @@ func memGrowShrinkTCP(t *testing.T, wire tcp.Wire) {
 	go func() { errs <- memWriterLoad(writer, regs, stop) }()
 	go func() { errs <- memReaderLoad(reader, regs, stop) }()
 
-	// Grow: each joiner pulls a snapshot from a live member (the real state
-	// transfer), then starts listening, then the new view goes current.
+	// Grow: each joiner merges snapshots from a read quorum of the old view
+	// (the real state transfer — one member would not do, a committed write
+	// only promises to sit on a write quorum), then starts listening, then
+	// the new view goes current.
 	for i := base; i < grown; i++ {
 		st := replica.New(msg.NodeID(i), nil)
-		if err := tcp.Join(st, addrs[0], 2*time.Second); err != nil {
+		if err := tcp.JoinQuorum(st, v1, 2*time.Second); err != nil {
 			t.Fatalf("join server %d: %v", i, err)
 		}
 		if st.Epoch() != 1 {
@@ -487,7 +505,15 @@ func memGrowShrinkTCP(t *testing.T, wire tcp.Wire) {
 	waitEpoch(t, "reader grow", 2, reader.Keyspace().Epoch)
 	time.Sleep(150 * time.Millisecond)
 
+	// Shrink: the survivors first merge a read quorum of the 7-server view
+	// (a 3-of-5 majority can be disjoint from a 4-of-7 write quorum), then
+	// the smaller view goes current.
 	v3 := memView(3, base, addrs[:base])
+	for _, st := range stores[:base] {
+		if err := tcp.JoinQuorum(st, v2, 2*time.Second); err != nil {
+			t.Fatalf("survivor sync: %v", err)
+		}
+	}
 	for _, st := range stores {
 		st.SetView(v3)
 	}
@@ -728,8 +754,8 @@ func TestMembershipGrowShrinkSim(t *testing.T) {
 
 // ---------------------------------------------------------------------------
 // Crash-join race: a server crashes, a replacement joins by state transfer
-// from a survivor, the view moves on without the crashed server — all under
-// load, with zero client-visible errors and nothing lost.
+// from the surviving read quorum, the view moves on without the crashed
+// server — all under load, with zero client-visible errors and nothing lost.
 
 func TestMembershipCrashJoinRace(t *testing.T) {
 	const base, regs = 5, 3
@@ -755,14 +781,15 @@ func TestMembershipCrashJoinRace(t *testing.T) {
 	go func() { loadErr <- memWriterLoad(cl, regs, stop) }()
 	time.Sleep(50 * time.Millisecond)
 
-	// Server 0 dies. While it is down, a replacement joins off server 1 and
-	// a view replaces the dead member with the joiner.
+	// Server 0 dies. While it is down, a replacement joins by merging the
+	// surviving read quorum (the crashed member is skipped, like any silent
+	// server) and a view replaces the dead member with the joiner.
 	c.Server(0).Crash()
 	idx, err := c.AddServer(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Transfer(1, idx); err != nil {
+	if err := c.SyncFromQuorum(v1, []int{idx}); err != nil {
 		t.Fatal(err)
 	}
 	v2 := quorum.View{Epoch: 2, Members: []int32{int32(idx), 1, 2, 3, 4}}

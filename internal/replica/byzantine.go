@@ -57,9 +57,10 @@ func (b *Byzantine) Apply(req any) (reply any, ok bool) {
 				TS:  msg.Timestamp{Seq: 1 << 62, Writer: -1},
 				Val: poison,
 			},
+			Epoch: m.Epoch,
 		}, true
 	case msg.WriteReq:
-		return msg.WriteAck{Reg: m.Reg, Op: m.Op}, true
+		return msg.WriteAck{Reg: m.Reg, Op: m.Op, Epoch: m.Epoch}, true
 	default:
 		return nil, false
 	}

@@ -145,7 +145,7 @@ func (s *Store) ApplyRead(m msg.ReadReq) (msg.ReadReply, bool) {
 	sh.mu.Lock()
 	tag := sh.regs[m.Reg]
 	sh.mu.Unlock()
-	return msg.ReadReply{Reg: m.Reg, Op: m.Op, Tag: tag}, true
+	return msg.ReadReply{Reg: m.Reg, Op: m.Op, Tag: tag, Epoch: m.Epoch}, true
 }
 
 // ApplyWrite is the concrete-typed write path; see ApplyRead.
@@ -168,7 +168,7 @@ func (s *Store) ApplyWrite(m msg.WriteReq) (msg.WriteAck, bool) {
 	if m.Reg == msg.ViewKey {
 		s.maybeInstallView(m.Tag)
 	}
-	return msg.WriteAck{Reg: m.Reg, Op: m.Op}, true
+	return msg.WriteAck{Reg: m.Reg, Op: m.Op, Epoch: m.Epoch}, true
 }
 
 // Crash silences the server: subsequent requests get no reply until Recover

@@ -123,7 +123,7 @@ func (s *Store) StaleFor(reg msg.RegisterID, op msg.OpID, e quorum.Epoch) (msg.S
 		return msg.StaleEpoch{}, false
 	}
 	s.vs.stale.Inc()
-	return msg.StaleEpoch{Reg: reg, Op: op, View: v.Clone()}, true
+	return msg.StaleEpoch{Reg: reg, Op: op, View: v.Clone(), Epoch: e}, true
 }
 
 // CheckEpoch is StaleFor for in-process callers that want an error instead

@@ -1,12 +1,20 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
 )
+
+// ErrNotInView reports a Send to a server index outside the transport's
+// current view — typically a request racing a view shrink. Callers treat it
+// like a missing reply (the server is gone on purpose, not crashed), but it
+// is an error so SendAll's MultiError records the drop instead of letting
+// the send vanish silently.
+var ErrNotInView = errors.New("transport: server index not in current view")
 
 // Updater is implemented by transports that can re-target their endpoints at
 // runtime when the membership view changes. Update rebinds server index i to
@@ -46,9 +54,11 @@ type ReplySink interface {
 // ReplyBinder is implemented by transports that can deliver replies through
 // a ReplySink. BindReplies must be called before the first Send, after Bind
 // (the Sink remains the path for errors, Broadcast notifications, and any
-// payload outside the three reply kinds).
+// payload outside the three reply kinds). It reports whether the bind took
+// effect: a wrapper over a transport without a concrete reply path forwards
+// the inner transport's answer instead of claiming support it cannot honor.
 type ReplyBinder interface {
-	BindReplies(rs ReplySink)
+	BindReplies(rs ReplySink) bool
 }
 
 // BindReplies installs rs on t if t (or the transport it wraps) supports
@@ -56,10 +66,27 @@ type ReplyBinder interface {
 // the boxed Sink path when it reports false.
 func BindReplies(t Transport, rs ReplySink) bool {
 	if rb, ok := t.(ReplyBinder); ok {
-		rb.BindReplies(rs)
-		return true
+		return rb.BindReplies(rs)
 	}
 	return false
+}
+
+// ReplyEpoch extracts the epoch a reply's originating request was issued
+// under (the echo stamped by the replica) from a decoded reply payload. ok
+// is false for payloads that are not one of the three reply kinds. Epoch 0
+// means the request predated membership (static mode) or came from a peer
+// speaking the pre-membership encoding.
+func ReplyEpoch(payload any) (quorum.Epoch, bool) {
+	switch m := payload.(type) {
+	case msg.ReadReply:
+		return m.Epoch, true
+	case msg.WriteAck:
+		return m.Epoch, true
+	case msg.StaleEpoch:
+		return m.Epoch, true
+	default:
+		return 0, false
+	}
 }
 
 // MultiError aggregates per-server failures from SendAll. Errs is indexed by

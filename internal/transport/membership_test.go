@@ -40,7 +40,7 @@ func (s *stubTransport) Update(v quorum.View) error {
 	return s.updErr
 }
 
-func (s *stubTransport) BindReplies(rs transport.ReplySink) { s.rs = rs }
+func (s *stubTransport) BindReplies(rs transport.ReplySink) bool { s.rs = rs; return true }
 
 // TestSendAllCollectsPerServerErrors pins the SendAll contract: it never
 // stops early, the error vector is indexed by server, and the aggregate
@@ -161,6 +161,14 @@ func TestUpdateAndBindRepliesSeams(t *testing.T) {
 	}
 	if transport.BindReplies(plain, sink) {
 		t.Error("BindReplies(sealed) = true, want false")
+	}
+
+	// Instrument over a transport without a concrete reply path must not
+	// claim support: callers are documented to fall back to the boxed Sink
+	// only when BindReplies reports false.
+	sealedWrapped := transport.Instrument(plain, &tc)
+	if transport.BindReplies(sealedWrapped, sink) {
+		t.Error("BindReplies(Instrument(sealed)) = true, want false")
 	}
 }
 

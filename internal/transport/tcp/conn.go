@@ -200,8 +200,9 @@ func (t *tcpTransport) Bind(sink transport.Sink) {
 // binary batch frames are then walked element by element into rs with zero
 // per-element boxing; errors and non-reply payloads keep flowing through the
 // boxed Sink.
-func (t *tcpTransport) BindReplies(rs transport.ReplySink) {
+func (t *tcpTransport) BindReplies(rs transport.ReplySink) bool {
 	t.rsink.Store(&rs)
+	return true
 }
 
 func (t *tcpTransport) emit(server int, payload any, err error) {
@@ -214,9 +215,10 @@ func (t *tcpTransport) Send(server int, req any) error {
 	conns := *t.conns.Load()
 	if server < 0 || server >= len(conns) {
 		// A send into a view transition (the quorum was picked against a
-		// larger view than the one just adopted): drop it, the operation's
-		// deadline re-issues against the current view.
-		return nil
+		// larger view than the one just adopted). The sentinel lets SendAll's
+		// MultiError record the drop; callers treat it like a missing reply —
+		// the operation's deadline re-issues against the current view.
+		return transport.ErrNotInView
 	}
 	nc := conns[server]
 	if nc.async {
@@ -257,11 +259,30 @@ func (t *tcpTransport) Update(v quorum.View) error {
 	for i, addr := range v.Addrs {
 		if nc, ok := reuse[addr]; ok {
 			delete(reuse, addr)
+			// Record the connection's position under every recent epoch
+			// before renumbering it: in-flight replies echo the epoch their
+			// request was issued under, and must be attributed to the
+			// position this server held in that epoch's view, not the one it
+			// is being moved to now.
+			nh := make(map[quorum.Epoch]int32, epochHistory+1)
+			if oh := nc.epochIdx.Load(); oh != nil {
+				for e, idx := range *oh {
+					if e+epochHistory > v.Epoch {
+						nh[e] = idx
+					}
+				}
+			} else if t.epoch != 0 {
+				nh[t.epoch] = nc.server.Load()
+			}
+			nh[v.Epoch] = int32(i)
+			nc.epochIdx.Store(&nh)
 			nc.server.Store(int32(i))
 			next[i] = nc
 			continue
 		}
 		nc := t.newConn(i, addr)
+		nh := map[quorum.Epoch]int32{v.Epoch: int32(i)}
+		nc.epochIdx.Store(&nh)
 		next[i] = nc
 		fresh = append(fresh, nc)
 	}
@@ -291,6 +312,12 @@ func (t *tcpTransport) Close() error {
 	return nil
 }
 
+// epochHistory bounds how many past epochs a connection keeps reply-index
+// mappings for. Replies echoing an epoch older than the window are dropped
+// (the issuing operation has long since re-picked); four epochs comfortably
+// covers the in-flight window of any realistic reconfiguration cadence.
+const epochHistory = 4
+
 // netConn is one connection to a replica server. A connection that errors is
 // dropped and transparently re-dialed on next use, with capped backoff
 // between failed dial attempts so a long-gone server is not hammered.
@@ -302,6 +329,13 @@ type netConn struct {
 	// stale index must not label any further deliveries.
 	server   atomic.Int32
 	detached atomic.Bool
+	// epochIdx maps recent membership epochs to the index this connection
+	// held under each (immutable maps, swapped whole by Update). Replies echo
+	// the epoch their request was issued under; labeling them through this
+	// map keeps a reply that races a renumbering Update attributed to the
+	// replier's position in the issuing view. nil until the first Update:
+	// with only dial-time numbering there is nothing to translate.
+	epochIdx atomic.Pointer[map[quorum.Epoch]int32]
 	addr     string
 	wire     Wire
 	timeout  time.Duration
@@ -331,14 +365,45 @@ type netConn struct {
 	closed      bool
 }
 
-// emit labels a delivery with the connection's current server index, unless
-// the connection has been detached from the view (a leaver's late replies
-// and death throes are not news).
+// emit labels a delivery with the connection's server index — the position
+// it held under the epoch the reply's request was issued under, when the
+// reply carries an epoch echo — unless the connection has been detached from
+// the view (a leaver's late replies and death throes are not news).
 func (nc *netConn) emit(payload any, err error) {
 	if nc.detached.Load() {
 		return
 	}
-	nc.t.emit(int(nc.server.Load()), payload, err)
+	server := int(nc.server.Load())
+	if e, isReply := transport.ReplyEpoch(payload); isReply {
+		idx, ok := nc.indexForEpoch(e)
+		if !ok {
+			return
+		}
+		server = idx
+	}
+	nc.t.emit(server, payload, err)
+}
+
+// indexForEpoch resolves the server index to label a reply issued under
+// epoch e with. Epoch 0 (static mode, or a peer speaking the pre-membership
+// encoding) and a connection that predates any view adoption use the current
+// index — the only numbering there is. ok=false means the epoch is outside
+// the retained window (or from a view this transport never adopted): the
+// reply's position label would be a guess, so the caller drops it and the
+// operation's deadline machinery takes over.
+func (nc *netConn) indexForEpoch(e quorum.Epoch) (int, bool) {
+	if e == 0 {
+		return int(nc.server.Load()), true
+	}
+	h := nc.epochIdx.Load()
+	if h == nil {
+		return int(nc.server.Load()), true
+	}
+	idx, ok := (*h)[e]
+	if !ok {
+		return 0, false
+	}
+	return int(idx), true
 }
 
 // send encodes one request inline (serial mode) and arms the read deadline
@@ -598,21 +663,26 @@ func (nc *netConn) decodeRaw(payload []byte) (any, error) {
 			return msg.DecodePayload(payload)
 		}
 		rs := *rsp
-		server := int(nc.server.Load())
 		if nc.detached.Load() {
 			return nil, nil
 		}
 		_, err := msg.VisitBatchPayload(payload, msg.BatchVisitor{
 			ReadReply: func(m msg.ReadReply) bool {
-				rs.ReadReply(server, m)
+				if idx, ok := nc.indexForEpoch(m.Epoch); ok {
+					rs.ReadReply(idx, m)
+				}
 				return true
 			},
 			WriteAck: func(m msg.WriteAck) bool {
-				rs.WriteAck(server, m)
+				if idx, ok := nc.indexForEpoch(m.Epoch); ok {
+					rs.WriteAck(idx, m)
+				}
 				return true
 			},
 			StaleEpoch: func(m msg.StaleEpoch) bool {
-				rs.StaleEpoch(server, m)
+				if idx, ok := nc.indexForEpoch(m.Epoch); ok {
+					rs.StaleEpoch(idx, m)
+				}
 				return true
 			},
 			// Request-kind elements are foreign on a client-bound stream;

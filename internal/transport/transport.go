@@ -96,10 +96,14 @@ func (i *instrumented) Update(v quorum.View) error {
 
 // BindReplies forwards concrete-typed delivery through a counting shim, so
 // replies arriving on the unboxed path hit MsgsRecv exactly like boxed ones.
-func (i *instrumented) BindReplies(rs ReplySink) {
+// It reports the inner transport's answer: wrapping a transport without a
+// concrete reply path, the bind is a no-op and callers must keep the boxed
+// Sink fallback.
+func (i *instrumented) BindReplies(rs ReplySink) bool {
 	if rb, ok := i.Transport.(ReplyBinder); ok {
-		rb.BindReplies(&countedReplies{rs: rs, tc: i.tc})
+		return rb.BindReplies(&countedReplies{rs: rs, tc: i.tc})
 	}
+	return false
 }
 
 type countedReplies struct {
