@@ -1,0 +1,286 @@
+package probquorum
+
+// Server hot-path benchmarks for the coalesced reply writer. Two families:
+//
+//   BenchmarkServerScaling    — a conns x GOMAXPROCS throughput curve over
+//                               the coalescing server, showing how aggregate
+//                               ops/s behaves as client connections multiply.
+//   BenchmarkServerCoalescing — PAIRED before/after arms: the same client
+//                               workload alternates between a server set
+//                               running the old inline reply path
+//                               (tcp.WithInlineReplies) and one running the
+//                               coalescing writer, inside one benchmark loop
+//                               with separate busy timers so machine drift
+//                               cancels out of the speedup ratio (same
+//                               technique as BenchmarkKeyspaceVsPipelineTCP).
+//
+// The paired arms are the acceptance numbers scripts/bench.sh collects into
+// BENCH_server.json: pipelined-batch16 and keyspace-conc8 speedup >= 1.3x.
+// The coalescing win comes from reply merging: when a connection's requests
+// arrive faster than its replies drain — deep per-connection pipelines, many
+// goroutines multiplexed over shared conns — the writer folds several
+// request frames' worth of replies into one batch frame and one syscall,
+// where the inline path pays a write per request frame.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/transport/tcp"
+)
+
+const (
+	svrBenchServers = 5
+	// svrPairWidth is the in-flight phase width for the paired pipelined
+	// arm: wide enough that each server sees several back-to-back batch-16
+	// request frames per phase on one connection, which is the regime the
+	// reply writer exists for.
+	svrPairWidth = 256
+	// svrCurveWidth is the per-client phase width in the scaling curve —
+	// the standard APSP round shape.
+	svrCurveWidth = 12
+	// svrKsWidth is the per-goroutine phase width for the paired keyspace
+	// arm. The shared ksRounds shape (width 12) measures the APSP round;
+	// the coalescing pair wants the deeply pipelined regime, so each of
+	// the 8 goroutines keeps this many operations in flight per phase.
+	svrKsWidth = 48
+)
+
+// svrKsRounds is ksConcurrentRounds with the phase width as a parameter:
+// n goroutines over one shared keyspace client, each confined to its own
+// disjoint key range, driving write-then-read phases width deep.
+func svrKsRounds(tb testing.TB, kc *tcp.KeyspaceClient, n, keysEach, width, rounds int) int {
+	tb.Helper()
+	var wg sync.WaitGroup
+	ops := make([]int, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * keysEach
+			next := 0
+			keys := make([]msg.RegisterID, width)
+			pend := make([]*register.PendingOp, 0, width)
+			for it := 0; it < rounds; it++ {
+				for i := range keys {
+					keys[i] = msg.RegisterID(base + next%keysEach)
+					next++
+				}
+				pend = pend[:0]
+				for _, k := range keys {
+					pend = append(pend, kc.WriteAsync(k, float64(it)))
+				}
+				for _, op := range pend {
+					if _, err := op.Wait(); err != nil {
+						tb.Errorf("keyspace write: %v", err)
+						return
+					}
+					ops[g]++
+				}
+				pend = pend[:0]
+				for _, k := range keys {
+					pend = append(pend, kc.ReadAsync(k))
+				}
+				for _, op := range pend {
+					if _, err := op.Wait(); err != nil {
+						tb.Errorf("keyspace read: %v", err)
+						return
+					}
+					ops[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, o := range ops {
+		total += o
+	}
+	return total
+}
+
+func startServerBenchSet(tb testing.TB, opts ...tcp.ServerOption) []string {
+	tb.Helper()
+	addrs := make([]string, svrBenchServers)
+	for i := range addrs {
+		// No initial contents: registers materialize on first write, so
+		// every client can use a private disjoint range.
+		srv, err := tcp.Listen(replica.New(msg.NodeID(i), nil), "127.0.0.1:0", opts...)
+		if err != nil {
+			tb.Fatalf("listen server %d: %v", i, err)
+		}
+		tb.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+// svrPipeRounds drives write-then-read phases of the given width on a
+// disjoint register range (writes first so reads hit materialized keys).
+func svrPipeRounds(tb testing.TB, c *tcp.PipelinedClient, base, width, rounds int) int {
+	tb.Helper()
+	ops := 0
+	pend := make([]*register.PendingOp, 0, width)
+	for it := 0; it < rounds; it++ {
+		pend = pend[:0]
+		for r := 0; r < width; r++ {
+			pend = append(pend, c.WriteAsync(msg.RegisterID(base+r), float64(it)))
+		}
+		for _, op := range pend {
+			if _, err := op.Wait(); err != nil {
+				tb.Fatalf("pipelined write: %v", err)
+			}
+			ops++
+		}
+		pend = pend[:0]
+		for r := 0; r < width; r++ {
+			pend = append(pend, c.ReadAsync(msg.RegisterID(base+r)))
+		}
+		for _, op := range pend {
+			if _, err := op.Wait(); err != nil {
+				tb.Fatalf("pipelined read: %v", err)
+			}
+			ops++
+		}
+	}
+	return ops
+}
+
+// BenchmarkServerScaling sweeps client connections {1,8,64} x GOMAXPROCS
+// {2,8} against one coalescing server set. Each client is an independent
+// pipelined connection group working a private register range; the metric
+// is aggregate ops/s across all clients.
+func BenchmarkServerScaling(b *testing.B) {
+	const rounds = 2
+	sys := quorum.NewMajority(svrBenchServers)
+
+	for _, conns := range []int{1, 8, 64} {
+		for _, procs := range []int{2, 8} {
+			conns, procs := conns, procs
+			b.Run(fmt.Sprintf("conns%d/procs%d", conns, procs), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+
+				addrs := startServerBenchSet(b)
+				clients := make([]*tcp.PipelinedClient, conns)
+				for i := range clients {
+					c, err := tcp.DialPipelined(addrs, sys, tcp.WithMonotone(), tcp.WithMaxBatch(16))
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer c.Close()
+					clients[i] = c
+					svrPipeRounds(b, c, i*1024, svrCurveWidth, 1) // warm conns, materialize keys
+				}
+
+				ops := make([]int, conns)
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for g := 0; g < conns; g++ {
+						wg.Add(1)
+						go func(g int) {
+							defer wg.Done()
+							ops[g] += svrPipeRounds(b, clients[g], g*1024, svrCurveWidth, rounds)
+						}(g)
+					}
+					wg.Wait()
+				}
+				total := 0
+				for _, o := range ops {
+					total += o
+				}
+				b.ReportMetric(float64(total)/time.Since(start).Seconds(), "ops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkServerCoalescing is the paired before/after measurement. Each arm
+// dials identical clients against two otherwise-identical server sets — one
+// forced onto the old inline reply path, one on the coalescing writer — and
+// alternates one workload slice per side per iteration with separate busy
+// accumulators. The reported speedup is the coalescing/inline throughput
+// ratio; bench.sh records the median of five runs per arm into
+// BENCH_server.json, where the acceptance bar is >= 1.3x.
+func BenchmarkServerCoalescing(b *testing.B) {
+	sys := quorum.NewMajority(svrBenchServers)
+
+	b.Run("pipelined-batch16", func(b *testing.B) {
+		inlineAddrs := startServerBenchSet(b, tcp.WithInlineReplies())
+		coalAddrs := startServerBenchSet(b)
+		ic, err := tcp.DialPipelined(inlineAddrs, sys, tcp.WithMonotone(), tcp.WithMaxBatch(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ic.Close()
+		cc, err := tcp.DialPipelined(coalAddrs, sys, tcp.WithMonotone(), tcp.WithMaxBatch(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cc.Close()
+
+		svrPipeRounds(b, ic, 0, svrPairWidth, 3) // warm both sides
+		svrPipeRounds(b, cc, 0, svrPairWidth, 3)
+
+		var inOps, coOps int
+		var inBusy, coBusy time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			inOps += svrPipeRounds(b, ic, 0, svrPairWidth, 1)
+			inBusy += time.Since(t0)
+			t0 = time.Now()
+			coOps += svrPipeRounds(b, cc, 0, svrPairWidth, 1)
+			coBusy += time.Since(t0)
+		}
+		inRate := float64(inOps) / inBusy.Seconds()
+		coRate := float64(coOps) / coBusy.Seconds()
+		b.ReportMetric(inRate, "inline_ops/s")
+		b.ReportMetric(coRate, "coalesced_ops/s")
+		b.ReportMetric(coRate/inRate, "speedup")
+	})
+
+	b.Run("keyspace-conc8", func(b *testing.B) {
+		inlineAddrs := startServerBenchSet(b, tcp.WithInlineReplies())
+		coalAddrs := startServerBenchSet(b)
+		ik, err := tcp.DialKeyspace(inlineAddrs, sys, tcp.DefaultKeyspaceShards, tcp.WithMonotone(), tcp.WithMaxBatch(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ik.Close()
+		ck, err := tcp.DialKeyspace(coalAddrs, sys, tcp.DefaultKeyspaceShards, tcp.WithMonotone(), tcp.WithMaxBatch(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ck.Close()
+
+		svrKsRounds(b, ik, 8, 64, svrKsWidth, 3) // warm both sides
+		svrKsRounds(b, ck, 8, 64, svrKsWidth, 3)
+
+		var inOps, coOps int
+		var inBusy, coBusy time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			inOps += svrKsRounds(b, ik, 8, 64, svrKsWidth, 1)
+			inBusy += time.Since(t0)
+			t0 = time.Now()
+			coOps += svrKsRounds(b, ck, 8, 64, svrKsWidth, 1)
+			coBusy += time.Since(t0)
+		}
+		inRate := float64(inOps) / inBusy.Seconds()
+		coRate := float64(coOps) / coBusy.Seconds()
+		b.ReportMetric(inRate, "inline_ops/s")
+		b.ReportMetric(coRate, "coalesced_ops/s")
+		b.ReportMetric(coRate/inRate, "speedup")
+	})
+}

@@ -566,54 +566,78 @@ func VisitBatchPayload(p []byte, v BatchVisitor) (bool, error) {
 // malformed element is dropped (returns true so the walk continues); only a
 // callback's own false stops the walk.
 func visitElement(el []byte, v BatchVisitor) bool {
+	_, cont := visitOne(el, v)
+	return cont
+}
+
+// VisitPayload routes a single non-batch frame payload (kind byte included)
+// to the matching visitor callback as a concrete value — the lone-frame
+// counterpart of VisitBatchPayload, so neither direction of the wire boxes
+// on the hot path even when frames arrive one at a time. handled reports
+// whether a callback consumed the payload; it is false for kinds outside
+// the visitor set (snapshots, batches), for kinds whose callback is nil,
+// and for malformed payloads — in all of which cases the caller should fall
+// back to the boxed DecodePayload path. cont passes through the callback's
+// return value and is true whenever handled is false.
+func VisitPayload(p []byte, v BatchVisitor) (handled, cont bool) {
+	if IsBatchPayload(p) {
+		return false, true
+	}
+	return visitOne(p, v)
+}
+
+// visitOne decodes one element (or lone payload) into the visitor. handled
+// is true only when a callback was invoked; cont carries the callback's
+// return value and is true otherwise.
+func visitOne(el []byte, v BatchVisitor) (handled, cont bool) {
 	if len(el) == 0 {
-		return true
+		return false, true
 	}
 	kind, el := el[0], el[1:]
 	switch kind {
 	case wireReadReq, wireWriteAck:
 		reg, op, rest, err := decodeRegOp(el)
 		if err != nil {
-			return true
+			return false, true
 		}
 		if kind == wireReadReq {
 			if v.ReadReq != nil {
-				return v.ReadReq(ReadReq{Reg: reg, Op: op, Epoch: trailingEpoch(rest)})
+				return true, v.ReadReq(ReadReq{Reg: reg, Op: op, Epoch: trailingEpoch(rest)})
 			}
 		} else if v.WriteAck != nil {
-			return v.WriteAck(WriteAck{Reg: reg, Op: op, Epoch: trailingEpoch(rest)})
+			return true, v.WriteAck(WriteAck{Reg: reg, Op: op, Epoch: trailingEpoch(rest)})
 		}
 	case wireReadReply, wireWriteReq:
 		reg, op, rest, err := decodeRegOp(el)
 		if err != nil {
-			return true
+			return false, true
 		}
 		tag, rest, err := decodeTagged(rest)
 		if err != nil {
-			return true
+			return false, true
 		}
 		if kind == wireWriteReq {
 			if v.WriteReq != nil {
-				return v.WriteReq(WriteReq{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)})
+				return true, v.WriteReq(WriteReq{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)})
 			}
 		} else if v.ReadReply != nil {
-			return v.ReadReply(ReadReply{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)})
+			return true, v.ReadReply(ReadReply{Reg: reg, Op: op, Tag: tag, Epoch: trailingEpoch(rest)})
 		}
 	case wireStaleEpoch:
 		reg, op, rest, err := decodeRegOp(el)
 		if err != nil {
-			return true
+			return false, true
 		}
 		vw, rest, err := decodeView(rest)
 		if err != nil {
-			return true
+			return false, true
 		}
 		if v.StaleEpoch != nil {
-			return v.StaleEpoch(StaleEpoch{Reg: reg, Op: op, View: vw, Epoch: trailingEpoch(rest)})
+			return true, v.StaleEpoch(StaleEpoch{Reg: reg, Op: op, View: vw, Epoch: trailingEpoch(rest)})
 		}
 	}
 	// Unknown kinds (including nested batches) are junk: dropped, not fatal.
-	return true
+	return false, true
 }
 
 // BatchWriter assembles one batch reply frame element by element, patching
@@ -683,6 +707,11 @@ func (w *BatchWriter) AddStaleEpoch(m StaleEpoch) {
 
 // Count reports how many elements have been added since Reset.
 func (w *BatchWriter) Count() int { return int(w.count) }
+
+// Len reports the size in bytes of the frame under construction — header
+// plus every element appended since Reset. Servers use it to bound how much
+// coalesced reply data may pile up unsent before a slow reader is dropped.
+func (w *BatchWriter) Len() int { return len(w.buf) - w.start }
 
 // Finish patches the prefixes and returns the completed frame (everything
 // appended since Reset, starting at the frame-length prefix).

@@ -589,3 +589,89 @@ func TestWireAllocGates(t *testing.T) {
 		t.Errorf("decode ReadReq: %v allocs/op, want <= 1", decReq)
 	}
 }
+
+// TestVisitPayloadLoneFrames pins the single-frame concrete visitor: every
+// visitor kind dispatches to its callback with the same value the boxed
+// decoder produces, batch and snapshot payloads report handled=false so
+// callers fall back to DecodePayload, and the callback's return value is
+// passed through as cont.
+func TestVisitPayloadLoneFrames(t *testing.T) {
+	tag := Tagged{TS: Timestamp{Seq: 7, Writer: 2}, Val: 1.25}
+	view := quorum.View{Epoch: 3, Members: []int32{0, 1, 2}}
+	cases := []any{
+		ReadReq{Reg: 4, Op: 11, Epoch: 3},
+		WriteReq{Reg: 4, Op: 12, Tag: tag, Epoch: 3},
+		ReadReply{Reg: 4, Op: 11, Tag: tag, Epoch: 3},
+		WriteAck{Reg: 4, Op: 12, Epoch: 3},
+		StaleEpoch{Reg: 4, Op: 13, View: view, Epoch: 1},
+	}
+	for _, in := range cases {
+		frame := encodeFrame(t, in)
+		var got any
+		v := BatchVisitor{
+			ReadReq:    func(m ReadReq) bool { got = m; return true },
+			WriteReq:   func(m WriteReq) bool { got = m; return true },
+			ReadReply:  func(m ReadReply) bool { got = m; return true },
+			WriteAck:   func(m WriteAck) bool { got = m; return true },
+			StaleEpoch: func(m StaleEpoch) bool { got = m; return true },
+		}
+		handled, cont := VisitPayload(frame[4:], v)
+		if !handled || !cont {
+			t.Fatalf("VisitPayload(%#v) = handled %v, cont %v", in, handled, cont)
+		}
+		if !reflect.DeepEqual(in, got) {
+			t.Errorf("visitor mismatch:\n in=%#v\ngot=%#v", in, got)
+		}
+	}
+
+	// A callback returning false is passed through as cont=false.
+	req := encodeFrame(t, ReadReq{Reg: 1, Op: 2})
+	handled, cont := VisitPayload(req[4:], BatchVisitor{
+		ReadReq: func(ReadReq) bool { return false },
+	})
+	if !handled || cont {
+		t.Errorf("stop-requesting callback: handled %v, cont %v, want true, false", handled, cont)
+	}
+
+	// Kinds with no callback, batch frames, snapshots, and junk all report
+	// handled=false with cont=true.
+	unhandled := [][]byte{
+		encodeFrame(t, ReadReq{Reg: 1, Op: 2})[4:],
+		encodeFrame(t, Batch{Msgs: []any{ReadReq{Reg: 1, Op: 2}}})[4:],
+		encodeFrame(t, SnapReq{Op: 1})[4:],
+		{0xEE, 1, 2, 3},
+		{},
+	}
+	for i, p := range unhandled {
+		handled, cont := VisitPayload(p, BatchVisitor{
+			WriteReq: func(WriteReq) bool { return false },
+		})
+		if handled || !cont {
+			t.Errorf("unhandled case %d: handled %v, cont %v, want false, true", i, handled, cont)
+		}
+	}
+}
+
+// TestBatchWriterLen pins Len as the byte size of the frame under
+// construction, including when the writer appends after a non-zero start
+// offset in a shared buffer.
+func TestBatchWriterLen(t *testing.T) {
+	var w BatchWriter
+	prefix := []byte("xxxx")
+	w.Reset(prefix)
+	if got := w.Len(); got != 9 {
+		t.Fatalf("Len after Reset = %d, want 9 (header only)", got)
+	}
+	w.AddWriteAck(WriteAck{Reg: 1, Op: 2})
+	afterOne := w.Len()
+	if afterOne <= 9 {
+		t.Fatalf("Len after one element = %d, want > 9", afterOne)
+	}
+	if err := w.AddReadReply(ReadReply{Reg: 1, Op: 3, Tag: Tagged{Val: 2.5}}); err != nil {
+		t.Fatal(err)
+	}
+	frame := w.Finish()
+	if got := w.Len(); got != len(frame)-len(prefix) {
+		t.Errorf("Len = %d, want frame size %d", got, len(frame)-len(prefix))
+	}
+}

@@ -53,12 +53,30 @@ type Client struct {
 }
 
 // inEvent is one inbound delivery from the transport, queued by the sink
-// until the operation loop pops it.
+// until the operation loop pops it. Reply kinds arriving through the
+// concrete transport.ReplySink path are stored inline under their own tag
+// instead of boxed through payload, so the TCP binary read loop's
+// zero-boxing delivery survives the queue hop.
 type inEvent struct {
-	server  int
+	kind   evKind
+	server int
+	read   msg.ReadReply
+	ack    msg.WriteAck
+	stale  msg.StaleEpoch
+	// payload and err serve the boxed Sink path: foreign payloads from
+	// transports without a ReplyBinder seam, and per-server errors.
 	payload any
 	err     error
 }
+
+type evKind uint8
+
+const (
+	evBoxed evKind = iota
+	evReadReply
+	evWriteAck
+	evStaleEpoch
+)
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
@@ -129,6 +147,10 @@ func NewClient(e *Engine, tr transport.Transport, opts ...ClientOption) *Client 
 		c.counters = &metrics.TransportCounters{}
 	}
 	tr.Bind(c.sink)
+	// When the transport can deliver replies concretely (the TCP binary
+	// codec), take them without boxing; errors and foreign payloads still
+	// arrive through the boxed sink above.
+	transport.BindReplies(tr, c)
 	return c
 }
 
@@ -161,8 +183,28 @@ func (c *Client) sink(server int, payload any, err error) {
 		})
 		return
 	}
+	c.push(inEvent{server: server, payload: payload, err: err})
+}
+
+// ReadReply implements transport.ReplySink: one concretely typed read reply,
+// queued without boxing.
+func (c *Client) ReadReply(server int, m msg.ReadReply) {
+	c.push(inEvent{kind: evReadReply, server: server, read: m})
+}
+
+// WriteAck implements transport.ReplySink.
+func (c *Client) WriteAck(server int, m msg.WriteAck) {
+	c.push(inEvent{kind: evWriteAck, server: server, ack: m})
+}
+
+// StaleEpoch implements transport.ReplySink.
+func (c *Client) StaleEpoch(server int, m msg.StaleEpoch) {
+	c.push(inEvent{kind: evStaleEpoch, server: server, stale: m})
+}
+
+func (c *Client) push(ev inEvent) {
 	c.mu.Lock()
-	c.queue = append(c.queue, inEvent{server: server, payload: payload, err: err})
+	c.queue = append(c.queue, ev)
 	c.mu.Unlock()
 	select {
 	case c.notify <- struct{}{}:
@@ -329,14 +371,37 @@ func (c *Client) pump(o *Operation, pt *phaseTimer) error {
 			}
 			continue
 		}
-		if o.Stale(ev.payload) {
-			// A late reply to an abandoned attempt (it raced a timeout).
-			// Dropped by op-id — on a self-delimiting wire this costs
-			// nothing but this counter tick.
-			c.counters.StaleDrops.Inc()
-			continue
+		// Per-kind dispatch: concretely queued replies stay concrete all the
+		// way into the Operation. A stale event is a late reply to an
+		// abandoned attempt (it raced a timeout); dropped by op-id — on a
+		// self-delimiting wire this costs nothing but the counter tick.
+		var sends []Send
+		switch ev.kind {
+		case evReadReply:
+			if o.StaleRead(ev.read) {
+				c.counters.StaleDrops.Inc()
+				continue
+			}
+			sends = o.DeliverReadReply(ev.server, ev.read)
+		case evWriteAck:
+			if o.StaleAck(ev.ack) {
+				c.counters.StaleDrops.Inc()
+				continue
+			}
+			sends = o.DeliverWriteAck(ev.server, ev.ack)
+		case evStaleEpoch:
+			if o.StaleReject(ev.stale) {
+				c.counters.StaleDrops.Inc()
+				continue
+			}
+			sends = o.DeliverStaleEpoch(ev.server, ev.stale)
+		default:
+			if o.Stale(ev.payload) {
+				c.counters.StaleDrops.Inc()
+				continue
+			}
+			sends = o.Deliver(ev.server, ev.payload)
 		}
-		sends := o.Deliver(ev.server, ev.payload)
 		if v, ok := o.NewerView(); ok {
 			// A replica rejected this attempt from a newer view: adopt it,
 			// re-target the transport, and re-fan against the new quorum

@@ -55,7 +55,19 @@ type Engine struct {
 	// cacheHits counts monotone reads answered from the cache because the
 	// queried quorum only returned older timestamps.
 	cacheHits int64
+
+	// rfree/wfree hold finished sessions whose storage (quorum slice,
+	// reply maps) Begin* recycles, the steady-state mirror of the in-place
+	// recycling Retry* already does — a pipelined client stops allocating
+	// per operation. Sessions enter only through Release*, whose caller
+	// vouches that no further reply can touch them.
+	rfree []*ReadSession
+	wfree []*WriteSession
 }
+
+// sessionFreeMax bounds the recycled-session free lists; sessions beyond it
+// are dropped for the garbage collector, like pipeline timers past tfreeMax.
+const sessionFreeMax = 512
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -276,15 +288,63 @@ func (e *Engine) BeginRead(reg msg.RegisterID) *ReadSession {
 	e.guard.enter()
 	defer e.guard.leave()
 	e.nextOp += e.opStride
+	if n := len(e.rfree); n > 0 {
+		s := e.rfree[n-1]
+		e.rfree[n-1] = nil
+		e.rfree = e.rfree[:n-1]
+		q := e.pickInto(e.sys, s.Quorum)
+		*s = ReadSession{
+			Reg:       reg,
+			Op:        e.nextOp,
+			Quorum:    q,
+			Epoch:     e.epoch,
+			tags:      sizeTags(s.tags, len(q)),
+			unanimous: true,
+		}
+		return s
+	}
+	q := e.pick(e.sys)
 	return &ReadSession{
 		Reg:       reg,
 		Op:        e.nextOp,
-		Quorum:    e.pick(e.sys),
+		Quorum:    q,
 		Epoch:     e.epoch,
-		replied:   make(map[int]bool),
-		tags:      make(map[int]msg.Tagged),
+		tags:      sizeTags(nil, len(q)),
 		unanimous: true,
 	}
+}
+
+// sizeTags returns a zeroed tag buffer of length n, reusing buf's storage
+// when it is big enough. The whole capacity is cleared, not just the first
+// n entries: tag values are interfaces, and a recycled session must not
+// retain reply values from a larger earlier quorum. It also enforces the
+// reply bitmask's quorum-size cap (see ReadSession.replied) at session
+// construction, where an oversized pick fails loudly instead of silently
+// dropping replies.
+func sizeTags(buf []msg.Tagged, n int) []msg.Tagged {
+	if n > 64 {
+		panic("register: quorum exceeds the 64-member session cap")
+	}
+	if cap(buf) < n {
+		return make([]msg.Tagged, n)
+	}
+	buf = buf[:cap(buf)]
+	clear(buf)
+	return buf[:n]
+}
+
+// ReleaseRead returns a retired read session's storage to the engine for
+// BeginRead to recycle. The caller vouches that the session's operation id
+// has left every reply route — nothing may call OnReply (or read Best) on
+// it afterwards. Releasing is optional; sessions that are never released
+// are simply collected.
+func (e *Engine) ReleaseRead(s *ReadSession) {
+	e.guard.enter()
+	defer e.guard.leave()
+	if s == nil || len(e.rfree) >= sessionFreeMax {
+		return
+	}
+	e.rfree = append(e.rfree, s)
 }
 
 // RetryRead abandons a read session whose fan-out could not complete —
@@ -300,17 +360,15 @@ func (e *Engine) RetryRead(s *ReadSession) *ReadSession {
 	defer e.guard.leave()
 	e.nextOp += e.opStride
 	// The abandoned session's storage is dead the moment its op id is
-	// retired, so the retry recycles its quorum slice and maps — a client
+	// retired, so the retry recycles its quorum and tag slices — a client
 	// riding out an outage stops allocating per attempt.
-	clear(s.replied)
-	clear(s.tags)
+	q := e.pickInto(e.sys, s.Quorum)
 	return &ReadSession{
 		Reg:       s.Reg,
 		Op:        e.nextOp,
-		Quorum:    e.pickInto(e.sys, s.Quorum),
+		Quorum:    q,
 		Epoch:     e.epoch,
-		replied:   s.replied,
-		tags:      s.tags,
+		tags:      sizeTags(s.tags, len(q)),
 		unanimous: true,
 	}
 }
@@ -326,15 +384,23 @@ func (e *Engine) RetryWrite(s *WriteSession) *WriteSession {
 	defer e.guard.leave()
 	e.nextOp += e.opStride
 	// As in RetryRead, the abandoned session's storage is recycled.
-	clear(s.acked)
 	return &WriteSession{
 		Reg:    s.Reg,
 		Op:     e.nextOp,
 		Tag:    s.Tag,
-		Quorum: e.pickInto(e.writeSys, s.Quorum),
+		Quorum: checkQuorumCap(e.pickInto(e.writeSys, s.Quorum)),
 		Epoch:  e.epoch,
-		acked:  s.acked,
 	}
+}
+
+// checkQuorumCap enforces the acked bitmask's quorum-size cap (see
+// ReadSession.replied) on the write path, where there is no tag buffer to
+// do it as a side effect.
+func checkQuorumCap(q []int) []int {
+	if len(q) > 64 {
+		panic("register: quorum exceeds the 64-member session cap")
+	}
+	return q
 }
 
 // FinishRead applies the monotone filter to a completed read session and
@@ -423,14 +489,43 @@ func (e *Engine) BeginWrite(reg msg.RegisterID, val msg.Value) *WriteSession {
 	e.wts[reg]++
 	tag := msg.Tagged{TS: msg.Timestamp{Seq: e.wts[reg], Writer: e.writer}, Val: val}
 	e.observeOwnWrite(reg, tag)
+	return e.newWriteSessionLocked(reg, tag)
+}
+
+// newWriteSessionLocked builds a write session around tag, recycling a
+// released session's storage when one is free.
+func (e *Engine) newWriteSessionLocked(reg msg.RegisterID, tag msg.Tagged) *WriteSession {
+	if n := len(e.wfree); n > 0 {
+		s := e.wfree[n-1]
+		e.wfree[n-1] = nil
+		e.wfree = e.wfree[:n-1]
+		*s = WriteSession{
+			Reg:    reg,
+			Op:     e.nextOp,
+			Tag:    tag,
+			Quorum: checkQuorumCap(e.pickInto(e.writeSys, s.Quorum)),
+			Epoch:  e.epoch,
+		}
+		return s
+	}
 	return &WriteSession{
 		Reg:    reg,
 		Op:     e.nextOp,
 		Tag:    tag,
-		Quorum: e.pick(e.writeSys),
+		Quorum: checkQuorumCap(e.pick(e.writeSys)),
 		Epoch:  e.epoch,
-		acked:  make(map[int]bool),
 	}
+}
+
+// ReleaseWrite is ReleaseRead for write sessions: the caller vouches that
+// nothing may call OnAck on s afterwards.
+func (e *Engine) ReleaseWrite(s *WriteSession) {
+	e.guard.enter()
+	defer e.guard.leave()
+	if s == nil || len(e.wfree) >= sessionFreeMax {
+		return
+	}
+	e.wfree = append(e.wfree, s)
 }
 
 // BeginWriteWithTS starts a write carrying an explicit timestamp. The
@@ -441,14 +536,7 @@ func (e *Engine) BeginWriteWithTS(reg msg.RegisterID, tag msg.Tagged) *WriteSess
 	defer e.guard.leave()
 	e.nextOp += e.opStride
 	e.observeOwnWrite(reg, tag)
-	return &WriteSession{
-		Reg:    reg,
-		Op:     e.nextOp,
-		Tag:    tag,
-		Quorum: e.pick(e.writeSys),
-		Epoch:  e.epoch,
-		acked:  make(map[int]bool),
-	}
+	return e.newWriteSessionLocked(reg, tag)
 }
 
 // NextMultiWriterTS returns the timestamp a multi-writer write should carry

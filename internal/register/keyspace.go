@@ -2,6 +2,7 @@ package register
 
 import (
 	"fmt"
+	"sync"
 
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
@@ -35,6 +36,10 @@ import (
 type Keyspace struct {
 	shards []*Pipeline
 	mask   msg.OpID
+
+	// batchPool recycles ReplyBatch's per-frame demux scratch (buckets are
+	// sized to this keyspace's shard count, so the pool is per-instance).
+	batchPool sync.Pool
 }
 
 // NewKeyspace builds a keyspace over per-shard engines; engines[i] must
@@ -184,6 +189,66 @@ func (k *Keyspace) WriteAck(server int, m msg.WriteAck) {
 // the shard adopts the carried view and re-targets the shared transport.
 func (k *Keyspace) StaleEpoch(server int, m msg.StaleEpoch) {
 	k.shards[m.Op&k.mask].StaleEpoch(server, m)
+}
+
+// ksBatch is the per-frame demux scratch for ReplyBatch: one reply bucket
+// pair per shard, plus the list of shards the frame actually touched so
+// reset cost tracks the frame, not the shard count.
+type ksBatch struct {
+	reads   [][]msg.ReadReply
+	acks    [][]msg.WriteAck
+	touched []int
+}
+
+// ReplyBatch demultiplexes one server frame's worth of replies by op-id
+// residue and hands each touched shard its share in a single call — the
+// batched leg of Deliver (transport.BatchReplySink). Requests from all
+// shards funnel into the same per-server queues, so a coalesced reply frame
+// interleaves shards freely; delivering it element by element would take
+// each shard's pipeline lock once per reply. Bucketing first keeps the
+// amortization the server's coalescing bought: each shard pays one lock
+// round per frame, and shards still never contend with each other.
+func (k *Keyspace) ReplyBatch(server int, reads []msg.ReadReply, acks []msg.WriteAck) {
+	if len(reads)+len(acks) == 1 {
+		// A lone element needs no demux scratch.
+		for _, m := range reads {
+			k.ReadReply(server, m)
+		}
+		for _, m := range acks {
+			k.WriteAck(server, m)
+		}
+		return
+	}
+	b, _ := k.batchPool.Get().(*ksBatch)
+	if b == nil {
+		b = &ksBatch{
+			reads: make([][]msg.ReadReply, len(k.shards)),
+			acks:  make([][]msg.WriteAck, len(k.shards)),
+		}
+	}
+	for _, m := range reads {
+		s := int(m.Op & k.mask)
+		if len(b.reads[s])+len(b.acks[s]) == 0 {
+			b.touched = append(b.touched, s)
+		}
+		b.reads[s] = append(b.reads[s], m)
+	}
+	for _, m := range acks {
+		s := int(m.Op & k.mask)
+		if len(b.reads[s])+len(b.acks[s]) == 0 {
+			b.touched = append(b.touched, s)
+		}
+		b.acks[s] = append(b.acks[s], m)
+	}
+	for _, s := range b.touched {
+		k.shards[s].ReplyBatch(server, b.reads[s], b.acks[s])
+		clear(b.reads[s])
+		clear(b.acks[s])
+		b.reads[s] = b.reads[s][:0]
+		b.acks[s] = b.acks[s][:0]
+	}
+	b.touched = b.touched[:0]
+	k.batchPool.Put(b)
 }
 
 // AdoptView installs a newer membership view on every shard (and re-targets

@@ -50,11 +50,11 @@ func (e *Engine) FinishReadMasked(s *ReadSession) (msg.Tagged, bool) {
 		count int
 	}
 	var groups []group
-	for _, srv := range s.Quorum {
-		tag, ok := s.tags[srv]
-		if !ok {
+	for i := range s.Quorum {
+		if s.replied&(1<<uint(i)) == 0 {
 			continue
 		}
+		tag := s.tags[i]
 		found := false
 		for gi := range groups {
 			if groups[gi].tag.TS == tag.TS && reflect.DeepEqual(groups[gi].tag.Val, tag.Val) {

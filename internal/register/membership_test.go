@@ -355,6 +355,14 @@ func TestMembershipGrowShrinkCluster(t *testing.T) {
 		}
 		joiners = append(joiners, idx)
 	}
+	// Seal the old members before the transfer: state captured by the sync
+	// must be final for epoch 1, or a write completing on an old-view quorum
+	// afterwards could be invisible to the 34-server view's quorums. The
+	// self-hosted view write below still goes through — the reserved view
+	// register is exempt — and its SetView side effect is what unseals.
+	for i := 0; i < base; i++ {
+		c.Server(i).Seal()
+	}
 	if err := c.SyncFromQuorum(v1, joiners); err != nil {
 		t.Fatal(err)
 	}
@@ -380,6 +388,12 @@ func TestMembershipGrowShrinkCluster(t *testing.T) {
 	survivors := make([]int, base)
 	for i := range survivors {
 		survivors[i] = i
+	}
+	// Same discipline on the way down: seal the whole 34-server view before
+	// the survivors merge it, so nothing commits on big-view quorums after
+	// the merge; InstallView(v3) unseals.
+	for i := 0; i < grown; i++ {
+		c.Server(i).Seal()
 	}
 	if err := c.SyncFromQuorum(v2, survivors); err != nil {
 		t.Fatal(err)
@@ -476,10 +490,17 @@ func memGrowShrinkTCP(t *testing.T, wire tcp.Wire) {
 	go func() { errs <- memWriterLoad(writer, regs, stop) }()
 	go func() { errs <- memReaderLoad(reader, regs, stop) }()
 
-	// Grow: each joiner merges snapshots from a read quorum of the old view
-	// (the real state transfer — one member would not do, a committed write
-	// only promises to sit on a write quorum), then starts listening, then
-	// the new view goes current.
+	// Grow: seal the old members first — a sealed store refuses every
+	// epoch-stamped operation, so no write can complete on old-view quorums
+	// after the joiners have merged their snapshots (such a write need not
+	// be visible to the new view's quorums: a 4-of-7 read can miss a 3-of-5
+	// write). Then each joiner merges snapshots from a read quorum of the
+	// old view (the real state transfer — one member would not do, a
+	// committed write only promises to sit on a write quorum), then starts
+	// listening, then the new view goes current, unsealing everyone.
+	for _, st := range stores {
+		st.Seal()
+	}
 	for i := base; i < grown; i++ {
 		st := replica.New(msg.NodeID(i), nil)
 		if err := tcp.JoinQuorum(st, v1, 2*time.Second); err != nil {
@@ -505,10 +526,15 @@ func memGrowShrinkTCP(t *testing.T, wire tcp.Wire) {
 	waitEpoch(t, "reader grow", 2, reader.Keyspace().Epoch)
 	time.Sleep(150 * time.Millisecond)
 
-	// Shrink: the survivors first merge a read quorum of the 7-server view
-	// (a 3-of-5 majority can be disjoint from a 4-of-7 write quorum), then
-	// the smaller view goes current.
+	// Shrink: seal the whole 7-server view, then the survivors merge a read
+	// quorum of it (a 3-of-5 majority can be disjoint from a 4-of-7 write
+	// quorum), then the smaller view goes current. Without the seal a write
+	// finishing on a 4-of-7 quorum after the survivor sync would be lost to
+	// every 3-of-5 quorum of the new view.
 	v3 := memView(3, base, addrs[:base])
+	for _, st := range stores {
+		st.Seal()
+	}
 	for _, st := range stores[:base] {
 		if err := tcp.JoinQuorum(st, v2, 2*time.Second); err != nil {
 			t.Fatalf("survivor sync: %v", err)
@@ -820,4 +846,81 @@ func TestMembershipCrashJoinRace(t *testing.T) {
 	if joins == 0 {
 		t.Error("joiner installed no view")
 	}
+}
+
+// ---------------------------------------------------------------------------
+// View change landing mid-batch: the coalescing server answers a pipelined
+// client whose request batches straddle a reconfiguration, so one coalesced
+// reply frame carries stale-epoch rejects next to ordinary replies. The
+// epoch-echo invariant makes that safe: every element echoes its own
+// request's epoch, a reject is never relabeled with a batch-mate's newer
+// epoch. This row pins the end-to-end consequence — the client rides the
+// reconfiguration with zero visible errors and an atomicity-clean trace —
+// plus the server-side evidence that rejects really were mixed into live
+// reply traffic.
+
+func TestMembershipViewChangeMidBatch(t *testing.T) {
+	const (
+		servers = 5
+		regs    = 3
+	)
+	initial := confInitial(regs)
+	addrs := make([]string, servers)
+	stores := make([]*replica.Store, servers)
+	srvs := make([]*tcp.Server, servers)
+	for i := range addrs {
+		stores[i] = replica.New(msg.NodeID(i), initial)
+		srv, err := tcp.Listen(stores[i], "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen server %d: %v", i, err)
+		}
+		t.Cleanup(srv.Close)
+		srvs[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	v1 := memView(1, servers, addrs)
+	for i, st := range stores {
+		if !st.SetView(v1) {
+			t.Fatalf("server %d rejected v1", i)
+		}
+	}
+
+	log := &trace.Log{}
+	cl, err := tcp.DialPipelined(nil, v1.System(), tcp.WithView(v1),
+		tcp.WithTrace(log), tcp.WithOpTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	stop := make(chan struct{})
+	loadErr := make(chan error, 1)
+	go func() { loadErr <- memWriterLoad(cl, regs, stop) }()
+
+	// Let batched load reach steady state, then land the view change under
+	// it: some in-flight batches were stamped with epoch 1 and meet servers
+	// already on epoch 2, so their rejects coalesce with epoch-2 replies.
+	time.Sleep(100 * time.Millisecond)
+	v2 := memView(2, servers, addrs)
+	for i, st := range stores {
+		if !st.SetView(v2) {
+			t.Fatalf("server %d rejected v2", i)
+		}
+	}
+	waitEpoch(t, "writer", 2, cl.Pipeline().Epoch)
+	time.Sleep(100 * time.Millisecond) // keep load flowing on the new epoch
+	close(stop)
+	if err := <-loadErr; err != nil {
+		t.Errorf("load across the view change: %v", err)
+	}
+
+	var stale int64
+	for _, st := range stores {
+		_, _, s := st.ViewStats()
+		stale += s
+	}
+	if stale == 0 {
+		t.Error("no stale-epoch rejects recorded — the view change never landed mid-stream")
+	}
+	memCheckTrace(t, log.Ops())
 }

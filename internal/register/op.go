@@ -140,69 +140,92 @@ func (o *Operation) Start() []Send {
 // stale sessions, non-members, duplicate replies, foreign types — are
 // ignored.
 func (o *Operation) Deliver(server int, payload any) []Send {
-	if o.done || o.rejected {
-		return nil
-	}
 	switch m := payload.(type) {
 	case msg.ReadReply:
-		if o.phase != opPhaseRead || !o.rs.OnReply(server, m) {
-			return nil
-		}
-		if o.kind == opAtomicRead {
-			if tag, ok := o.e.TryFinishReadFast(o.rs); ok {
-				// Unanimous quorum: every member already holds the result,
-				// so the write-back would install nothing — complete in one
-				// round trip.
-				o.result = tag
-				o.fast = true
-				o.done = true
-				return nil
-			}
-			// Phase transition: write the read's result back and await the
-			// acknowledgments before returning it (ABD).
-			o.result = o.e.FinishRead(o.rs)
-			o.phase = opPhaseWrite
-			o.ws = o.e.BeginWriteWithTS(o.reg, o.result)
-			return o.fanOut(o.ws.Quorum, o.ws.Request())
-		}
-		tag, ok := o.e.FinishReadMasked(o.rs)
-		if !ok {
-			o.rejected = true
-			return nil
-		}
-		o.result = tag
-		o.done = true
-		servers, req := o.e.RepairTargets(o.rs, tag)
-		if len(servers) == 0 {
-			return nil
-		}
-		return o.fanOut(servers, req)
+		return o.DeliverReadReply(server, m)
 	case msg.WriteAck:
-		if o.phase != opPhaseWrite || !o.ws.OnAck(server, m) {
-			return nil
-		}
-		if o.kind == opWrite {
-			o.result = o.ws.Tag
-		}
-		o.done = true
-		return nil
+		return o.DeliverWriteAck(server, m)
 	case msg.StaleEpoch:
-		// A replica on a newer view refused this attempt. Record the view if
-		// it actually advances us; the driver adopts it and calls RetryView.
-		// Rejects addressed to abandoned attempts, or carrying a view we have
-		// already adopted, are ignored — the quorum members still on our
-		// epoch may yet complete the attempt.
-		if !o.currentOp(m.Reg, m.Op) {
-			return nil
-		}
-		if m.View.Newer(o.e.Epoch()) && (!o.hasNewView || m.View.Newer(o.newView.Epoch)) {
-			o.newView = m.View
-			o.hasNewView = true
-		}
-		return nil
+		return o.DeliverStaleEpoch(server, m)
 	default:
 		return nil
 	}
+}
+
+// DeliverReadReply is Deliver for a concretely typed read reply — the
+// de-boxed hot path a transport.ReplySink driver feeds directly, with the
+// same contract as Deliver.
+func (o *Operation) DeliverReadReply(server int, m msg.ReadReply) []Send {
+	if o.done || o.rejected {
+		return nil
+	}
+	if o.phase != opPhaseRead || !o.rs.OnReply(server, m) {
+		return nil
+	}
+	if o.kind == opAtomicRead {
+		if tag, ok := o.e.TryFinishReadFast(o.rs); ok {
+			// Unanimous quorum: every member already holds the result,
+			// so the write-back would install nothing — complete in one
+			// round trip.
+			o.result = tag
+			o.fast = true
+			o.done = true
+			return nil
+		}
+		// Phase transition: write the read's result back and await the
+		// acknowledgments before returning it (ABD).
+		o.result = o.e.FinishRead(o.rs)
+		o.phase = opPhaseWrite
+		o.ws = o.e.BeginWriteWithTS(o.reg, o.result)
+		return o.fanOut(o.ws.Quorum, o.ws.Request())
+	}
+	tag, ok := o.e.FinishReadMasked(o.rs)
+	if !ok {
+		o.rejected = true
+		return nil
+	}
+	o.result = tag
+	o.done = true
+	servers, req := o.e.RepairTargets(o.rs, tag)
+	if len(servers) == 0 {
+		return nil
+	}
+	return o.fanOut(servers, req)
+}
+
+// DeliverWriteAck is Deliver for a concretely typed write acknowledgment.
+func (o *Operation) DeliverWriteAck(server int, m msg.WriteAck) []Send {
+	if o.done || o.rejected {
+		return nil
+	}
+	if o.phase != opPhaseWrite || !o.ws.OnAck(server, m) {
+		return nil
+	}
+	if o.kind == opWrite {
+		o.result = o.ws.Tag
+	}
+	o.done = true
+	return nil
+}
+
+// DeliverStaleEpoch is Deliver for a concretely typed stale-epoch reject.
+// A replica on a newer view refused this attempt. Record the view if it
+// actually advances us; the driver adopts it and calls RetryView. Rejects
+// addressed to abandoned attempts, or carrying a view we have already
+// adopted, are ignored — the quorum members still on our epoch may yet
+// complete the attempt.
+func (o *Operation) DeliverStaleEpoch(_ int, m msg.StaleEpoch) []Send {
+	if o.done || o.rejected {
+		return nil
+	}
+	if !o.currentOp(m.Reg, m.Op) {
+		return nil
+	}
+	if m.View.Newer(o.e.Epoch()) && (!o.hasNewView || m.View.Newer(o.newView.Epoch)) {
+		o.newView = m.View
+		o.hasNewView = true
+	}
+	return nil
 }
 
 // currentOp reports whether (reg, op) addresses the current attempt of
@@ -281,21 +304,30 @@ func (o *Operation) Retry() ([]Send, error) {
 // StaleDrops) before discarding, making "late reply raced a timeout"
 // observable without a reconnect.
 func (o *Operation) Stale(payload any) bool {
-	var op msg.OpID
-	var reg msg.RegisterID
-	var isRead bool
 	switch m := payload.(type) {
 	case msg.ReadReply:
-		op, reg, isRead = m.Op, m.Reg, true
+		return o.staleOp(m.Reg, m.Op, true)
 	case msg.WriteAck:
-		op, reg = m.Op, m.Reg
+		return o.staleOp(m.Reg, m.Op, false)
 	case msg.StaleEpoch:
-		// A reject is stale exactly when it no longer addresses the current
-		// attempt of either phase.
-		return !o.currentOp(m.Reg, m.Op)
+		return o.StaleReject(m)
 	default:
 		return false
 	}
+}
+
+// StaleRead is Stale for a concretely typed read reply.
+func (o *Operation) StaleRead(m msg.ReadReply) bool { return o.staleOp(m.Reg, m.Op, true) }
+
+// StaleAck is Stale for a concretely typed write acknowledgment.
+func (o *Operation) StaleAck(m msg.WriteAck) bool { return o.staleOp(m.Reg, m.Op, false) }
+
+// StaleReject is Stale for a concretely typed stale-epoch reject: a reject
+// is stale exactly when it no longer addresses the current attempt of
+// either phase.
+func (o *Operation) StaleReject(m msg.StaleEpoch) bool { return !o.currentOp(m.Reg, m.Op) }
+
+func (o *Operation) staleOp(reg msg.RegisterID, op msg.OpID, isRead bool) bool {
 	if reg != o.reg {
 		return false
 	}
@@ -354,10 +386,10 @@ func (o *Operation) PendingTag() msg.Tagged {
 // attempt or concerns someone else's traffic.
 func (o *Operation) Member(server int) bool {
 	if o.phase == opPhaseRead && o.rs != nil {
-		return member(o.rs.Quorum, server)
+		return pos(o.rs.Quorum, server) >= 0
 	}
 	if o.ws != nil {
-		return member(o.ws.Quorum, server)
+		return pos(o.ws.Quorum, server) >= 0
 	}
 	return false
 }

@@ -76,7 +76,16 @@ type Pipeline struct {
 	inflight map[msg.OpID]*PendingOp
 	queues   map[msg.RegisterID]*regQueue
 	qfree    []*regQueue  // recycled empty queue entries, capped at qfreeMax
-	tfree    []*pipeTimer // recycled retry timers, capped at tfreeMax
+	tfree    []*pipeTimer // recycled deadline-list entries, capped at tfreeMax
+
+	// The shared deadline list (see pipeTimer): thead/ttail order armed
+	// operations by expiry, expiry is the one runtime timer armed at the
+	// head's deadline, and expiryArmed says whether a wake is scheduled —
+	// releases never touch the timer, so a wake may find nothing expired
+	// and simply re-arm for the new head.
+	thead, ttail *pipeTimer
+	expiry       *time.Timer
+	expiryArmed  bool
 
 	closed   bool
 	closeErr error
@@ -154,13 +163,14 @@ func NewPipeline(engine *Engine, send SendFunc, opts ...PipelineOption) *Pipelin
 	for _, o := range opts {
 		o(p)
 	}
-	if p.obsv != nil {
-		// Phase marks are monotonic offsets from this epoch rather than
-		// time.Time values: reading the monotonic clock alone
-		// (time.Since) is nearly twice as cheap as time.Now, and the
-		// observer reads the clock three times per operation.
-		p.epoch = time.Now()
-	}
+	// Phase marks and deadline-list entries are monotonic offsets from this
+	// epoch rather than time.Time values: reading the monotonic clock alone
+	// (time.Since) is nearly twice as cheap as time.Now, and the observer
+	// reads the clock three times per operation. The deadline list needs the
+	// monotonic reading unconditionally — a zero epoch would fall back to
+	// wall-clock arithmetic, and a clock step would then fire (or starve)
+	// operation timeouts.
+	p.epoch = time.Now()
 	return p
 }
 
@@ -255,8 +265,10 @@ type regQueue struct {
 
 // qfreeMax bounds the recycled-queue free list; beyond it (and for entries
 // whose backing array grew past qfreeMax slots) emptied queues are released
-// to the collector rather than pinned forever.
-const qfreeMax = 64
+// to the collector rather than pinned forever. Sized for a client keeping a
+// couple of hundred registers in flight — the reply-coalescing benchmarks'
+// working width — so steady state stays allocation-free.
+const qfreeMax = 256
 
 func (p *Pipeline) getQueueLocked() *regQueue {
 	if n := len(p.qfree); n > 0 {
@@ -277,34 +289,35 @@ func (p *Pipeline) putQueueLocked(q *regQueue) {
 	p.qfree = append(p.qfree, q)
 }
 
-// pipeTimer is a pooled per-operation retry timer. time.AfterFunc costs a
-// runtime timer plus a capturing closure on every arm, and at pipeline
-// throughput the timer almost never fires (operations complete in
-// microseconds against a multi-second deadline) — so the pipeline reuses a
-// small free list of timers, re-arming with Reset instead of allocating.
-// fire snapshots the armed (op, attempt) pair under the pipeline lock, so a
-// stale expiry racing a release/re-arm degrades to at worst one spurious
-// early retry on a fresh quorum — which the protocol already treats as
-// benign (re-issues are idempotent, and onTimeout re-validates attempt).
+// pipeTimer is one operation's entry in the pipeline's shared deadline
+// list. Every arm uses the same p.opTimeout, so deadlines are monotone in
+// arm order and a FIFO suffices: armTimerLocked links entries at the tail,
+// expiries pop from the head, and the whole pipeline keeps exactly one
+// runtime timer (p.expiry) armed at the head entry's deadline. At pipeline
+// throughput a per-operation time.Timer almost never fires (operations
+// complete in microseconds against a multi-second deadline) but costs a
+// timer-heap Reset on every arm and Stop on every completion — the shared
+// list makes both a couple of pointer writes, and the one runtime timer
+// wakes at most once per opTimeout interval. An unlinked entry has nil
+// prev/next and is not the head, which is how armTimerLocked tells a
+// recycled node from a still-linked one. Entries are pooled on p.tfree.
 type pipeTimer struct {
-	p       *Pipeline
-	t       *time.Timer
-	op      *PendingOp
-	attempt int
-}
-
-func (pt *pipeTimer) fire() {
-	pt.p.mu.Lock()
-	op, attempt := pt.op, pt.attempt
-	pt.p.mu.Unlock()
-	if op == nil {
-		return // released before the expiry won the lock
-	}
-	pt.p.onTimeout(op, attempt)
+	op         *PendingOp
+	attempt    int
+	deadline   time.Duration // since p.epoch
+	prev, next *pipeTimer
 }
 
 // tfreeMax bounds the recycled-timer free list, like qfreeMax for queues.
-const tfreeMax = 64
+const tfreeMax = 512
+
+// outMsgPool recycles the fan-out buffers submit hands to dispatch: each
+// submission needs one for the duration of the call (built under the
+// pipeline lock, drained outside it, so concurrent submitters cannot share
+// a per-pipeline buffer), it holds a handful of sends, and the call rate is
+// the pipeline's throughput — exactly the sync.Pool shape. Buffers are
+// cleared before returning so no request outlives its dispatch.
+var outMsgPool = sync.Pool{New: func() any { s := make([]outMsg, 0, 16); return &s }}
 
 type opKind int
 
@@ -346,24 +359,62 @@ type PendingOp struct {
 	wbDur     time.Duration
 	opsDur    time.Duration
 
-	done     chan struct{}
-	callback func(msg.Tagged, error)
-	tag      msg.Tagged
-	err      error
+	// Completion is a lazy-channel protocol: most waiters arrive after the
+	// operation already completed (deep pipelines Wait in submission order),
+	// so the common case is a flag check under cmu and no channel ever
+	// exists — one fewer allocation per operation. done is created on demand
+	// by the first Done/Wait that beats completion.
+	cmu       sync.Mutex
+	done      chan struct{}
+	completed bool
+	callback  func(msg.Tagged, error)
+	tag       msg.Tagged
+	err       error
 }
 
 // Reg returns the register the operation addresses.
 func (o *PendingOp) Reg() msg.RegisterID { return o.reg }
 
 // Done returns a channel closed when the operation completes.
-func (o *PendingOp) Done() <-chan struct{} { return o.done }
+func (o *PendingOp) Done() <-chan struct{} {
+	o.cmu.Lock()
+	defer o.cmu.Unlock()
+	if o.done == nil {
+		o.done = make(chan struct{})
+		if o.completed {
+			close(o.done)
+		}
+	}
+	return o.done
+}
 
 // Wait blocks until the operation completes and returns its result: the
 // tagged value read (reads) or written (writes), and the terminal error if
 // the operation failed.
 func (o *PendingOp) Wait() (msg.Tagged, error) {
-	<-o.done
+	o.cmu.Lock()
+	if o.completed {
+		o.cmu.Unlock()
+		return o.tag, o.err
+	}
+	if o.done == nil {
+		o.done = make(chan struct{})
+	}
+	done := o.done
+	o.cmu.Unlock()
+	<-done
 	return o.tag, o.err
+}
+
+// complete publishes the operation's terminal state (tag/err were written
+// before the call) and wakes any waiter parked on the lazy done channel.
+func (o *PendingOp) complete() {
+	o.cmu.Lock()
+	o.completed = true
+	if o.done != nil {
+		close(o.done)
+	}
+	o.cmu.Unlock()
 }
 
 // outMsg is a request captured under the pipeline lock and sent after it is
@@ -429,13 +480,13 @@ func (p *Pipeline) ReadAtomicAsyncFunc(reg msg.RegisterID, fn func(msg.Tagged, e
 }
 
 func (p *Pipeline) submit(kind opKind, reg msg.RegisterID, val msg.Value, fn func(msg.Tagged, error)) *PendingOp {
-	op := &PendingOp{kind: kind, reg: reg, val: val, done: make(chan struct{}), callback: fn}
+	op := &PendingOp{kind: kind, reg: reg, val: val, callback: fn}
 	p.mu.Lock()
 	if p.closed {
 		err := p.closeErr
 		p.mu.Unlock()
 		op.err = err
-		close(op.done)
+		op.complete()
 		if fn != nil {
 			fn(msg.Tagged{}, err)
 		}
@@ -450,12 +501,15 @@ func (p *Pipeline) submit(kind opKind, reg msg.RegisterID, val msg.Value, fn fun
 		p.queues[reg] = q
 	}
 	q.ops = append(q.ops, op)
-	var sends []outMsg
+	sends := outMsgPool.Get().(*[]outMsg)
 	if len(q.ops)-q.head == 1 {
-		p.startLocked(op, &sends)
+		p.startLocked(op, sends)
 	}
 	p.mu.Unlock()
-	p.dispatch(sends)
+	p.dispatch(*sends)
+	clear(*sends)
+	*sends = (*sends)[:0]
+	outMsgPool.Put(sends)
 	return op
 }
 
@@ -468,12 +522,19 @@ func (p *Pipeline) startLocked(op *PendingOp, sends *[]outMsg) {
 		op.started = time.Since(p.epoch)
 		op.phaseMark = op.started
 	}
-	op.invoke = p.clock()
+	if p.log != nil {
+		// invoke is only ever read back under p.log != nil, and the default
+		// clock is a process-wide atomic — skip the contended Add when no
+		// trace is attached.
+		op.invoke = p.clock()
+	}
 	switch op.kind {
 	case opRead, opAtomicRead:
 		op.rs = p.engine.BeginRead(op.reg)
 		p.inflight[op.rs.Op] = op
-		req := op.rs.Request()
+		// Box the request once: the concrete ReadReq goes into an interface
+		// here, not per quorum member inside the append below.
+		req := any(op.rs.Request())
 		for _, srv := range op.rs.Quorum {
 			*sends = append(*sends, outMsg{server: srv, req: req})
 		}
@@ -486,7 +547,7 @@ func (p *Pipeline) startLocked(op *PendingOp, sends *[]outMsg) {
 				Invoke: op.invoke, Tag: op.ws.Tag,
 			})
 		}
-		req := op.ws.Request()
+		req := any(op.ws.Request())
 		for _, srv := range op.ws.Quorum {
 			*sends = append(*sends, outMsg{server: srv, req: req})
 		}
@@ -517,33 +578,96 @@ func (p *Pipeline) armTimerLocked(op *PendingOp) {
 			p.tfree[n-1] = nil
 			p.tfree = p.tfree[:n-1]
 		} else {
-			pt = &pipeTimer{p: p}
+			pt = &pipeTimer{}
 		}
 		op.timer = pt
+	} else {
+		// Re-arm (retry or write-back phase): the entry may still be
+		// linked at its old position; the new deadline belongs at the tail.
+		p.unlinkTimerLocked(pt)
 	}
 	pt.op = op
 	pt.attempt = op.attempt
-	if pt.t == nil {
-		pt.t = time.AfterFunc(p.opTimeout, pt.fire)
+	pt.deadline = time.Since(p.epoch) + p.opTimeout
+	pt.prev = p.ttail
+	if p.ttail != nil {
+		p.ttail.next = pt
 	} else {
-		pt.t.Reset(p.opTimeout)
+		p.thead = pt
+	}
+	p.ttail = pt
+	if !p.expiryArmed {
+		p.expiryArmed = true
+		if p.expiry == nil {
+			p.expiry = time.AfterFunc(p.opTimeout, p.expire)
+		} else {
+			p.expiry.Reset(p.opTimeout)
+		}
 	}
 }
 
-// releaseTimerLocked disarms a finished operation's timer and returns it to
-// the free list. Stop can lose the race with an expiry already dispatched;
-// clearing pt.op under the lock turns that firing into a no-op (or, if the
-// timer was re-armed for another operation first, a benign early retry).
+// unlinkTimerLocked removes an entry from the deadline list; a no-op if the
+// entry is not linked. Unlinked entries have nil prev/next and are not the
+// head.
+func (p *Pipeline) unlinkTimerLocked(pt *pipeTimer) {
+	if pt.prev != nil {
+		pt.prev.next = pt.next
+	} else if p.thead == pt {
+		p.thead = pt.next
+	} else {
+		return // not linked
+	}
+	if pt.next != nil {
+		pt.next.prev = pt.prev
+	} else {
+		p.ttail = pt.prev
+	}
+	pt.prev, pt.next = nil, nil
+}
+
+// releaseTimerLocked unlinks a finished operation's deadline entry and
+// returns it to the free list. The runtime timer is deliberately left
+// alone: a wake scheduled for this entry's deadline finds a later head (or
+// none) and re-arms, so completions pay two pointer writes instead of a
+// timer-heap Stop.
 func (p *Pipeline) releaseTimerLocked(op *PendingOp) {
 	pt := op.timer
 	if pt == nil {
 		return
 	}
 	op.timer = nil
-	pt.t.Stop()
+	p.unlinkTimerLocked(pt)
 	pt.op = nil
 	if len(p.tfree) < tfreeMax {
 		p.tfree = append(p.tfree, pt)
+	}
+}
+
+// expire is the shared runtime timer's callback: pop every head entry whose
+// deadline has passed, re-arm for the new head (or stand down if the list
+// emptied), then run the timeout path for each popped operation outside the
+// lock. Expired entries stay owned by their operation (op.timer) — onTimeout
+// re-validates (op, attempt) under the lock and reissueLocked re-links the
+// entry — so a completion racing the wake degrades to a no-op, exactly like
+// the old per-operation timer's stale fire.
+func (p *Pipeline) expire() {
+	now := time.Since(p.epoch)
+	var ops []*PendingOp
+	var attempts []int
+	p.mu.Lock()
+	for pt := p.thead; pt != nil && pt.deadline <= now; pt = p.thead {
+		p.unlinkTimerLocked(pt)
+		ops = append(ops, pt.op)
+		attempts = append(attempts, pt.attempt)
+	}
+	if p.thead != nil {
+		p.expiry.Reset(p.thead.deadline - now)
+	} else {
+		p.expiryArmed = false
+	}
+	p.mu.Unlock()
+	for i, op := range ops {
+		p.onTimeout(op, attempts[i])
 	}
 }
 
@@ -606,7 +730,7 @@ func (p *Pipeline) reissueLocked(op *PendingOp, sends *[]outMsg) {
 		delete(p.inflight, op.ws.Op)
 		op.ws = p.engine.RetryWrite(op.ws)
 		p.inflight[op.ws.Op] = op
-		req := op.ws.Request()
+		req := any(op.ws.Request())
 		for _, srv := range op.ws.Quorum {
 			*sends = append(*sends, outMsg{server: srv, req: req})
 		}
@@ -614,7 +738,7 @@ func (p *Pipeline) reissueLocked(op *PendingOp, sends *[]outMsg) {
 		delete(p.inflight, op.rs.Op)
 		op.rs = p.engine.RetryRead(op.rs)
 		p.inflight[op.rs.Op] = op
-		req := op.rs.Request()
+		req := any(op.rs.Request())
 		for _, srv := range op.rs.Quorum {
 			*sends = append(*sends, outMsg{server: srv, req: req})
 		}
@@ -642,43 +766,8 @@ func (p *Pipeline) Deliver(server int, payload any) {
 // leg of Deliver (transport.ReplySink).
 func (p *Pipeline) ReadReply(server int, m msg.ReadReply) {
 	var sends []outMsg
-	var completed *PendingOp
 	p.mu.Lock()
-	op := p.inflight[m.Op]
-	if op == nil || op.rs == nil {
-		// Late reply to an abandoned or completed attempt: dropped by
-		// op-id, observable through StaleDrops.
-		if p.counters != nil {
-			p.counters.StaleDrops.Inc()
-		}
-		p.mu.Unlock()
-		return
-	}
-	if op.wback {
-		// A slow-but-healthy replica answering the atomic read's own
-		// already-completed read phase: a harmless duplicate of the
-		// current attempt, not a stale drop.
-		p.mu.Unlock()
-		return
-	}
-	if op.rs.OnReply(server, m) {
-		switch {
-		case op.kind != opAtomicRead:
-			tag := p.engine.FinishRead(op.rs)
-			p.finishLocked(op, tag, nil)
-			p.advanceQueueLocked(op.reg, &sends)
-			completed = op
-		default:
-			if tag, ok := p.engine.TryFinishReadFast(op.rs); ok {
-				op.fast = true
-				p.finishLocked(op, tag, nil)
-				p.advanceQueueLocked(op.reg, &sends)
-				completed = op
-			} else {
-				p.beginWriteBackLocked(op, p.engine.FinishRead(op.rs), &sends)
-			}
-		}
-	}
+	completed := p.readReplyLocked(server, m, &sends)
 	p.mu.Unlock()
 	p.dispatch(sends)
 	if completed != nil {
@@ -686,30 +775,117 @@ func (p *Pipeline) ReadReply(server int, m msg.ReadReply) {
 	}
 }
 
+// readReplyLocked applies one read reply under p.mu, returning the
+// operation it completed (nil when the reply was late, a duplicate, or
+// merely brought its quorum one step closer). At most one operation can
+// complete per reply — the one the reply's op id addresses.
+func (p *Pipeline) readReplyLocked(server int, m msg.ReadReply, sends *[]outMsg) *PendingOp {
+	op := p.inflight[m.Op]
+	if op == nil || op.rs == nil {
+		// Late reply to an abandoned or completed attempt: dropped by
+		// op-id, observable through StaleDrops.
+		if p.counters != nil {
+			p.counters.StaleDrops.Inc()
+		}
+		return nil
+	}
+	if op.wback {
+		// A slow-but-healthy replica answering the atomic read's own
+		// already-completed read phase: a harmless duplicate of the
+		// current attempt, not a stale drop.
+		return nil
+	}
+	if !op.rs.OnReply(server, m) {
+		return nil
+	}
+	switch {
+	case op.kind != opAtomicRead:
+		tag := p.engine.FinishRead(op.rs)
+		p.finishLocked(op, tag, nil)
+		p.advanceQueueLocked(op.reg, sends)
+		return op
+	default:
+		if tag, ok := p.engine.TryFinishReadFast(op.rs); ok {
+			op.fast = true
+			p.finishLocked(op, tag, nil)
+			p.advanceQueueLocked(op.reg, sends)
+			return op
+		}
+		p.beginWriteBackLocked(op, p.engine.FinishRead(op.rs), sends)
+		return nil
+	}
+}
+
 // WriteAck feeds one concrete write acknowledgement into the pipeline — the
 // unboxed leg of Deliver (transport.ReplySink).
 func (p *Pipeline) WriteAck(server int, m msg.WriteAck) {
 	var sends []outMsg
-	var completed *PendingOp
 	p.mu.Lock()
-	op := p.inflight[m.Op]
-	if op == nil || op.ws == nil {
-		if p.counters != nil {
-			p.counters.StaleDrops.Inc()
-		}
-		p.mu.Unlock()
-		return
-	}
-	if op.ws.OnAck(server, m) {
-		p.finishLocked(op, op.ws.Tag, nil)
-		p.advanceQueueLocked(op.reg, &sends)
-		completed = op
-	}
+	completed := p.writeAckLocked(server, m, &sends)
 	p.mu.Unlock()
 	p.dispatch(sends)
 	if completed != nil {
 		p.signal(completed)
 	}
+}
+
+// writeAckLocked applies one write acknowledgement under p.mu, returning
+// the operation it completed (nil when the ack was late, a duplicate, or
+// merely brought its quorum one step closer).
+func (p *Pipeline) writeAckLocked(server int, m msg.WriteAck, sends *[]outMsg) *PendingOp {
+	op := p.inflight[m.Op]
+	if op == nil || op.ws == nil {
+		if p.counters != nil {
+			p.counters.StaleDrops.Inc()
+		}
+		return nil
+	}
+	if !op.ws.OnAck(server, m) {
+		return nil
+	}
+	p.finishLocked(op, op.ws.Tag, nil)
+	p.advanceQueueLocked(op.reg, sends)
+	return op
+}
+
+// doneOpsPool recycles the completed-operation scratch ReplyBatch collects
+// into, so the batched delivery path allocates nothing per frame.
+var doneOpsPool = sync.Pool{New: func() any { s := make([]*PendingOp, 0, 16); return &s }}
+
+// ReplyBatch feeds one server frame's worth of concrete replies into the
+// pipeline under a single lock acquisition — the batched leg of Deliver
+// (transport.BatchReplySink). It is semantically identical to calling
+// ReadReply and WriteAck once per element; the point is cost: a frame the
+// server's reply writer coalesced from dozens of pipelined replies takes
+// one mutex round trip here instead of one per element, which is where a
+// deeply pipelined client otherwise spends its receive path. Done-channel
+// closes and completion callbacks still run after the lock is dropped, in
+// element order, exactly as on the per-element path.
+func (p *Pipeline) ReplyBatch(server int, reads []msg.ReadReply, acks []msg.WriteAck) {
+	sends := outMsgPool.Get().(*[]outMsg)
+	done := doneOpsPool.Get().(*[]*PendingOp)
+	p.mu.Lock()
+	for _, m := range reads {
+		if op := p.readReplyLocked(server, m, sends); op != nil {
+			*done = append(*done, op)
+		}
+	}
+	for _, m := range acks {
+		if op := p.writeAckLocked(server, m, sends); op != nil {
+			*done = append(*done, op)
+		}
+	}
+	p.mu.Unlock()
+	p.dispatch(*sends)
+	for i, op := range *done {
+		p.signal(op)
+		(*done)[i] = nil
+	}
+	clear(*sends)
+	*sends = (*sends)[:0]
+	outMsgPool.Put(sends)
+	*done = (*done)[:0]
+	doneOpsPool.Put(done)
 }
 
 // StaleEpoch handles a replica's stale-epoch reject: adopt the newer view it
@@ -761,7 +937,7 @@ func (p *Pipeline) beginWriteBackLocked(op *PendingOp, tag msg.Tagged, sends *[]
 	}
 	op.ws = p.engine.BeginWriteWithTS(op.reg, tag)
 	p.inflight[op.ws.Op] = op
-	req := op.ws.Request()
+	req := any(op.ws.Request())
 	for _, srv := range op.ws.Quorum {
 		*sends = append(*sends, outMsg{server: srv, req: req})
 	}
@@ -786,11 +962,17 @@ func (p *Pipeline) finishLocked(op *PendingOp, tag msg.Tagged, err error) {
 		}
 		op.opsDur = now - op.started
 	}
+	// With the in-flight entries gone no reply can reach the sessions again,
+	// so their storage goes back to the engine for the next Begin* to reuse.
 	if op.rs != nil {
 		delete(p.inflight, op.rs.Op)
+		p.engine.ReleaseRead(op.rs)
+		op.rs = nil
 	}
 	if op.ws != nil {
 		delete(p.inflight, op.ws.Op)
+		p.engine.ReleaseWrite(op.ws)
+		op.ws = nil
 	}
 	if p.log != nil {
 		respond := p.clock()
@@ -875,7 +1057,7 @@ func (p *Pipeline) signal(op *PendingOp) {
 			p.obsv.Ops.Observe(op.opsDur)
 		}
 	}
-	close(op.done)
+	op.complete()
 	if op.callback != nil {
 		op.callback(op.tag, op.err)
 	}

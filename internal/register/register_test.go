@@ -95,14 +95,14 @@ func TestReadSessionIgnoresForeignAndDuplicateReplies(t *testing.T) {
 	srv := s.Quorum[0]
 	// Foreign op id.
 	s.OnReply(srv, msg.ReadReply{Reg: 0, Op: s.Op + 99, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 9}, Val: "x"}})
-	if len(s.replied) != 0 {
+	if s.nrep != 0 {
 		t.Fatal("foreign reply accepted")
 	}
 	// Real reply.
 	s.OnReply(srv, msg.ReadReply{Reg: 0, Op: s.Op, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 1}, Val: "a"}})
 	// Duplicate with a bigger timestamp must not double-count or be absorbed.
 	s.OnReply(srv, msg.ReadReply{Reg: 0, Op: s.Op, Tag: msg.Tagged{TS: msg.Timestamp{Seq: 5}, Val: "b"}})
-	if len(s.replied) != 1 {
+	if s.nrep != 1 {
 		t.Fatal("duplicate reply changed completion state")
 	}
 	if s.Best().Val != "a" {

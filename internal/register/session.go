@@ -32,8 +32,17 @@ type ReadSession struct {
 	// carry it so replicas on a newer view reject with the replacement.
 	Epoch msg.Epoch
 
-	replied map[int]bool
-	tags    map[int]msg.Tagged
+	// replied is a bitmask over quorum positions (bit i = Quorum[i] has
+	// replied) and nrep its population count; tags holds the reply
+	// timestamps densely by quorum position, valid where the bit is set.
+	// Position-keyed state makes the per-reply bookkeeping a couple of
+	// register ops where server-keyed maps cost a hash insert per reply —
+	// the membership scan already finds the position for free. The mask
+	// caps quorums at 64 members, far above what the paper's O(sqrt(n)
+	// log n) constructions pick; Engine.pickInto enforces the cap loudly.
+	replied uint64
+	nrep    int
+	tags    []msg.Tagged
 	best    msg.Tagged
 	gotAny  bool
 	// unanimous stays true while every accepted reply has carried the same
@@ -47,15 +56,15 @@ func (s *ReadSession) Request() msg.ReadReq {
 	return msg.ReadReq{Reg: s.Reg, Op: s.Op, Epoch: s.Epoch}
 }
 
-// member reports whether server belongs to the session's quorum; replies
-// from outsiders (misrouted or fabricated) are ignored.
-func member(quorum []int, server int) bool {
-	for _, q := range quorum {
+// pos returns server's position within the quorum, or -1 for outsiders
+// (misrouted or fabricated replies are ignored).
+func pos(quorum []int, server int) int {
+	for i, q := range quorum {
 		if q == server {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // OnReply feeds one server's reply into the session and reports whether the
@@ -63,11 +72,16 @@ func member(quorum []int, server int) bool {
 // and replies from servers outside the quorum are ignored, so drivers may
 // deliver stale or stray messages safely.
 func (s *ReadSession) OnReply(server int, rep msg.ReadReply) (done bool) {
-	if rep.Op != s.Op || rep.Reg != s.Reg || s.replied[server] || !member(s.Quorum, server) {
+	if rep.Op != s.Op || rep.Reg != s.Reg {
 		return s.Done()
 	}
-	s.replied[server] = true
-	s.tags[server] = rep.Tag
+	i := pos(s.Quorum, server)
+	if i < 0 || s.replied&(1<<uint(i)) != 0 {
+		return s.Done()
+	}
+	s.replied |= 1 << uint(i)
+	s.nrep++
+	s.tags[i] = rep.Tag
 	if s.gotAny && rep.Tag.TS != s.best.TS {
 		// While unanimous holds, best equals every tag seen so far, so one
 		// comparison against it decides agreement with all of them.
@@ -92,8 +106,8 @@ func (s *ReadSession) Unanimous() bool { return s.gotAny && s.unanimous }
 // waiting for the writer to land on them again.
 func (s *ReadSession) StaleMembers(tag msg.Tagged) []int {
 	var out []int
-	for _, srv := range s.Quorum {
-		if t, ok := s.tags[srv]; ok && t.TS.Less(tag.TS) {
+	for i, srv := range s.Quorum {
+		if s.replied&(1<<uint(i)) != 0 && s.tags[i].TS.Less(tag.TS) {
 			out = append(out, srv)
 		}
 	}
@@ -101,7 +115,7 @@ func (s *ReadSession) StaleMembers(tag msg.Tagged) []int {
 }
 
 // Done reports whether every quorum member has replied.
-func (s *ReadSession) Done() bool { return len(s.replied) == len(s.Quorum) }
+func (s *ReadSession) Done() bool { return s.nrep == len(s.Quorum) }
 
 // Best returns the maximum-timestamp value observed so far. It is only
 // meaningful once Done reports true.
@@ -118,7 +132,10 @@ type WriteSession struct {
 	// Epoch is as in ReadSession.
 	Epoch msg.Epoch
 
-	acked map[int]bool
+	// acked is a bitmask over quorum positions and nack its population
+	// count, as in ReadSession.replied.
+	acked uint64
+	nack  int
 }
 
 // Request returns the message to send to each quorum member.
@@ -130,12 +147,17 @@ func (s *WriteSession) Request() msg.WriteReq {
 // whether the operation is complete. Acknowledgments from servers outside
 // the quorum are ignored.
 func (s *WriteSession) OnAck(server int, ack msg.WriteAck) (done bool) {
-	if ack.Op != s.Op || ack.Reg != s.Reg || s.acked[server] || !member(s.Quorum, server) {
+	if ack.Op != s.Op || ack.Reg != s.Reg {
 		return s.Done()
 	}
-	s.acked[server] = true
+	i := pos(s.Quorum, server)
+	if i < 0 || s.acked&(1<<uint(i)) != 0 {
+		return s.Done()
+	}
+	s.acked |= 1 << uint(i)
+	s.nack++
 	return s.Done()
 }
 
 // Done reports whether every quorum member has acknowledged.
-func (s *WriteSession) Done() bool { return len(s.acked) == len(s.Quorum) }
+func (s *WriteSession) Done() bool { return s.nack == len(s.Quorum) }

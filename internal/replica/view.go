@@ -49,6 +49,7 @@ func (e *StaleEpochError) Is(target error) bool { return target == ErrStaleEpoch
 type viewState struct {
 	mu     sync.Mutex // serializes installs; readers go through cur
 	cur    atomic.Pointer[quorum.View]
+	sealed atomic.Bool // refusing epoch-tagged ops until a newer view installs
 	joins  metrics.Counter
 	drains metrics.Counter
 	stale  metrics.Counter
@@ -87,8 +88,29 @@ func (s *Store) SetView(v quorum.View) bool {
 	s.vs.epoch.Set(int64(nv.Epoch))
 	s.vs.size.Set(int64(len(nv.Members)))
 	s.vs.cur.Store(&nv)
+	s.vs.sealed.Store(false) // adopting a newer view ends any seal window
 	return true
 }
+
+// Seal stops the store serving epoch-tagged operations until a strictly newer
+// view is installed via SetView. While sealed, StaleFor and CheckEpoch refuse
+// every stamped operation — current and future epochs included — so no write
+// can complete on the old configuration after the reconfigurer has captured
+// its state, and no read can return old-configuration state that the new
+// view's quorums might miss. Epoch-0 (static mode) traffic, operations on the
+// reserved view register, and state-transfer snapshots are exempt: they are
+// the machinery that moves the system to the next view. Sealing is the first
+// step of the reconfiguration discipline — seal the old members, transfer
+// state to the new configuration, then install the new view everywhere —
+// which closes the window where an operation completing on old-view quorums
+// after state transfer could be invisible to new-view quorums. Clients parked
+// on the refusals simply retry under their op deadlines and adopt the new
+// view from the rejection replies once it lands.
+func (s *Store) Seal() { s.vs.sealed.Store(true) }
+
+// Sealed reports whether the store is refusing epoch-tagged operations
+// pending a newer view.
+func (s *Store) Sealed() bool { return s.vs.sealed.Load() }
 
 // View returns the installed view; ok=false in static mode (no view yet).
 func (s *Store) View() (quorum.View, bool) {
@@ -113,13 +135,17 @@ func (s *Store) Epoch() quorum.Epoch {
 // the view register, or it could never catch up. Operations stamped with a
 // *newer* epoch than the server's are accepted too: during the transition
 // window an updated client may reach a not-yet-updated server, and the
-// install-if-newer register semantics are epoch-agnostic.
+// install-if-newer register semantics are epoch-agnostic. A sealed store
+// (see Seal) refuses every stamped operation regardless of epoch.
 func (s *Store) StaleFor(reg msg.RegisterID, op msg.OpID, e quorum.Epoch) (msg.StaleEpoch, bool) {
 	if e == 0 || reg == msg.ViewKey {
 		return msg.StaleEpoch{}, false
 	}
 	v := s.vs.cur.Load()
-	if v == nil || e >= v.Epoch {
+	if v == nil {
+		return msg.StaleEpoch{}, false
+	}
+	if e >= v.Epoch && !s.vs.sealed.Load() {
 		return msg.StaleEpoch{}, false
 	}
 	s.vs.stale.Inc()
@@ -133,7 +159,10 @@ func (s *Store) CheckEpoch(e quorum.Epoch) error {
 		return nil
 	}
 	v := s.vs.cur.Load()
-	if v == nil || e >= v.Epoch {
+	if v == nil {
+		return nil
+	}
+	if e >= v.Epoch && !s.vs.sealed.Load() {
 		return nil
 	}
 	s.vs.stale.Inc()

@@ -87,6 +87,54 @@ func TestStaleForBoundaries(t *testing.T) {
 	}
 }
 
+// TestSealRefusesUntilNewerView pins the reconfiguration fence: a sealed
+// store refuses every epoch-stamped operation — current and future epochs
+// included — while still serving static-mode traffic, the view register, and
+// snapshots, and a strictly newer view installed through SetView unseals it.
+func TestSealRefusesUntilNewerView(t *testing.T) {
+	s := New(0, map[msg.RegisterID]msg.Value{1: 1.0})
+	s.SetView(testView(3, 0, 1, 2))
+	if s.Sealed() {
+		t.Fatal("store reports sealed before Seal")
+	}
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("Seal did not take")
+	}
+	for _, e := range []quorum.Epoch{2, 3, 4} {
+		rej, stale := s.StaleFor(0, 9, e)
+		if !stale {
+			t.Errorf("sealed store served epoch %d", e)
+		} else if rej.View.Epoch != 3 || rej.Op != 9 {
+			t.Errorf("sealed reject carries %v op %d, want view epoch 3 op 9", rej.View, rej.Op)
+		}
+		if err := s.CheckEpoch(e); !errors.Is(err, ErrStaleEpoch) {
+			t.Errorf("sealed CheckEpoch(%d) = %v, want ErrStaleEpoch", e, err)
+		}
+	}
+	if _, stale := s.StaleFor(0, 9, 0); stale {
+		t.Error("sealed store rejected static-mode traffic")
+	}
+	if _, stale := s.StaleFor(msg.ViewKey, 9, 3); stale {
+		t.Error("sealed store rejected the view register")
+	}
+	if _, ok := s.ApplySnap(msg.SnapReq{Op: 1}); !ok {
+		t.Error("sealed store refused a state-transfer snapshot")
+	}
+	if s.SetView(testView(3, 0, 1, 2)); s.Sealed() != true {
+		t.Fatal("same-epoch reinstall unsealed the store")
+	}
+	if !s.SetView(testView(4, 0, 1, 2, 3)) {
+		t.Fatal("newer view rejected")
+	}
+	if s.Sealed() {
+		t.Fatal("newer view did not unseal")
+	}
+	if _, stale := s.StaleFor(0, 9, 4); stale {
+		t.Error("unsealed store still rejecting current-epoch ops")
+	}
+}
+
 // TestSnapshotInstallTransfersView drives the state-transfer pair: a
 // snapshot of a store that holds data and a view, installed into a fresh
 // store, must reproduce both — and a second, stale install must regress

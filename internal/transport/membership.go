@@ -51,6 +51,23 @@ type ReplySink interface {
 	StaleEpoch(server int, m msg.StaleEpoch)
 }
 
+// BatchReplySink is an optional extension of ReplySink: a sink that also
+// accepts a whole frame's worth of replies from one server in a single
+// call. When servers coalesce pipelined replies into batch frames,
+// per-element delivery makes the sink pay its internal synchronization once
+// per reply; ReplyBatch lets it pay once per frame. Transports probe for
+// this interface and fall back to the per-element methods when it is
+// absent, so implementing it is purely an optimization — ReplyBatch must be
+// semantically identical to calling ReadReply / WriteAck once per element
+// in slice order. Stale-epoch rejects are never batched (they are cold and
+// carry view-adoption side effects whose ordering matters); they always
+// arrive through StaleEpoch. The slices are only valid for the duration of
+// the call: the transport recycles them.
+type BatchReplySink interface {
+	ReplySink
+	ReplyBatch(server int, reads []msg.ReadReply, acks []msg.WriteAck)
+}
+
 // ReplyBinder is implemented by transports that can deliver replies through
 // a ReplySink. BindReplies must be called before the first Send, after Bind
 // (the Sink remains the path for errors, Broadcast notifications, and any

@@ -349,6 +349,13 @@ type netConn struct {
 
 	wg sync.WaitGroup
 
+	// brReads/brAcks accumulate one batch frame's reply elements for the
+	// BatchReplySink delivery path (decodeRawBatched). Only the recv
+	// goroutine touches them, and the sink must not retain them past the
+	// ReplyBatch call, so they recycle frame to frame with no lock.
+	brReads []msg.ReadReply
+	brAcks  []msg.WriteAck
+
 	mu    sync.Mutex
 	conn  net.Conn
 	codec connCodec
@@ -440,8 +447,17 @@ func (nc *netConn) enqueue(req any) {
 	}
 }
 
+// clientCoalesceBytes caps how many pre-encoded frames the binary write loop
+// accumulates before forcing a syscall. It stays under the encode-buffer
+// pool's recycling cap so burst buffers return to the pool.
+const clientCoalesceBytes = 256 << 10
+
 func (nc *netConn) writeLoop() {
 	defer nc.wg.Done()
+	if nc.wire == WireBinary {
+		nc.writeLoopBinary()
+		return
+	}
 	batch := make([]any, 0, nc.maxBatch)
 	for {
 		select {
@@ -460,6 +476,92 @@ func (nc *netConn) writeLoop() {
 			}
 			nc.flush(batch)
 		}
+	}
+}
+
+// writeLoopBinary is the binary-codec writer: it drains the queue into as
+// many batch frames as are pending and writes them with one syscall.
+// maxBatch caps elements per frame — the receiver's decode/fairness unit —
+// not frames per write, so a deep burst costs one conn.Write instead of one
+// per frame. Frames are encoded outside the connection lock into a pooled
+// buffer owned by this goroutine.
+func (nc *netConn) writeLoopBinary() {
+	buf := msg.GetEncodeBuf()
+	defer msg.PutEncodeBuf(buf)
+	batch := make([]any, 0, nc.maxBatch)
+	for {
+		select {
+		case <-nc.stop:
+			return
+		case m := <-nc.out:
+			out := (*buf)[:0]
+			batch = append(batch[:0], m)
+			for {
+			drain:
+				for len(batch) < nc.maxBatch {
+					select {
+					case m2 := <-nc.out:
+						batch = append(batch, m2)
+					default:
+						break drain
+					}
+				}
+				next, err := msg.AppendMessage(out, msg.Batch{Msgs: batch})
+				if err != nil {
+					// Unencodable payload: same contract as flush — drop the
+					// connection so the failure is visible, not a silent stall.
+					nc.mu.Lock()
+					if !nc.closed {
+						nc.dropLocked(err)
+					}
+					nc.mu.Unlock()
+					out = out[:0]
+					break
+				}
+				out = next
+				if nc.hist != nil {
+					nc.hist.Observe(len(batch))
+				}
+				batch = batch[:0]
+				if len(out) >= clientCoalesceBytes {
+					break
+				}
+				// Start another frame only if a request is already queued.
+				select {
+				case m2 := <-nc.out:
+					batch = append(batch, m2)
+				default:
+				}
+				if len(batch) == 0 {
+					break
+				}
+			}
+			*buf = out[:0] // capture pool-buffer growth across bursts
+			nc.writeFrames(out)
+		}
+	}
+}
+
+// writeFrames writes pre-encoded frames in one syscall, transparently
+// re-dialing a dead connection first. Failures drop the frames: the
+// operations' deadlines re-issue them.
+func (nc *netConn) writeFrames(out []byte) {
+	if len(out) == 0 {
+		return
+	}
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.closed {
+		return
+	}
+	if err := nc.ensureLocked(); err != nil {
+		return
+	}
+	if nc.timeout > 0 {
+		_ = nc.conn.SetWriteDeadline(time.Now().Add(nc.timeout))
+	}
+	if _, err := nc.conn.Write(out); err != nil {
+		nc.dropLocked(err)
 	}
 }
 
@@ -583,16 +685,21 @@ func (nc *netConn) readLoop(conn net.Conn, codec connCodec, gen int) {
 	for {
 		var m any
 		var payload []byte
+		var acked int
 		var err error
 		if raw {
 			payload, err = bc.fr.NextRaw()
+			if err == nil {
+				m, acked, err = nc.decodeRaw(payload)
+			}
 		} else {
 			m, err = codec.next()
-		}
-		if err == nil && raw {
-			m, err = nc.decodeRaw(payload)
-			if err == nil && m == nil {
-				continue // delivered concretely (or dropped as junk)
+			if err == nil {
+				if batch, ok := m.(msg.Batch); ok {
+					acked = len(batch.Msgs)
+				} else {
+					acked = 1
+				}
 			}
 		}
 		if err != nil {
@@ -627,19 +734,25 @@ func (nc *netConn) readLoop(conn net.Conn, codec connCodec, gen int) {
 			}
 			return
 		}
-		if !nc.async {
+		if !nc.async && acked > 0 {
 			// Serial-mode bookkeeping only: async sends never arm per-reply
 			// read deadlines, so the reply hot path skips the lock entirely.
+			// One frame may carry several replies now that servers coalesce,
+			// so the count decrements by replies delivered, not frames read.
 			nc.mu.Lock()
 			if nc.gen == gen && nc.conn == conn {
-				if nc.outstanding > 0 {
-					nc.outstanding--
+				nc.outstanding -= acked
+				if nc.outstanding < 0 {
+					nc.outstanding = 0
 				}
 				if nc.outstanding == 0 && nc.timeout > 0 {
 					_ = conn.SetReadDeadline(time.Time{})
 				}
 			}
 			nc.mu.Unlock()
+		}
+		if m == nil {
+			continue // delivered concretely (or dropped as junk)
 		}
 		if batch, ok := m.(msg.Batch); ok {
 			for _, el := range batch.Msgs {
@@ -651,22 +764,61 @@ func (nc *netConn) readLoop(conn net.Conn, codec connCodec, gen int) {
 	}
 }
 
-// decodeRaw handles one raw binary frame. Batch frames with a bound
-// ReplySink are walked element by element into it with zero boxing and
-// return (nil, nil); everything else decodes through the boxed path and is
+// decodeRaw handles one raw binary frame. With a bound ReplySink, both
+// batch frames and lone reply frames are delivered element by element as
+// concrete types — returning (nil, acked, nil), where acked counts the
+// reply elements the frame carried (for the serial reader's outstanding
+// bookkeeping). Everything else decodes through the boxed path and is
 // returned for the generic delivery below. A decode error is fatal to the
 // connection, exactly as it was when decoding happened inside the codec.
-func (nc *netConn) decodeRaw(payload []byte) (any, error) {
+func (nc *netConn) decodeRaw(payload []byte) (any, int, error) {
+	rsp := nc.t.rsink.Load()
 	if msg.IsBatchPayload(payload) {
-		rsp := nc.t.rsink.Load()
 		if rsp == nil {
-			return msg.DecodePayload(payload)
+			m, err := msg.DecodePayload(payload)
+			if batch, ok := m.(msg.Batch); ok && err == nil {
+				return m, len(batch.Msgs), nil
+			}
+			return m, 1, err
 		}
 		rs := *rsp
 		if nc.detached.Load() {
-			return nil, nil
+			return nil, 0, nil
 		}
+		if brs, ok := rs.(transport.BatchReplySink); ok {
+			return nc.decodeRawBatched(payload, brs)
+		}
+		acked := 0
 		_, err := msg.VisitBatchPayload(payload, msg.BatchVisitor{
+			ReadReply: func(m msg.ReadReply) bool {
+				acked++
+				if idx, ok := nc.indexForEpoch(m.Epoch); ok {
+					rs.ReadReply(idx, m)
+				}
+				return true
+			},
+			WriteAck: func(m msg.WriteAck) bool {
+				acked++
+				if idx, ok := nc.indexForEpoch(m.Epoch); ok {
+					rs.WriteAck(idx, m)
+				}
+				return true
+			},
+			StaleEpoch: func(m msg.StaleEpoch) bool {
+				acked++
+				if idx, ok := nc.indexForEpoch(m.Epoch); ok {
+					rs.StaleEpoch(idx, m)
+				}
+				return true
+			},
+			// Request-kind elements are foreign on a client-bound stream;
+			// nil callbacks drop them like any junk element.
+		})
+		return nil, acked, err
+	}
+	if rsp != nil && !nc.detached.Load() {
+		rs := *rsp
+		handled, _ := msg.VisitPayload(payload, msg.BatchVisitor{
 			ReadReply: func(m msg.ReadReply) bool {
 				if idx, ok := nc.indexForEpoch(m.Epoch); ok {
 					rs.ReadReply(idx, m)
@@ -685,12 +837,74 @@ func (nc *netConn) decodeRaw(payload []byte) (any, error) {
 				}
 				return true
 			},
-			// Request-kind elements are foreign on a client-bound stream;
-			// nil callbacks drop them like any junk element.
 		})
-		return nil, err
+		if handled {
+			return nil, 1, nil
+		}
 	}
-	return msg.DecodePayload(payload)
+	m, err := msg.DecodePayload(payload)
+	return m, 1, err
+}
+
+// decodeRawBatched walks one batch frame and hands its reply elements to
+// the sink in whole-frame calls — one ReplyBatch per run of elements that
+// resolve to the same server index — so the sink amortizes its internal
+// locking across everything the server's reply writer coalesced. In steady
+// state a frame is a single run (all elements echo the same epoch); only a
+// frame straddling a view change splits. Stale-epoch rejects flush the
+// pending run first and then take the per-element path: the sink's view
+// adoption must not be reordered ahead of replies already decoded. The
+// accumulator slices live on the netConn because only the recv goroutine
+// decodes frames; ReplyBatch's contract says the sink must not retain them.
+func (nc *netConn) decodeRawBatched(payload []byte, rs transport.BatchReplySink) (any, int, error) {
+	acked := 0
+	idx := -1 // server index of the run being accumulated
+	flush := func() {
+		if len(nc.brReads)+len(nc.brAcks) == 0 {
+			return
+		}
+		rs.ReplyBatch(idx, nc.brReads, nc.brAcks)
+		clear(nc.brReads)
+		clear(nc.brAcks)
+		nc.brReads = nc.brReads[:0]
+		nc.brAcks = nc.brAcks[:0]
+	}
+	_, err := msg.VisitBatchPayload(payload, msg.BatchVisitor{
+		ReadReply: func(m msg.ReadReply) bool {
+			acked++
+			if i, ok := nc.indexForEpoch(m.Epoch); ok {
+				if i != idx {
+					flush()
+					idx = i
+				}
+				nc.brReads = append(nc.brReads, m)
+			}
+			return true
+		},
+		WriteAck: func(m msg.WriteAck) bool {
+			acked++
+			if i, ok := nc.indexForEpoch(m.Epoch); ok {
+				if i != idx {
+					flush()
+					idx = i
+				}
+				nc.brAcks = append(nc.brAcks, m)
+			}
+			return true
+		},
+		StaleEpoch: func(m msg.StaleEpoch) bool {
+			acked++
+			if i, ok := nc.indexForEpoch(m.Epoch); ok {
+				flush()
+				rs.StaleEpoch(i, m)
+			}
+			return true
+		},
+		// Request-kind elements are foreign on a client-bound stream;
+		// nil callbacks drop them like any junk element.
+	})
+	flush()
+	return nil, acked, err
 }
 
 func (nc *netConn) close() {

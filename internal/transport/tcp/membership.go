@@ -90,6 +90,14 @@ func Join(store *replica.Store, addr string, timeout time.Duration) error {
 // too: a new-view majority of survivors can be disjoint from an old write
 // quorum.
 //
+// The merge only captures writes that completed BEFORE it ran. Seal v's
+// members (replica.Store.Seal) before calling JoinQuorum, or a write
+// finishing on an old-view quorum after the merge can be invisible to every
+// quorum of the next view. Sealed stores still answer the snapshot pulls —
+// state transfer is exempt — and unseal when the next view is installed, so
+// the full discipline is: seal the old view, JoinQuorum the new members,
+// then make the new view current everywhere.
+//
 // Unreachable members are skipped like any silent server; fewer than a
 // majority of successful pulls is an error and the transfer must not be
 // treated as complete. The error wraps the last pull failure, if any.

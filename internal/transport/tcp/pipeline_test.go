@@ -154,6 +154,7 @@ func TestPipeConnCoalesces(t *testing.T) {
 	hist := metrics.NewIntHistogram()
 	pc := &netConn{
 		t:        &tcpTransport{},
+		wire:     WireGob, // the codec below is gob; keep writeLoop on the gob path
 		async:    true,
 		out:      make(chan any, 64),
 		stop:     make(chan struct{}),

@@ -1,0 +1,341 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"probquorum/internal/metrics"
+	"probquorum/internal/msg"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+	"probquorum/internal/replica"
+	"probquorum/internal/rng"
+	"probquorum/internal/transport"
+)
+
+// dialRawBinary opens one raw binary-codec connection to addr: preamble
+// sent, frames are the caller's business.
+func dialRawBinary(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if _, err := conn.Write([]byte{wirePreambleBin}); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// encodeBatchFrame builds one batch request frame from msgs.
+func encodeBatchFrame(t *testing.T, msgs ...any) []byte {
+	t.Helper()
+	frame, err := msg.AppendMessage(nil, msg.Batch{Msgs: msgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestServeAllocGate pins the steady-state binary serve loop — coalescing
+// reply writer, pooled encode buffers, concrete request walk — at zero
+// per-operation server allocations. The client side of the exchange is a raw
+// connection driven with pre-encoded frames and a hoisted reply visitor, so
+// testing.AllocsPerRun (which counts mallocs process-wide) sees only the
+// server's serve and reply paths.
+func TestServeAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	store := replica.New(0, map[msg.RegisterID]msg.Value{0: nil})
+	srv, err := Listen(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn := dialRawBinary(t, srv.Addr())
+
+	// Half reads of a nil-valued register, half writes re-offering the same
+	// tag: every reply encodes without boxing a value, and the repeated
+	// write installs nothing after the first round.
+	const batch = 16
+	var reqs []any
+	for i := 0; i < batch/2; i++ {
+		reqs = append(reqs, msg.ReadReq{Reg: 0, Op: msg.OpID(100 + i)})
+		reqs = append(reqs, msg.WriteReq{Reg: 1, Op: msg.OpID(200 + i),
+			Tag: msg.Tagged{TS: msg.Timestamp{Seq: 1}, Val: nil}})
+	}
+	frame := encodeBatchFrame(t, reqs...)
+
+	fr := msg.NewFrameReader(conn)
+	var got int
+	vis := msg.BatchVisitor{
+		ReadReply: func(msg.ReadReply) bool { got++; return true },
+		WriteAck:  func(msg.WriteAck) bool { got++; return true },
+	}
+	roundTrip := func() {
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		got = 0
+		for got < batch {
+			payload, err := fr.NextRaw()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := msg.VisitBatchPayload(payload, vis); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm up: install reg 1, grow the server's reply buffers and the
+	// FrameReader window to steady state.
+	for i := 0; i < 100; i++ {
+		roundTrip()
+	}
+	allocs := testing.AllocsPerRun(100, roundTrip)
+	if allocs != 0 {
+		t.Errorf("steady-state serve loop: %.1f allocs per %d-request batch, want 0", allocs, batch)
+	}
+}
+
+// sealedTransport hides the ReplyBinder seam of the transport it wraps, so
+// a register.Client built over it takes the boxed delivery path — the
+// ablation arm of the client-decode gate below.
+type sealedTransport struct{ transport.Transport }
+
+// dialSerialGateClient mirrors Dial's construction with the pieces the gate
+// needs: a serial register.Client over a binary tcpTransport, optionally
+// sealed to force boxed reply delivery.
+func dialSerialGateClient(t *testing.T, addrs []string, writer int32, sealed bool) *register.Client {
+	t.Helper()
+	registerWireTypes()
+	engine := register.NewEngine(writer, quorum.NewMajority(len(addrs)),
+		rng.Derive(1, fmt.Sprintf("serve_test.gate.%d", writer)))
+	tr := newTCPTransport(addrs, WireBinary, 0, &metrics.TransportCounters{}, false, 0, nil)
+	if err := tr.start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	var rt transport.Transport = tr
+	if sealed {
+		rt = sealedTransport{tr}
+	}
+	return register.NewClient(engine, rt)
+}
+
+// TestClientDecodeAllocGate pins the serial client's de-boxed reply decode
+// (transport.ReplySink all the way into the Operation) at no more
+// allocations than the boxed any path it replaces.
+func TestClientDecodeAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	addrs := startCluster(t, 3, map[msg.RegisterID]msg.Value{0: nil})
+	boxed := dialSerialGateClient(t, addrs, 1, true)
+	unboxed := dialSerialGateClient(t, addrs, 2, false)
+
+	opPair := func(c *register.Client) func() {
+		return func() {
+			if _, err := c.Write(0, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Read(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		opPair(boxed)()
+		opPair(unboxed)()
+	}
+	boxedAllocs := testing.AllocsPerRun(200, opPair(boxed))
+	unboxedAllocs := testing.AllocsPerRun(200, opPair(unboxed))
+	if unboxedAllocs > boxedAllocs {
+		t.Errorf("de-boxed reply decode allocates %.1f/op-pair, boxed path %.1f — de-boxing added allocations",
+			unboxedAllocs, boxedAllocs)
+	}
+	t.Logf("serial client allocs per write+read pair: boxed %.1f, de-boxed %.1f",
+		boxedAllocs, unboxedAllocs)
+}
+
+// TestServerDropsSlowReader pins the reply backpressure policy: a client
+// that requests large values but never reads its replies gets its
+// connection dropped once the pending reply bytes exceed the bound — the
+// serve loop never blocks behind the slow socket — and the server keeps
+// serving everyone else.
+func TestServerDropsSlowReader(t *testing.T) {
+	big := make([]float64, 8<<10) // 64 KiB per reply
+	store := replica.New(0, map[msg.RegisterID]msg.Value{0: big})
+	sm := metrics.NewServerMetrics()
+	srv, err := Listen(store, "127.0.0.1:0", WithServerMetrics(sm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	slow := dialRawBinary(t, srv.Addr())
+	// Keep requesting the 64 KiB value without ever reading a reply. The
+	// socket absorbs what it can; after that the writer parks in Write,
+	// pending bytes pile up behind it, and the append that crosses the
+	// bound kills the connection.
+	var op msg.OpID
+	deadline := time.Now().Add(20 * time.Second)
+	for sm.SlowConnDrops.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no slow-conn drop after 20s (queue depth max %d)", sm.QueueDepth.Max())
+		}
+		var reqs []any
+		for i := 0; i < 16; i++ {
+			op++
+			reqs = append(reqs, msg.ReadReq{Reg: 0, Op: op})
+		}
+		if _, err := slow.Write(encodeBatchFrame(t, reqs...)); err != nil {
+			break // server already dropped us; the counter check below decides
+		}
+	}
+	if got := sm.SlowConnDrops.Value(); got == 0 {
+		t.Fatal("connection died without a slow-conn drop being counted")
+	}
+	if sm.QueueDepth.Max() == 0 {
+		t.Error("queue-depth gauge never observed a pending reply")
+	}
+
+	// The rest of the server is unharmed: a well-behaved client still gets
+	// its replies.
+	healthy := dialRawBinary(t, srv.Addr())
+	if _, err := healthy.Write(encodeBatchFrame(t, msg.ReadReq{Reg: 0, Op: 1})); err != nil {
+		t.Fatal(err)
+	}
+	fr := msg.NewFrameReader(healthy)
+	ok := false
+	payload, err := fr.NextRaw()
+	if err != nil {
+		t.Fatalf("healthy connection read: %v", err)
+	}
+	if _, err := msg.VisitBatchPayload(payload, msg.BatchVisitor{
+		ReadReply: func(m msg.ReadReply) bool { ok = true; return true },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("healthy connection got no read reply after the slow conn was dropped")
+	}
+}
+
+// TestServerCloseNoGoroutineLeak pins the writer-goroutine lifecycle:
+// serving connections spawns reader and writer goroutines, and Server.Close
+// joins every one of them.
+func TestServerCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	store := replica.New(0, map[msg.RegisterID]msg.Value{0: nil})
+	srv, err := Listen(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]net.Conn, 0, 8)
+	for i := 0; i < 8; i++ {
+		conn := dialRawBinary(t, srv.Addr())
+		conns = append(conns, conn)
+		if _, err := conn.Write(encodeBatchFrame(t, msg.ReadReq{Reg: 0, Op: msg.OpID(i + 1)})); err != nil {
+			t.Fatal(err)
+		}
+		fr := msg.NewFrameReader(conn)
+		if _, err := fr.NextRaw(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close() // must join every serve and reply-writer goroutine
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before serving, %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeCoalescedEpochEcho pins reply coalescing across a view change at
+// the wire level: a batch mixing requests stamped with the server's current
+// epoch and with an outdated one — exactly what a client's writer coalesces
+// when a reconfiguration lands mid-stream — comes back in coalesced frames
+// where every element echoes its own request's epoch. Stale rejects carry
+// the stale request's epoch (never the batch-mates' newer one) plus the
+// replacement view; current-epoch requests are served normally.
+func TestServeCoalescedEpochEcho(t *testing.T) {
+	store := replica.New(0, map[msg.RegisterID]msg.Value{0: 1.5})
+	if !store.SetView(quorum.View{Epoch: 2, Members: []int32{0}, Addrs: []string{"127.0.0.1:1"}}) {
+		t.Fatal("SetView rejected the test view")
+	}
+	srv, err := Listen(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn := dialRawBinary(t, srv.Addr())
+
+	tag := msg.Tagged{TS: msg.Timestamp{Seq: 9}, Val: 2.5}
+	frame := encodeBatchFrame(t,
+		msg.ReadReq{Reg: 0, Op: 11, Epoch: 2},
+		msg.ReadReq{Reg: 0, Op: 12, Epoch: 1}, // stale: view change already landed
+		msg.WriteReq{Reg: 0, Op: 13, Tag: tag, Epoch: 2},
+		msg.WriteReq{Reg: 0, Op: 14, Tag: tag, Epoch: 1}, // stale
+	)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	replies := make(map[msg.OpID]any)
+	frames := 0
+	fr := msg.NewFrameReader(conn)
+	for len(replies) < 4 {
+		payload, err := fr.NextRaw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !msg.IsBatchPayload(payload) {
+			t.Fatalf("reply arrived outside a batch frame (kind %d)", payload[0])
+		}
+		frames++
+		if _, err := msg.VisitBatchPayload(payload, msg.BatchVisitor{
+			ReadReply:  func(m msg.ReadReply) bool { replies[m.Op] = m; return true },
+			WriteAck:   func(m msg.WriteAck) bool { replies[m.Op] = m; return true },
+			StaleEpoch: func(m msg.StaleEpoch) bool { replies[m.Op] = m; return true },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if frames > 2 {
+		t.Errorf("4 replies arrived in %d frames; coalescing is not happening", frames)
+	}
+
+	if m, ok := replies[11].(msg.ReadReply); !ok || m.Epoch != 2 {
+		t.Errorf("op 11: got %#v, want ReadReply echoing epoch 2", replies[11])
+	}
+	if m, ok := replies[13].(msg.WriteAck); !ok || m.Epoch != 2 {
+		t.Errorf("op 13: got %#v, want WriteAck echoing epoch 2", replies[13])
+	}
+	for _, op := range []msg.OpID{12, 14} {
+		m, ok := replies[op].(msg.StaleEpoch)
+		if !ok {
+			t.Errorf("op %d: got %#v, want StaleEpoch", op, replies[op])
+			continue
+		}
+		if m.Epoch != 1 {
+			t.Errorf("op %d: stale reject echoes epoch %d, want the request's epoch 1 even inside a mixed frame", op, m.Epoch)
+		}
+		if m.View.Epoch != 2 {
+			t.Errorf("op %d: reject carries view epoch %d, want the replacement view 2", op, m.View.Epoch)
+		}
+	}
+}

@@ -136,6 +136,7 @@ func RegisterValueType(v any) {
 type Server struct {
 	store *replica.Store
 	ln    net.Listener
+	opts  serverOpts
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -143,11 +144,38 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+type serverOpts struct {
+	metrics *metrics.ServerMetrics
+	inline  bool
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*serverOpts)
+
+// WithServerMetrics attaches reply-path instruments to every connection the
+// server accepts: replies per coalesced frame, reply-queue depth high
+// watermark, and connections dropped by slow-reader backpressure. The
+// default is no instrumentation, which keeps the serve loop allocation-free.
+func WithServerMetrics(m *metrics.ServerMetrics) ServerOption {
+	return func(o *serverOpts) { o.metrics = m }
+}
+
+// WithInlineReplies disables the per-connection coalescing reply writer and
+// writes every reply frame inline from the serve loop — the pre-coalescing
+// server behavior. It exists as the ablation arm of paired benchmarks
+// (BenchmarkServerScaling) and is not intended for production use.
+func WithInlineReplies() ServerOption {
+	return func(o *serverOpts) { o.inline = true }
+}
+
 // Serve starts serving store on ln. It returns immediately; use Close to
 // stop. The caller owns neither ln nor the spawned goroutines afterwards.
-func Serve(store *replica.Store, ln net.Listener) *Server {
+func Serve(store *replica.Store, ln net.Listener, opts ...ServerOption) *Server {
 	registerWireTypes()
 	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(&s.opts)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -155,12 +183,12 @@ func Serve(store *replica.Store, ln net.Listener) *Server {
 
 // Listen is a convenience combining net.Listen("tcp", addr) and Serve.
 // Use addr "127.0.0.1:0" to let the kernel pick a port (see Addr).
-func Listen(store *replica.Store, addr string) (*Server, error) {
+func Listen(store *replica.Store, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcp listen %s: %w", addr, err)
 	}
-	return Serve(store, ln), nil
+	return Serve(store, ln, opts...), nil
 }
 
 // Addr returns the server's listen address.
@@ -240,12 +268,106 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // serveBinary serves one binary-codec connection: length-prefixed frames in,
-// one frame out per reply, encoded through a pooled buffer. Batch frames —
-// the steady state under pipelined and keyspace clients — never pass through
-// the boxed decode: the raw payload is walked element by element with
-// concrete types and the reply frame is built incrementally, so a batch of k
-// requests costs zero per-element allocations on the server.
+// coalesced reply frames out. The serve loop only applies requests and
+// appends replies to the connection's replyWriter; a dedicated writer
+// goroutine folds whatever has accumulated into one msg.Batch frame per
+// conn.Write, so the reader never waits on the socket and bursty request
+// batches amortize to well under one syscall per reply. Requests — batched
+// or lone — are decoded through the concrete visitor, so the steady-state
+// loop is allocation-free in both directions; only snapshot traffic (and
+// other non-visitor kinds) takes the boxed fallback.
 func (s *Server) serveBinary(conn net.Conn) {
+	if s.opts.inline {
+		s.serveBinaryInline(conn)
+		return
+	}
+	fr := msg.NewFrameReader(conn)
+	rw := newReplyWriter(conn, s.opts.metrics)
+	defer rw.close()
+	vis := msg.BatchVisitor{
+		ReadReq: func(m msg.ReadReq) bool {
+			if rej, stale := s.store.StaleFor(m.Reg, m.Op, m.Epoch); stale {
+				return rw.addStaleEpoch(rej)
+			}
+			reply, ok := s.store.ApplyRead(m)
+			if !ok {
+				return false // crashed store: close the connection
+			}
+			return rw.addReadReply(reply)
+		},
+		WriteReq: func(m msg.WriteReq) bool {
+			if rej, stale := s.store.StaleFor(m.Reg, m.Op, m.Epoch); stale {
+				return rw.addStaleEpoch(rej)
+			}
+			ack, ok := s.store.ApplyWrite(m)
+			if !ok {
+				return false // crashed
+			}
+			return rw.addWriteAck(ack)
+		},
+		// Reply-kind elements are foreign on a server-bound stream; leaving
+		// their callbacks nil drops them, like any other junk.
+	}
+	for {
+		payload, err := fr.NextRaw()
+		if err != nil {
+			return // connection closed or corrupt; drop it
+		}
+		// The reply buffer is locked once per request frame: every element's
+		// replies append under the one hold, and end() wakes the writer once.
+		if !rw.begin() {
+			return
+		}
+		if msg.IsBatchPayload(payload) {
+			completed, verr := msg.VisitBatchPayload(payload, vis)
+			if !rw.end() || verr != nil || !completed {
+				return
+			}
+			continue
+		}
+		if handled, cont := msg.VisitPayload(payload, vis); handled {
+			if !rw.end() || !cont {
+				return
+			}
+			continue
+		}
+		if !rw.end() {
+			return
+		}
+		// Boxed fallback: snapshot requests, and the close-on-junk contract
+		// for anything the store does not serve.
+		m, err := msg.DecodePayload(payload)
+		if err != nil {
+			return
+		}
+		reply, ok := s.store.Apply(m)
+		if !ok {
+			// Crashed store: close the connection (see serveGob for why).
+			return
+		}
+		if !rw.addBoxed(reply) {
+			return
+		}
+	}
+}
+
+// addBoxed encodes one boxed reply (in practice a SnapReply) and enqueues it
+// as a standalone frame behind any pending coalesced replies.
+func (rw *replyWriter) addBoxed(reply any) bool {
+	buf := msg.GetEncodeBuf()
+	defer msg.PutEncodeBuf(buf)
+	out, err := msg.AppendMessage((*buf)[:0], reply)
+	if err != nil {
+		return false
+	}
+	*buf = out[:0]
+	return rw.addRaw(out)
+}
+
+// serveBinaryInline is the pre-coalescing binary serve loop — one conn.Write
+// per reply (per reply frame for batches), kept behind WithInlineReplies as
+// the benchmark ablation arm.
+func (s *Server) serveBinaryInline(conn net.Conn) {
 	fr := msg.NewFrameReader(conn)
 	buf := msg.GetEncodeBuf()
 	defer msg.PutEncodeBuf(buf)

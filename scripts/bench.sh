@@ -1,18 +1,35 @@
 #!/usr/bin/env sh
-# Runs the pipelined-client throughput benchmark and the wire-codec
-# microbenchmark, writing the results as BENCH_pipeline.json and
-# BENCH_wire.json in the repo root. Usage:
+# Runs the repo's benchmark suites and writes each one's results as a JSON
+# file in the repo root:
+#
+#   BENCH_pipeline.json    pipelined-client throughput
+#   BENCH_wire.json        wire-codec microbenchmark (gob vs binary)
+#   BENCH_obs.json         observer overhead (paired on/off)
+#   BENCH_fastread.json    atomic-read fast path (paired on/off)
+#   BENCH_keyspace.json    sharded keyspace working-set sweep + paired ratio
+#   BENCH_membership.json  epoch-stamp overhead + churn (paired)
+#   BENCH_server.json      server reply coalescing (paired) + scaling curve
+#
+# Usage:
 #
 #   scripts/bench.sh [benchtime]
 #
 # benchtime defaults to 2s per sub-benchmark; pass e.g. "1x" for a smoke run.
+# Each stage converts `go test -bench` output with POSIX awk (no jq); the awk
+# scripts exit nonzero when a stage produced no benchmark lines, and every
+# JSON file is written via a temp file + mv so a failed stage never leaves a
+# truncated or empty BENCH_*.json behind.
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-2s}"
 out="BENCH_pipeline.json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+json="$(mktemp)"
+# mktemp creates 0600; later stages recreate $json via plain redirection
+# (umask-default modes), so align the first stage's output file with them.
+chmod 644 "$json"
+trap 'rm -f "$raw" "$json"' EXIT
 
 go test -bench=BenchmarkPipelineTCP -benchtime="$benchtime" -run XXX . | tee "$raw"
 
@@ -42,7 +59,7 @@ END {
     }
     print "  }"
     print "}"
-}' "$raw" > "$out"
+}' "$raw" > "$json" && mv "$json" "$out"
 
 echo "wrote $out"
 
@@ -78,7 +95,7 @@ END {
     }
     print "  }"
     print "}"
-}' "$raw" > "$wireout"
+}' "$raw" > "$json" && mv "$json" "$wireout"
 
 echo "wrote $wireout"
 
@@ -125,7 +142,7 @@ END {
     printf "  \"observer_overhead_pct\": %.2f,\n", (off - on) / off * 100
     printf "  \"full_stack_overhead_pct\": %.2f\n", (off - full) / off * 100
     print "}"
-}' "$raw" > "$obsout"
+}' "$raw" > "$json" && mv "$json" "$obsout"
 
 echo "wrote $obsout"
 
@@ -170,7 +187,7 @@ END {
     }
     print "  }"
     print "}"
-}' "$raw" > "$fastout"
+}' "$raw" > "$json" && mv "$json" "$fastout"
 
 echo "wrote $fastout"
 
@@ -236,7 +253,7 @@ END {
     printf "  \"keys10k_vs_pipeline_batch16\": %.3f,\n", median(ratios, np)
     printf "  \"conc8_vs_keys1\": %.2f\n", med["conc8"] / med["keys1"]
     print "}"
-}' "$raw" > "$ksout"
+}' "$raw" > "$json" && mv "$json" "$ksout"
 
 echo "wrote $ksout"
 
@@ -280,6 +297,69 @@ END {
     printf "  \"view_vs_static\": %.3f,\n", vw / st
     printf "  \"epoch_overhead_pct\": %.2f\n", (st - vw) / st * 100
     print "}"
-}' "$raw" > "$memout"
+}' "$raw" > "$json" && mv "$json" "$memout"
 
 echo "wrote $memout"
+
+# Server hot path: the paired reply-coalescing measurement (inline reply
+# path vs the coalescing writer, alternating inside one benchmark loop; see
+# bench_server_test.go) plus the conns x GOMAXPROCS scaling curve. The
+# acceptance bar is coalescing speedup on both paired arms, median of five
+# runs; the curve is informational.
+svrout="BENCH_server.json"
+go test -bench=BenchmarkServer -benchtime="$benchtime" -count=5 -run XXX . | tee "$raw"
+
+BENCHTIME="$benchtime" awk '
+function median(a, m,  i, j, t) {
+    for (i = 1; i <= m; i++)
+        for (j = i + 1; j <= m; j++)
+            if (a[j] + 0 < a[i] + 0) { t = a[i]; a[i] = a[j]; a[j] = t }
+    return a[int((m + 1) / 2)]
+}
+$1 ~ /^BenchmarkServerScaling\// {
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[3])
+    v = parts[2] "/" parts[3]
+    if (!(v in scnt)) sorder[++sm] = v
+    scnt[v]++
+    for (i = 2; i <= NF; i++)
+        if ($(i) == "ops/s") srate[v, scnt[v]] = $(i - 1)
+}
+$1 ~ /^BenchmarkServerCoalescing\// {
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    v = parts[2]
+    if (!(v in ccnt)) corder[++cm] = v
+    ccnt[v]++
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "inline_ops/s")    inl[v, ccnt[v]] = $(i - 1)
+        if ($(i) == "coalesced_ops/s") coa[v, ccnt[v]] = $(i - 1)
+    }
+}
+END {
+    if (sm == 0) { print "no server scaling benchmark lines found" > "/dev/stderr"; exit 1 }
+    if (cm == 0) { print "no server coalescing benchmark lines found" > "/dev/stderr"; exit 1 }
+    print "{"
+    printf "  \"benchmark\": \"BenchmarkServerScaling + BenchmarkServerCoalescing\",\n"
+    printf "  \"benchtime\": \"%s\",\n", ENVIRON["BENCHTIME"]
+    printf "  \"workload\": \"pipelined write+read rounds (paired inline/coalesced, median of 5)\",\n"
+    printf "  \"scaling\": {\n"
+    for (t = 1; t <= sm; t++) {
+        v = sorder[t]
+        for (i = 1; i <= scnt[v]; i++) a[i] = srate[v, i]
+        printf "    \"%s\": {\"ops_per_sec\": %s}%s\n", v, median(a, scnt[v]), (t < sm ? "," : "")
+    }
+    print "  },"
+    printf "  \"coalescing\": {\n"
+    for (t = 1; t <= cm; t++) {
+        v = corder[t]
+        for (i = 1; i <= ccnt[v]; i++) { a[i] = inl[v, i]; b[i] = coa[v, i] }
+        iv = median(a, ccnt[v]); cv = median(b, ccnt[v])
+        printf "    \"%s\": {\"inline_ops_per_sec\": %s, \"coalesced_ops_per_sec\": %s, \"speedup\": %.3f}%s\n", \
+            v, iv, cv, cv / iv, (t < cm ? "," : "")
+    }
+    print "  }"
+    print "}"
+}' "$raw" > "$json" && mv "$json" "$svrout"
+
+echo "wrote $svrout"

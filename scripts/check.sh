@@ -38,16 +38,19 @@ echo "== allocation gates =="
 # -race, where the instrumentation inflates counts); naming them here keeps
 # hot-path allocation regressions loud even if the full suite's output
 # scrolls past.
-go test $race -run 'TestWireAllocGates|TestPickIntoAllocs|TestObserverAllocGate|TestFastReadAllocGate|TestKeyspaceAllocGate|TestKeyspaceIdleKeyBytes' \
-    ./internal/msg ./internal/quorum ./internal/register
+go test $race -run 'TestWireAllocGates|TestPickIntoAllocs|TestObserverAllocGate|TestFastReadAllocGate|TestKeyspaceAllocGate|TestKeyspaceIdleKeyBytes|TestServeAllocGate|TestClientDecodeAllocGate' \
+    ./internal/msg ./internal/quorum ./internal/register ./internal/transport/tcp
 
 echo "== membership churn smoke =="
 # The membership conformance suite (rolling restarts, grow/shrink across
 # epochs, crash-join) always runs under the race detector here, whatever the
 # flag: reconfiguration is where client goroutines, the transport's conn
 # swaps, and the replica's view installs all meet, and a data race in that
-# seam would otherwise only surface under churn in production.
-go test -race -run 'TestMembership|TestSetView|TestStaleFor|TestSnapshotInstall|TestViewStats' \
+# seam would otherwise only surface under churn in production. -cpu 2,8
+# replays it at two parallelism levels: reconfiguration races shift with
+# scheduler pressure, and the reply-coalescing writer adds one more
+# goroutine per connection to the mix.
+go test -race -cpu 2,8 -run 'TestMembership|TestSetView|TestStaleFor|TestSnapshotInstall|TestViewStats' \
     ./internal/register ./internal/replica
 
 echo "== fuzz corpora =="
