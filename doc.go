@@ -30,6 +30,28 @@
 //	experiments drivers regenerating every figure and table
 //	trace       execution logs and checkers for conditions [R1]–[R5]
 //
+// # Client constructors
+//
+// Three client shapes (serial one-op-at-a-time, pipelined single-register,
+// sharded multi-register keyspace) ride over three runtimes. One blessed
+// constructor per cell:
+//
+//	            cluster (goroutines)         tcp (sockets)        register cores (sim, custom)
+//	serial      (*cluster.Cluster).NewClient   tcp.Dial             register.NewClient
+//	pipelined   (*cluster.Cluster).NewPipeline tcp.DialPipelined    register.NewPipeline(Over)
+//	keyspace    (*cluster.Cluster).NewKeyspace tcp.DialKeyspace     register.NewKeyspace(Over)
+//
+// The third column is what the first two are built from: the protocol cores
+// take a raw send function (or a transport.Transport via the ...Over
+// variants), which is how the discrete-event simulator and the tests drive
+// them. Every cell is configured through the same surface —
+// register.Settings and the With*/Pipe* options that fill it in; the tcp and
+// cluster With* options are thin wrappers over register.Settings, so option
+// semantics cannot drift between transports. Quorum exhaustion is
+// register.ErrQuorumUnavailable everywhere — the former per-transport error
+// aliases in the tcp and cluster packages are gone, as is cluster's combined
+// timeout-and-retries shim (use WithOpTimeout plus WithRetries).
+//
 // The benchmarks in bench_test.go regenerate each experiment at reduced
 // scale; the cmd/ tools run them at paper scale. EXPERIMENTS.md records
 // paper-versus-measured outcomes.

@@ -31,15 +31,6 @@ import (
 // ErrClosed is returned by operations on a closed cluster.
 var ErrClosed = errors.New("cluster: closed")
 
-// ErrTooManyRetries is returned when an operation exhausts its retry budget
-// (for example because too many servers have crashed for any quorum to
-// answer).
-//
-// Deprecated: it is now an alias for register.ErrQuorumUnavailable, the
-// single typed unavailability error shared by every transport; match with
-// errors.Is against either name.
-var ErrTooManyRetries = register.ErrQuorumUnavailable
-
 type envelope struct {
 	from    msg.NodeID
 	payload any
@@ -545,16 +536,6 @@ func WithOpTimeout(d time.Duration) ClientOption {
 // (0 = unlimited); exhaustion surfaces register.ErrQuorumUnavailable.
 func WithRetries(n int) ClientOption {
 	return func(c *clientConfig) { c.Retries = n }
-}
-
-// WithTimeout makes operations retry with a fresh quorum if a quorum member
-// does not answer within d, giving up after retries attempts.
-//
-// Deprecated: use WithOpTimeout(d) plus WithRetries(retries), which match
-// the option names of the tcp and register packages. This shim remains for
-// one release.
-func WithTimeout(d time.Duration, retries int) ClientOption {
-	return func(c *clientConfig) { c.OpTimeout = d; c.Retries = retries }
 }
 
 // WithTrace records the client's completed operations into log.

@@ -1,0 +1,332 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the wall-clock half of the package: where the rest of faults
+// answers "which quorums survive a crash set" analytically, the Schedule
+// here injects the crash set (and its friends) into a *running* deployment.
+// A schedule is a list of timed actions parsed from a small text DSL; Run
+// replays it against anything implementing Plant — the load harness's TCP
+// testbed in cmd/loadgen, or a stub in tests.
+//
+// # Grammar
+//
+// One event per line (or per ';' in inline form). Blank lines and '#'
+// comments are skipped. Every event is an offset from run start followed by
+// an action:
+//
+//	@2s   crash 1          # silence server 1 (store drops requests)
+//	@3s   recover 1        # bring it back with retained state
+//	@4s   slow 2 25ms      # add 25ms per direction on server 2's link
+//	@6s   partition 0 1    # drop client traffic to servers 0 and 1 silently
+//	@8s   heal             # clear every partition and slow link
+//	@10s  grow 2           # reconfigure: +2 servers via state transfer
+//	@14s  shrink 2         # reconfigure: drop the 2 newest servers
+//
+// Offsets must be non-decreasing. The '@' is optional; "2s crash 1" parses
+// identically.
+type Schedule struct {
+	Events []Event
+}
+
+// Event is one timed action.
+type Event struct {
+	// At is the offset from run start at which the action fires.
+	At     time.Duration
+	Action Action
+}
+
+// ActionKind enumerates the fault actions the DSL can express.
+type ActionKind int
+
+// The fault actions, in DSL keyword order.
+const (
+	ActCrash ActionKind = iota + 1
+	ActRecover
+	ActSlow
+	ActPartition
+	ActHeal
+	ActGrow
+	ActShrink
+)
+
+// Action is one parsed fault action. Which fields are meaningful depends on
+// Kind: Server for crash/recover/slow, Servers for partition, Count for
+// grow/shrink, Delay for slow.
+type Action struct {
+	Kind    ActionKind
+	Server  int
+	Servers []int
+	Count   int
+	Delay   time.Duration
+}
+
+// String renders the action back in DSL form.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActCrash:
+		return fmt.Sprintf("crash %d", a.Server)
+	case ActRecover:
+		return fmt.Sprintf("recover %d", a.Server)
+	case ActSlow:
+		return fmt.Sprintf("slow %d %v", a.Server, a.Delay)
+	case ActPartition:
+		parts := make([]string, len(a.Servers))
+		for i, s := range a.Servers {
+			parts[i] = strconv.Itoa(s)
+		}
+		return "partition " + strings.Join(parts, " ")
+	case ActHeal:
+		return "heal"
+	case ActGrow:
+		return fmt.Sprintf("grow %d", a.Count)
+	case ActShrink:
+		return fmt.Sprintf("shrink %d", a.Count)
+	}
+	return fmt.Sprintf("action(%d)", int(a.Kind))
+}
+
+// String renders the whole schedule, one "@offset action" per line.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "@%v %s\n", e.At, e.Action)
+	}
+	return b.String()
+}
+
+// Plant is the deployment surface a schedule runs against. Server indices
+// refer to the plant's current view; Grow appends servers, Shrink removes
+// the most recently added ones. Implementations decide what each action
+// means physically — the TCP testbed crashes replica stores, stalls link
+// proxies, and drives the epoch-based reconfiguration path.
+type Plant interface {
+	// NumServers reports the current replica count (after any grow/shrink).
+	NumServers() int
+	// Crash silences server i; Recover brings it back with retained state.
+	Crash(i int) error
+	Recover(i int) error
+	// Slow adds d of delay per direction on server i's link (0 restores).
+	Slow(i int, d time.Duration) error
+	// Partition silently drops all traffic to the given servers until Heal.
+	Partition(servers []int) error
+	// Heal clears every partition and slow link.
+	Heal() error
+	// Grow adds n servers through the reconfiguration path (state transfer
+	// from a read quorum of the current view, then a newer view).
+	Grow(n int) error
+	// Shrink removes the n most recently added servers, again through a
+	// reconfiguration (survivors merge a read quorum of the outgoing view).
+	Shrink(n int) error
+}
+
+// ParseSchedule parses DSL text. Lines are separated by newlines or ';', so
+// the same parser serves files and inline flag values.
+func ParseSchedule(text string) (Schedule, error) {
+	var s Schedule
+	last := time.Duration(-1)
+	lines := strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' })
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		at, err := time.ParseDuration(strings.TrimPrefix(fields[0], "@"))
+		if err != nil {
+			return Schedule{}, fmt.Errorf("schedule line %d: bad offset %q: %w", ln+1, fields[0], err)
+		}
+		if at < 0 {
+			return Schedule{}, fmt.Errorf("schedule line %d: negative offset %v", ln+1, at)
+		}
+		if at < last {
+			return Schedule{}, fmt.Errorf("schedule line %d: offset %v before previous event", ln+1, at)
+		}
+		last = at
+		act, err := parseAction(fields[1:])
+		if err != nil {
+			return Schedule{}, fmt.Errorf("schedule line %d: %w", ln+1, err)
+		}
+		s.Events = append(s.Events, Event{At: at, Action: act})
+	}
+	return s, nil
+}
+
+// LoadSchedule reads a schedule from the file at path when one exists there,
+// and otherwise parses the argument as inline DSL text — the one-flag
+// convention cmd/loadgen exposes.
+func LoadSchedule(pathOrText string) (Schedule, error) {
+	if data, err := os.ReadFile(pathOrText); err == nil {
+		return ParseSchedule(string(data))
+	}
+	return ParseSchedule(pathOrText)
+}
+
+func parseAction(fields []string) (Action, error) {
+	if len(fields) == 0 {
+		return Action{}, fmt.Errorf("offset with no action")
+	}
+	verb, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d argument(s), got %d", verb, n, len(args))
+		}
+		return nil
+	}
+	atoi := func(s string) (int, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("%s: bad server index %q", verb, s)
+		}
+		return n, nil
+	}
+	switch verb {
+	case "crash", "recover":
+		if err := need(1); err != nil {
+			return Action{}, err
+		}
+		srv, err := atoi(args[0])
+		if err != nil {
+			return Action{}, err
+		}
+		kind := ActCrash
+		if verb == "recover" {
+			kind = ActRecover
+		}
+		return Action{Kind: kind, Server: srv}, nil
+	case "slow":
+		if err := need(2); err != nil {
+			return Action{}, err
+		}
+		srv, err := atoi(args[0])
+		if err != nil {
+			return Action{}, err
+		}
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d < 0 {
+			return Action{}, fmt.Errorf("slow: bad delay %q", args[1])
+		}
+		return Action{Kind: ActSlow, Server: srv, Delay: d}, nil
+	case "partition":
+		if len(args) == 0 {
+			return Action{}, fmt.Errorf("partition needs at least one server index")
+		}
+		servers := make([]int, 0, len(args))
+		seen := make(map[int]bool, len(args))
+		for _, a := range args {
+			srv, err := atoi(a)
+			if err != nil {
+				return Action{}, err
+			}
+			if seen[srv] {
+				return Action{}, fmt.Errorf("partition repeats server %d", srv)
+			}
+			seen[srv] = true
+			servers = append(servers, srv)
+		}
+		sort.Ints(servers)
+		return Action{Kind: ActPartition, Servers: servers}, nil
+	case "heal":
+		if err := need(0); err != nil {
+			return Action{}, err
+		}
+		return Action{Kind: ActHeal}, nil
+	case "grow", "shrink":
+		if err := need(1); err != nil {
+			return Action{}, err
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return Action{}, fmt.Errorf("%s: bad count %q", verb, args[0])
+		}
+		kind := ActGrow
+		if verb == "shrink" {
+			kind = ActShrink
+		}
+		return Action{Kind: kind, Count: n}, nil
+	default:
+		return Action{}, fmt.Errorf("unknown action %q", verb)
+	}
+}
+
+// Applied records one event's outcome: when it actually fired (offset from
+// run start) and the error the plant returned, if any. A failed event does
+// not stop the run — a schedule that loses a race with another fault (say,
+// growing while a majority is crashed) should report it, not abort the
+// measurement.
+type Applied struct {
+	At     time.Duration
+	Action Action
+	Err    error
+}
+
+// Run replays the schedule against plant on the wall clock defined by now
+// and sleep (seams for virtual-clock tests; pass faults.WallClock's methods
+// in production). sleep must return false when ctx is done. Run returns the
+// applied-event log; it stops early, without error, when the context is
+// cancelled.
+func (s Schedule) Run(ctx context.Context, now func() time.Time,
+	sleep func(context.Context, time.Duration) bool, plant Plant) []Applied {
+	start := now()
+	var log []Applied
+	for _, e := range s.Events {
+		if wait := e.At - now().Sub(start); wait > 0 {
+			if !sleep(ctx, wait) {
+				return log
+			}
+		}
+		if ctx.Err() != nil {
+			return log
+		}
+		log = append(log, Applied{
+			At:     now().Sub(start),
+			Action: e.Action,
+			Err:    apply(plant, e.Action),
+		})
+	}
+	return log
+}
+
+func apply(plant Plant, a Action) error {
+	switch a.Kind {
+	case ActCrash:
+		return plant.Crash(a.Server)
+	case ActRecover:
+		return plant.Recover(a.Server)
+	case ActSlow:
+		return plant.Slow(a.Server, a.Delay)
+	case ActPartition:
+		return plant.Partition(a.Servers)
+	case ActHeal:
+		return plant.Heal()
+	case ActGrow:
+		return plant.Grow(a.Count)
+	case ActShrink:
+		return plant.Shrink(a.Count)
+	}
+	return fmt.Errorf("faults: unknown action kind %d", int(a.Kind))
+}
+
+// SleepCtx is the production sleep seam for Run: a time.Timer wait that
+// returns false when the context is cancelled first.
+func SleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

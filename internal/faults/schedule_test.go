@@ -1,0 +1,196 @@
+package faults
+
+import (
+	"context"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseSchedule(t *testing.T) {
+	tests := []struct {
+		name    string
+		input   string
+		want    string // normalized String() form, "" for empty
+		wantErr bool
+	}{
+		{
+			name: "full grammar",
+			input: `# fault plan
+@2s crash 1
+@3s recover 1
+@4s slow 2 25ms
+@6s partition 0 1
+@8s heal
+@10s grow 2
+@14s shrink 2
+`,
+			want: "@2s crash 1\n@3s recover 1\n@4s slow 2 25ms\n@6s partition 0 1\n@8s heal\n@10s grow 2\n@14s shrink 2\n",
+		},
+		{
+			name:  "inline semicolons without at-signs",
+			input: "2s crash 0; 4s recover 0",
+			want:  "@2s crash 0\n@4s recover 0\n",
+		},
+		{
+			name:  "comments and blanks",
+			input: "\n# nothing\n   \n@1s heal # trailing\n",
+			want:  "@1s heal\n",
+		},
+		{
+			name:  "partition sorts servers",
+			input: "@1s partition 3 0 2",
+			want:  "@1s partition 0 2 3\n",
+		},
+		{name: "empty", input: "", want: ""},
+		{name: "decreasing offsets", input: "@2s crash 0; @1s recover 0", wantErr: true},
+		{name: "negative offset", input: "@-1s crash 0", wantErr: true},
+		{name: "bad verb", input: "@1s explode 0", wantErr: true},
+		{name: "crash without server", input: "@1s crash", wantErr: true},
+		{name: "crash with junk index", input: "@1s crash x", wantErr: true},
+		{name: "slow without delay", input: "@1s slow 1", wantErr: true},
+		{name: "slow with bad delay", input: "@1s slow 1 fast", wantErr: true},
+		{name: "partition empty", input: "@1s partition", wantErr: true},
+		{name: "partition duplicate", input: "@1s partition 1 1", wantErr: true},
+		{name: "grow zero", input: "@1s grow 0", wantErr: true},
+		{name: "shrink negative", input: "@1s shrink -2", wantErr: true},
+		{name: "heal with args", input: "@1s heal 3", wantErr: true},
+		{name: "offset without action", input: "@1s", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := ParseSchedule(tt.input)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("ParseSchedule(%q) error = %v, wantErr %v", tt.input, err, tt.wantErr)
+			}
+			if err == nil && s.String() != tt.want {
+				t.Errorf("ParseSchedule(%q) normalized to %q, want %q", tt.input, s.String(), tt.want)
+			}
+		})
+	}
+}
+
+// fakePlant records applied actions; fakeClock drives Run on virtual time.
+type fakePlant struct {
+	mu      sync.Mutex
+	applied []string
+	n       int
+}
+
+func (p *fakePlant) record(s string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.applied = append(p.applied, s)
+	return nil
+}
+
+func (p *fakePlant) NumServers() int   { return p.n }
+func (p *fakePlant) Crash(i int) error { return p.record(Action{Kind: ActCrash, Server: i}.String()) }
+func (p *fakePlant) Recover(i int) error {
+	return p.record(Action{Kind: ActRecover, Server: i}.String())
+}
+func (p *fakePlant) Slow(i int, d time.Duration) error {
+	return p.record(Action{Kind: ActSlow, Server: i, Delay: d}.String())
+}
+func (p *fakePlant) Partition(servers []int) error {
+	return p.record(Action{Kind: ActPartition, Servers: servers}.String())
+}
+func (p *fakePlant) Heal() error        { return p.record("heal") }
+func (p *fakePlant) Grow(n int) error   { return p.record(Action{Kind: ActGrow, Count: n}.String()) }
+func (p *fakePlant) Shrink(n int) error { return p.record(Action{Kind: ActShrink, Count: n}.String()) }
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return true
+}
+
+func TestScheduleRunVirtualTime(t *testing.T) {
+	s, err := ParseSchedule("@10ms crash 1; @30ms slow 0 5ms; @30ms recover 1; @50ms heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{}
+	plant := &fakePlant{n: 3}
+	applied := s.Run(context.Background(), clock.Now, clock.Sleep, plant)
+	if len(applied) != 4 {
+		t.Fatalf("applied %d events, want 4", len(applied))
+	}
+	wantAt := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 30 * time.Millisecond, 50 * time.Millisecond}
+	for i, a := range applied {
+		if a.At != wantAt[i] {
+			t.Errorf("event %d fired at %v, want %v", i, a.At, wantAt[i])
+		}
+		if a.Err != nil {
+			t.Errorf("event %d returned error %v", i, a.Err)
+		}
+	}
+	want := []string{"crash 1", "slow 0 5ms", "recover 1", "heal"}
+	for i, got := range plant.applied {
+		if got != want[i] {
+			t.Errorf("plant action %d = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestScheduleRunCancel(t *testing.T) {
+	s, err := ParseSchedule("@1ms crash 0; @10h crash 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	clock := &fakeClock{}
+	plant := &fakePlant{n: 2}
+	// Cancel after the first sleep: the second (10h) sleep must bail out.
+	sleeps := 0
+	sleep := func(ctx context.Context, d time.Duration) bool {
+		sleeps++
+		if sleeps == 2 {
+			cancel()
+			return false
+		}
+		return clock.Sleep(ctx, d)
+	}
+	applied := s.Run(ctx, clock.Now, sleep, plant)
+	if len(applied) != 1 {
+		t.Fatalf("applied %d events before cancel, want 1", len(applied))
+	}
+	if len(plant.applied) != 1 || plant.applied[0] != "crash 0" {
+		t.Fatalf("plant saw %v, want [crash 0]", plant.applied)
+	}
+}
+
+func TestLoadScheduleInlineAndFile(t *testing.T) {
+	inline, err := LoadSchedule("@1s crash 0")
+	if err != nil || len(inline.Events) != 1 {
+		t.Fatalf("inline load: %v events=%d", err, len(inline.Events))
+	}
+	path := t.TempDir() + "/plan.fsched"
+	if err := os.WriteFile(path, []byte("@1s crash 0\n@2s recover 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := LoadSchedule(path)
+	if err != nil || len(fromFile.Events) != 2 {
+		t.Fatalf("file load: %v events=%d", err, len(fromFile.Events))
+	}
+	if _, err := LoadSchedule("@1s bogus 0"); err == nil || !strings.Contains(err.Error(), "unknown action") {
+		t.Fatalf("bad inline schedule error = %v, want unknown action", err)
+	}
+}

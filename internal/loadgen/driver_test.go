@@ -1,0 +1,216 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"probquorum/internal/msg"
+	"probquorum/internal/register"
+)
+
+// fakeStore is the shared backing state a set of fakeTargets read and write
+// — the stand-in for a replicated register system. Operations complete
+// synchronously inside the AsyncFunc call, so under the virtual clock
+// driver runs are deterministic and instant.
+type fakeStore struct {
+	mu     sync.Mutex
+	regs   map[msg.RegisterID]msg.Tagged
+	writes int
+}
+
+type fakeTarget struct {
+	id        int32
+	store     *fakeStore
+	failEvery int // every Nth write through this target fails (0 = never)
+}
+
+func newFakeCluster(n int) []*fakeTarget {
+	store := &fakeStore{regs: map[msg.RegisterID]msg.Tagged{}}
+	targets := make([]*fakeTarget, n)
+	for i := range targets {
+		targets[i] = &fakeTarget{id: int32(i), store: store}
+	}
+	return targets
+}
+
+func (f *fakeTarget) ReadAsyncFunc(key msg.RegisterID, fn func(msg.Tagged, error)) *register.PendingOp {
+	f.store.mu.Lock()
+	tag := f.store.regs[key]
+	f.store.mu.Unlock()
+	fn(tag, nil)
+	return nil
+}
+
+func (f *fakeTarget) ReadAtomicAsyncFunc(key msg.RegisterID, fn func(msg.Tagged, error)) *register.PendingOp {
+	return f.ReadAsyncFunc(key, fn)
+}
+
+func (f *fakeTarget) WriteAsyncFunc(key msg.RegisterID, val msg.Value, fn func(msg.Tagged, error)) *register.PendingOp {
+	f.store.mu.Lock()
+	f.store.writes++
+	if f.failEvery > 0 && f.store.writes%f.failEvery == 0 {
+		f.store.mu.Unlock()
+		fn(msg.Tagged{}, errors.New("injected write failure"))
+		return nil
+	}
+	tag := msg.Tagged{TS: msg.Timestamp{Seq: f.store.regs[key].TS.Seq + 1, Writer: f.id}, Val: val}
+	f.store.regs[key] = tag
+	f.store.mu.Unlock()
+	fn(tag, nil)
+	return nil
+}
+
+// cluster2 builds two targets over one shared store, as []Target for the
+// variadic NewDriver.
+func cluster2() []Target {
+	cl := newFakeCluster(2)
+	return []Target{cl[0], cl[1]}
+}
+
+func TestDriverHealthyRun(t *testing.T) {
+	clock := &testClock{}
+	d, err := NewDriver(Config{
+		Rate:     1000,
+		Duration: 2 * time.Second,
+		Keys:     UniformKeys{N: 16},
+		Seed:     42,
+		Interval: 500 * time.Millisecond,
+		Clock:    clock,
+	}, cluster2()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 op/s for 2 virtual seconds: ~2000 slots, all issued (nothing
+	// sheds when completion is synchronous), all completed.
+	if res.Issued < 1900 || res.Issued > 2100 {
+		t.Fatalf("issued %d, want ~2000", res.Issued)
+	}
+	if res.Completed != res.Issued || res.Errors != 0 || res.Shed != 0 {
+		t.Fatalf("completed %d errors %d shed %d, want %d/0/0", res.Completed, res.Errors, res.Shed, res.Issued)
+	}
+	if res.Total.Count() != res.Completed {
+		t.Fatalf("histogram count %d != completed %d", res.Total.Count(), res.Completed)
+	}
+	if len(res.Intervals) < 3 {
+		t.Fatalf("got %d intervals for a 2s run at 500ms, want >= 3", len(res.Intervals))
+	}
+	var kindIssued int64
+	for _, ks := range res.Kinds {
+		kindIssued += ks.Issued
+	}
+	if kindIssued != res.Issued {
+		t.Fatalf("per-kind issued sums to %d, want %d", kindIssued, res.Issued)
+	}
+	if res.IsolationViolations != 0 {
+		t.Fatalf("isolation violations on a healthy run: %d (%s)", res.IsolationViolations, res.IsolationExample)
+	}
+	if res.Trace != nil {
+		t.Fatal("non-soak run recorded a trace")
+	}
+}
+
+func TestDriverSoakTraceChecks(t *testing.T) {
+	clock := &testClock{}
+	d, err := NewDriver(Config{
+		Rate:     2000,
+		Duration: time.Second,
+		Keys:     UniformKeys{N: 8},
+		Seed:     7,
+		Soak:     true,
+		Clock:    clock,
+	}, cluster2()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.Trace) == 0 {
+		t.Fatal("soak run recorded no trace")
+	}
+	// Soak promotes plain reads: nothing may remain under the "read" kind.
+	if ks := res.Kinds[OpRead.String()]; ks.Issued != 0 {
+		t.Fatalf("%d plain reads issued in soak mode", ks.Issued)
+	}
+	if err := res.CheckSoak(); err != nil {
+		t.Fatalf("soak checkers rejected a healthy run: %v", err)
+	}
+}
+
+func TestDriverSoakFailedWritesRetireKeys(t *testing.T) {
+	clock := &testClock{}
+	bad := newFakeCluster(1)[0]
+	bad.failEvery = 3
+	d, err := NewDriver(Config{
+		Rate:     1000,
+		Duration: time.Second,
+		Mix:      Mix{Read: 0.2, Write: 0.8},
+		Keys:     UniformKeys{N: 8},
+		Seed:     9,
+		Soak:     true,
+		Clock:    clock,
+	}, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("fault injection produced no errors")
+	}
+	if res.RetiredKeys == 0 {
+		t.Fatal("failed writes retired no keys")
+	}
+	// The trace must still pass: failed writes are pending, their pairs
+	// retired, so no overlap and no phantom values.
+	if err := res.CheckSoak(); err != nil {
+		t.Fatalf("soak checkers rejected the faulty run: %v", err)
+	}
+	// With 8 keys and a write-heavy mix, some slots must have been
+	// deflected off retired pairs by the end.
+	if res.Deflected == 0 {
+		t.Log("note: no deflections (all redraws found free pairs)")
+	}
+}
+
+func TestDriverCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := NewDriver(Config{
+		Rate:     100,
+		Duration: time.Hour,
+		Clock:    &testClock{},
+	}, newFakeCluster(1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued > 1 {
+		t.Fatalf("issued %d ops after cancellation", res.Issued)
+	}
+}
+
+func TestNewDriverValidation(t *testing.T) {
+	if _, err := NewDriver(Config{Rate: 100, Duration: time.Second}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := NewDriver(Config{Rate: 0, Duration: time.Second}, newFakeCluster(1)[0]); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewDriver(Config{Rate: 100}, newFakeCluster(1)[0]); err == nil {
+		t.Error("zero duration accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// The in-repo metrics.LatencyHist uses one bucket per power of two, which
+// bounds quantile error at 2x — fine for regression gates, useless for a
+// latency frontier where p99 moving from 800µs to 1.2ms is the signal. Hist
+// is a log-linear histogram: each octave is split into 16 linear sub-buckets,
+// bounding relative quantile error at 1/16 (~6%) while keeping the whole
+// range of interest (1ns..~4600s) in under a thousand int64 counters.
+
+const (
+	histSubBits = 4                // sub-buckets per octave = 16
+	histSub     = 1 << histSubBits //
+	histBuckets = (63 - histSubBits + 1) * histSub
+)
+
+// Hist is a fixed-size log-linear latency histogram. It is not safe for
+// concurrent use; the driver owns one per interval plus a running total.
+type Hist struct {
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// histBucketOf maps a non-negative value to its bucket index: values below
+// 16 map exactly, larger values map by octave and the next four mantissa
+// bits, so consecutive buckets differ by at most 1/16 of their magnitude.
+func histBucketOf(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	mantissa := (v >> (uint(exp) - histSubBits)) & (histSub - 1)
+	return (exp-histSubBits+1)*histSub + int(mantissa)
+}
+
+// histBucketMid returns a representative (midpoint) value for bucket idx,
+// inverting histBucketOf.
+func histBucketMid(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	exp := uint(idx/histSub + histSubBits - 1)
+	mantissa := int64(idx % histSub)
+	lo := int64(1)<<exp | mantissa<<(exp-histSubBits)
+	width := int64(1) << (exp - histSubBits)
+	return lo + width/2
+}
+
+// Record adds one latency observation. Negative durations (clock skew under
+// a virtual clock) count as zero.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Mean returns the average recorded latency, 0 when empty.
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest recorded latency.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the latency at quantile q in [0,1] (q<=0 gives the
+// smallest bucket with data, q>=1 the largest). Within a bucket the midpoint
+// is reported, so the answer is exact to ~6%. Returns 0 when empty.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count-1))
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			return time.Duration(histBucketMid(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge adds other's observations into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears the histogram for interval reuse.
+func (h *Hist) Reset() {
+	*h = Hist{}
+}

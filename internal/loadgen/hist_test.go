@@ -1,0 +1,73 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"time"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Every value's bucket midpoint must be within 1/16 of the value, and
+	// bucket indices must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 100, 1023, 1024, 4096, 1e6, 1e9, 1e12} {
+		idx := histBucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		mid := histBucketMid(idx)
+		if v >= 16 {
+			if err := math.Abs(float64(mid-v)) / float64(v); err > 1.0/16 {
+				t.Errorf("value %d: bucket mid %d off by %.3f (> 1/16)", v, mid, err)
+			}
+		} else if mid != v {
+			t.Errorf("value %d below 16 must be exact, got mid %d", v, mid)
+		}
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// A known log-uniform sample: quantiles must land within ~7% of the true
+	// order statistics (6% bucket error plus interpolation slop).
+	r := rand.New(rand.NewPCG(1, 2))
+	var h Hist
+	vals := make([]int64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		v := int64(math.Exp(r.Float64()*13 + 7)) // ~1µs .. ~0.5s in ns
+		vals = append(vals, v)
+		h.Record(time.Duration(v))
+	}
+	slices.Sort(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := float64(vals[int(q*float64(len(vals)-1))])
+		if rel := math.Abs(got-want) / want; rel > 0.07 {
+			t.Errorf("p%g = %v, true %v, rel err %.3f > 0.07",
+				q*100, time.Duration(int64(got)), time.Duration(int64(want)), rel)
+		}
+	}
+	if h.Count() != 50000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestHistMergeReset(t *testing.T) {
+	var a, b Hist
+	a.Record(10 * time.Microsecond)
+	b.Record(20 * time.Microsecond)
+	b.Record(30 * time.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Max() != 30*time.Microsecond {
+		t.Fatalf("merged max %v", a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"context"
+	"time"
+)
+
+// Pacer meters out operation slots at a fixed offered rate, open-loop: slot
+// i is due at start + i/rate regardless of what happened to slots 0..i-1.
+// When the caller falls behind (a GC pause, a stalled issue path), Next
+// returns immediately until the backlog of due slots is drained — the
+// schedule is never stretched to fit the system, which is the property that
+// distinguishes offered load from achieved load.
+//
+// A Pacer spawns no goroutines and owns no resources; it is driven entirely
+// by the caller's Next loop, so cancelling the context simply makes Next
+// return false. One Pacer serves one issuing goroutine.
+type Pacer struct {
+	clock  Clock
+	perOp  time.Duration // 1/rate
+	start  time.Time
+	issued int64
+}
+
+// NewPacer returns a pacer targeting rate operations per second (rate must
+// be positive). The schedule starts at the first Next call.
+func NewPacer(rate float64, clock Clock) *Pacer {
+	return &Pacer{clock: clock, perOp: time.Duration(float64(time.Second) / rate)}
+}
+
+// Next blocks until the next slot is due and returns its sequence number,
+// or ok=false when ctx was cancelled first. The first call starts the
+// schedule's clock.
+func (p *Pacer) Next(ctx context.Context) (seq int64, ok bool) {
+	if p.issued == 0 {
+		p.start = p.clock.Now()
+	}
+	due := p.start.Add(time.Duration(p.issued) * p.perOp)
+	if wait := due.Sub(p.clock.Now()); wait > 0 {
+		if !p.clock.Sleep(ctx, wait) {
+			return 0, false
+		}
+	}
+	if ctx.Err() != nil {
+		return 0, false
+	}
+	seq = p.issued
+	p.issued++
+	return seq, true
+}
+
+// Issued returns how many slots Next has handed out.
+func (p *Pacer) Issued() int64 { return p.issued }
+
+// ScheduledAt returns slot seq's scheduled instant. Latency measured from
+// here (rather than from the actual submit) charges queueing delay that the
+// generator itself accrued when running behind — the coordinated-omission
+// correction. Only meaningful after the first Next call.
+func (p *Pacer) ScheduledAt(seq int64) time.Time {
+	return p.start.Add(time.Duration(seq) * p.perOp)
+}
+
+// Behind reports how far the schedule is currently behind wall time: the
+// number of slots that are due but not yet issued. Zero while keeping up.
+func (p *Pacer) Behind() int64 {
+	if p.issued == 0 {
+		return 0
+	}
+	elapsed := p.clock.Now().Sub(p.start)
+	due := int64(elapsed / p.perOp)
+	if due <= p.issued {
+		return 0
+	}
+	return due - p.issued
+}

@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a virtual clock: Sleep advances time instantly, so a paced
+// loop runs at full CPU speed while the schedule arithmetic stays exact.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Sleep(ctx context.Context, d time.Duration) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	c.Advance(d)
+	return true
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestPacerOfferedRateAccuracy pins the open-loop contract on a virtual
+// clock: after issuing N slots at a target rate, the virtual time consumed
+// must equal N/rate within 5%, at several rates including ones whose
+// nanosecond period does not divide evenly.
+func TestPacerOfferedRateAccuracy(t *testing.T) {
+	for _, rate := range []float64{100, 1000, 4096, 30000, 333333} {
+		clock := &testClock{}
+		p := NewPacer(rate, clock)
+		ctx := context.Background()
+		const n = 20000
+		start := clock.Now()
+		for i := 0; i < n; i++ {
+			if _, ok := p.Next(ctx); !ok {
+				t.Fatalf("rate %v: Next cancelled unexpectedly", rate)
+			}
+		}
+		elapsed := clock.Now().Sub(start)
+		want := time.Duration(float64(n) / rate * float64(time.Second))
+		ratio := float64(elapsed) / float64(want)
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("rate %v: %d ops took %v of virtual time, want %v (ratio %.3f outside 5%%)",
+				rate, n, elapsed, want, ratio)
+		}
+	}
+}
+
+// TestPacerCatchUp pins that a stalled issuer does not stretch the schedule:
+// after a stall the due slots fire immediately (no sleeping), and the
+// offered count over the whole window still matches rate x elapsed.
+func TestPacerCatchUp(t *testing.T) {
+	clock := &testClock{}
+	p := NewPacer(1000, clock) // 1ms per slot
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		p.Next(ctx)
+	}
+	// Stall 50ms: 50 slots fall due.
+	clock.Advance(50 * time.Millisecond)
+	if behind := p.Behind(); behind < 49 || behind > 51 {
+		t.Fatalf("Behind() = %d after a 50ms stall at 1ms/slot, want ~50", behind)
+	}
+	before := clock.Now()
+	for i := 0; i < 50; i++ {
+		p.Next(ctx)
+	}
+	if d := clock.Now().Sub(before); d != 0 {
+		t.Fatalf("catching up 50 due slots consumed %v of virtual time, want 0 (no stretching)", d)
+	}
+	if p.Behind() > 1 {
+		t.Fatalf("still %d behind after catch-up", p.Behind())
+	}
+}
+
+// TestPacerCancelNoLeak pins that cancelling the context stops a paced loop
+// promptly and leaves no goroutine behind — the pacer spawns none of its
+// own, and its Sleep honours cancellation mid-wait.
+func TestPacerCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int64, 1)
+	go func() {
+		p := NewPacer(2, WallClock{}) // 500ms per slot: cancellation hits mid-sleep
+		var n int64
+		for {
+			if _, ok := p.Next(ctx); !ok {
+				done <- n
+				return
+			}
+			n++
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("paced loop did not exit within 2s of cancellation (500ms sleep should abort early)")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after cancel", before, runtime.NumGoroutine())
+}

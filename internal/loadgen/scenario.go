@@ -1,0 +1,29 @@
+package loadgen
+
+import (
+	"context"
+
+	"probquorum/internal/faults"
+)
+
+// RunScenario couples an open-loop driver run with a wall-clock fault
+// schedule: the schedule executes against the plant on the driver's clock
+// while the driver offers load, and both finish together — the schedule is
+// cancelled when the run ends (a schedule longer than the run simply stops
+// applying). Returns the run result and the log of applied fault events;
+// per-event errors live in the Applied entries, because a fault that failed
+// to inject (say, a grow whose state transfer timed out under a partition)
+// is an observation about the run, not a harness failure.
+func RunScenario(ctx context.Context, d *Driver, sched faults.Schedule, plant faults.Plant) (*Result, []faults.Applied, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	appliedCh := make(chan []faults.Applied, 1)
+	go func() {
+		clock := d.cfg.Clock
+		appliedCh <- sched.Run(sctx, clock.Now, clock.Sleep, plant)
+	}()
+	res, err := d.Run(ctx)
+	cancel()
+	applied := <-appliedCh
+	return res, applied, err
+}

@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"probquorum/internal/msg"
+)
+
+func TestParseMix(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Mix
+		wantErr bool
+	}{
+		{in: "read=0.65,write=0.25,atomic=0.10", want: Mix{0.65, 0.25, 0.10}},
+		{in: "read=3,write=1", want: Mix{0.75, 0.25, 0}},
+		{in: "write=1", want: Mix{0, 1, 0}},
+		{in: " read=1 , atomic=1 ", want: Mix{0.5, 0, 0.5}},
+		{in: "", wantErr: true},
+		{in: "read=0,write=0", wantErr: true},
+		{in: "read=-1,write=2", wantErr: true},
+		{in: "scan=1", wantErr: true},
+		{in: "read", wantErr: true},
+		{in: "read=x", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseMix(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseMix(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if math.Abs(got.Read-tt.want.Read) > 1e-9 ||
+			math.Abs(got.Write-tt.want.Write) > 1e-9 ||
+			math.Abs(got.Atomic-tt.want.Atomic) > 1e-9 {
+			t.Errorf("ParseMix(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMixPickProportions(t *testing.T) {
+	m := Mix{Read: 0.6, Write: 0.3, Atomic: 0.1}
+	r := rand.New(rand.NewPCG(3, 4))
+	counts := map[OpKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[m.Pick(r)]++
+	}
+	for kind, want := range map[OpKind]float64{OpRead: 0.6, OpWrite: 0.3, OpAtomicRead: 0.1} {
+		got := float64(counts[kind]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v frequency %.3f, want %.3f", kind, got, want)
+		}
+	}
+}
+
+func TestZipfKeysSkew(t *testing.T) {
+	z, err := NewZipfKeys(100, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(5, 6))
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := z.Pick(r)
+		if k < 0 || int(k) >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must be the hottest and carry roughly 1/H(100,0.99) ~ 19% of
+	// traffic; the tail key must be ~100x colder than the head.
+	head := float64(counts[0]) / n
+	if head < 0.15 || head > 0.25 {
+		t.Errorf("hottest key frequency %.3f, want ~0.19", head)
+	}
+	if counts[99] >= counts[0]/20 {
+		t.Errorf("tail key count %d not clearly colder than head %d", counts[99], counts[0])
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	z, err := NewZipfKeys(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(7, 8))
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Pick(r)]++
+	}
+	for k, c := range counts {
+		if got := float64(c) / n; math.Abs(got-0.1) > 0.01 {
+			t.Errorf("key %d frequency %.3f under zipf s=0, want 0.1", k, got)
+		}
+	}
+}
+
+func TestParseSkew(t *testing.T) {
+	if p, err := ParseSkew("uniform", 5); err != nil || p.Keys() != 5 {
+		t.Fatalf("uniform: %v", err)
+	}
+	if p, err := ParseSkew("", 5); err != nil {
+		t.Fatalf("default: %v", err)
+	} else if _, isUniform := p.(UniformKeys); !isUniform {
+		t.Fatal("empty skew should default to uniform")
+	}
+	if p, err := ParseSkew("zipf", 5); err != nil || p.Keys() != 5 {
+		t.Fatalf("zipf: %v", err)
+	}
+	if _, err := ParseSkew("zipf:1.2", 5); err != nil {
+		t.Fatalf("zipf:1.2: %v", err)
+	}
+	for _, bad := range []string{"zipf:x", "pareto", "zipf:"} {
+		if _, err := ParseSkew(bad, 5); err == nil {
+			t.Errorf("ParseSkew(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseSkew("uniform", 0); err == nil {
+		t.Error("zero keys accepted")
+	}
+}
+
+func TestValueCodec(t *testing.T) {
+	for _, tc := range []struct {
+		key msg.RegisterID
+		seq uint32
+	}{{0, 0}, {1, 1}, {127, 4096}, {1 << 20, math.MaxUint32}} {
+		v := EncodeValue(tc.key, tc.seq)
+		key, seq, ok := DecodeValue(v)
+		if !ok || key != tc.key || seq != tc.seq {
+			t.Errorf("round trip (%d,%d) -> %d -> (%d,%d,%v)", tc.key, tc.seq, v, key, seq, ok)
+		}
+	}
+	if _, _, ok := DecodeValue("not a harness value"); ok {
+		t.Error("decoded a foreign value")
+	}
+	if _, _, ok := DecodeValue(nil); ok {
+		t.Error("decoded nil")
+	}
+}

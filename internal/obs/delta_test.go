@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnapshotDeltaSince(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	g := r.Gauge("inflight")
+	lh := r.LatencyHist("lat")
+	ih := r.IntHistogram("batch")
+
+	c.Add(10)
+	g.Set(3)
+	lh.Observe(1 * time.Millisecond)
+	ih.Observe(4)
+	before := r.Snapshot()
+
+	c.Add(5)
+	g.Set(7)
+	lh.Observe(2 * time.Millisecond)
+	lh.Observe(4 * time.Millisecond)
+	ih.Observe(4)
+	ih.Observe(8)
+	after := r.Snapshot()
+
+	d := after.DeltaSince(before)
+	if d.Counters["ops"] != 5 {
+		t.Errorf("counter delta = %d, want 5", d.Counters["ops"])
+	}
+	// Gauges are point-in-time: the delta carries the current reading.
+	if d.Gauges["inflight"].Value != 7 {
+		t.Errorf("gauge in delta = %d, want current value 7", d.Gauges["inflight"].Value)
+	}
+	if d.Latencies["lat"].Count != 2 {
+		t.Errorf("latency delta count = %d, want 2", d.Latencies["lat"].Count)
+	}
+	var bucketSum int64
+	for _, b := range d.Latencies["lat"].Buckets {
+		if b < 0 {
+			t.Fatalf("negative bucket in latency delta")
+		}
+		bucketSum += b
+	}
+	if bucketSum != 2 {
+		t.Errorf("latency delta buckets sum to %d, want 2", bucketSum)
+	}
+	if d.IntHists["batch"].Total != 2 {
+		t.Errorf("int-hist delta total = %d, want 2", d.IntHists["batch"].Total)
+	}
+	if got := d.IntHists["batch"].Counts; got[4] != 1 || got[8] != 1 {
+		t.Errorf("int-hist delta counts = %v, want one 4 and one 8", got)
+	}
+}
+
+func TestSnapshotDeltaNewMetric(t *testing.T) {
+	r := NewRegistry()
+	before := r.Snapshot()
+	r.Counter("born").Add(9)
+	d := r.Snapshot().DeltaSince(before)
+	if d.Counters["born"] != 9 {
+		t.Errorf("metric registered mid-run reported %d, want full value 9", d.Counters["born"])
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"probquorum/internal/msg"
 	"probquorum/internal/quorum"
+	"probquorum/internal/register"
 	"probquorum/internal/replica"
 )
 
@@ -74,7 +75,7 @@ func TestCrashedReplicaRetriesExhaustTyped(t *testing.T) {
 		_, err := c.Read(0)
 		return err
 	})
-	if !errors.Is(err, ErrQuorumUnavailable) {
+	if !errors.Is(err, register.ErrQuorumUnavailable) {
 		t.Fatalf("err = %v, want ErrQuorumUnavailable", err)
 	}
 	if got := c.Counters().Retries.Value(); got == 0 {
@@ -82,7 +83,7 @@ func TestCrashedReplicaRetriesExhaustTyped(t *testing.T) {
 	}
 	if err := watchdog(t, 5*time.Second, "write with retry budget", func() error {
 		return c.Write(0, "y")
-	}); !errors.Is(err, ErrQuorumUnavailable) {
+	}); !errors.Is(err, register.ErrQuorumUnavailable) {
 		t.Fatalf("write err = %v, want ErrQuorumUnavailable", err)
 	}
 }
@@ -118,7 +119,7 @@ func TestDeadlineOnSilentServer(t *testing.T) {
 		return err
 	})
 	elapsed := time.Since(start)
-	if !errors.Is(rerr, ErrQuorumUnavailable) {
+	if !errors.Is(rerr, register.ErrQuorumUnavailable) {
 		t.Fatalf("err = %v, want ErrQuorumUnavailable", rerr)
 	}
 	if elapsed < opTimeout {

@@ -137,6 +137,23 @@ func (c *KeyspaceClient) WriteAsync(key msg.RegisterID, val msg.Value) *register
 	return c.ks.WriteAsync(key, val)
 }
 
+// ReadAsyncFunc submits a read of key whose completion invokes fn — the
+// open-loop driver seam (internal/loadgen.Target).
+func (c *KeyspaceClient) ReadAsyncFunc(key msg.RegisterID, fn func(msg.Tagged, error)) *register.PendingOp {
+	return c.ks.ReadAsyncFunc(key, fn)
+}
+
+// ReadAtomicAsyncFunc submits an ABD atomic read of key whose completion
+// invokes fn.
+func (c *KeyspaceClient) ReadAtomicAsyncFunc(key msg.RegisterID, fn func(msg.Tagged, error)) *register.PendingOp {
+	return c.ks.ReadAtomicAsyncFunc(key, fn)
+}
+
+// WriteAsyncFunc submits a write of key whose completion invokes fn.
+func (c *KeyspaceClient) WriteAsyncFunc(key msg.RegisterID, val msg.Value, fn func(msg.Tagged, error)) *register.PendingOp {
+	return c.ks.WriteAsyncFunc(key, val, fn)
+}
+
 // Keyspace exposes the underlying sharded keyspace (per-shard pipelines,
 // aggregate retries, cache-hit and fast-read counters).
 func (c *KeyspaceClient) Keyspace() *register.Keyspace { return c.ks }

@@ -30,7 +30,7 @@
 //     paper's availability mechanism (Section 4): a probabilistic quorum
 //     client depends on no particular quorum, so it simply draws another.
 //     Attempts are paced by capped exponential backoff and bounded by
-//     WithRetries; exhaustion surfaces ErrQuorumUnavailable.
+//     WithRetries; exhaustion surfaces register.ErrQuorumUnavailable.
 //   - Reconnect: a connection that errored is marked dead and transparently
 //     re-dialed (with its own capped backoff) on next use, so a recovered
 //     replica rejoins without restarting the client.
@@ -56,15 +56,6 @@ import (
 	"probquorum/internal/rng"
 	"probquorum/internal/transport"
 )
-
-// ErrQuorumUnavailable is returned when an operation exhausts its retry
-// budget without completing on any quorum — too many servers crashed,
-// unreachable, or silent for any picked quorum to answer in time.
-//
-// Deprecated: it is now an alias for register.ErrQuorumUnavailable, the
-// single typed unavailability error shared by every transport; match with
-// errors.Is against either name.
-var ErrQuorumUnavailable = register.ErrQuorumUnavailable
 
 // envelope wraps a protocol message for gob, which needs a concrete struct
 // around interface-typed payloads.
@@ -602,8 +593,8 @@ func WithOpTimeout(d time.Duration) ClientOption {
 	return func(o *clientOpts) { o.OpTimeout = d }
 }
 
-// WithRetries caps the attempts per operation when WithOpTimeout is set;
-// an operation that exhausts the budget returns ErrQuorumUnavailable.
+// WithRetries caps the attempts per operation when WithOpTimeout is set; an
+// operation that exhausts the budget returns register.ErrQuorumUnavailable.
 // Zero (the default) means unlimited retries.
 func WithRetries(n int) ClientOption {
 	return func(o *clientOpts) { o.Retries = n }

@@ -9,12 +9,15 @@
 #   BENCH_keyspace.json    sharded keyspace working-set sweep + paired ratio
 #   BENCH_membership.json  epoch-stamp overhead + churn (paired)
 #   BENCH_server.json      server reply coalescing (paired) + scaling curve
+#   BENCH_loadgen.json     open-loop latency-vs-offered-load frontier
 #
 # Usage:
 #
-#   scripts/bench.sh [benchtime]
+#   scripts/bench.sh [benchtime] [-short]
 #
 # benchtime defaults to 2s per sub-benchmark; pass e.g. "1x" for a smoke run.
+# -short skips the loadgen frontier stage (the one stage whose cost is fixed
+# wall-clock time — ~30s of paced load — rather than scaled by benchtime).
 # Each stage converts `go test -bench` output with POSIX awk (no jq); the awk
 # scripts exit nonzero when a stage produced no benchmark lines, and every
 # JSON file is written via a temp file + mv so a failed stage never leaves a
@@ -22,7 +25,14 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-benchtime="${1:-2s}"
+benchtime="2s"
+short=0
+for arg in "$@"; do
+    case "$arg" in
+    -short) short=1 ;;
+    *) benchtime="$arg" ;;
+    esac
+done
 out="BENCH_pipeline.json"
 raw="$(mktemp)"
 json="$(mktemp)"
@@ -363,3 +373,19 @@ END {
 }' "$raw" > "$json" && mv "$json" "$svrout"
 
 echo "wrote $svrout"
+
+# Open-loop load frontier: p50/p99 latency versus offered rate, one healthy
+# arm and one crash/recover fault arm, four load points each on a fresh
+# in-process TCP cluster (see cmd/loadgen). Unlike the go-test stages this
+# one's cost is fixed wall-clock time — each point offers paced load for a
+# set duration regardless of benchtime — so -short skips it rather than
+# shrinking it into meaninglessness. The frontier command emits the complete
+# JSON document itself; the temp-file + mv discipline still applies.
+lgout="BENCH_loadgen.json"
+if [ "$short" -eq 1 ]; then
+    echo "skipping $lgout (-short)"
+else
+    go run ./cmd/loadgen frontier -rates 400,800,1600,3200 -duration 3s -o "$json"
+    mv "$json" "$lgout"
+    echo "wrote $lgout"
+fi
